@@ -1,0 +1,71 @@
+"""Ablation — what each resilience mechanism buys (beyond the paper).
+
+Compares, at the paper's working point (Uniform, n = 50, each Table I
+platform), the optimal DP against the design-space corners and the
+Young/Daly periodic baselines.  This quantifies the value of (a)
+chain-aware placement, (b) the memory level, (c) verifications, exactly
+the motivation laid out in the paper's introduction.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_table, improvement
+from repro.baselines import (
+    checkpoint_everything,
+    checkpoint_nothing,
+    solve_periodic,
+    verify_everything,
+)
+from repro.chains import uniform_chain
+from repro.core import optimize
+from repro.platforms import get_platform
+
+from conftest import save_result
+
+PLATFORM_NAMES = ["Hera", "Atlas", "Coastal", "Coastal SSD"]
+
+
+@pytest.mark.parametrize("platform_name", PLATFORM_NAMES)
+def test_ablation_baselines(benchmark, results_dir, platform_name):
+    platform = get_platform(platform_name)
+    chain = uniform_chain(50)
+
+    def run():
+        rows = {}
+        rows["admv (DP)"] = optimize(chain, platform, algorithm="admv")
+        rows["admv* (DP)"] = optimize(chain, platform, algorithm="admv_star")
+        rows["adv* (DP)"] = optimize(chain, platform, algorithm="adv_star")
+        rows["daly disk periodic"] = solve_periodic(
+            chain, platform, two_level=False
+        )
+        rows["daly two-level periodic"] = solve_periodic(
+            chain, platform, two_level=True
+        )
+        rows["checkpoint everything"] = checkpoint_everything(chain, platform)
+        rows["verify everything"] = verify_everything(chain, platform)
+        rows["checkpoint nothing"] = checkpoint_nothing(chain, platform)
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    best = rows["admv (DP)"]
+    table = [
+        [name, f"{sol.normalized_makespan:.4f}",
+         f"{improvement(sol, best):+.2%}"]
+        for name, sol in rows.items()
+    ]
+    text = format_table(
+        ["policy", "norm. makespan", "ADMV gain over it"],
+        table,
+        title=f"ablation — {platform_name}, uniform, n=50",
+    )
+    slug = platform_name.lower().replace(" ", "_")
+    save_result(results_dir, f"ablation_{slug}.txt", text)
+    print()
+    print(text)
+
+    # the DP dominates every policy in its search space
+    for name, sol in rows.items():
+        assert best.expected_time <= sol.expected_time * (1 + 1e-12), name

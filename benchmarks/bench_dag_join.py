@@ -1,0 +1,137 @@
+"""Extension benches — general workflows and heterogeneous costs.
+
+Not paper figures: these quantify the two extensions DESIGN.md calls out.
+
+* join-graph heuristics versus the exhaustive optimum (quality + runtime);
+* serialisation-order impact for the linearize-then-DP pipeline;
+* value of size-aware (per-task cost) optimization.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.chains import TaskChain
+from repro.core import CostProfile, evaluate_schedule, optimize
+from repro.dag import (
+    JoinInstance,
+    WorkflowDAG,
+    evaluate_join,
+    exhaustive_join,
+    local_search_join,
+    optimize_dag,
+    threshold_join,
+)
+from repro.platforms import HERA, Platform
+
+from conftest import save_result
+
+
+def test_join_local_search_quality(benchmark, results_dir):
+    """Local search must stay within 1% of the fixed-order exhaustive
+    optimum over a batch of random instances (and usually beats it thanks
+    to reordering)."""
+    rng = np.random.default_rng(2016)
+    instances = [
+        JoinInstance(
+            tuple(rng.uniform(10.0, 200.0, size=8)),
+            float(rng.uniform(10.0, 60.0)),
+            float(rng.uniform(5e-4, 5e-3)),
+            float(rng.uniform(1.0, 10.0)),
+            float(rng.uniform(1.0, 10.0)),
+        )
+        for _ in range(10)
+    ]
+
+    def run():
+        gaps = []
+        for inst in instances:
+            v_exh, _ = exhaustive_join(inst)
+            v_ls, _ = local_search_join(inst)
+            gaps.append(v_ls / v_exh - 1.0)
+        return gaps
+
+    gaps = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["join local search vs fixed-order exhaustive (8 sources):"]
+    for i, gap in enumerate(gaps):
+        lines.append(f"  instance {i}: gap {gap:+.3%}")
+    text = "\n".join(lines)
+    save_result(results_dir, "ext_join_quality.txt", text)
+    print()
+    print(text)
+    assert max(gaps) <= 0.01
+
+
+def test_join_threshold_vs_optimal(benchmark, results_dir):
+    """The Daly-threshold baseline is measurably worse than the optimum."""
+    rng = np.random.default_rng(7)
+    inst = JoinInstance(
+        tuple(rng.uniform(20.0, 300.0, size=10)), 40.0, 2e-3, 5.0, 5.0
+    )
+    v_thr, _ = benchmark(threshold_join, inst)
+    v_ls, _ = local_search_join(inst)
+    assert v_ls <= v_thr * (1 + 1e-12)
+    print(f"\nthreshold {v_thr:.1f}s vs local search {v_ls:.1f}s "
+          f"({(v_thr / v_ls - 1):+.2%})")
+
+
+def test_dag_order_impact(benchmark, results_dir):
+    """Serialisation order changes the optimal expected makespan."""
+    rng = np.random.default_rng(5)
+    weights = {f"t{i}": float(rng.uniform(20.0, 200.0)) for i in range(7)}
+    edges = [("t0", "t1"), ("t0", "t2"), ("t1", "t3"), ("t2", "t3"),
+             ("t3", "t4"), ("t3", "t5"), ("t4", "t6"), ("t5", "t6")]
+    dag = WorkflowDAG(weights, edges, name="bench-dag")
+    platform = Platform.from_costs("dag", lf=2e-3, ls=5e-3, CD=20.0, CM=4.0)
+
+    def run():
+        values = {}
+        for strategy in ("lexicographic", "heavy_first", "light_first", "dfs"):
+            values[strategy] = optimize_dag(
+                dag, platform, strategy=strategy
+            ).expected_time
+        values["all"] = optimize_dag(dag, platform, strategy="all").expected_time
+        return values
+
+    values = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["serialisation-order impact (7-task fork-join DAG):"]
+    for name, v in sorted(values.items(), key=lambda kv: kv[1]):
+        lines.append(f"  {name:15s} E[T] = {v:.2f}s")
+    text = "\n".join(lines)
+    save_result(results_dir, "ext_dag_orders.txt", text)
+    print()
+    print(text)
+    assert values["all"] <= min(values.values()) + 1e-9
+
+
+def test_heterogeneous_cost_gain(benchmark, results_dir):
+    """Size-aware placement beats pricing-blind placement under true costs."""
+    platform = HERA.scaled_rates(5.0, name="Hera-degraded")
+    n = 12
+    chain = TaskChain([2000.0] * n)
+    sizes = np.concatenate(
+        [np.linspace(1.0, 10.0, n // 2), np.linspace(10.0, 1.0, n // 2)]
+    )
+    profile = CostProfile.proportional_to_output(chain, platform, sizes)
+
+    def run():
+        aware = optimize(chain, platform, algorithm="admv", costs=profile)
+        blind = optimize(chain, platform, algorithm="admv")
+        blind_true = evaluate_schedule(
+            chain, platform, blind.schedule, costs=profile
+        ).expected_time
+        return aware.expected_time, blind_true
+
+    aware, blind_true = benchmark.pedantic(run, rounds=1, iterations=1)
+    gain = blind_true / aware - 1.0
+    text = (
+        "size-aware vs pricing-blind placement (degraded Hera, 12 tasks):\n"
+        f"  size-aware optimum:       {aware:.1f}s\n"
+        f"  blind schedule, true cost: {blind_true:.1f}s\n"
+        f"  penalty for ignoring sizes: {gain:+.2%}"
+    )
+    save_result(results_dir, "ext_hetero_costs.txt", text)
+    print()
+    print(text)
+    assert aware <= blind_true

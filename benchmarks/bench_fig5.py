@@ -1,0 +1,70 @@
+"""Figure 5 — Uniform pattern: makespan + placement counts, 4 platforms.
+
+Regenerates both the normalized-makespan curves (column 1 of the paper's
+figure) and the placement-count curves (columns 2-4), then asserts the
+qualitative shapes the paper reports:
+
+* ``ADMV <= ADMV* <= ADV*`` at every grid point;
+* the makespan improves from tiny ``n`` to the flat region;
+* the two-level gain at ``n = 50`` is ≈2% on Hera, ≈5% on Atlas;
+* partial verifications only appear at large ``n`` (and in numbers on
+  Coastal SSD, where they are the only affordable tool).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig5
+from repro.platforms import get_platform
+
+from conftest import bench_task_grid, save_result
+
+PLATFORM_NAMES = ["Hera", "Atlas", "Coastal", "Coastal SSD"]
+
+
+@pytest.mark.parametrize("platform_name", PLATFORM_NAMES)
+def test_fig5_platform(benchmark, results_dir, platform_name):
+    platform = get_platform(platform_name)
+    grid = bench_task_grid()
+
+    result = benchmark.pedantic(
+        lambda: fig5.run(platforms=(platform,), task_counts=grid),
+        rounds=1,
+        iterations=1,
+    )
+    sweep = result.sweeps[platform_name]
+    slug = platform_name.lower().replace(" ", "_")
+    save_result(results_dir, f"fig5_{slug}.txt", result.render())
+
+    # ---- paper shapes ----------------------------------------------------
+    for n in sweep.task_counts:
+        v1 = sweep.record(n, "adv_star").normalized_makespan
+        v2 = sweep.record(n, "admv_star").normalized_makespan
+        v3 = sweep.record(n, "admv").normalized_makespan
+        assert v3 <= v2 * (1 + 1e-12) <= v1 * (1 + 1e-12)
+
+    # few tasks hurt: the n=1 point is the worst for every algorithm
+    mk = dict(sweep.makespan_series("admv"))
+    assert mk[1] == max(mk.values())
+    assert mk[50] < mk[1]
+
+    gain = result.two_level_gain(platform_name, n=50)
+    assert gain >= 0.0
+    if platform_name == "Hera":
+        assert 0.005 <= gain <= 0.05  # paper: ~2%
+    if platform_name == "Atlas":
+        assert 0.02 <= gain <= 0.10  # paper: ~5%
+
+    # partial verifications only appear once tasks are plentiful
+    partials = dict(sweep.count_series("admv", "partial"))
+    assert partials[1] == 0
+    if platform_name == "Coastal SSD":
+        assert partials[50] > 0
+
+    print()
+    print(result.chart(platform_name))
+    print(
+        f"two-level gain at n=50: {gain:+.2%}; "
+        f"partial gain: {result.partial_gain(platform_name, n=50):+.2%}"
+    )

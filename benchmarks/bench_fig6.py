@@ -1,0 +1,42 @@
+"""Figure 6 — ADMV placement maps at n = 50, Uniform pattern, 4 platforms.
+
+Asserts the qualitative placement structure the paper describes:
+
+* no disk checkpoints beyond the mandatory final one;
+* roughly equi-spaced memory checkpoints on Hera/Atlas/Coastal with
+  partial verifications in between;
+* Coastal SSD prefers partial verifications over guaranteed ones (its
+  ``V* = C_M = 180 s`` makes guaranteed verifications unaffordable).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig6
+
+from conftest import save_result
+
+
+def test_fig6_placements(benchmark, results_dir):
+    result = benchmark.pedantic(lambda: fig6.run(n=50), rounds=1, iterations=1)
+    save_result(results_dir, "fig6_placements.txt", result.render())
+
+    for name, sol in result.solutions.items():
+        counts = sol.counts()
+        # "the algorithm does not perform any additional disk checkpoints"
+        assert counts.disk == 1, name
+        assert sol.schedule.disk_positions == [50]
+
+    # equi-spaced memory checkpoints on Hera: gaps deviate by <= 2 tasks
+    hera = result.solutions["Hera"].schedule
+    gaps = np.diff([0] + hera.memory_positions)
+    assert gaps.max() - gaps.min() <= 2
+
+    # Coastal SSD: partials dominate guaranteed verifications
+    ssd_counts = result.solutions["Coastal SSD"].counts()
+    assert ssd_counts.partial > ssd_counts.guaranteed
+
+    print()
+    print(result.render())

@@ -1,0 +1,53 @@
+"""Figure 7 — Decrease pattern on Hera and Coastal SSD.
+
+Shapes asserted (paper Section IV, 'Decrease pattern'):
+
+* the three algorithms are much closer than under Uniform (the heavy head
+  dominates and all of them protect it), with ``ADMV`` keeping a slight
+  advantage;
+* protection concentrates on the early heavy tasks; the light tail is not
+  even worth verifying.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig78
+
+from conftest import bench_task_grid, save_result
+
+
+def test_fig7_decrease(benchmark, results_dir):
+    grid = bench_task_grid()
+    result = benchmark.pedantic(
+        lambda: fig78.run_fig7(task_counts=grid),
+        rounds=1,
+        iterations=1,
+    )
+    save_result(results_dir, "fig7_decrease.txt", result.render())
+
+    for name, sweep in result.sweeps.items():
+        for n in sweep.task_counts:
+            v1 = sweep.record(n, "adv_star").normalized_makespan
+            v2 = sweep.record(n, "admv_star").normalized_makespan
+            v3 = sweep.record(n, "admv").normalized_makespan
+            assert v3 <= v2 * (1 + 1e-12) <= v1 * (1 + 1e-12)
+
+    # protection lives in the heavy head: every non-final memory checkpoint
+    # in the first half of the chain
+    for name, sol in result.map_solutions.items():
+        sched = sol.schedule
+        protected = set(sched.memory_positions) - {sched.n}
+        if protected:
+            assert max(protected) <= sched.n // 2, name
+
+    # the light tail is left bare: no verification at all in the last 20%
+    hera = result.map_solutions["Hera"].schedule
+    tail = set(range(int(hera.n * 0.8) + 1, hera.n))
+    assert tail.isdisjoint(set(hera.verified_positions) - {hera.n})
+
+    print()
+    for name in result.sweeps:
+        print(result.diagram(name))
+        print()

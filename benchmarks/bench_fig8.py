@@ -1,0 +1,55 @@
+"""Figure 8 — HighLow pattern on Hera and Coastal SSD.
+
+Shapes asserted (paper Section IV, 'HighLow pattern'):
+
+* on Hera the memory checkpoint 'becomes mandatory' on the heavy head
+  tasks (each ~3000 s task is protected individually);
+* on Coastal SSD memory checkpoints are expensive (180 s), so the head is
+  protected much more sparsely;
+* the light tail mirrors the Uniform solution but with fewer placements.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig78
+
+from conftest import bench_task_grid, save_result
+
+
+def test_fig8_highlow(benchmark, results_dir):
+    grid = bench_task_grid()
+    result = benchmark.pedantic(
+        lambda: fig78.run_fig8(task_counts=grid),
+        rounds=1,
+        iterations=1,
+    )
+    save_result(results_dir, "fig8_highlow.txt", result.render())
+
+    for name, sweep in result.sweeps.items():
+        for n in sweep.task_counts:
+            v1 = sweep.record(n, "adv_star").normalized_makespan
+            v3 = sweep.record(n, "admv").normalized_makespan
+            assert v3 <= v1 * (1 + 1e-12)
+
+    # Hera: the heavy head (first 10% = 5 tasks at n=50) is aggressively
+    # protected — every heavy task is verified, and most carry a memory
+    # checkpoint (the exact optimum leaves the last heavy task with only a
+    # partial verification: rolling back to the 4th checkpoint re-executes
+    # a single heavy task, cheaper than a fifth C_M + V*)
+    hera = result.map_solutions["Hera"].schedule
+    heavy = set(range(1, 6))
+    assert heavy <= set(hera.verified_positions)
+    assert len(heavy & set(hera.memory_positions)) >= 3
+
+    # Coastal SSD: strictly fewer memory checkpoints on the head than Hera
+    ssd = result.map_solutions["Coastal SSD"].schedule
+    ssd_head = heavy & set(ssd.memory_positions)
+    hera_head = heavy & set(hera.memory_positions)
+    assert len(ssd_head) < len(hera_head)
+
+    print()
+    for name in result.sweeps:
+        print(result.diagram(name))
+        print()

@@ -1,0 +1,52 @@
+"""Simulator throughput and analytic agreement.
+
+Not a paper figure per se — the paper's evaluation is analytic — but this
+bench documents the cost of the fault-injection substrate and pins the
+three-way agreement (DP == Markov ≈ Monte-Carlo) on a hot platform where
+error paths carry real probability mass.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chains import TaskChain
+from repro.core import evaluate_schedule, optimize
+from repro.platforms import Platform
+from repro.simulation import PoissonErrorSource, run_monte_carlo, simulate_run
+
+HOT = Platform.from_costs(
+    "hot", lf=2e-3, ls=6e-3, CD=30.0, CM=5.0, r=0.8, partial_cost_ratio=25.0
+)
+CHAIN = TaskChain([60.0] * 10)
+
+
+@pytest.fixture(scope="module")
+def schedule():
+    return optimize(CHAIN, HOT, algorithm="admv").schedule
+
+
+def test_single_run_throughput(benchmark, schedule):
+    source = PoissonErrorSource(HOT, rng=0)
+    result = benchmark(simulate_run, CHAIN, HOT, schedule, source)
+    assert result.makespan > 0
+
+
+def test_markov_evaluator_throughput(benchmark, schedule):
+    evaluation = benchmark(evaluate_schedule, CHAIN, HOT, schedule)
+    assert evaluation.expected_time > 0
+
+
+def test_monte_carlo_campaign(benchmark, schedule):
+    analytic = evaluate_schedule(CHAIN, HOT, schedule).expected_time
+    mc = benchmark.pedantic(
+        lambda: run_monte_carlo(
+            CHAIN, HOT, schedule, runs=2000, seed=3,
+            confidence=0.999, analytic=analytic,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(mc.report())
+    assert mc.agrees_with_analytic, mc.report()

@@ -1,0 +1,29 @@
+"""Table I — regenerate the platform-parameter table.
+
+Trivial computationally; the bench exists so that ``pytest benchmarks/``
+regenerates *every* table and figure of the paper, and it pins the derived
+MTBF figures quoted in the paper's prose.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import table1
+
+from conftest import save_result
+
+
+def test_table1_regeneration(benchmark, results_dir):
+    result = benchmark(table1.run)
+    text = result.render()
+    save_result(results_dir, "table1_platforms.txt", text)
+
+    rows = {row[0]: row for row in result.rows()}
+    # paper prose: Hera 12.2 / 3.4 days, Coastal 28.8 / 5.8 days
+    assert rows["Hera"][6] == "12.2"
+    assert rows["Hera"][7] == "3.4"
+    assert rows["Coastal"][6] == "28.8"
+    assert rows["Coastal"][7] == "5.8"
+    print()
+    print(text)

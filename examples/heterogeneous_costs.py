@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Per-task checkpoint costs: an extension beyond the paper's model.
+
+The paper prices every checkpoint and verification identically.  Real
+workflows move different amounts of data at each boundary: a mesh
+refinement step may multiply the state, a reduction shrinks it.  The DP
+recurrences take position-dependent costs without any structural change
+(see ``repro.core.costs``), and the same exhaustive/Markov oracles certify
+optimality.
+
+Scenario: a 12-task pipeline on a degraded Hera (5x the error rates,
+as at end-of-life) whose state *grows* through the first half
+(refinement) and *shrinks* through the second (reduction).  The
+optimizer shifts checkpoints toward the cheap boundaries — compare with the
+uniform-cost solution which spaces them evenly.
+"""
+
+import numpy as np
+
+from repro import HERA, CostProfile, TaskChain, evaluate_schedule, optimize
+from repro.analysis import format_table, placement_diagram
+
+N = 12
+PLATFORM = HERA.scaled_rates(5.0, name="Hera-degraded")
+
+
+def main() -> None:
+    chain = TaskChain([2000.0] * N, name="refine-then-reduce")
+
+    # output sizes: grow 1 -> 6 then shrink back (relative units)
+    sizes = np.concatenate([np.linspace(1.0, 10.0, N // 2),
+                            np.linspace(10.0, 1.0, N // 2)])
+    profile = CostProfile.proportional_to_output(chain, PLATFORM, sizes)
+    print(profile.describe())
+    print()
+
+    uniform_sol = optimize(chain, PLATFORM, algorithm="admv")
+    hetero_sol = optimize(chain, PLATFORM, algorithm="admv", costs=profile)
+
+    print(placement_diagram(
+        uniform_sol.schedule,
+        title=f"uniform costs   — E[T] = {uniform_sol.expected_time:.0f}s",
+    ))
+    print()
+    print(placement_diagram(
+        hetero_sol.schedule,
+        title=f"per-task costs  — E[T] = {hetero_sol.expected_time:.0f}s",
+    ))
+    print()
+
+    # what the uniform-cost schedule would really cost with true prices:
+    uniform_on_true = evaluate_schedule(
+        chain, PLATFORM, uniform_sol.schedule, costs=profile
+    ).expected_time
+    rows = [
+        ["size-aware optimum", f"{hetero_sol.expected_time:.1f}"],
+        ["uniform-cost schedule, true prices", f"{uniform_on_true:.1f}"],
+        [
+            "penalty for ignoring sizes",
+            f"{(uniform_on_true / hetero_sol.expected_time - 1):+.2%}",
+        ],
+    ]
+    print(format_table(["schedule", "E[makespan] (s)"], rows))
+    print()
+    print("The size-aware optimum checkpoints where the state is small")
+    print("(start and end of the pipeline) and verifies more in the bulge.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""How the workload shape drives the optimal protection (Figs. 6-8).
+
+Solves ``ADMV`` for the three paper workloads on Hera and renders the
+placement maps:
+
+* **Uniform** — equi-spaced memory checkpoints + guaranteed verifications
+  with partial verifications in between;
+* **Decrease** (dense solver profile) — the heavy head is checkpointed
+  aggressively, the light tail is barely worth verifying;
+* **HighLow** (10% of tasks hold 60% of the weight) — memory checkpoints
+  are mandatory on each heavy task, the light tail mirrors Uniform.
+"""
+
+from repro import HERA, make_chain, optimize
+from repro.analysis import format_table, placement_diagram
+
+N = 40  # a bit below the paper's 50 to keep this example snappy
+
+
+def main() -> None:
+    rows = []
+    for pattern in ("uniform", "decrease", "highlow"):
+        chain = make_chain(pattern, N)
+        solution = optimize(chain, HERA, algorithm="admv")
+        counts = solution.counts()
+        rows.append(
+            [
+                pattern,
+                f"{solution.normalized_makespan:.4f}",
+                counts.disk,
+                counts.memory,
+                counts.guaranteed,
+                counts.partial,
+            ]
+        )
+        print(
+            placement_diagram(
+                solution.schedule,
+                title=(
+                    f"{pattern} (n={N}) on Hera — "
+                    f"E[T] = {solution.expected_time:.0f}s"
+                ),
+            )
+        )
+        print()
+
+    print(
+        format_table(
+            ["pattern", "norm. makespan", "#disk", "#mem", "#guar", "#partial"],
+            rows,
+            title="ADMV on Hera, all patterns",
+        )
+    )
+    print()
+    print("Note how the Decrease pattern concentrates every checkpoint on")
+    print("the early heavy tasks, while HighLow protects each of the four")
+    print("heavy head tasks individually — exactly the paper's Figures 7-8.")
+
+
+if __name__ == "__main__":
+    main()

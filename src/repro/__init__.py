@@ -1,0 +1,93 @@
+"""repro — two-level checkpointing and verifications for linear task graphs.
+
+A production-quality reproduction of Benoit, Cavelan, Robert & Sun,
+*"Two-Level Checkpointing and Verifications for Linear Task Graphs"*
+(PDSEC/IPDPSW 2016): optimal dynamic-programming placement of disk
+checkpoints, in-memory checkpoints, guaranteed verifications and partial
+verifications on linear task chains subject to fail-stop and silent errors,
+with exact Markov evaluation, a fault-injection simulator, baselines, and
+the paper's full experimental harness.
+
+Quickstart
+----------
+>>> import repro
+>>> chain = repro.uniform_chain(20)
+>>> solution = repro.optimize(chain, repro.HERA, algorithm="admv")
+>>> round(solution.normalized_makespan, 2) >= 1.0
+True
+"""
+
+from .chains import (
+    PAPER_TOTAL_WEIGHT,
+    Task,
+    TaskChain,
+    decrease_chain,
+    highlow_chain,
+    make_chain,
+    uniform_chain,
+)
+from .core import (
+    ALGORITHMS,
+    Action,
+    CostProfile,
+    Schedule,
+    Solution,
+    error_free_time,
+    evaluate_schedule,
+    exhaustive_search,
+    optimize,
+)
+from .exceptions import (
+    InvalidChainError,
+    InvalidParameterError,
+    InvalidScheduleError,
+    ReproError,
+    SimulationError,
+    SolverError,
+)
+from .platforms import (
+    ATLAS,
+    COASTAL,
+    COASTAL_SSD,
+    HERA,
+    Platform,
+    get_platform,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # chains
+    "Task",
+    "TaskChain",
+    "uniform_chain",
+    "decrease_chain",
+    "highlow_chain",
+    "make_chain",
+    "PAPER_TOTAL_WEIGHT",
+    # platforms
+    "Platform",
+    "HERA",
+    "ATLAS",
+    "COASTAL",
+    "COASTAL_SSD",
+    "get_platform",
+    # core
+    "Action",
+    "Schedule",
+    "Solution",
+    "CostProfile",
+    "optimize",
+    "ALGORITHMS",
+    "evaluate_schedule",
+    "error_free_time",
+    "exhaustive_search",
+    # exceptions
+    "ReproError",
+    "InvalidParameterError",
+    "InvalidChainError",
+    "InvalidScheduleError",
+    "SolverError",
+    "SimulationError",
+]

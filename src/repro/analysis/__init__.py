@@ -1,0 +1,36 @@
+"""Analysis helpers: metrics, sweeps, ASCII charts and tables."""
+
+from .ascii_plot import line_chart, placement_diagram, sparkline
+from .export import counts_to_csv, solution_to_json, sweep_to_csv, sweep_to_json
+from .sensitivity import SENSITIVITY_PARAMETERS, SensitivityResult, sensitivity_sweep
+from .metrics import (
+    daily_savings_seconds,
+    improvement,
+    normalized_makespan,
+    overhead,
+)
+from .sweep import SweepRecord, SweepResult, default_task_grid, sweep_task_counts
+from .tables import format_markdown_table, format_table
+
+__all__ = [
+    "counts_to_csv",
+    "solution_to_json",
+    "sweep_to_csv",
+    "sweep_to_json",
+    "SENSITIVITY_PARAMETERS",
+    "SensitivityResult",
+    "sensitivity_sweep",
+    "line_chart",
+    "placement_diagram",
+    "sparkline",
+    "daily_savings_seconds",
+    "improvement",
+    "normalized_makespan",
+    "overhead",
+    "SweepRecord",
+    "SweepResult",
+    "default_task_grid",
+    "sweep_task_counts",
+    "format_markdown_table",
+    "format_table",
+]

@@ -1,0 +1,130 @@
+"""Terminal rendering: line charts and placement diagrams.
+
+The paper's figures are reproduced as text artefacts (no matplotlib in the
+offline environment):
+
+* :func:`line_chart` renders several ``(x, y)`` series on a shared character
+  grid — used for the normalized-makespan and count curves of Figs. 5/7/8;
+* :func:`placement_diagram` renders the four placement rows (disk ckpts,
+  memory ckpts, guaranteed verifs, partial verifs) of Fig. 6.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from ..exceptions import InvalidParameterError
+from ..core.schedule import Schedule
+
+__all__ = ["line_chart", "placement_diagram", "sparkline"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def line_chart(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    *,
+    width: int = 68,
+    height: int = 18,
+    title: str = "",
+    y_label: str = "",
+    x_label: str = "",
+) -> str:
+    """Render named ``(x, y)`` series as an ASCII chart.
+
+    Each series gets a distinct marker; later series overwrite earlier ones
+    on collisions (legend order = insertion order).
+    """
+    if not series:
+        raise InvalidParameterError("line_chart needs at least one series")
+    if width < 16 or height < 4:
+        raise InvalidParameterError("chart must be at least 16x4 characters")
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        raise InvalidParameterError("line_chart needs at least one point")
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    if x_max == x_min:
+        x_max = x_min + 1.0
+    if y_max == y_min:
+        y_max = y_min + 1.0 if y_min != 0 else 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def _cell(x: float, y: float) -> tuple[int, int]:
+        col = round((x - x_min) / (x_max - x_min) * (width - 1))
+        row = round((y - y_min) / (y_max - y_min) * (height - 1))
+        return (height - 1 - row), col
+
+    for idx, (name, pts) in enumerate(series.items()):
+        marker = _MARKERS[idx % len(_MARKERS)]
+        for x, y in pts:
+            r, c = _cell(x, y)
+            grid[r][c] = marker
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    y_hi = f"{y_max:.4g}"
+    y_lo = f"{y_min:.4g}"
+    label_w = max(len(y_hi), len(y_lo)) + 1
+    for i, row in enumerate(grid):
+        if i == 0:
+            prefix = y_hi.rjust(label_w)
+        elif i == height - 1:
+            prefix = y_lo.rjust(label_w)
+        else:
+            prefix = " " * label_w
+        lines.append(f"{prefix}|{''.join(row)}")
+    lines.append(" " * label_w + "+" + "-" * width)
+    x_axis = f"{x_min:.4g}".ljust(width - 8) + f"{x_max:.4g}".rjust(8)
+    lines.append(" " * (label_w + 1) + x_axis)
+    if x_label:
+        lines.append(" " * (label_w + 1) + x_label.center(width))
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {name}" for i, name in enumerate(series)
+    )
+    lines.append((y_label + "  " if y_label else "") + "legend: " + legend)
+    return "\n".join(lines)
+
+
+def placement_diagram(schedule: Schedule, *, title: str = "") -> str:
+    """Render a schedule as the four marker rows of the paper's Figure 6.
+
+    Each column is one task; ``|`` marks a placement.  Higher levels imply
+    the lower rows (a disk checkpoint column shows in all of disk, memory
+    and guaranteed rows), matching how the paper draws them.
+    """
+    n = schedule.n
+    rows = {
+        "disk ckpts      ": set(schedule.disk_positions),
+        "memory ckpts    ": set(schedule.memory_positions),
+        "guaranteed verif": set(schedule.guaranteed_positions),
+        "partial verif   ": set(schedule.partial_positions),
+    }
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    for label, positions in rows.items():
+        cells = "".join("|" if i in positions else "." for i in range(1, n + 1))
+        lines.append(f"{label} {cells}")
+    scale = "".join(
+        "^" if i % 10 == 0 else " " for i in range(1, n + 1)
+    )
+    lines.append(f"{'':17}{scale}  (^ = every 10th task)")
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """Eight-level unicode sparkline, for compact sweep summaries."""
+    if not values:
+        raise InvalidParameterError("sparkline needs at least one value")
+    blocks = "▁▂▃▄▅▆▇█"
+    lo, hi = min(values), max(values)
+    if hi == lo:
+        return blocks[0] * len(values)
+    return "".join(
+        blocks[round((v - lo) / (hi - lo) * (len(blocks) - 1))] for v in values
+    )

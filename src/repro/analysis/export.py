@@ -1,0 +1,86 @@
+"""Export sweep results and solutions to CSV / JSON for external plotting.
+
+The ASCII artefacts under ``results/`` are the canonical reproduction
+record; these helpers exist for users who want to re-plot the curves with
+their own tooling (matplotlib, gnuplot, a spreadsheet).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+from ..core.result import Solution
+from .sweep import SweepResult
+
+__all__ = [
+    "sweep_to_csv",
+    "sweep_to_json",
+    "solution_to_json",
+    "counts_to_csv",
+]
+
+
+def sweep_to_csv(sweep: SweepResult, path: str | Path) -> None:
+    """One row per task count, one normalized-makespan column per algorithm."""
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(sweep.header())
+        for row in sweep.rows():
+            writer.writerow([repr(c) if isinstance(c, float) else c for c in row])
+
+
+def counts_to_csv(sweep: SweepResult, algorithm: str, path: str | Path) -> None:
+    """Placement counts of one algorithm over the sweep (Fig. 5 cols 2-4)."""
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["n", "disk", "memory", "guaranteed", "partial"])
+        for n in sweep.task_counts:
+            c = sweep.record(n, algorithm).counts
+            writer.writerow([n, c.disk, c.memory, c.guaranteed, c.partial])
+
+
+def sweep_to_json(sweep: SweepResult, path: str | Path | None = None) -> dict:
+    """Full sweep as a JSON-serializable document (optionally written out)."""
+    doc = {
+        "platform": sweep.platform.as_dict(),
+        "pattern": sweep.pattern,
+        "total_weight": sweep.total_weight,
+        "task_counts": sweep.task_counts,
+        "algorithms": sweep.algorithms,
+        "records": [
+            {
+                "n": rec.n,
+                "algorithm": rec.algorithm,
+                "expected_time": rec.solution.expected_time,
+                "normalized_makespan": rec.normalized_makespan,
+                "counts": dict(rec.counts),
+                "schedule": rec.solution.schedule.to_string(),
+            }
+            for rec in sweep.records
+        ],
+    }
+    if path is not None:
+        Path(path).write_text(json.dumps(doc, indent=2) + "\n")
+    return doc
+
+
+def solution_to_json(solution: Solution, path: str | Path | None = None) -> dict:
+    """One solution as a JSON-serializable document (optionally written)."""
+    doc = {
+        "algorithm": solution.algorithm,
+        "platform": solution.platform.as_dict(),
+        "chain": {
+            "name": solution.chain.name,
+            "weights": solution.chain.as_list(),
+        },
+        "expected_time": solution.expected_time,
+        "normalized_makespan": solution.normalized_makespan,
+        "counts": dict(solution.counts()),
+        "schedule": solution.schedule.as_dict(),
+        "schedule_string": solution.schedule.to_string(),
+    }
+    if path is not None:
+        Path(path).write_text(json.dumps(doc, indent=2) + "\n")
+    return doc

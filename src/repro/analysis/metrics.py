@@ -1,0 +1,48 @@
+"""Derived metrics used in the evaluation harness."""
+
+from __future__ import annotations
+
+from ..chains import TaskChain
+from ..exceptions import InvalidParameterError
+from ..core.result import Solution
+
+__all__ = [
+    "normalized_makespan",
+    "overhead",
+    "improvement",
+    "daily_savings_seconds",
+]
+
+
+def normalized_makespan(expected_time: float, chain: TaskChain) -> float:
+    """Expected makespan over error-free work — the paper's y-axis."""
+    return expected_time / chain.total_weight
+
+
+def overhead(expected_time: float, chain: TaskChain) -> float:
+    """Fractional overhead above error-free execution."""
+    return normalized_makespan(expected_time, chain) - 1.0
+
+
+def improvement(baseline: Solution | float, candidate: Solution | float) -> float:
+    """Fractional makespan reduction of ``candidate`` over ``baseline``.
+
+    ``improvement(adv, admv) == 0.02`` means the candidate is 2% faster, the
+    way the paper quotes "saves 2% of execution time on Hera".
+    """
+    base = baseline.expected_time if isinstance(baseline, Solution) else baseline
+    cand = candidate.expected_time if isinstance(candidate, Solution) else candidate
+    if base <= 0.0:
+        raise InvalidParameterError(f"baseline makespan must be > 0, got {base!r}")
+    return (base - cand) / base
+
+
+def daily_savings_seconds(
+    baseline: Solution | float, candidate: Solution | float
+) -> float:
+    """Seconds saved per day of execution, the paper's closing argument.
+
+    A 2% improvement "corresponds to saving half an hour a day" — this is
+    ``improvement * 86400``.
+    """
+    return improvement(baseline, candidate) * 86400.0

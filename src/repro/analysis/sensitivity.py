@@ -1,0 +1,136 @@
+"""One-parameter sensitivity sweeps.
+
+Operational questions about a deployment are usually of the form "how does
+the optimal overhead (and the placement mix) move if X changes?" where X is
+an error rate, a checkpoint cost, or the partial-verification quality.
+:func:`sensitivity_sweep` varies one platform field over a grid, re-solves,
+and returns the series; :data:`SENSITIVITY_PARAMETERS` lists the supported
+knobs with their semantics.
+
+The recall sweep answers the paper-adjacent question studied in
+[Bautista-Gomez et al., Cavelan et al.]: how good does a cheap detector
+have to be before it displaces guaranteed verifications?
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from ..chains import TaskChain
+from ..exceptions import InvalidParameterError
+from ..platforms import Platform
+from ..core.result import Solution
+from ..core.solver import optimize
+
+__all__ = ["SENSITIVITY_PARAMETERS", "SensitivityResult", "sensitivity_sweep"]
+
+#: Supported knobs: name -> (platform field(s) updated, description).
+SENSITIVITY_PARAMETERS: dict[str, str] = {
+    "lf": "fail-stop error rate λ_f (absolute value)",
+    "ls": "silent error rate λ_s (absolute value)",
+    "rate_scale": "both error rates multiplied by the grid value",
+    "CD": "disk checkpoint cost (R_D follows, paper convention)",
+    "CM": "memory checkpoint cost (R_M and V* follow, paper convention)",
+    "Vp": "partial verification cost (absolute value)",
+    "r": "partial verification recall",
+}
+
+
+def _apply(platform: Platform, parameter: str, value: float) -> Platform:
+    if parameter == "lf":
+        return platform.with_overrides(lf=value)
+    if parameter == "ls":
+        return platform.with_overrides(ls=value)
+    if parameter == "rate_scale":
+        return platform.scaled_rates(value)
+    if parameter == "CD":
+        return platform.with_overrides(CD=value, RD=value)
+    if parameter == "CM":
+        return platform.with_overrides(CM=value, RM=value, Vg=value)
+    if parameter == "Vp":
+        return platform.with_overrides(Vp=value)
+    if parameter == "r":
+        return platform.with_overrides(r=value)
+    known = ", ".join(sorted(SENSITIVITY_PARAMETERS))
+    raise InvalidParameterError(
+        f"unknown sensitivity parameter {parameter!r}; known: {known}"
+    )
+
+
+@dataclass
+class SensitivityResult:
+    """Series of optimal solutions along one parameter grid."""
+
+    parameter: str
+    values: list[float]
+    base_platform: Platform
+    algorithm: str
+    solutions: list[Solution] = field(default_factory=list)
+
+    def makespan_series(self) -> list[tuple[float, float]]:
+        """``(parameter value, normalized makespan)`` points."""
+        return [
+            (v, sol.normalized_makespan)
+            for v, sol in zip(self.values, self.solutions)
+        ]
+
+    def count_series(self, category: str) -> list[tuple[float, float]]:
+        """``(parameter value, placement count)`` points."""
+        return [
+            (v, sol.counts()[category])
+            for v, sol in zip(self.values, self.solutions)
+        ]
+
+    def rows(self) -> list[list]:
+        """Tabular form: value, makespan, and the four placement counts."""
+        out = []
+        for v, sol in zip(self.values, self.solutions):
+            c = sol.counts()
+            out.append(
+                [
+                    v,
+                    sol.normalized_makespan,
+                    c.disk,
+                    c.memory,
+                    c.guaranteed,
+                    c.partial,
+                ]
+            )
+        return out
+
+    @staticmethod
+    def header() -> list[str]:
+        return ["value", "norm. makespan", "#disk", "#mem", "#guar", "#partial"]
+
+
+def sensitivity_sweep(
+    chain: TaskChain,
+    platform: Platform,
+    parameter: str,
+    values: Sequence[float],
+    *,
+    algorithm: str = "admv",
+) -> SensitivityResult:
+    """Re-solve ``chain`` while varying one platform ``parameter``.
+
+    Parameters
+    ----------
+    parameter:
+        One of :data:`SENSITIVITY_PARAMETERS`.
+    values:
+        Grid of parameter values (absolute, except ``rate_scale`` which is
+        a multiplier on both error rates).
+    """
+    if not values:
+        raise InvalidParameterError("sensitivity sweep needs at least one value")
+    result = SensitivityResult(
+        parameter=parameter,
+        values=[float(v) for v in values],
+        base_platform=platform,
+        algorithm=algorithm,
+    )
+    for value in result.values:
+        variant = _apply(platform, parameter, value)
+        result.solutions.append(optimize(chain, variant, algorithm=algorithm))
+    return result

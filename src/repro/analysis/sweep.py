@@ -1,0 +1,122 @@
+"""Task-count sweeps: the x-axis of every makespan figure in the paper.
+
+A sweep runs one or more algorithms over chains of increasing task counts
+(same pattern, same total weight) on one platform, recording normalized
+makespans and placement counts.  The figure drivers in
+:mod:`repro.experiments` are thin wrappers around :func:`sweep_task_counts`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..chains import PAPER_TOTAL_WEIGHT, make_chain
+from ..exceptions import InvalidParameterError
+from ..platforms import Platform
+from ..core.result import Solution
+from ..core.solver import canonical_algorithm, optimize
+
+__all__ = ["SweepRecord", "SweepResult", "sweep_task_counts", "default_task_grid"]
+
+
+def default_task_grid(max_n: int = 50, step: int = 5) -> list[int]:
+    """The paper's x-axis grid: 1 plus multiples of ``step`` up to ``max_n``."""
+    if max_n < 1 or step < 1:
+        raise InvalidParameterError("max_n and step must be >= 1")
+    grid = [1] + [n for n in range(step, max_n + 1, step)]
+    return sorted(set(grid))
+
+
+@dataclass(frozen=True)
+class SweepRecord:
+    """One (n, algorithm) cell of a sweep."""
+
+    n: int
+    algorithm: str
+    solution: Solution
+
+    @property
+    def normalized_makespan(self) -> float:
+        return self.solution.normalized_makespan
+
+    @property
+    def counts(self):
+        return self.solution.counts()
+
+
+@dataclass
+class SweepResult:
+    """All records of one sweep, with convenient series accessors."""
+
+    platform: Platform
+    pattern: str
+    total_weight: float
+    task_counts: list[int]
+    algorithms: list[str]
+    records: list[SweepRecord] = field(default_factory=list)
+
+    def record(self, n: int, algorithm: str) -> SweepRecord:
+        """The record for a given ``(n, algorithm)`` cell."""
+        for rec in self.records:
+            if rec.n == n and rec.algorithm == algorithm:
+                return rec
+        raise KeyError(f"no record for n={n}, algorithm={algorithm!r}")
+
+    def makespan_series(self, algorithm: str) -> list[tuple[float, float]]:
+        """``(n, normalized makespan)`` points for one algorithm."""
+        return [
+            (rec.n, rec.normalized_makespan)
+            for rec in self.records
+            if rec.algorithm == algorithm
+        ]
+
+    def count_series(
+        self, algorithm: str, category: str
+    ) -> list[tuple[float, float]]:
+        """``(n, count)`` points for one algorithm and placement category."""
+        return [
+            (rec.n, rec.counts[category])
+            for rec in self.records
+            if rec.algorithm == algorithm
+        ]
+
+    def rows(self) -> list[list]:
+        """Tabular form: one row per n, one makespan column per algorithm."""
+        out = []
+        for n in self.task_counts:
+            row: list = [n]
+            for alg in self.algorithms:
+                row.append(self.record(n, alg).normalized_makespan)
+            out.append(row)
+        return out
+
+    def header(self) -> list[str]:
+        return ["n"] + list(self.algorithms)
+
+
+def sweep_task_counts(
+    platform: Platform,
+    *,
+    pattern: str = "uniform",
+    task_counts: list[int] | None = None,
+    algorithms: tuple[str, ...] = ("adv_star", "admv_star", "admv"),
+    total_weight: float = PAPER_TOTAL_WEIGHT,
+    **pattern_kwargs,
+) -> SweepResult:
+    """Run ``algorithms`` over chains of each size in ``task_counts``."""
+    if task_counts is None:
+        task_counts = default_task_grid()
+    canon = [canonical_algorithm(a) for a in algorithms]
+    result = SweepResult(
+        platform=platform,
+        pattern=pattern,
+        total_weight=total_weight,
+        task_counts=list(task_counts),
+        algorithms=canon,
+    )
+    for n in task_counts:
+        chain = make_chain(pattern, n, total_weight, **pattern_kwargs)
+        for alg in canon:
+            sol = optimize(chain, platform, algorithm=alg)
+            result.records.append(SweepRecord(n=n, algorithm=alg, solution=sol))
+    return result

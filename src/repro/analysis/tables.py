@@ -1,0 +1,63 @@
+"""Plain-text and Markdown table rendering for reports and benches."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..exceptions import InvalidParameterError
+
+__all__ = ["format_table", "format_markdown_table"]
+
+
+def _stringify(cell) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.4g}"
+    return str(cell)
+
+
+def _check(header: Sequence[str], rows: Sequence[Sequence]) -> list[list[str]]:
+    if not header:
+        raise InvalidParameterError("table needs at least one column")
+    out = []
+    for row in rows:
+        if len(row) != len(header):
+            raise InvalidParameterError(
+                f"row {row!r} has {len(row)} cells, header has {len(header)}"
+            )
+        out.append([_stringify(c) for c in row])
+    return out
+
+
+def format_table(
+    header: Sequence[str], rows: Sequence[Sequence], *, title: str = ""
+) -> str:
+    """Fixed-width aligned text table (right-aligned numeric look)."""
+    str_rows = _check(header, rows)
+    widths = [
+        max(len(str(header[i])), *(len(r[i]) for r in str_rows), 1)
+        if str_rows
+        else len(str(header[i]))
+        for i in range(len(header))
+    ]
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).rjust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_markdown_table(
+    header: Sequence[str], rows: Sequence[Sequence]
+) -> str:
+    """GitHub-flavoured Markdown table."""
+    str_rows = _check(header, rows)
+    lines = [
+        "| " + " | ".join(str(h) for h in header) + " |",
+        "|" + "|".join("---" for _ in header) + "|",
+    ]
+    for row in str_rows:
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)

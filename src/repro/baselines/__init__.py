@@ -1,0 +1,28 @@
+"""Baseline policies: Young/Daly periodic checkpointing and naive corners."""
+
+from .daly import daly_period, young_period
+from .naive import (
+    checkpoint_every_k,
+    checkpoint_everything,
+    checkpoint_nothing,
+    verify_everything,
+)
+from .periodic import (
+    periodic_disk_schedule,
+    periodic_positions,
+    periodic_two_level_schedule,
+    solve_periodic,
+)
+
+__all__ = [
+    "daly_period",
+    "young_period",
+    "checkpoint_every_k",
+    "checkpoint_everything",
+    "checkpoint_nothing",
+    "verify_everything",
+    "periodic_disk_schedule",
+    "periodic_positions",
+    "periodic_two_level_schedule",
+    "solve_periodic",
+]

@@ -1,0 +1,52 @@
+"""Young/Daly periodic-checkpointing formulas.
+
+For divisible-load applications with checkpoint cost ``C`` and failure rate
+``λ`` (MTBF ``μ = 1/λ``), the classical first-order optimal checkpointing
+period is Young's
+
+.. math:: T_{Young} = \\sqrt{2 C \\mu}
+
+refined by Daly to
+
+.. math:: T_{Daly} = \\sqrt{2 C \\mu} - C.
+
+These are *divisible-load* results; on a task chain checkpoints can only sit
+at task boundaries, so :mod:`repro.baselines.periodic` rounds the periodic
+positions to the nearest boundary.  The comparison DP-vs-Daly is exactly the
+kind of gain the paper's introduction motivates (task-graph-aware placement
+beats periodic rules).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..exceptions import InvalidParameterError
+
+__all__ = ["young_period", "daly_period"]
+
+
+def _check(C: float, rate: float) -> None:
+    if not math.isfinite(C) or C < 0.0:
+        raise InvalidParameterError(f"checkpoint cost must be >= 0, got {C!r}")
+    if not math.isfinite(rate) or rate <= 0.0:
+        raise InvalidParameterError(
+            f"error rate must be > 0 for a periodic baseline, got {rate!r}"
+        )
+
+
+def young_period(C: float, rate: float) -> float:
+    """Young's optimal period ``sqrt(2 C / λ)``."""
+    _check(C, rate)
+    return math.sqrt(2.0 * C / rate)
+
+
+def daly_period(C: float, rate: float) -> float:
+    """Daly's refined period ``sqrt(2 C / λ) - C`` (floored at ``C``).
+
+    The floor keeps the period meaningful when ``C`` approaches the MTBF —
+    Daly's expansion is not valid there, and a non-positive period would be
+    nonsense.
+    """
+    _check(C, rate)
+    return max(C, math.sqrt(2.0 * C / rate) - C)

@@ -1,0 +1,77 @@
+"""Naive baseline policies.
+
+Corner-of-the-design-space heuristics that bracket the optimizers:
+
+* :func:`checkpoint_everything` — full stack after every task (maximally
+  protected, maximally expensive);
+* :func:`checkpoint_nothing` — only the mandatory final stack (restart from
+  scratch on every fail-stop error, full re-execution on silent errors);
+* :func:`verify_everything` — guaranteed verification after every task,
+  checkpoints only at the end (cheap detection, expensive recovery);
+* :func:`checkpoint_every_k` — full stack every ``k`` tasks.
+
+Each helper returns a :class:`~repro.core.result.Solution` whose value comes
+from the exact Markov evaluator, so baselines and optimizers are directly
+comparable.
+"""
+
+from __future__ import annotations
+
+from ..chains import TaskChain
+from ..exceptions import InvalidParameterError
+from ..platforms import Platform
+from ..core.evaluator import evaluate_schedule
+from ..core.result import Solution
+from ..core.schedule import Action, Schedule
+
+__all__ = [
+    "checkpoint_everything",
+    "checkpoint_nothing",
+    "verify_everything",
+    "checkpoint_every_k",
+]
+
+
+def _solve(
+    name: str, chain: TaskChain, platform: Platform, schedule: Schedule
+) -> Solution:
+    value = evaluate_schedule(chain, platform, schedule).expected_time
+    return Solution(
+        algorithm=name,
+        chain=chain,
+        platform=platform,
+        expected_time=value,
+        schedule=schedule,
+    )
+
+
+def checkpoint_everything(chain: TaskChain, platform: Platform) -> Solution:
+    """Verification + memory + disk checkpoint after every task."""
+    schedule = Schedule([Action.DISK] * chain.n)
+    return _solve("checkpoint_everything", chain, platform, schedule)
+
+
+def checkpoint_nothing(chain: TaskChain, platform: Platform) -> Solution:
+    """No resilience action except the mandatory final stack."""
+    return _solve(
+        "checkpoint_nothing", chain, platform, Schedule.final_only(chain.n)
+    )
+
+
+def verify_everything(chain: TaskChain, platform: Platform) -> Solution:
+    """Guaranteed verification after every task, checkpoints only at the end."""
+    levels = [Action.VERIFY] * (chain.n - 1) + [Action.DISK]
+    return _solve("verify_everything", chain, platform, Schedule(levels))
+
+
+def checkpoint_every_k(
+    chain: TaskChain, platform: Platform, k: int
+) -> Solution:
+    """Full checkpoint stack after every ``k``-th task (and the last one)."""
+    if k < 1:
+        raise InvalidParameterError(f"k must be >= 1, got {k}")
+    disk = [i for i in range(k, chain.n + 1, k)]
+    if not disk or disk[-1] != chain.n:
+        disk.append(chain.n)
+    schedule = Schedule.from_positions(chain.n, disk=disk)
+    return _solve(f"checkpoint_every_{k}", chain, platform, schedule)

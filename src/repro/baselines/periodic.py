@@ -1,0 +1,116 @@
+"""Periodic checkpointing baselines on task chains.
+
+A divisible-load periodic policy checkpoints every ``T`` seconds of work; on
+a task chain the checkpoint must wait for the running task to end, so the
+baseline places a checkpoint at the first task boundary where the work
+accumulated since the previous checkpoint reaches the period.  Two variants:
+
+* :func:`periodic_disk_schedule` — disk checkpoints (with their forced
+  memory checkpoint + guaranteed verification) every ``T_D`` of work,
+  ``T_D`` defaulting to the Daly period for ``(C_D + C_M, λ_f)``;
+* :func:`periodic_two_level_schedule` — additionally, memory checkpoints
+  every ``T_M`` of work, defaulting to the Daly period for ``(C_M, λ_s)``.
+
+Both always protect the final task with the full stack (strict schedules),
+mirroring the DP's termination condition.  The resulting schedules are
+*heuristics*: the point of the benchmark is to quantify how much the
+paper's chain-aware dynamic programming improves on them.
+"""
+
+from __future__ import annotations
+
+from ..chains import TaskChain
+from ..exceptions import InvalidParameterError
+from ..platforms import Platform
+from ..core.evaluator import evaluate_schedule
+from ..core.result import Solution
+from ..core.schedule import Schedule
+from .daly import daly_period
+
+__all__ = [
+    "periodic_positions",
+    "periodic_disk_schedule",
+    "periodic_two_level_schedule",
+    "solve_periodic",
+]
+
+
+def periodic_positions(chain: TaskChain, period: float) -> list[int]:
+    """Task boundaries reached by an accumulate-then-checkpoint policy.
+
+    Walks the chain accumulating work; whenever the accumulated work since
+    the last checkpoint reaches ``period``, the current task's end is
+    selected.  The final task is always selected.
+    """
+    if not period > 0.0:
+        raise InvalidParameterError(f"period must be > 0, got {period!r}")
+    positions: list[int] = []
+    acc = 0.0
+    for task in chain:
+        acc += task.weight
+        if acc >= period:
+            positions.append(task.index)
+            acc = 0.0
+    if not positions or positions[-1] != chain.n:
+        positions.append(chain.n)
+    return positions
+
+
+def periodic_disk_schedule(
+    chain: TaskChain, platform: Platform, period: float | None = None
+) -> Schedule:
+    """Disk checkpoints every ``period`` seconds of work (Daly default)."""
+    if period is None:
+        period = daly_period(platform.CD + platform.CM, platform.lf)
+    return Schedule.from_positions(
+        chain.n, disk=periodic_positions(chain, period)
+    )
+
+
+def periodic_two_level_schedule(
+    chain: TaskChain,
+    platform: Platform,
+    disk_period: float | None = None,
+    memory_period: float | None = None,
+) -> Schedule:
+    """Two-level periodic policy: Daly periods at both storage levels.
+
+    The memory period is clamped to the disk period (a coarser memory level
+    would be pointless: every disk checkpoint embeds a memory checkpoint).
+    """
+    if disk_period is None:
+        disk_period = daly_period(platform.CD + platform.CM, platform.lf)
+    if memory_period is None:
+        rate = platform.ls if platform.ls > 0.0 else platform.lf
+        memory_period = daly_period(platform.CM, rate)
+    memory_period = min(memory_period, disk_period)
+    disk = periodic_positions(chain, disk_period)
+    memory = periodic_positions(chain, memory_period)
+    return Schedule.from_positions(chain.n, disk=disk, memory=memory)
+
+
+def solve_periodic(
+    chain: TaskChain,
+    platform: Platform,
+    *,
+    two_level: bool = True,
+    disk_period: float | None = None,
+    memory_period: float | None = None,
+) -> Solution:
+    """Evaluate a periodic baseline and wrap it as a :class:`Solution`."""
+    if two_level:
+        schedule = periodic_two_level_schedule(
+            chain, platform, disk_period, memory_period
+        )
+        name = "periodic_two_level"
+    else:
+        schedule = periodic_disk_schedule(chain, platform, disk_period)
+        name = "periodic_disk"
+    value = evaluate_schedule(chain, platform, schedule).expected_time
+    return Solution(
+        algorithm=name,
+        chain=chain,
+        platform=platform,
+        expected_time=value,
+        schedule=schedule,
+    )

@@ -1,0 +1,52 @@
+"""Task-chain model and workload generators.
+
+Public surface:
+
+* :class:`~repro.chains.chain.TaskChain` / :class:`~repro.chains.chain.Task`
+* pattern generators (:func:`uniform_chain`, :func:`decrease_chain`,
+  :func:`highlow_chain`, ...) and the :data:`PATTERNS` registry
+* JSON / CSV serialization helpers
+"""
+
+from .chain import Task, TaskChain
+from .io import (
+    chain_from_csv,
+    chain_from_dict,
+    chain_to_csv,
+    chain_to_dict,
+    load_chain,
+    save_chain,
+)
+from .patterns import (
+    PAPER_TOTAL_WEIGHT,
+    PATTERNS,
+    custom_chain,
+    decrease_chain,
+    geometric_chain,
+    highlow_chain,
+    increase_chain,
+    make_chain,
+    random_chain,
+    uniform_chain,
+)
+
+__all__ = [
+    "Task",
+    "TaskChain",
+    "PAPER_TOTAL_WEIGHT",
+    "PATTERNS",
+    "custom_chain",
+    "decrease_chain",
+    "geometric_chain",
+    "highlow_chain",
+    "increase_chain",
+    "make_chain",
+    "random_chain",
+    "uniform_chain",
+    "chain_from_csv",
+    "chain_from_dict",
+    "chain_to_csv",
+    "chain_to_dict",
+    "load_chain",
+    "save_chain",
+]

@@ -1,0 +1,109 @@
+"""Serialization of task chains (JSON documents and CSV weight files).
+
+The JSON document format is versioned so that files written by one release
+remain loadable by later ones:
+
+.. code-block:: json
+
+    {
+        "format": "repro.chain/1",
+        "name": "uniform-10",
+        "weights": [2500.0, 2500.0, ...]
+    }
+
+CSV files are one weight per line (a header line ``weight`` is allowed),
+which makes it trivial to feed measured kernel durations from real workflow
+traces into the optimizer.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+
+from ..exceptions import InvalidChainError
+from .chain import TaskChain
+
+__all__ = [
+    "chain_to_dict",
+    "chain_from_dict",
+    "save_chain",
+    "load_chain",
+    "chain_from_csv",
+    "chain_to_csv",
+]
+
+_FORMAT = "repro.chain/1"
+
+
+def chain_to_dict(chain: TaskChain) -> dict:
+    """Return a JSON-serializable description of ``chain``."""
+    return {
+        "format": _FORMAT,
+        "name": chain.name,
+        "weights": chain.as_list(),
+    }
+
+
+def chain_from_dict(doc: dict) -> TaskChain:
+    """Rebuild a chain from :func:`chain_to_dict` output."""
+    if not isinstance(doc, dict):
+        raise InvalidChainError(f"chain document must be a dict, got {type(doc)!r}")
+    fmt = doc.get("format")
+    if fmt != _FORMAT:
+        raise InvalidChainError(
+            f"unsupported chain document format {fmt!r} (expected {_FORMAT!r})"
+        )
+    if "weights" not in doc:
+        raise InvalidChainError("chain document is missing the 'weights' field")
+    return TaskChain(doc["weights"], name=str(doc.get("name", "")))
+
+
+def save_chain(chain: TaskChain, path: str | Path) -> None:
+    """Write ``chain`` to ``path`` as a JSON document."""
+    Path(path).write_text(json.dumps(chain_to_dict(chain), indent=2) + "\n")
+
+
+def load_chain(path: str | Path) -> TaskChain:
+    """Load a chain from a JSON document produced by :func:`save_chain`."""
+    try:
+        doc = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise InvalidChainError(f"{path}: invalid JSON ({exc})") from exc
+    return chain_from_dict(doc)
+
+
+def chain_to_csv(chain: TaskChain, path: str | Path) -> None:
+    """Write task weights to a one-column CSV file with a header."""
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["weight"])
+        for w in chain.weights:
+            writer.writerow([repr(float(w))])
+
+
+def chain_from_csv(path: str | Path, name: str = "") -> TaskChain:
+    """Load task weights from a one-column CSV file.
+
+    A single header line containing anything non-numeric is skipped; blank
+    lines are ignored.
+    """
+    text = Path(path).read_text()
+    weights: list[float] = []
+    for lineno, row in enumerate(csv.reader(io.StringIO(text)), start=1):
+        if not row or not row[0].strip():
+            continue
+        cell = row[0].strip()
+        try:
+            weights.append(float(cell))
+        except ValueError:
+            if lineno == 1:  # header line
+                continue
+            raise InvalidChainError(
+                f"{path}:{lineno}: cannot parse weight {cell!r}"
+            ) from None
+    if not weights:
+        raise InvalidChainError(f"{path}: no task weights found")
+    return TaskChain(weights, name=name or Path(path).stem)

@@ -1,0 +1,337 @@
+"""Command-line interface.
+
+Usage (also available as ``python -m repro``)::
+
+    repro platforms                              # Table I summary
+    repro solve -p hera -n 20 -a admv            # optimal schedule + value
+    repro evaluate -p hera --schedule ..MvpD     # exact value of a schedule
+    repro simulate -p hera -n 10 --runs 500      # Monte-Carlo vs analytic
+    repro sweep -p atlas --pattern decrease      # makespan vs n table
+    repro figure 5 --fast                        # regenerate a paper figure
+    repro table 1                                # regenerate Table I
+    repro report --fast                          # paper-vs-measured claims
+
+Every subcommand accepts ``--json`` to dump machine-readable output instead
+of the text rendering.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import io
+import json
+import pstats
+import sys
+
+from . import __version__
+from .analysis import format_table, line_chart, placement_diagram
+from .analysis.sweep import sweep_task_counts
+from .chains import PAPER_TOTAL_WEIGHT, PATTERNS, load_chain, make_chain
+from .core import Schedule, evaluate_schedule, optimize
+from .core.solver import canonical_algorithm
+from .exceptions import ReproError
+from .experiments import ALGORITHM_LABELS, fig5, fig6, fig78, table1
+from .platforms import PLATFORMS, TABLE1_ROWS, get_platform
+from .simulation import run_monte_carlo
+
+__all__ = ["main", "build_parser"]
+
+
+def _add_instance_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "-p",
+        "--platform",
+        default="hera",
+        help=f"platform name ({', '.join(sorted(PLATFORMS))})",
+    )
+    p.add_argument(
+        "--pattern",
+        default="uniform",
+        choices=sorted(PATTERNS),
+        help="task weight pattern",
+    )
+    p.add_argument("-n", "--tasks", type=int, default=20, help="number of tasks")
+    p.add_argument(
+        "-w",
+        "--total-weight",
+        type=float,
+        default=PAPER_TOTAL_WEIGHT,
+        help="total computational weight in seconds",
+    )
+    p.add_argument(
+        "--chain-file",
+        default=None,
+        help="load the task chain from a JSON file instead of a pattern",
+    )
+
+
+def _make_chain(args: argparse.Namespace):
+    if args.chain_file:
+        return load_chain(args.chain_file)
+    return make_chain(args.pattern, args.tasks, args.total_weight)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Two-level checkpointing and verifications for linear task "
+            "graphs (Benoit et al., PDSEC 2016)"
+        ),
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("platforms", help="list the Table I platforms")
+    p.add_argument("--json", action="store_true")
+
+    p = sub.add_parser("solve", help="compute an optimal schedule")
+    _add_instance_args(p)
+    p.add_argument("-a", "--algorithm", default="admv", help="adv*, admv*, admv")
+    p.add_argument(
+        "--breakdown",
+        action="store_true",
+        help="also print the expected-time waste breakdown",
+    )
+    p.add_argument("--json", action="store_true")
+
+    p = sub.add_parser("evaluate", help="evaluate a fixed schedule exactly")
+    _add_instance_args(p)
+    p.add_argument(
+        "--schedule",
+        required=True,
+        help="schedule string, one symbol per task: . p v M D",
+    )
+    p.add_argument("--json", action="store_true")
+
+    p = sub.add_parser("simulate", help="Monte-Carlo a schedule vs analytic")
+    _add_instance_args(p)
+    p.add_argument("-a", "--algorithm", default="admv")
+    p.add_argument("--schedule", default=None, help="override: fixed schedule string")
+    p.add_argument("--runs", type=int, default=1000)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--json", action="store_true")
+
+    p = sub.add_parser("sweep", help="normalized makespan versus task count")
+    _add_instance_args(p)
+    p.add_argument(
+        "--algorithms",
+        default="adv_star,admv_star,admv",
+        help="comma-separated algorithm list",
+    )
+    p.add_argument("--max-n", type=int, default=50)
+    p.add_argument("--step", type=int, default=5)
+    p.add_argument("--chart", action="store_true", help="also render an ASCII chart")
+    p.add_argument("--profile", action="store_true", help="print cProfile hotspots")
+    p.add_argument("--json", action="store_true")
+
+    p = sub.add_parser("figure", help="regenerate a paper figure (5, 6, 7, 8)")
+    p.add_argument("number", type=int, choices=(5, 6, 7, 8))
+    p.add_argument("--fast", action="store_true", help="coarser task grid")
+
+    p = sub.add_parser("table", help="regenerate a paper table (1)")
+    p.add_argument("number", type=int, choices=(1,))
+
+    p = sub.add_parser(
+        "report", help="paper-vs-measured claim report over all experiments"
+    )
+    p.add_argument("--fast", action="store_true", help="coarser task grid")
+    p.add_argument("-o", "--output", default=None, help="also write to a file")
+
+    return parser
+
+
+# ----------------------------------------------------------------------
+# subcommand implementations
+# ----------------------------------------------------------------------
+def _cmd_platforms(args) -> str:
+    if args.json:
+        return json.dumps([p.as_dict() for p in TABLE1_ROWS], indent=2)
+    return "\n\n".join(p.describe() for p in TABLE1_ROWS)
+
+
+def _cmd_solve(args) -> str:
+    chain = _make_chain(args)
+    platform = get_platform(args.platform)
+    solution = optimize(chain, platform, algorithm=args.algorithm)
+    if args.json:
+        return json.dumps(
+            {
+                "algorithm": solution.algorithm,
+                "platform": platform.name,
+                "chain": chain.name,
+                "expected_time": solution.expected_time,
+                "normalized_makespan": solution.normalized_makespan,
+                "counts": dict(solution.counts()),
+                "schedule": solution.schedule.as_dict(),
+            },
+            indent=2,
+        )
+    out = solution.summary() + "\n" + placement_diagram(solution.schedule)
+    if args.breakdown:
+        evaluation = evaluate_schedule(chain, platform, solution.schedule)
+        out += "\n" + evaluation.render_breakdown(chain)
+    return out
+
+
+def _cmd_evaluate(args) -> str:
+    chain = _make_chain(args)
+    platform = get_platform(args.platform)
+    schedule = Schedule.from_string(args.schedule)
+    evaluation = evaluate_schedule(chain, platform, schedule)
+    if args.json:
+        return json.dumps(
+            {
+                "platform": platform.name,
+                "chain": chain.name,
+                "schedule": schedule.to_string(),
+                "expected_time": evaluation.expected_time,
+                "normalized_makespan": evaluation.expected_time
+                / chain.total_weight,
+            },
+            indent=2,
+        )
+    return (
+        f"schedule {schedule.to_string()} on {platform.name}: "
+        f"E[makespan] = {evaluation.expected_time:.2f}s "
+        f"(normalized {evaluation.expected_time / chain.total_weight:.4f})"
+    )
+
+
+def _cmd_simulate(args) -> str:
+    chain = _make_chain(args)
+    platform = get_platform(args.platform)
+    if args.schedule:
+        schedule = Schedule.from_string(args.schedule)
+        analytic = evaluate_schedule(chain, platform, schedule).expected_time
+        label = f"schedule {schedule.to_string()}"
+    else:
+        solution = optimize(chain, platform, algorithm=args.algorithm)
+        schedule = solution.schedule
+        analytic = solution.expected_time
+        label = f"optimal {canonical_algorithm(args.algorithm)} schedule"
+    mc = run_monte_carlo(
+        chain,
+        platform,
+        schedule,
+        runs=args.runs,
+        seed=args.seed,
+        analytic=analytic,
+    )
+    if args.json:
+        return json.dumps(
+            {
+                "platform": platform.name,
+                "schedule": schedule.to_string(),
+                "runs": args.runs,
+                "mean": mc.mean,
+                "ci": [mc.summary.ci_low, mc.summary.ci_high],
+                "analytic": analytic,
+                "agrees": mc.agrees_with_analytic,
+            },
+            indent=2,
+        )
+    return f"simulating {label} on {platform.name}\n" + mc.report()
+
+
+def _cmd_sweep(args) -> str:
+    platform = get_platform(args.platform)
+    algorithms = tuple(a.strip() for a in args.algorithms.split(",") if a.strip())
+    grid = sorted(set([1] + list(range(args.step, args.max_n + 1, args.step))))
+
+    profiler = cProfile.Profile() if args.profile else None
+    if profiler:
+        profiler.enable()
+    sweep = sweep_task_counts(
+        platform,
+        pattern=args.pattern,
+        task_counts=grid,
+        algorithms=algorithms,
+        total_weight=args.total_weight,
+    )
+    if profiler:
+        profiler.disable()
+
+    if args.json:
+        return json.dumps(
+            {
+                "platform": platform.name,
+                "pattern": args.pattern,
+                "rows": sweep.rows(),
+                "header": sweep.header(),
+            },
+            indent=2,
+        )
+    out = [
+        format_table(
+            ["n"] + [ALGORITHM_LABELS.get(a, a) for a in sweep.algorithms],
+            sweep.rows(),
+            title=f"normalized makespan — {platform.name}, {args.pattern}",
+        )
+    ]
+    if args.chart:
+        series = {
+            ALGORITHM_LABELS.get(a, a): sweep.makespan_series(a)
+            for a in sweep.algorithms
+        }
+        out.append(line_chart(series, x_label="number of tasks"))
+    if profiler:
+        buf = io.StringIO()
+        pstats.Stats(profiler, stream=buf).sort_stats("cumulative").print_stats(12)
+        out.append(buf.getvalue())
+    return "\n\n".join(out)
+
+
+def _cmd_figure(args) -> str:
+    if args.number == 5:
+        return fig5.run(fast=args.fast).render()
+    if args.number == 6:
+        return fig6.run().render()
+    if args.number == 7:
+        return fig78.run_fig7(fast=args.fast).render()
+    return fig78.run_fig8(fast=args.fast).render()
+
+
+def _cmd_table(args) -> str:
+    return table1.run().render()
+
+
+def _cmd_report(args) -> str:
+    from .experiments.report import generate_report
+
+    text = generate_report(fast=args.fast)
+    if args.output:
+        from pathlib import Path
+
+        Path(args.output).write_text(text + "\n")
+    return text
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "platforms": _cmd_platforms,
+        "solve": _cmd_solve,
+        "evaluate": _cmd_evaluate,
+        "simulate": _cmd_simulate,
+        "sweep": _cmd_sweep,
+        "figure": _cmd_figure,
+        "table": _cmd_table,
+        "report": _cmd_report,
+    }
+    try:
+        print(handlers[args.command](args))
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except KeyError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,190 @@
+"""Closed-form quantities of the analytic model (paper Section III).
+
+Everything here is a pure function of the platform scalars and a segment
+weight ``W``; the dynamic programs call the vectorized variants on whole
+arrays of segment weights at once.
+
+Numerical care
+--------------
+Realistic instances have ``λW ~ 1e-2``; the difference ``e^{λW} - 1`` would
+lose half the significand if computed naively, so every formula goes through
+:func:`numpy.expm1`.  All quantities have well-defined ``λ -> 0`` limits,
+which we take explicitly so that error-free platforms are valid inputs:
+
+* ``phi(λ, W) = (e^{λW} - 1) / λ      -> W``
+* ``t_lost(λ, W) = 1/λ - W/(e^{λW}-1) -> W/2``
+
+(The second limit is the intuitive "on average a failure strikes mid-way
+through the segment".)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import InvalidParameterError
+from ..platforms import Platform
+
+__all__ = [
+    "p_error",
+    "phi",
+    "t_lost",
+    "segment_cost_guaranteed",
+    "segment_cost_factors",
+    "SegmentFactors",
+]
+
+
+def p_error(lam: float, W: np.ndarray | float) -> np.ndarray | float:
+    """Probability ``1 - e^{-λW}`` of at least one error in work ``W``."""
+    if lam < 0:
+        raise InvalidParameterError(f"rate must be >= 0, got {lam!r}")
+    return -np.expm1(-lam * np.asarray(W, dtype=np.float64))
+
+
+def phi(lam: float, W: np.ndarray | float) -> np.ndarray | float:
+    """``(e^{λW} - 1) / λ`` with the ``λ -> 0`` limit ``W``.
+
+    This is the expected time *wasted plus worked* factor that appears in
+    eq. (4); it is also the mean number of Poisson-free attempts times the
+    attempt length.
+    """
+    W = np.asarray(W, dtype=np.float64)
+    if lam < 0:
+        raise InvalidParameterError(f"rate must be >= 0, got {lam!r}")
+    if lam == 0.0:
+        return W.copy() if W.ndim else float(W)
+    x = lam * W
+    out = np.expm1(x) / lam
+    # For λW < 1e-8 (including subnormal rates, where expm1/λ divides two
+    # denormals and quantizes) switch to the series W (1 + λW/2 + (λW)^2/6).
+    small = x < 1e-8
+    if np.any(small):
+        out = np.where(small, W * (1.0 + x / 2.0 + x * x / 6.0), out)
+    return out if out.ndim else float(out)
+
+
+def t_lost(lam: float, W: np.ndarray | float) -> np.ndarray | float:
+    """Expected time lost to a fail-stop error in a segment of work ``W``.
+
+    Paper eq. (3): ``T^lost = 1/λ - W / (e^{λW} - 1)``, the mean arrival time
+    of the error conditioned on it striking before the segment completes.
+    The ``λ -> 0`` limit is ``W / 2`` and ``W == 0`` maps to ``0``.
+    """
+    W = np.asarray(W, dtype=np.float64)
+    if lam < 0:
+        raise InvalidParameterError(f"rate must be >= 0, got {lam!r}")
+    if lam == 0.0:
+        out = W / 2.0
+        return out if out.ndim else float(out)
+    x = lam * W
+    denom = np.expm1(x)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        out = np.where(
+            denom > 0.0, 1.0 / lam - W / np.where(denom > 0, denom, 1.0), 0.0
+        )
+    # For λW below ~1e-8 the subtraction above cancels catastrophically
+    # (and overflows to inf - inf for subnormal rates); switch to the series
+    # T_lost = W/2 (1 - λW/6 + O((λW)^2)).
+    small = x < 1e-8
+    if np.any(small):
+        series = (W / 2.0) * (1.0 - x / 6.0)
+        out = np.where(small, series, out)
+    return out if out.ndim else float(out)
+
+
+class SegmentFactors:
+    """Precomputed exponential factors for a batch of segment weights.
+
+    For a vector of weights ``W`` this caches::
+
+        es   = e^{λ_s W}
+        efm1 = e^{λ_f W} - 1          (expm1)
+        esm1 = e^{λ_s W} - 1          (expm1)
+        etot = e^{(λ_f+λ_s) W}
+        etm1 = e^{(λ_f+λ_s) W} - 1    (expm1)
+
+    which are exactly the combinations appearing in eq. (4) and in the
+    partial-verification recurrences.  Instantiating one per DP run avoids
+    recomputing exponentials in inner loops (the dominant cost otherwise).
+    """
+
+    __slots__ = ("W", "es", "efm1", "esm1", "etot", "etm1")
+
+    def __init__(self, platform: Platform, W: np.ndarray) -> None:
+        W = np.asarray(W, dtype=np.float64)
+        lf, ls = platform.lf, platform.ls
+        self.W = W
+        self.es = np.exp(ls * W)
+        self.efm1 = np.expm1(lf * W)
+        self.esm1 = np.expm1(ls * W)
+        self.etm1 = np.expm1((lf + ls) * W)
+        self.etot = self.etm1 + 1.0
+
+
+def segment_cost_guaranteed(
+    platform: Platform,
+    W: np.ndarray | float,
+    *,
+    E_mem: np.ndarray | float,
+    E_verif: np.ndarray | float,
+    RD: np.ndarray | float,
+    RM: np.ndarray | float,
+) -> np.ndarray | float:
+    """Expected cost ``E(d1, m1, v1, v2)`` of a guaranteed-verified segment.
+
+    Paper eq. (4), fully simplified::
+
+        E = e^{λ_s W} ( (e^{λ_f W} - 1)/λ_f + V* )
+          + e^{λ_s W} (e^{λ_f W} - 1) (R_D + E_mem)
+          + (e^{(λ_s+λ_f) W} - 1) E_verif
+          + (e^{λ_s W} - 1) R_M
+
+    Parameters
+    ----------
+    W:
+        Segment weight ``W_{v1,v2}`` (scalar or array; broadcasting applies).
+    E_mem:
+        ``E_mem(d1, m1)`` — expected re-execution time from the last disk
+        checkpoint to the last memory checkpoint.
+    E_verif:
+        ``E_verif(d1, m1, v1)`` — expected re-execution time from the last
+        memory checkpoint to the last verification.
+    RD, RM:
+        Effective recovery costs (0 when the target is the virtual ``T0``).
+
+    All array arguments broadcast together, so the two-level DP evaluates a
+    whole row of candidates ``v1`` in one call.
+    """
+    W = np.asarray(W, dtype=np.float64)
+    es = np.exp(platform.ls * W)
+    efm1 = np.expm1(platform.lf * W)
+    esm1 = np.expm1(platform.ls * W)
+    etm1 = np.expm1(platform.lam_total * W)
+    lam_f = platform.lf
+    work_term = phi(lam_f, W)
+    out = (
+        es * (work_term + platform.Vg)
+        + es * efm1 * (np.asarray(RD, dtype=np.float64) + np.asarray(E_mem))
+        + etm1 * np.asarray(E_verif)
+        + esm1 * np.asarray(RM, dtype=np.float64)
+    )
+    return out if out.ndim else float(out)
+
+
+def segment_cost_factors(
+    platform: Platform, factors: SegmentFactors
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Decompose eq. (4) as ``E = base + cRDmem*(RD+E_mem) + cV*E_verif + cRM*RM``.
+
+    Returns the four coefficient arrays (``base`` includes the ``V*`` term),
+    letting the DPs combine precomputed exponentials with per-candidate
+    scalars without re-exponentiating.
+    """
+    lam_f = platform.lf
+    work_term = factors.efm1 / lam_f if lam_f > 0 else factors.W
+    base = factors.es * (work_term + platform.Vg)
+    c_rd_mem = factors.es * factors.efm1
+    c_verif = factors.etm1
+    c_rm = factors.esm1
+    return base, c_rd_mem, c_verif, c_rm

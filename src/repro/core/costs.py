@@ -1,0 +1,183 @@
+"""Heterogeneous (per-task) resilience costs — an extension of the paper.
+
+The paper assumes uniform costs: one ``C_D``, ``C_M``, ``V*``, ``V`` for
+every task.  On real platforms the checkpoint and verification costs scale
+with each task's *output size*, which varies along the chain (e.g. a mesh
+refinement step multiplies the state).  The dynamic programs accommodate
+position-dependent costs without any structural change: every cost enters
+the recurrences indexed by the position where it is paid —
+
+* ``C_D[d2]`` / ``C_M[m2]`` at the checkpointed task,
+* ``V*[v2]`` / ``V[p2]`` at the verified task,
+* ``R_D[d1]`` / ``R_M[m1]`` at the rollback target
+  (``R_*[0] = 0``: the virtual ``T0`` restarts for free).
+
+A :class:`CostProfile` carries those six arrays; passing ``costs=None``
+everywhere reproduces the paper's uniform model exactly (and the test
+suite pins that equivalence).  The exhaustive search and Markov evaluator
+accept the same profile, so heterogeneous optimality is certified by the
+same oracles as the uniform case.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..chains import TaskChain
+from ..exceptions import InvalidParameterError
+from ..platforms import Platform
+
+__all__ = ["CostProfile"]
+
+
+def _as_cost_array(values: Sequence[float] | np.ndarray, n: int, what: str) -> np.ndarray:
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.shape != (n,):
+        raise InvalidParameterError(
+            f"{what} must have one entry per task ({n}), got shape {arr.shape}"
+        )
+    if not np.all(np.isfinite(arr)) or np.any(arr < 0.0):
+        raise InvalidParameterError(f"{what} entries must be >= 0 and finite")
+    # prepend the virtual T0 slot (index 0)
+    out = np.concatenate(([0.0], arr))
+    out.setflags(write=False)
+    return out
+
+
+@dataclass(frozen=True)
+class CostProfile:
+    """Per-position resilience costs (arrays of length ``n + 1``).
+
+    Index ``i`` is the cost *at task* ``T_i``; index 0 is the virtual
+    ``T0`` whose recovery costs are zero by construction.  Build instances
+    through :meth:`uniform`, :meth:`from_arrays` or
+    :meth:`proportional_to_output` rather than the raw constructor.
+    """
+
+    CD: np.ndarray
+    CM: np.ndarray
+    RD: np.ndarray
+    RM: np.ndarray
+    Vg: np.ndarray
+    Vp: np.ndarray
+
+    def __post_init__(self) -> None:
+        n = self.CD.shape[0]
+        for name in ("CD", "CM", "RD", "RM", "Vg", "Vp"):
+            arr = getattr(self, name)
+            if arr.shape != (n,):
+                raise InvalidParameterError(
+                    f"cost arrays must share one length, {name} differs"
+                )
+        if self.RD[0] != 0.0 or self.RM[0] != 0.0:
+            raise InvalidParameterError(
+                "recovery costs at the virtual T0 must be zero"
+            )
+
+    @property
+    def n(self) -> int:
+        """Number of (real) tasks covered."""
+        return int(self.CD.shape[0]) - 1
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def uniform(cls, n: int, platform: Platform) -> "CostProfile":
+        """The paper's model: every task pays the platform scalars."""
+        return cls.from_arrays(
+            n,
+            CD=np.full(n, platform.CD),
+            CM=np.full(n, platform.CM),
+            RD=np.full(n, platform.RD),
+            RM=np.full(n, platform.RM),
+            Vg=np.full(n, platform.Vg),
+            Vp=np.full(n, platform.Vp),
+        )
+
+    @classmethod
+    def from_arrays(
+        cls,
+        n: int,
+        *,
+        CD: Sequence[float],
+        CM: Sequence[float],
+        RD: Sequence[float] | None = None,
+        RM: Sequence[float] | None = None,
+        Vg: Sequence[float] | None = None,
+        Vp: Sequence[float] | None = None,
+    ) -> "CostProfile":
+        """Explicit per-task arrays (one entry per task, 0-based).
+
+        Defaults mirror the paper's conventions: ``RD = CD``, ``RM = CM``,
+        ``V* = CM`` and ``V = V*/100``.
+        """
+        cd = _as_cost_array(CD, n, "CD")
+        cm = _as_cost_array(CM, n, "CM")
+        rd = _as_cost_array(RD, n, "RD") if RD is not None else cd
+        rm = _as_cost_array(RM, n, "RM") if RM is not None else cm
+        vg = _as_cost_array(Vg, n, "Vg") if Vg is not None else cm
+        if Vp is not None:
+            vp = _as_cost_array(Vp, n, "Vp")
+        else:
+            vp = vg / 100.0
+            vp.setflags(write=False)
+        return cls(CD=cd, CM=cm, RD=rd, RM=rm, Vg=vg, Vp=vp)
+
+    @classmethod
+    def proportional_to_output(
+        cls,
+        chain: TaskChain,
+        platform: Platform,
+        output_sizes: Sequence[float],
+    ) -> "CostProfile":
+        """Scale every cost by each task's relative output size.
+
+        ``output_sizes`` (one positive number per task, arbitrary units) is
+        normalised so its *mean* is 1, preserving the platform's average
+        cost; checkpoint, recovery and verification costs all scale with
+        the data volume they move or inspect.
+        """
+        sizes = np.asarray(output_sizes, dtype=np.float64)
+        if sizes.shape != (chain.n,):
+            raise InvalidParameterError(
+                f"output_sizes must have one entry per task ({chain.n})"
+            )
+        if not np.all(np.isfinite(sizes)) or np.any(sizes <= 0.0):
+            raise InvalidParameterError("output sizes must be > 0 and finite")
+        rel = sizes / sizes.mean()
+        return cls.from_arrays(
+            chain.n,
+            CD=platform.CD * rel,
+            CM=platform.CM * rel,
+            RD=platform.RD * rel,
+            RM=platform.RM * rel,
+            Vg=platform.Vg * rel,
+            Vp=platform.Vp * rel,
+        )
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def is_uniform(self) -> bool:
+        """True when every task shares the same costs (paper model)."""
+        return all(
+            np.all(getattr(self, name)[1:] == getattr(self, name)[1])
+            for name in ("CD", "CM", "RD", "RM", "Vg", "Vp")
+        )
+
+    def describe(self) -> str:
+        """Short human-readable summary."""
+        if self.is_uniform():
+            return (
+                f"uniform costs over {self.n} tasks: CD={self.CD[1]:g}, "
+                f"CM={self.CM[1]:g}, V*={self.Vg[1]:g}, V={self.Vp[1]:g}"
+            )
+        return (
+            f"per-task costs over {self.n} tasks: CD in "
+            f"[{self.CD[1:].min():g}, {self.CD[1:].max():g}], CM in "
+            f"[{self.CM[1:].min():g}, {self.CM[1:].max():g}]"
+        )

@@ -1,0 +1,298 @@
+"""Full dynamic program ``ADMV`` with partial verifications (paper §III-B).
+
+This is the most involved algorithm of the paper: between two guaranteed
+verifications it places *partial* verifications (cost ``V``, recall ``r``),
+accounting for errors that slip through (probability ``g = 1 - r``) and are
+only caught further right — possibly by the closing guaranteed verification.
+
+Paper recurrences (for fixed ``d1, m1``, writing ``Λ = λ_f + λ_s``):
+
+* ``E_right(v1, p1, v2)`` — expected time lost executing ``T_{p1+1}..T_{v2}``
+  *given* a latent silent error, following the optimal next-verification
+  chain ``p2 = next(p1)``::
+
+      E_right(p1) = (1 - e^{-λ_f W}) (T_lost(W) + R_D + E_mem(d1, m1))
+                  + e^{-λ_f W} (W + V + (1-g) R_M + g E_right(p2)),
+      E_right(v2) = R_M                     with W = W_{p1,p2}
+
+* ``E⁻(v1, p1, p2, v2)`` — the expected segment cost with the left
+  re-execution term removed (re-injected through the ``e^{Λ W_{p2,v2}}``
+  re-execution multiplier)::
+
+      E⁻ = e^{λ_s W} ( (e^{λ_f W}-1)/λ_f + V )
+         + e^{λ_s W} (e^{λ_f W}-1) (R_D + E_mem(d1, m1))
+         + (e^{Λ W}-1) E_verif(d1, m1, v1)
+         + (e^{λ_s W}-1) ((1-g) R_M + g E_right(p2))
+
+* ``E_partial(v1, p1, v2) = min_{p1 < p2 <= v2}`` of
+  ``E⁻(p1, p2) e^{Λ W_{p2,v2}} + E_partial(v1, p2, v2)`` for ``p2 < v2`` and
+  ``E⁻(p1, v2) + e^{Λ W_{p1,v2}} (V* - V)`` for ``p2 = v2``;
+
+* ``E_verif(d1, m1, v2) = min_{v1} E_verif(d1, m1, v1) + E_partial(v1, v1, v2)``.
+
+Affine decomposition (this implementation's speed-up)
+------------------------------------------------------
+The term ``K2 = E_verif(d1, m1, v1)`` enters every candidate of the
+``E_partial`` minimisation affinely, and by induction its coefficient
+telescopes to ``e^{Λ W_{p1,v2}} - 1`` *independently of the chosen chain*:
+for ``p2 < v2`` the coefficient is
+``(e^{Λ W_{p1,p2}}-1) e^{Λ W_{p2,v2}} + (e^{Λ W_{p2,v2}}-1)
+= e^{Λ W_{p1,v2}} - 1``, matching the ``p2 = v2`` base case.  Therefore the
+argmin does not depend on ``v1`` and::
+
+    E_partial(v1, p1, v2) = Ehat(p1, v2) + (e^{Λ W_{p1,v2}} - 1) K2,
+
+where ``Ehat`` is ``E_partial`` computed with ``K2 = 0``.  One scan per
+``(d1, m1)`` yields every ``v1`` at once, dropping the complexity from the
+paper's ``O(n^6)`` to ``O(n^5)`` (and the table space from ``O(n^5)`` to
+``O(n^3)``).  ``E_verif`` then reads::
+
+    E_verif(d1, m1, v2) = min_{v1} E_verif(d1, m1, v1) e^{Λ W_{v1,v2}}
+                                   + Ehat(v1, v2).
+
+A direct per-``v1`` reference implementation (kept in the test suite) and
+the exhaustive/Markov oracle both certify the decomposition.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..chains import TaskChain
+from ..exceptions import SolverError
+from ..platforms import Platform
+from .costs import CostProfile
+from .factors import PairFactors
+from .result import Solution
+from .schedule import Action, Schedule
+
+__all__ = ["optimize_partial", "scan_interval"]
+
+
+def scan_interval(
+    F: PairFactors,
+    m1: int,
+    K1: float,
+    rm: float,
+    *,
+    want_chains: bool = False,
+    paper_faithful: bool = False,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
+    """Run the partial-verification scan for one ``(d1, m1)`` pair.
+
+    Parameters
+    ----------
+    F:
+        Precomputed pair factors for the instance.
+    m1:
+        Left end of the interval (position of the last memory checkpoint).
+    K1:
+        ``R_D(d1) + E_mem(d1, m1)`` — the disk-rollback re-execution cost.
+    rm:
+        Effective memory recovery cost ``R_M`` (0 when ``m1 == 0``).
+    want_chains:
+        Also return the ``next_p[p1, v2]`` successor table needed to extract
+        partial-verification positions (saves memory when False: the forward
+        pass only needs values, the backtracking re-runs the scan for the few
+        ``(d1, m1)`` pairs on the optimal path).
+
+    Returns
+    -------
+    everif_row:
+        ``everif_row[v2] = E_verif(d1, m1, v2)`` for ``v2`` in ``[m1, n]``.
+    arg_v1:
+        ``arg_v1[v2]`` = optimal previous guaranteed verification.
+    next_p:
+        ``next_p[p1, v2]`` = optimal next verification after ``p1`` inside a
+        guaranteed-verification interval ending at ``v2`` (or None).
+    """
+    n = F.n
+    platform = F.platform
+    Vp_at, Vg_at = F.costs.Vp, F.costs.Vg
+    g = platform.g
+    rm_mix = (1.0 - g) * rm  # (1-g) R_M term of E⁻ / E_right
+
+    everif_row = np.full(n + 1, np.inf)
+    arg_v1 = np.full(n + 1, -1, dtype=np.int32)
+    everif_row[m1] = 0.0
+    next_p = (
+        np.full((n + 1, n + 1), -1, dtype=np.int32) if want_chains else None
+    )
+
+    # Per-v2 scratch buffers (re-filled each iteration).
+    ehat = np.empty(n + 1)
+    eright = np.empty(n + 1)
+
+    for v2 in range(m1 + 1, n + 1):
+        # Right-to-left scan over p1; candidates p2 in (p1, v2].
+        ehat[v2] = 0.0  # sentinel: "E_partial contribution of p2 = v2"
+        eright[v2] = rm
+        for p1 in range(v2 - 1, m1 - 1, -1):
+            sl = slice(p1 + 1, v2 + 1)
+            # E⁻(p1, p2) with K2 = 0, vector over p2 in (p1, v2]:
+            em = (
+                F.base_p[p1, sl]
+                + F.cK1[p1, sl] * K1
+                + F.esm1[p1, sl] * (rm_mix + g * eright[sl])
+            )
+            cand = em * F.etot[sl, v2] + ehat[sl]
+            # p2 = v2 candidate: no re-execution multiplier, and the closing
+            # verification is guaranteed, hence the (V* - V) correction.
+            # The paper multiplies the correction by e^{Λ W_{p1,v2}}; exact
+            # consistency with eq. (4) (a fail-stop interrupts the segment
+            # *before* the closing verification runs, so only silent-error
+            # retries re-pay it) requires e^{λ_s W_{p1,v2}} — equivalently,
+            # using base_g instead of base_p on the final hop.  See the
+            # module docstring and DESIGN.md §"paper deviations".
+            corr = F.etot[p1, v2] if paper_faithful else F.es[p1, v2]
+            cand[-1] += corr * (Vg_at[v2] - Vp_at[v2])
+            k = int(np.argmin(cand))
+            p2 = p1 + 1 + k
+            ehat[p1] = float(cand[k])
+            if next_p is not None:
+                next_p[p1, v2] = p2
+            # E_right(p1) through the optimal successor p2.  The final hop
+            # ends at the guaranteed verification, whose cost is V*, not V
+            # (second paper deviation, same reasoning).
+            if p2 < v2 or paper_faithful:
+                hop_cost = float(Vp_at[p2 if p2 < v2 else v2])
+            else:
+                hop_cost = float(Vg_at[v2])
+            eright[p1] = F.pf[p1, p2] * (F.tlost[p1, p2] + K1) + (
+                1.0 - F.pf[p1, p2]
+            ) * (F.W[p1, p2] + hop_cost + rm_mix + g * eright[p2])
+
+        cand_v1 = everif_row[m1:v2] * F.etot[m1:v2, v2] + ehat[m1:v2]
+        k = int(np.argmin(cand_v1))
+        everif_row[v2] = float(cand_v1[k])
+        arg_v1[v2] = m1 + k
+
+    return everif_row, arg_v1, next_p
+
+
+def optimize_partial(
+    chain: TaskChain,
+    platform: Platform,
+    *,
+    paper_faithful: bool = False,
+    costs: CostProfile | None = None,
+) -> Solution:
+    """Optimal schedule with partial verifications (``ADMV``).
+
+    Parameters
+    ----------
+    paper_faithful:
+        Use the paper's literal ``e^{Λ W}(V* - V)`` correction and
+        ``V``-priced final ``E_right`` hop instead of the exact variants
+        (see :func:`scan_interval`); the difference is ``O(λ_f W (V*-V))``
+        per interval — negligible on realistic platforms but measurable
+        against the exact Markov oracle.
+    """
+    n = chain.n
+    F = PairFactors(chain, platform, costs)
+    CM, CD = F.costs.CM, F.costs.CD
+
+    Emem = np.full((n + 1, n + 1), np.inf)
+    arg_mem = np.full((n + 1, n + 1), -1, dtype=np.int32)
+    arg_verif = np.full((n + 1, n + 1, n + 1), -1, dtype=np.int32)
+
+    for d1 in range(n + 1):
+        ev = np.full((n + 1, n + 1), np.inf)  # ev[m1, v2] for this d1
+        Emem[d1, d1] = 0.0
+        for m1 in range(d1, n + 1):
+            if m1 > d1:
+                cand = Emem[d1, d1:m1] + ev[d1:m1, m1] + CM[m1]
+                k = int(np.argmin(cand))
+                Emem[d1, m1] = float(cand[k])
+                arg_mem[d1, m1] = d1 + k
+            row, arg, _ = scan_interval(
+                F,
+                m1,
+                F.rd_eff(d1) + float(Emem[d1, m1]),
+                F.rm_eff(m1),
+                paper_faithful=paper_faithful,
+            )
+            ev[m1, :] = row
+            arg_verif[d1, m1, :] = arg
+
+    Edisk = np.full(n + 1, np.inf)
+    arg_disk = np.full(n + 1, -1, dtype=np.int32)
+    Edisk[0] = 0.0
+    for d2 in range(1, n + 1):
+        cand = Edisk[:d2] + Emem[:d2, d2] + CD[d2]
+        k = int(np.argmin(cand))
+        Edisk[d2] = float(cand[k])
+        arg_disk[d2] = k
+
+    schedule = _extract_schedule(
+        F, Emem, arg_disk, arg_mem, arg_verif, paper_faithful=paper_faithful
+    )
+    return Solution(
+        algorithm="admv",
+        chain=chain,
+        platform=platform,
+        expected_time=float(Edisk[n]),
+        schedule=schedule,
+        diagnostics={"Edisk": Edisk, "Emem": Emem},
+    )
+
+
+def _extract_schedule(
+    F: PairFactors,
+    Emem: np.ndarray,
+    arg_disk: np.ndarray,
+    arg_mem: np.ndarray,
+    arg_verif: np.ndarray,
+    *,
+    paper_faithful: bool = False,
+) -> Schedule:
+    """Backtrack disk / memory / guaranteed chains, then re-run the scan on
+    each optimal ``(d1, m1)`` pair to recover partial-verification chains."""
+    n = F.n
+    levels = np.zeros(n, dtype=np.int8)
+
+    d2 = n
+    while d2 > 0:
+        d1 = int(arg_disk[d2])
+        if d1 < 0 or d1 >= d2:
+            raise SolverError(f"inconsistent disk backtrack at d2={d2}: {d1}")
+        levels[d2 - 1] = int(Action.DISK)
+        m2 = d2
+        while m2 > d1:
+            m1 = int(arg_mem[d1, m2])
+            if m2 != d2:
+                levels[m2 - 1] = max(levels[m2 - 1], int(Action.MEMORY))
+            if m1 < 0 or m1 >= m2:
+                raise SolverError(
+                    f"inconsistent memory backtrack at (d1={d1}, m2={m2})"
+                )
+            # Re-run the scan once for this (d1, m1) to get partial chains.
+            _, _, next_p = scan_interval(
+                F,
+                m1,
+                F.rd_eff(d1) + float(Emem[d1, m1]),
+                F.rm_eff(m1),
+                want_chains=True,
+                paper_faithful=paper_faithful,
+            )
+            assert next_p is not None
+            v2 = m2
+            while v2 > m1:
+                v1 = int(arg_verif[d1, m1, v2])
+                if v1 < 0 or v1 >= v2:
+                    raise SolverError(
+                        f"inconsistent verification backtrack at "
+                        f"(d1={d1}, m1={m1}, v2={v2})"
+                    )
+                if v2 != m2:
+                    levels[v2 - 1] = max(levels[v2 - 1], int(Action.VERIFY))
+                # Partial verifications strictly inside (v1, v2).
+                p = int(next_p[v1, v2])
+                while 0 < p < v2:
+                    levels[p - 1] = max(levels[p - 1], int(Action.PARTIAL))
+                    p = int(next_p[p, v2])
+                v2 = v1
+            m2 = m1
+        d2 = d1
+
+    return Schedule(levels)

@@ -1,0 +1,180 @@
+"""Two-level dynamic program ``ADMV*`` (paper Section III-A).
+
+Places disk checkpoints, memory checkpoints and guaranteed verifications (no
+partial verifications) to minimise the expected makespan of a linear chain.
+
+Three nested recurrences, all initialised at the virtual task ``T0`` (disk
+checkpointed, zero recovery cost):
+
+.. math::
+
+    E_{disk}(d_2) &= \\min_{0 \\le d_1 < d_2}
+        E_{disk}(d_1) + E_{mem}(d_1, d_2) + C_D \\\\
+    E_{mem}(d_1, m_2) &= \\min_{d_1 \\le m_1 < m_2}
+        E_{mem}(d_1, m_1) + E_{verif}(d_1, m_1, m_2) + C_M \\\\
+    E_{verif}(d_1, m_1, v_2) &= \\min_{m_1 \\le v_1 < v_2}
+        E_{verif}(d_1, m_1, v_1) + E(d_1, m_1, v_1, v_2)
+
+with the closed-form segment cost ``E(d1, m1, v1, v2)`` of eq. (4)::
+
+    E = e^{λ_s W} ( (e^{λ_f W}-1)/λ_f + V* )
+      + e^{λ_s W} (e^{λ_f W}-1) (R_D + E_mem(d1, m1))
+      + (e^{(λ_s+λ_f) W} - 1) E_verif(d1, m1, v1)
+      + (e^{λ_s W} - 1) R_M          where W = W_{v1,v2}.
+
+The answer is ``E_disk(n)`` — the final task always ends with a guaranteed
+verification, a memory checkpoint and a disk checkpoint.
+
+Implementation notes
+--------------------
+All candidate evaluations are numpy slice expressions over the
+:class:`~repro.core.factors.PairFactors` matrices, so the loop nest is
+``O(n^3)`` vectorized minima for ``O(n^4)`` scalar work.  Argmin tables are
+kept (``int32``) for exact schedule extraction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..chains import TaskChain
+from ..exceptions import SolverError
+from ..platforms import Platform
+from .costs import CostProfile
+from .factors import PairFactors
+from .result import Solution
+from .schedule import Action, Schedule
+
+__all__ = ["optimize_two_level"]
+
+
+def _verif_row(
+    F: PairFactors, d1: int, m1: int, emem_d1m1: float
+) -> tuple[np.ndarray, np.ndarray]:
+    """Compute ``E_verif(d1, m1, v2)`` for all ``v2`` in ``[m1, n]``.
+
+    Returns ``(row, arg)`` where ``row[v2]`` is the expected time to execute
+    and verify tasks ``T_{m1+1} .. T_{v2}`` (last memory checkpoint after
+    ``T_{m1}``, last disk checkpoint after ``T_{d1}``) and ``arg[v2]`` the
+    optimal previous verification position.
+    """
+    n = F.n
+    K1 = F.rd_eff(d1) + emem_d1m1
+    rm = F.rm_eff(m1)
+    row = np.full(n + 1, np.inf)
+    arg = np.full(n + 1, -1, dtype=np.int32)
+    row[m1] = 0.0
+    for v2 in range(m1 + 1, n + 1):
+        lo = m1
+        cand = (
+            row[lo:v2]
+            + F.base_g[lo:v2, v2]
+            + F.cK1[lo:v2, v2] * K1
+            + F.etm1[lo:v2, v2] * row[lo:v2]
+            + F.esm1[lo:v2, v2] * rm
+        )
+        k = int(np.argmin(cand))
+        row[v2] = float(cand[k])
+        arg[v2] = lo + k
+    return row, arg
+
+
+def optimize_two_level(
+    chain: TaskChain,
+    platform: Platform,
+    *,
+    costs: CostProfile | None = None,
+) -> Solution:
+    """Optimal two-level schedule (``ADMV*``) for ``chain`` on ``platform``.
+
+    ``costs`` optionally makes every checkpoint/verification/recovery
+    cost position-dependent (see :class:`~repro.core.costs.CostProfile`);
+    the default reproduces the paper's uniform model.
+    """
+    n = chain.n
+    F = PairFactors(chain, platform, costs)
+    CM, CD = F.costs.CM, F.costs.CD
+
+    # Emem[d1, m2]; arg_mem[d1, m2] = optimal previous memory position m1.
+    Emem = np.full((n + 1, n + 1), np.inf)
+    arg_mem = np.full((n + 1, n + 1), -1, dtype=np.int32)
+    # arg_verif[d1, m1, v2] = optimal previous verification position v1.
+    arg_verif = np.full((n + 1, n + 1, n + 1), -1, dtype=np.int32)
+
+    for d1 in range(n + 1):
+        # ev[m1, v2] = E_verif(d1, m1, v2) for this d1.
+        ev = np.full((n + 1, n + 1), np.inf)
+        Emem[d1, d1] = 0.0
+        for m1 in range(d1, n + 1):
+            if m1 > d1:
+                cand = Emem[d1, d1:m1] + ev[d1:m1, m1] + CM[m1]
+                k = int(np.argmin(cand))
+                Emem[d1, m1] = float(cand[k])
+                arg_mem[d1, m1] = d1 + k
+            row, arg = _verif_row(F, d1, m1, float(Emem[d1, m1]))
+            ev[m1, :] = row
+            arg_verif[d1, m1, :] = arg
+
+    Edisk = np.full(n + 1, np.inf)
+    arg_disk = np.full(n + 1, -1, dtype=np.int32)
+    Edisk[0] = 0.0
+    for d2 in range(1, n + 1):
+        cand = Edisk[:d2] + Emem[:d2, d2] + CD[d2]
+        k = int(np.argmin(cand))
+        Edisk[d2] = float(cand[k])
+        arg_disk[d2] = k
+
+    schedule = _extract_schedule(n, arg_disk, arg_mem, arg_verif)
+    return Solution(
+        algorithm="admv_star",
+        chain=chain,
+        platform=platform,
+        expected_time=float(Edisk[n]),
+        schedule=schedule,
+        diagnostics={"Edisk": Edisk, "Emem": Emem},
+    )
+
+
+def _extract_schedule(
+    n: int,
+    arg_disk: np.ndarray,
+    arg_mem: np.ndarray,
+    arg_verif: np.ndarray,
+) -> Schedule:
+    """Backtrack the argmin tables into an explicit :class:`Schedule`."""
+    levels = np.zeros(n, dtype=np.int8)
+
+    d2 = n
+    while d2 > 0:
+        d1 = int(arg_disk[d2])
+        if d1 < 0 or d1 >= d2:
+            raise SolverError(f"inconsistent disk backtrack at d2={d2}: {d1}")
+        levels[d2 - 1] = int(Action.DISK)
+        # memory checkpoints within (d1, d2]
+        m2 = d2
+        while m2 > d1:
+            m1 = int(arg_mem[d1, m2]) if m2 != d1 else d1
+            if m2 == d2:
+                pass  # level already DISK
+            else:
+                levels[m2 - 1] = max(levels[m2 - 1], int(Action.MEMORY))
+            if m2 > d1 and m1 < 0:
+                raise SolverError(
+                    f"inconsistent memory backtrack at (d1={d1}, m2={m2})"
+                )
+            # guaranteed verifications within (m1, m2)
+            v2 = m2
+            while v2 > m1:
+                v1 = int(arg_verif[d1, m1, v2])
+                if v1 < 0 or v1 >= v2:
+                    raise SolverError(
+                        f"inconsistent verification backtrack at "
+                        f"(d1={d1}, m1={m1}, v2={v2})"
+                    )
+                if v2 not in (m2,):
+                    levels[v2 - 1] = max(levels[v2 - 1], int(Action.VERIFY))
+                v2 = v1
+            m2 = m1
+        d2 = d1
+
+    return Schedule(levels)

@@ -1,0 +1,334 @@
+"""Exact expected-makespan evaluation of a *fixed* schedule.
+
+This module is deliberately independent from the dynamic programs: it models
+the execution of a schedule as an absorbing Markov chain and solves the
+first-passage-time linear system.  The dynamic programs of the paper are
+validated against it (their optimal value must equal the evaluation of the
+schedule they extract, and for small ``n`` the exhaustive minimum over all
+schedules must match too).
+
+Markov model
+------------
+Execution stops only at *verified* positions (any verification implies a
+stop; checkpointed positions carry a guaranteed verification by
+construction).  The state is the pair ``(position, latent?)`` where
+``latent`` records an undetected silent error corrupting the current data.
+``latent`` states exist only at partial-verification positions — a
+guaranteed verification never lets an error through.
+
+From state ``(s, x)``, executing the segment of work ``W`` up to the next
+verified position ``s'``:
+
+* a fail-stop error strikes first with probability ``1 - e^{-λ_f W}``: we
+  lose ``T_lost(W)`` (eq. 3), pay ``R_D`` (0 if the last disk checkpoint is
+  the virtual ``T0``) and restart *clean* from the last disk checkpoint —
+  a fail-stop wipes memory, latent corruption included;
+* otherwise we pay ``W`` plus the verification cost at ``s'``; the data is
+  corrupted iff ``x`` is latent or a new silent error struck
+  (prob. ``1 - e^{-λ_s W}``):
+
+  * corruption detected (always for guaranteed, prob. ``r`` for partial):
+    pay ``R_M`` (0 if the last memory checkpoint is ``T0``) and restart
+    clean from the last memory checkpoint;
+  * corruption missed (partial only, prob. ``g``): continue latently
+    corrupted from ``s'``;
+  * no corruption: pay the checkpoint costs at ``s'`` (``C_M``, then
+    ``C_D``) and continue clean.
+
+The chain absorbs after the final task's actions complete.  Expected
+absorption time from the start state solves ``(I - P) x = c`` where ``c`` is
+the per-state expected immediate cost.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..chains import TaskChain
+from ..exceptions import InvalidScheduleError
+from ..platforms import Platform
+from .closed_form import t_lost
+from .costs import CostProfile
+from .schedule import Action, Schedule
+
+__all__ = [
+    "evaluate_schedule",
+    "error_free_time",
+    "MarkovEvaluation",
+    "COST_CATEGORIES",
+]
+
+#: Cost categories of the expected-time breakdown (they sum to the total):
+#: raw computation (first pass + re-executions), time lost to interrupted
+#: segments, recovery transfers, verification costs, checkpoint transfers.
+COST_CATEGORIES: tuple[str, ...] = (
+    "work",
+    "fail_stop_loss",
+    "recovery",
+    "verification",
+    "checkpointing",
+)
+
+
+class MarkovEvaluation:
+    """Result of :func:`evaluate_schedule` with diagnostic accessors.
+
+    Attributes
+    ----------
+    expected_time:
+        Expected makespan of the schedule (seconds).
+    state_labels:
+        Human-readable labels of the Markov states, aligned with
+        ``state_times``.
+    state_times:
+        Expected remaining time from each state (solution of the linear
+        system) — useful to inspect how expensive a rollback to each
+        position is.
+    components:
+        Expected time per :data:`COST_CATEGORIES` entry; the values sum to
+        ``expected_time``.
+    """
+
+    __slots__ = ("expected_time", "state_labels", "state_times", "components")
+
+    def __init__(
+        self,
+        expected_time: float,
+        state_labels: list[str],
+        state_times: np.ndarray,
+        components: dict[str, float] | None = None,
+    ) -> None:
+        self.expected_time = expected_time
+        self.state_labels = state_labels
+        self.state_times = state_times
+        self.components = components or {}
+
+    def __float__(self) -> float:
+        return self.expected_time
+
+    def __repr__(self) -> str:
+        return f"MarkovEvaluation(expected_time={self.expected_time:.6g})"
+
+    def waste_breakdown(self, chain: TaskChain) -> dict[str, float]:
+        """Split the expected time into useful work plus waste categories.
+
+        ``re_executed_work`` is total expected computation minus the chain's
+        one-pass weight; the remaining categories come straight from
+        :attr:`components`.  All values sum to :attr:`expected_time`.
+        """
+        out = dict(self.components)
+        work = out.pop("work")
+        out["useful_work"] = chain.total_weight
+        out["re_executed_work"] = work - chain.total_weight
+        return out
+
+    def render_breakdown(self, chain: TaskChain) -> str:
+        """Human-readable waste breakdown table."""
+        breakdown = self.waste_breakdown(chain)
+        order = [
+            "useful_work",
+            "re_executed_work",
+            "fail_stop_loss",
+            "recovery",
+            "verification",
+            "checkpointing",
+        ]
+        lines = ["expected-time breakdown:"]
+        for name in order:
+            value = breakdown[name]
+            share = value / self.expected_time if self.expected_time else 0.0
+            lines.append(f"  {name:17s} {value:12.2f}s  ({share:6.2%})")
+        lines.append(f"  {'total':17s} {self.expected_time:12.2f}s")
+        return "\n".join(lines)
+
+
+def error_free_time(
+    chain: TaskChain,
+    platform: Platform,
+    schedule: Schedule,
+    costs: CostProfile | None = None,
+) -> float:
+    """Deterministic makespan with no errors: work + all action costs."""
+    if costs is None:
+        costs = CostProfile.uniform(chain.n, platform)
+    total = chain.total_weight
+    for i, action in enumerate(schedule, start=1):
+        if action == Action.PARTIAL:
+            total += costs.Vp[i]
+        elif action >= Action.VERIFY:
+            total += costs.Vg[i]
+        if action >= Action.MEMORY:
+            total += costs.CM[i]
+        if action == Action.DISK:
+            total += costs.CD[i]
+    return float(total)
+
+
+def _stop_positions(schedule: Schedule) -> list[int]:
+    """Verified positions, preceded by the virtual start position 0."""
+    return [0] + schedule.verified_positions
+
+
+def evaluate_schedule(
+    chain: TaskChain,
+    platform: Platform,
+    schedule: Schedule,
+    *,
+    strict: bool = True,
+    costs: CostProfile | None = None,
+) -> MarkovEvaluation:
+    """Exact expected makespan of ``schedule`` on ``chain``/``platform``.
+
+    Parameters
+    ----------
+    costs:
+        Optional per-task cost profile (default: the platform's uniform
+        scalars, i.e. the paper's model).
+    strict:
+        Require the final task to be disk-checkpointed (the paper's setting).
+        With ``strict=False`` the final task must still carry a guaranteed
+        verification whenever ``λ_s > 0``, otherwise silent errors could
+        escape undetected and "expected time to correct completion" would be
+        ill-defined.
+
+    Raises
+    ------
+    InvalidScheduleError
+        If the schedule length does not match the chain or violates the
+        rules above.
+    """
+    if schedule.n != chain.n:
+        raise InvalidScheduleError(
+            f"schedule covers {schedule.n} tasks but the chain has {chain.n}"
+        )
+    schedule.validate(strict=strict)
+    if not strict and platform.ls > 0.0 and schedule.action(chain.n) < Action.VERIFY:
+        raise InvalidScheduleError(
+            "with silent errors the final task needs a guaranteed "
+            "verification for the expected correct-completion time to exist"
+        )
+
+    if costs is None:
+        costs = CostProfile.uniform(chain.n, platform)
+    stops = _stop_positions(schedule)
+    k = len(stops)  # number of stop positions including virtual 0
+    stop_index = {pos: j for j, pos in enumerate(stops)}
+
+    # Last memory / disk checkpoint at or before each stop position.
+    last_mem = [0] * k
+    last_disk = [0] * k
+    mem, disk = 0, 0
+    for j, pos in enumerate(stops):
+        if pos > 0:
+            action = schedule.action(pos)
+            if action >= Action.MEMORY:
+                mem = pos
+            if action == Action.DISK:
+                disk = pos
+        last_mem[j] = mem
+        last_disk[j] = disk
+
+    # State indexing: clean state per stop position, latent state per
+    # partial-verification position.
+    clean_state = {j: j for j in range(k)}
+    latent_state: dict[int, int] = {}
+    next_id = k
+    for j, pos in enumerate(stops):
+        if pos > 0 and schedule.action(pos) == Action.PARTIAL:
+            latent_state[j] = next_id
+            next_id += 1
+    n_states = next_id
+
+    P = np.zeros((n_states, n_states), dtype=np.float64)
+    # Per-category immediate expected costs; summing the columns gives the
+    # classic cost vector, solving per column gives the waste breakdown.
+    C = np.zeros((n_states, len(COST_CATEGORIES)), dtype=np.float64)
+    cat = {name: i for i, name in enumerate(COST_CATEGORIES)}
+
+    lf, ls = platform.lf, platform.ls
+
+    def _add(src: int, dst: int | None, prob: float, **category_costs: float) -> None:
+        """Accumulate a transition (dst=None means absorption)."""
+        if prob <= 0.0:
+            return
+        for name, cost in category_costs.items():
+            C[src, cat[name]] += prob * cost
+        if dst is not None:
+            P[src, dst] += prob
+
+    for j in range(k - 1):  # from stop j over segment to stop j+1
+        pos, nxt = stops[j], stops[j + 1]
+        W = chain.segment_weight(pos, nxt)
+        action_next = schedule.action(nxt)
+        is_partial = action_next == Action.PARTIAL
+        verif_cost = float(costs.Vp[nxt] if is_partial else costs.Vg[nxt])
+        detect = platform.r if is_partial else 1.0
+
+        pf = -np.expm1(-lf * W)
+        ps = -np.expm1(-ls * W)
+        loss = t_lost(lf, W)
+        rd = float(costs.RD[last_disk[j]])
+        rm = float(costs.RM[last_mem[j]])
+        disk_target = clean_state[stop_index[last_disk[j]]]
+        mem_target = clean_state[stop_index[last_mem[j]]]
+
+        ckpt_cost = 0.0
+        if action_next >= Action.MEMORY:
+            ckpt_cost += float(costs.CM[nxt])
+        if action_next == Action.DISK:
+            ckpt_cost += float(costs.CD[nxt])
+        # Absorb after the final stop's checkpoint completes.
+        clean_dst: int | None = clean_state[j + 1] if j + 1 < k - 1 else None
+
+        for latent in (False, True):
+            if latent and j not in latent_state:
+                continue
+            src = latent_state[j] if latent else clean_state[j]
+            p_err = 1.0 if latent else ps
+
+            _add(src, disk_target, pf, fail_stop_loss=loss, recovery=rd)
+            no_ff = 1.0 - pf
+            # corrupted and detected -> memory rollback
+            _add(
+                src,
+                mem_target,
+                no_ff * p_err * detect,
+                work=W,
+                verification=verif_cost,
+                recovery=rm,
+            )
+            # corrupted and missed -> latent at next stop (partial only)
+            if is_partial and detect < 1.0:
+                _add(
+                    src,
+                    latent_state[j + 1],
+                    no_ff * p_err * (1.0 - detect),
+                    work=W,
+                    verification=verif_cost,
+                )
+            # clean arrival -> pay checkpoints, move on (or absorb)
+            _add(
+                src,
+                clean_dst,
+                no_ff * (1.0 - p_err),
+                work=W,
+                verification=verif_cost,
+                checkpointing=ckpt_cost,
+            )
+
+    A = np.eye(n_states) - P
+    try:
+        X = np.linalg.solve(A, C)
+    except np.linalg.LinAlgError as exc:  # pragma: no cover - pathological
+        raise InvalidScheduleError(
+            f"schedule induces a non-terminating execution ({exc})"
+        ) from exc
+    x = X.sum(axis=1)
+
+    labels = [f"T{stops[j]}:clean" for j in range(k)]
+    for j, sid in sorted(latent_state.items(), key=lambda kv: kv[1]):
+        labels.append(f"T{stops[j]}:latent")
+    components = {
+        name: float(X[0, i]) for i, name in enumerate(COST_CATEGORIES)
+    }
+    return MarkovEvaluation(float(x[0]), labels, x, components)

@@ -1,0 +1,105 @@
+"""Brute-force optimal schedules for small chains.
+
+Enumerates every valid schedule (each of the first ``n-1`` tasks takes one of
+the five actions, the final task is always ``DISK``) and evaluates each with
+the exact Markov evaluator.  Complexity ``O(5^{n-1})`` schedules — usable up
+to ``n ≈ 8`` — which is exactly what is needed to certify the polynomial
+dynamic programs on small instances.
+
+The action set can be restricted to mirror each algorithm variant:
+
+* ``ADV*``   → ``{NONE, VERIFY, DISK}`` with ``memory == disk`` positions;
+* ``ADMV*``  → ``{NONE, VERIFY, MEMORY, DISK}``;
+* ``ADMV``   → all five actions.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Iterator, Sequence
+
+import numpy as np
+
+from ..chains import TaskChain
+from ..exceptions import InvalidParameterError
+from ..platforms import Platform
+from .evaluator import evaluate_schedule
+from .schedule import Action, Schedule
+
+__all__ = ["enumerate_schedules", "exhaustive_search", "ACTION_SETS"]
+
+#: Allowed per-task action sets per algorithm variant.
+ACTION_SETS: dict[str, tuple[Action, ...]] = {
+    "adv_star": (Action.NONE, Action.VERIFY, Action.DISK),
+    "admv_star": (Action.NONE, Action.VERIFY, Action.MEMORY, Action.DISK),
+    "admv": (
+        Action.NONE,
+        Action.PARTIAL,
+        Action.VERIFY,
+        Action.MEMORY,
+        Action.DISK,
+    ),
+}
+
+#: Safety bound: 5^(MAX_N-1) evaluations is already ~2e6 Markov solves.
+MAX_N = 10
+
+
+def enumerate_schedules(
+    n: int, actions: Sequence[Action] = ACTION_SETS["admv"]
+) -> Iterator[Schedule]:
+    """Yield every schedule of ``n`` tasks using ``actions``, final = DISK."""
+    if n < 1:
+        raise InvalidParameterError(f"n must be >= 1, got {n}")
+    for combo in itertools.product(actions, repeat=n - 1):
+        yield Schedule(list(combo) + [Action.DISK])
+
+
+def exhaustive_search(
+    chain: TaskChain,
+    platform: Platform,
+    *,
+    algorithm: str = "admv",
+    max_n: int = MAX_N,
+    costs=None,
+) -> tuple[float, Schedule]:
+    """Return ``(optimal expected time, optimal schedule)`` by brute force.
+
+    Parameters
+    ----------
+    algorithm:
+        Which action set to enumerate (``adv_star``, ``admv_star`` or
+        ``admv``) — see :data:`ACTION_SETS`.
+    max_n:
+        Refuse chains longer than this (exponential blow-up guard).
+
+    Notes
+    -----
+    Ties are broken in enumeration order, which prefers weaker actions on
+    earlier tasks; the DP may legitimately return a different schedule with
+    the same expected time, so tests compare *values*, not schedules.
+    """
+    try:
+        actions = ACTION_SETS[algorithm]
+    except KeyError:
+        known = ", ".join(sorted(ACTION_SETS))
+        raise InvalidParameterError(
+            f"unknown algorithm {algorithm!r}; expected one of: {known}"
+        ) from None
+    if chain.n > max_n:
+        raise InvalidParameterError(
+            f"exhaustive search limited to n <= {max_n} tasks (got {chain.n}); "
+            "use the dynamic programs for larger chains"
+        )
+
+    best_value = np.inf
+    best_schedule: Schedule | None = None
+    for schedule in enumerate_schedules(chain.n, actions):
+        value = evaluate_schedule(
+            chain, platform, schedule, costs=costs
+        ).expected_time
+        if value < best_value:
+            best_value = value
+            best_schedule = schedule
+    assert best_schedule is not None  # n >= 1 always yields one schedule
+    return float(best_value), best_schedule

@@ -1,0 +1,149 @@
+"""Precomputed per-segment-pair factor matrices for the dynamic programs.
+
+Every recurrence of the paper combines a handful of exponentials of segment
+weights ``W_{i,j}``.  The three optimizers share one :class:`PairFactors`
+instance per ``(chain, platform)`` pair: all ``(n+1) x (n+1)`` factor
+matrices are built once with vectorized numpy broadcasting, after which the
+DP inner loops are pure slice-multiply-add operations with no transcendental
+calls (see the hpc-parallel guide: hoist work out of the hot loop, keep it
+vectorized).
+
+Matrix glossary (entry ``[i, j]`` refers to the segment ``W_{i,j}``; only the
+upper triangle ``i <= j`` is meaningful):
+
+=========  ==========================================================
+``W``      segment weights ``prefix[j] - prefix[i]``
+``es``     ``e^{λ_s W}``
+``efm1``   ``e^{λ_f W} - 1``         (``expm1`` accuracy)
+``esm1``   ``e^{λ_s W} - 1``
+``etot``   ``e^{(λ_f+λ_s) W}``
+``etm1``   ``e^{(λ_f+λ_s) W} - 1``
+``pf``     ``1 - e^{-λ_f W}``         (fail-stop probability)
+``tlost``  expected lost time, eq. (3)
+``base_g`` ``e^{λ_s W} (φ_f(W) + V*)``  — constant part of eq. (4)
+``base_p`` ``e^{λ_s W} (φ_f(W) + V)``   — same with a partial verification
+``cK1``    ``e^{λ_s W} (e^{λ_f W} - 1)`` — coefficient of ``R_D + E_mem``
+=========  ==========================================================
+
+where ``φ_f(W) = (e^{λ_f W} - 1)/λ_f`` (limit ``W`` when ``λ_f = 0``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..chains import TaskChain
+from ..platforms import Platform
+from .costs import CostProfile
+
+__all__ = ["PairFactors"]
+
+
+class PairFactors:
+    """All pairwise factor matrices for one ``(chain, platform)`` instance.
+
+    An optional :class:`~repro.core.costs.CostProfile` makes every cost
+    position-dependent; the verification costs enter the ``base_g`` /
+    ``base_p`` matrices through their *column* index (the verified task),
+    so the DP inner loops are unchanged.
+    """
+
+    __slots__ = (
+        "chain",
+        "platform",
+        "costs",
+        "n",
+        "W",
+        "es",
+        "efm1",
+        "esm1",
+        "etot",
+        "etm1",
+        "pf",
+        "tlost",
+        "base_g",
+        "base_p",
+        "cK1",
+    )
+
+    def __init__(
+        self,
+        chain: TaskChain,
+        platform: Platform,
+        costs: CostProfile | None = None,
+    ) -> None:
+        self.chain = chain
+        self.platform = platform
+        self.costs = costs if costs is not None else CostProfile.uniform(
+            chain.n, platform
+        )
+        lf, ls = platform.lf, platform.ls
+        self.n = chain.n
+
+        prefix = chain.prefix  # length n+1
+        W = prefix[None, :] - prefix[:, None]  # W[i, j] = W_{i,j}
+        self.W = W
+
+        self.es = np.exp(ls * W)
+        self.efm1 = np.expm1(lf * W)
+        self.esm1 = np.expm1(ls * W)
+        self.etm1 = np.expm1((lf + ls) * W)
+        self.etot = self.etm1 + 1.0
+        self.pf = -np.expm1(-lf * W)
+
+        # Expected lost time to a fail-stop error, eq. (3); λ_f -> 0 gives
+        # W/2 and W == 0 gives 0.  Entries below the diagonal (W < 0) are
+        # never read; they are clamped to 0 to avoid spurious warnings.
+        if lf > 0.0:
+            denom = self.efm1
+            with np.errstate(divide="ignore", invalid="ignore"):
+                tl = 1.0 / lf - W / np.where(denom != 0.0, denom, np.inf)
+            # series fallback where λ_f W is too small for the subtraction
+            # (see closed_form.t_lost)
+            x = lf * W
+            small = (x < 1e-8) & (W > 0.0)
+            if np.any(small):
+                tl = np.where(small, (W / 2.0) * (1.0 - x / 6.0), tl)
+            tl[W <= 0.0] = 0.0
+            self.tlost = tl
+        else:
+            self.tlost = np.where(W > 0.0, W / 2.0, 0.0)
+
+        if lf > 0.0:
+            phi_f = self.efm1 / lf
+            # series fallback where λ_f W is below float-division accuracy
+            # (see closed_form.phi)
+            x = lf * W
+            small = x < 1e-8
+            if np.any(small):
+                phi_f = np.where(small, W * (1.0 + x / 2.0 + x * x / 6.0), phi_f)
+        else:
+            phi_f = W
+        # Verification costs are paid at the *end* of a segment: broadcast
+        # per-position costs over the column (destination) index.
+        self.base_g = self.es * (phi_f + self.costs.Vg[None, :])
+        self.base_p = self.es * (phi_f + self.costs.Vp[None, :])
+        self.cK1 = self.es * self.efm1
+
+        for name in (
+            "W",
+            "es",
+            "efm1",
+            "esm1",
+            "etot",
+            "etm1",
+            "pf",
+            "tlost",
+            "base_g",
+            "base_p",
+            "cK1",
+        ):
+            getattr(self, name).setflags(write=False)
+
+    def rd_eff(self, d1: int) -> float:
+        """Disk recovery cost from the checkpoint at ``T_{d1}`` (0 at T0)."""
+        return float(self.costs.RD[d1])
+
+    def rm_eff(self, m1: int) -> float:
+        """Memory recovery cost from the checkpoint at ``T_{m1}`` (0 at T0)."""
+        return float(self.costs.RM[m1])

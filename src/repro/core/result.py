@@ -1,0 +1,70 @@
+"""Common result type returned by the optimizers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..chains import TaskChain
+from ..platforms import Platform
+from .schedule import ActionCounts, Schedule
+
+__all__ = ["Solution"]
+
+
+@dataclass(frozen=True)
+class Solution:
+    """Outcome of an optimization run.
+
+    Attributes
+    ----------
+    algorithm:
+        Canonical algorithm name (``"adv_star"``, ``"admv_star"``,
+        ``"admv"``, or ``"exhaustive"``).
+    chain, platform:
+        The instance that was solved.
+    expected_time:
+        Optimal expected makespan ``E_disk(n)`` in seconds, including the
+        final verification + checkpoints.
+    schedule:
+        An optimal placement achieving ``expected_time``.
+    diagnostics:
+        Optimizer-specific extras (table sizes, timing, ...).
+    """
+
+    algorithm: str
+    chain: TaskChain
+    platform: Platform
+    expected_time: float
+    schedule: Schedule
+    diagnostics: dict = field(default_factory=dict, compare=False)
+
+    @property
+    def normalized_makespan(self) -> float:
+        """Expected makespan over error-free work (the paper's y-axis)."""
+        return self.expected_time / self.chain.total_weight
+
+    @property
+    def overhead(self) -> float:
+        """Fractional overhead above error-free execution."""
+        return self.normalized_makespan - 1.0
+
+    def counts(self) -> ActionCounts:
+        """Checkpoint/verification counts of the optimal schedule."""
+        return self.schedule.counts()
+
+    def summary(self) -> str:
+        """Multi-line report used by the CLI and the examples."""
+        counts = self.counts()
+        return "\n".join(
+            [
+                f"algorithm {self.algorithm} on {self.platform.name} "
+                f"({self.chain.name})",
+                f"  expected makespan: {self.expected_time:.2f}s "
+                f"(normalized {self.normalized_makespan:.4f})",
+                f"  disk checkpoints:        {counts.disk}",
+                f"  memory checkpoints:      {counts.memory}",
+                f"  guaranteed verifications: {counts.guaranteed}",
+                f"  partial verifications:    {counts.partial}",
+                f"  placement: {self.schedule.to_string()}",
+            ]
+        )

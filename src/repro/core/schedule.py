@@ -1,0 +1,339 @@
+"""Schedule model: which resilience action follows each task.
+
+The model admits exactly five mutually exclusive choices at the end of each
+task, naturally ordered by "strength" (each level includes everything the
+previous one does, except that partial and guaranteed verifications are
+alternatives):
+
+====================  =====================================================
+:attr:`Action.NONE`      nothing — proceed to the next task
+:attr:`Action.PARTIAL`   partial verification (cost ``V``, recall ``r``)
+:attr:`Action.VERIFY`    guaranteed verification (cost ``V*``)
+:attr:`Action.MEMORY`    guaranteed verification + memory checkpoint
+:attr:`Action.DISK`      guaranteed verification + memory + disk checkpoint
+====================  =====================================================
+
+Encoding the action as a single level per task makes the structural
+invariants of the paper (disk ⇒ memory ⇒ guaranteed verification) true *by
+construction*; the only remaining validity rules are value-range checks and,
+in strict mode, that the final task is disk-checkpointed (the dynamic
+programs always produce this, since ``Edisk(n)`` is the objective).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from ..exceptions import InvalidScheduleError
+
+__all__ = ["Action", "Schedule", "ActionCounts"]
+
+
+class Action(enum.IntEnum):
+    """Resilience action taken at the end of a task (see module docstring)."""
+
+    NONE = 0
+    PARTIAL = 1
+    VERIFY = 2
+    MEMORY = 3
+    DISK = 4
+
+    @property
+    def has_verification(self) -> bool:
+        """True if any verification (partial or guaranteed) happens."""
+        return self != Action.NONE
+
+    @property
+    def has_guaranteed_verification(self) -> bool:
+        return self >= Action.VERIFY
+
+    @property
+    def has_partial_verification(self) -> bool:
+        return self == Action.PARTIAL
+
+    @property
+    def has_memory_checkpoint(self) -> bool:
+        return self >= Action.MEMORY
+
+    @property
+    def has_disk_checkpoint(self) -> bool:
+        return self == Action.DISK
+
+    @property
+    def symbol(self) -> str:
+        """One-character marker used in ASCII placement diagrams."""
+        return {
+            Action.NONE: ".",
+            Action.PARTIAL: "p",
+            Action.VERIFY: "v",
+            Action.MEMORY: "M",
+            Action.DISK: "D",
+        }[self]
+
+
+class ActionCounts(dict):
+    """Counts of each action category in a schedule.
+
+    Keys: ``disk``, ``memory``, ``guaranteed``, ``partial``.  ``memory``
+    counts *all* memory checkpoints (including those forced by disk
+    checkpoints) and ``guaranteed`` all guaranteed verifications (including
+    those forced by memory checkpoints), matching the paper's figure legends.
+    """
+
+    @property
+    def disk(self) -> int:
+        return self["disk"]
+
+    @property
+    def memory(self) -> int:
+        return self["memory"]
+
+    @property
+    def guaranteed(self) -> int:
+        return self["guaranteed"]
+
+    @property
+    def partial(self) -> int:
+        return self["partial"]
+
+
+class Schedule:
+    """Immutable assignment of an :class:`Action` to each task ``T1 .. Tn``.
+
+    Parameters
+    ----------
+    actions:
+        One action (or its integer value) per task, 0-based storage for task
+        ``T_{i+1}``.  Public accessors use the paper's 1-based indices.
+    """
+
+    __slots__ = ("_levels",)
+
+    def __init__(self, actions: Iterable[Action | int]) -> None:
+        levels = np.asarray([int(a) for a in actions], dtype=np.int8)
+        if levels.ndim != 1 or levels.size == 0:
+            raise InvalidScheduleError("a schedule needs at least one task")
+        if levels.min() < 0 or levels.max() > int(Action.DISK):
+            raise InvalidScheduleError(
+                f"action levels must be in [0, {int(Action.DISK)}]"
+            )
+        levels.setflags(write=False)
+        self._levels = levels
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_positions(
+        cls,
+        n: int,
+        *,
+        disk: Sequence[int] = (),
+        memory: Sequence[int] = (),
+        guaranteed: Sequence[int] = (),
+        partial: Sequence[int] = (),
+    ) -> "Schedule":
+        """Build a schedule from 1-based position sets.
+
+        Positions may overlap in the implied direction (a disk position is
+        automatically a memory/verified position); listing a position both as
+        ``partial`` and in any guaranteed-verification set is rejected since
+        the two verification types are alternatives.
+        """
+        levels = np.zeros(n, dtype=np.int8)
+
+        def _apply(positions: Sequence[int], level: Action) -> None:
+            for p in positions:
+                if not 1 <= p <= n:
+                    raise InvalidScheduleError(
+                        f"position {p} out of range [1, {n}]"
+                    )
+                levels[p - 1] = max(levels[p - 1], int(level))
+
+        _apply(guaranteed, Action.VERIFY)
+        _apply(memory, Action.MEMORY)
+        _apply(disk, Action.DISK)
+        for p in partial:
+            if not 1 <= p <= n:
+                raise InvalidScheduleError(f"position {p} out of range [1, {n}]")
+            if levels[p - 1] >= int(Action.VERIFY):
+                raise InvalidScheduleError(
+                    f"task T{p} cannot carry both a partial and a guaranteed "
+                    "verification"
+                )
+            levels[p - 1] = int(Action.PARTIAL)
+        return cls(levels)
+
+    @classmethod
+    def final_only(cls, n: int) -> "Schedule":
+        """The minimal strict schedule: everything at ``Tn``, nothing else."""
+        levels = np.zeros(n, dtype=np.int8)
+        levels[-1] = int(Action.DISK)
+        return cls(levels)
+
+    # ------------------------------------------------------------------
+    # container behaviour
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of tasks covered by the schedule."""
+        return int(self._levels.size)
+
+    def __len__(self) -> int:
+        return self.n
+
+    def action(self, index: int) -> Action:
+        """Action after task ``T_index`` (1-based)."""
+        if not 1 <= index <= self.n:
+            raise IndexError(f"task index must be in [1, {self.n}], got {index}")
+        return Action(int(self._levels[index - 1]))
+
+    def __getitem__(self, index: int) -> Action:
+        return self.action(index)
+
+    def __iter__(self) -> Iterator[Action]:
+        return (Action(int(v)) for v in self._levels)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schedule):
+            return NotImplemented
+        return bool(np.array_equal(self._levels, other._levels))
+
+    def __hash__(self) -> int:
+        return hash(self._levels.tobytes())
+
+    def __repr__(self) -> str:
+        return f"Schedule({self.to_string()!r})"
+
+    # ------------------------------------------------------------------
+    # position sets (all 1-based, ascending)
+    # ------------------------------------------------------------------
+    def _positions(self, mask: np.ndarray) -> list[int]:
+        return [int(i) + 1 for i in np.flatnonzero(mask)]
+
+    @property
+    def disk_positions(self) -> list[int]:
+        """Tasks followed by a disk checkpoint."""
+        return self._positions(self._levels == int(Action.DISK))
+
+    @property
+    def memory_positions(self) -> list[int]:
+        """Tasks followed by a memory checkpoint (disk ones included)."""
+        return self._positions(self._levels >= int(Action.MEMORY))
+
+    @property
+    def guaranteed_positions(self) -> list[int]:
+        """Tasks followed by a guaranteed verification (ckpt ones included)."""
+        return self._positions(self._levels >= int(Action.VERIFY))
+
+    @property
+    def partial_positions(self) -> list[int]:
+        """Tasks followed by a partial verification."""
+        return self._positions(self._levels == int(Action.PARTIAL))
+
+    @property
+    def verified_positions(self) -> list[int]:
+        """Tasks followed by any verification — the simulator's stop points."""
+        return self._positions(self._levels >= int(Action.PARTIAL))
+
+    # ------------------------------------------------------------------
+    # queries used by evaluators / simulators
+    # ------------------------------------------------------------------
+    def last_memory_at_or_before(self, index: int) -> int:
+        """Last memory-checkpointed position ``<= index`` (0 = virtual T0)."""
+        for p in range(index, 0, -1):
+            if self._levels[p - 1] >= int(Action.MEMORY):
+                return p
+        return 0
+
+    def last_disk_at_or_before(self, index: int) -> int:
+        """Last disk-checkpointed position ``<= index`` (0 = virtual T0)."""
+        for p in range(index, 0, -1):
+            if self._levels[p - 1] == int(Action.DISK):
+                return p
+        return 0
+
+    def counts(self) -> ActionCounts:
+        """Counts per category, as plotted in Figures 5, 7 and 8."""
+        lv = self._levels
+        return ActionCounts(
+            disk=int(np.count_nonzero(lv == int(Action.DISK))),
+            memory=int(np.count_nonzero(lv >= int(Action.MEMORY))),
+            guaranteed=int(np.count_nonzero(lv >= int(Action.VERIFY))),
+            partial=int(np.count_nonzero(lv == int(Action.PARTIAL))),
+        )
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+    def validate(self, *, strict: bool = True) -> None:
+        """Check model invariants; raise :class:`InvalidScheduleError`.
+
+        The level encoding already guarantees disk ⇒ memory ⇒ guaranteed
+        verification.  In strict mode (what the optimizers produce and the
+        evaluators require) the final task must be disk-checkpointed, so the
+        application output is safely stored and every silent error is
+        eventually detected.
+        """
+        if strict and self._levels[-1] != int(Action.DISK):
+            raise InvalidScheduleError(
+                "strict schedules must disk-checkpoint the final task "
+                f"(T{self.n} has action {Action(int(self._levels[-1])).name})"
+            )
+
+    @property
+    def is_strict(self) -> bool:
+        """True if :meth:`validate` passes in strict mode."""
+        return self._levels[-1] == int(Action.DISK)
+
+    # ------------------------------------------------------------------
+    # serialization / display
+    # ------------------------------------------------------------------
+    def to_string(self) -> str:
+        """Compact one-char-per-task form, e.g. ``"..p.v..MpD"``."""
+        return "".join(Action(int(v)).symbol for v in self._levels)
+
+    @classmethod
+    def from_string(cls, text: str) -> "Schedule":
+        """Inverse of :meth:`to_string`."""
+        symbol_to_action = {a.symbol: a for a in Action}
+        try:
+            return cls([symbol_to_action[c] for c in text])
+        except KeyError as exc:
+            raise InvalidScheduleError(
+                f"unknown schedule symbol {exc.args[0]!r} "
+                f"(expected one of {''.join(a.symbol for a in Action)!r})"
+            ) from None
+
+    def as_dict(self) -> dict:
+        """JSON-serializable representation (position lists, 1-based)."""
+        return {
+            "n": self.n,
+            "disk": self.disk_positions,
+            "memory": self.memory_positions,
+            "guaranteed": self.guaranteed_positions,
+            "partial": self.partial_positions,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "Schedule":
+        """Rebuild a schedule from :meth:`as_dict` output."""
+        try:
+            return cls.from_positions(
+                int(doc["n"]),
+                disk=doc.get("disk", ()),
+                memory=doc.get("memory", ()),
+                guaranteed=doc.get("guaranteed", ()),
+                partial=doc.get("partial", ()),
+            )
+        except KeyError as exc:
+            raise InvalidScheduleError(
+                f"schedule document is missing field {exc.args[0]!r}"
+            ) from exc
+
+    def levels_array(self) -> np.ndarray:
+        """Read-only view of the raw level array (0-based, int8)."""
+        return self._levels

@@ -1,0 +1,130 @@
+"""Unified optimizer front-end.
+
+:func:`optimize` dispatches on an algorithm name and returns a
+:class:`~repro.core.result.Solution`.  Canonical names follow the paper:
+
+=============  ==================================================== =========
+name           places                                               via
+=============  ==================================================== =========
+``adv_star``   disk ckpts + guaranteed verifications                 DP O(n^3)
+``admv_star``  disk + memory ckpts + guaranteed verifications        DP O(n^4)
+``admv``       disk + memory ckpts + guaranteed + partial verifs     DP O(n^5)
+``exhaustive`` any action set, brute force (small ``n`` only)        O(5^n)
+=============  ==================================================== =========
+
+Aliases accepted for convenience: ``ADV*`` / ``ADMV*`` / ``ADMV`` (paper
+notation, case-insensitive) and ``single`` / ``two_level`` / ``partial``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from ..chains import TaskChain
+from ..exceptions import InvalidParameterError
+from ..platforms import Platform
+from .dp_partial import optimize_partial
+from .dp_single import optimize_single_level
+from .dp_two_level import optimize_two_level
+from .exhaustive import exhaustive_search
+from .result import Solution
+
+__all__ = ["optimize", "ALGORITHMS", "canonical_algorithm"]
+
+_ALIASES: dict[str, str] = {
+    "adv*": "adv_star",
+    "adv_star": "adv_star",
+    "advstar": "adv_star",
+    "single": "adv_star",
+    "single_level": "adv_star",
+    "admv*": "admv_star",
+    "admv_star": "admv_star",
+    "admvstar": "admv_star",
+    "two_level": "admv_star",
+    "admv": "admv",
+    "partial": "admv",
+    "full": "admv",
+    "exhaustive": "exhaustive",
+    "brute_force": "exhaustive",
+}
+
+#: Canonical algorithm names, in increasing generality order.
+ALGORITHMS: tuple[str, ...] = ("adv_star", "admv_star", "admv")
+
+
+def canonical_algorithm(name: str) -> str:
+    """Resolve an algorithm alias to its canonical name.
+
+    >>> canonical_algorithm("ADMV*")
+    'admv_star'
+    """
+    key = name.strip().lower().replace("-", "_")
+    try:
+        return _ALIASES[key]
+    except KeyError:
+        known = ", ".join(sorted(set(_ALIASES.values())))
+        raise InvalidParameterError(
+            f"unknown algorithm {name!r}; expected one of: {known}"
+        ) from None
+
+
+def _run_exhaustive(
+    chain: TaskChain, platform: Platform, *, costs=None
+) -> Solution:
+    value, schedule = exhaustive_search(
+        chain, platform, algorithm="admv", costs=costs
+    )
+    return Solution(
+        algorithm="exhaustive",
+        chain=chain,
+        platform=platform,
+        expected_time=value,
+        schedule=schedule,
+    )
+
+
+_DISPATCH: dict[str, Callable[[TaskChain, Platform], Solution]] = {
+    "adv_star": optimize_single_level,
+    "admv_star": optimize_two_level,
+    "admv": optimize_partial,
+    "exhaustive": _run_exhaustive,
+}
+
+
+def optimize(
+    chain: TaskChain,
+    platform: Platform,
+    algorithm: str = "admv",
+    *,
+    costs=None,
+) -> Solution:
+    """Compute an optimal schedule for ``chain`` on ``platform``.
+
+    Parameters
+    ----------
+    chain:
+        The linear task chain to protect.
+    platform:
+        Error rates and resilience costs.
+    algorithm:
+        Algorithm name or alias (see module docstring); default is the most
+        general ``admv``.
+    costs:
+        Optional :class:`~repro.core.costs.CostProfile` with per-task
+        checkpoint/verification/recovery costs (default: the platform's
+        uniform scalars — the paper's model).
+
+    Returns
+    -------
+    Solution
+        Optimal expected makespan and an explicit schedule achieving it.
+
+    Examples
+    --------
+    >>> from repro.chains import uniform_chain
+    >>> from repro.platforms import HERA
+    >>> sol = optimize(uniform_chain(10), HERA, algorithm="ADMV*")
+    >>> sol.schedule.is_strict
+    True
+    """
+    return _DISPATCH[canonical_algorithm(algorithm)](chain, platform, costs=costs)

@@ -1,0 +1,43 @@
+"""General workflow DAGs — the paper's future-work direction (§V).
+
+* :class:`~repro.dag.workflow.WorkflowDAG` — weighted task DAG executed
+  one task at a time on the whole platform;
+* :func:`~repro.dag.linearize.optimize_dag` — linearize-then-DP heuristics
+  (the general problem is NP-hard);
+* :mod:`~repro.dag.join` — the APDCM'15 join-graph checkpointing problem
+  (fail-stop only): exact evaluator, brute force, local search.
+"""
+
+from .join import (
+    JoinInstance,
+    JoinSchedule,
+    evaluate_join,
+    exhaustive_join,
+    join_from_dag,
+    local_search_join,
+    simulate_join,
+    threshold_join,
+)
+from .linearize import (
+    ORDER_STRATEGIES,
+    DagSolution,
+    candidate_orders,
+    optimize_dag,
+)
+from .workflow import WorkflowDAG
+
+__all__ = [
+    "WorkflowDAG",
+    "DagSolution",
+    "candidate_orders",
+    "optimize_dag",
+    "ORDER_STRATEGIES",
+    "JoinInstance",
+    "JoinSchedule",
+    "evaluate_join",
+    "exhaustive_join",
+    "join_from_dag",
+    "local_search_join",
+    "simulate_join",
+    "threshold_join",
+]

@@ -1,0 +1,161 @@
+"""Linearize-then-optimize heuristics for general workflows.
+
+With whole-platform tasks, executing a DAG means choosing a topological
+order and then running the linear-chain optimizer on the serialisation.
+The *order* changes the optimum: placing heavy tasks early (so failures hit
+before much state accumulates) or grouping subtrees can both matter.
+
+:func:`optimize_dag` tries a set of candidate orders and keeps the best:
+
+* ``"lexicographic"`` — deterministic baseline;
+* ``"heavy_first"`` / ``"light_first"`` — greedy list scheduling by weight
+  among ready tasks;
+* ``"dfs"`` — depth-first from each source (keeps related tasks adjacent);
+* ``"all"`` — every topological order (small DAGs only).
+
+This is a *heuristic* for the NP-hard general problem (paper §V); for
+chains all orders coincide and the result is exactly the chain optimum.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Hashable
+
+import networkx as nx
+
+from ..exceptions import InvalidParameterError
+from ..platforms import Platform
+from ..core.result import Solution
+from ..core.solver import optimize
+from .workflow import WorkflowDAG
+
+__all__ = ["candidate_orders", "optimize_dag", "DagSolution", "ORDER_STRATEGIES"]
+
+#: Maximum number of tasks for strategy "all" (n! blow-up guard).
+MAX_EXHAUSTIVE_ORDERS_N = 9
+
+
+def _greedy_order(dag: WorkflowDAG, *, heavy_first: bool) -> list[Hashable]:
+    """List scheduling: among ready tasks, pick the heaviest (or lightest).
+
+    Ties break lexicographically on ``repr`` for determinism.
+    """
+    graph = dag.graph
+    indeg = {v: graph.in_degree(v) for v in graph}
+    sign = -1.0 if heavy_first else 1.0
+    ready = [
+        (sign * dag.weight(v), repr(v), v) for v in graph if indeg[v] == 0
+    ]
+    heapq.heapify(ready)
+    order: list[Hashable] = []
+    while ready:
+        _, _, v = heapq.heappop(ready)
+        order.append(v)
+        for w in graph.successors(v):
+            indeg[w] -= 1
+            if indeg[w] == 0:
+                heapq.heappush(ready, (sign * dag.weight(w), repr(w), w))
+    return order
+
+
+def _dfs_order(dag: WorkflowDAG) -> list[Hashable]:
+    """Depth-first topological order (children visited heaviest-first)."""
+    graph = dag.graph
+    indeg = {v: graph.in_degree(v) for v in graph}
+    order: list[Hashable] = []
+    stack = sorted(
+        (v for v in graph if indeg[v] == 0),
+        key=lambda v: (dag.weight(v), repr(v)),
+    )
+    while stack:
+        v = stack.pop()
+        order.append(v)
+        newly_ready = []
+        for w in graph.successors(v):
+            indeg[w] -= 1
+            if indeg[w] == 0:
+                newly_ready.append(w)
+        stack.extend(sorted(newly_ready, key=lambda w: (dag.weight(w), repr(w))))
+    return order
+
+
+ORDER_STRATEGIES = ("lexicographic", "heavy_first", "light_first", "dfs")
+
+
+def candidate_orders(
+    dag: WorkflowDAG, strategy: str = "auto"
+) -> list[list[Hashable]]:
+    """Candidate topological orders for ``strategy`` (deduplicated).
+
+    ``"auto"`` returns the four heuristic orders; ``"all"`` enumerates every
+    topological order (guarded by :data:`MAX_EXHAUSTIVE_ORDERS_N`).
+    """
+    if strategy == "all":
+        if dag.n > MAX_EXHAUSTIVE_ORDERS_N:
+            raise InvalidParameterError(
+                f"exhaustive order enumeration limited to "
+                f"n <= {MAX_EXHAUSTIVE_ORDERS_N} (got {dag.n})"
+            )
+        return [list(o) for o in dag.topological_orders()]
+    if strategy == "auto":
+        names = ORDER_STRATEGIES
+    elif strategy in ORDER_STRATEGIES:
+        names = (strategy,)
+    else:
+        raise InvalidParameterError(
+            f"unknown order strategy {strategy!r}; expected one of "
+            f"{ORDER_STRATEGIES + ('all', 'auto')}"
+        )
+    orders: list[list[Hashable]] = []
+    for name in names:
+        if name == "lexicographic":
+            order = list(nx.lexicographical_topological_sort(dag.graph))
+        elif name == "heavy_first":
+            order = _greedy_order(dag, heavy_first=True)
+        elif name == "light_first":
+            order = _greedy_order(dag, heavy_first=False)
+        else:
+            order = _dfs_order(dag)
+        if order not in orders:
+            orders.append(order)
+    return orders
+
+
+class DagSolution(Solution):
+    """A :class:`Solution` extended with the serialisation order."""
+
+    def __init__(self, order: list[Hashable], base: Solution) -> None:
+        super().__init__(
+            algorithm=f"dag+{base.algorithm}",
+            chain=base.chain,
+            platform=base.platform,
+            expected_time=base.expected_time,
+            schedule=base.schedule,
+            diagnostics=dict(base.diagnostics),
+        )
+        object.__setattr__(self, "order", order)
+
+    order: list[Hashable]
+
+
+def optimize_dag(
+    dag: WorkflowDAG,
+    platform: Platform,
+    *,
+    algorithm: str = "admv",
+    strategy: str = "auto",
+) -> DagSolution:
+    """Best (order, chain schedule) over the candidate serialisations.
+
+    Returns a :class:`DagSolution` carrying the winning topological order;
+    ``solution.schedule`` indexes tasks by their position in that order.
+    """
+    best: DagSolution | None = None
+    for order in candidate_orders(dag, strategy):
+        _, chain = dag.serialise(order)
+        sol = optimize(chain, platform, algorithm=algorithm)
+        if best is None or sol.expected_time < best.expected_time:
+            best = DagSolution(order, sol)
+    assert best is not None  # candidate_orders is never empty
+    return best

@@ -1,0 +1,201 @@
+"""General workflow DAGs (paper Section V: future directions).
+
+The paper's conclusion sketches the general-workflow problem: tasks form an
+arbitrary DAG, each task requires the whole platform (so any execution is a
+*serialisation* of the DAG), and one must jointly pick an execution order
+and the resilience actions.  Even the restricted join-graph case with only
+fail-stop errors is NP-hard [Aupy, Benoit, Casanova, Robert, APDCM'15].
+
+This module provides the workflow model: a :class:`WorkflowDAG` wraps a
+``networkx.DiGraph`` whose nodes carry weights, with validation (acyclicity,
+positive weights), classic queries (critical path, levels) and the bridges
+to the linear-chain machinery (:meth:`WorkflowDAG.serialise`).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Hashable, Iterable, Mapping
+
+import networkx as nx
+
+from ..chains import TaskChain
+from ..exceptions import InvalidChainError
+
+__all__ = ["WorkflowDAG"]
+
+
+class WorkflowDAG:
+    """A weighted task DAG executed one task at a time (whole platform).
+
+    Parameters
+    ----------
+    weights:
+        Mapping from task name to computational weight (> 0, finite).
+    edges:
+        Iterable of ``(u, v)`` precedence pairs (``u`` before ``v``).
+    name:
+        Optional label.
+
+    Examples
+    --------
+    >>> dag = WorkflowDAG({"a": 5.0, "b": 3.0, "c": 2.0},
+    ...                   [("a", "c"), ("b", "c")])
+    >>> dag.n
+    3
+    >>> dag.is_join()
+    True
+    """
+
+    def __init__(
+        self,
+        weights: Mapping[Hashable, float],
+        edges: Iterable[tuple[Hashable, Hashable]] = (),
+        name: str = "",
+    ) -> None:
+        if not weights:
+            raise InvalidChainError("a workflow needs at least one task")
+        graph = nx.DiGraph()
+        for node, w in weights.items():
+            if not (isinstance(w, (int, float)) and math.isfinite(w) and w > 0):
+                raise InvalidChainError(
+                    f"task {node!r} weight must be positive and finite, got {w!r}"
+                )
+            graph.add_node(node, weight=float(w))
+        for u, v in edges:
+            if u not in graph or v not in graph:
+                raise InvalidChainError(
+                    f"edge ({u!r}, {v!r}) references an unknown task"
+                )
+            if u == v:
+                raise InvalidChainError(f"self-loop on task {u!r}")
+            graph.add_edge(u, v)
+        if not nx.is_directed_acyclic_graph(graph):
+            cycle = nx.find_cycle(graph)
+            raise InvalidChainError(f"workflow has a dependency cycle: {cycle}")
+        self.graph = graph
+        self.name = name or f"dag-{graph.number_of_nodes()}"
+
+    # ------------------------------------------------------------------
+    # basic queries
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of tasks."""
+        return self.graph.number_of_nodes()
+
+    def weight(self, node: Hashable) -> float:
+        """Weight of one task."""
+        return float(self.graph.nodes[node]["weight"])
+
+    @property
+    def total_weight(self) -> float:
+        """Sum of all task weights (serial error-free execution time)."""
+        return float(sum(d["weight"] for _, d in self.graph.nodes(data=True)))
+
+    def sources(self) -> list[Hashable]:
+        """Tasks with no predecessors."""
+        return [v for v in self.graph if self.graph.in_degree(v) == 0]
+
+    def sinks(self) -> list[Hashable]:
+        """Tasks with no successors."""
+        return [v for v in self.graph if self.graph.out_degree(v) == 0]
+
+    def critical_path(self) -> tuple[list[Hashable], float]:
+        """Longest weighted path: ``(nodes, total weight)``.
+
+        With whole-platform tasks this is a lower bound on any schedule's
+        error-free makespan only through the serial total; it is still the
+        classic DAG metric users expect to query.
+        """
+        order = list(nx.topological_sort(self.graph))
+        dist: dict[Hashable, float] = {}
+        pred: dict[Hashable, Hashable | None] = {}
+        for v in order:
+            best, arg = 0.0, None
+            for u in self.graph.predecessors(v):
+                if dist[u] > best:
+                    best, arg = dist[u], u
+            dist[v] = best + self.weight(v)
+            pred[v] = arg
+        end = max(dist, key=lambda v: dist[v])
+        path = [end]
+        while pred[path[-1]] is not None:
+            path.append(pred[path[-1]])
+        path.reverse()
+        return path, dist[end]
+
+    def is_chain(self) -> bool:
+        """True if the DAG is a simple linear chain."""
+        degrees_ok = all(
+            self.graph.in_degree(v) <= 1 and self.graph.out_degree(v) <= 1
+            for v in self.graph
+        )
+        return (
+            degrees_ok
+            and nx.is_weakly_connected(self.graph)
+            and self.graph.number_of_edges() == self.n - 1
+        )
+
+    def is_join(self) -> bool:
+        """True for the APDCM'15 join shape: ``n-1`` sources, one sink."""
+        sinks = self.sinks()
+        if len(sinks) != 1:
+            return False
+        sink = sinks[0]
+        others = [v for v in self.graph if v != sink]
+        return all(
+            list(self.graph.successors(v)) == [sink] for v in others
+        ) and self.graph.in_degree(sink) == len(others)
+
+    # ------------------------------------------------------------------
+    # serialisation to a chain
+    # ------------------------------------------------------------------
+    def topological_orders(self) -> Iterable[list[Hashable]]:
+        """All topological orders (exponential; small DAGs only)."""
+        return nx.all_topological_sorts(self.graph)
+
+    def serialise(self, order: list[Hashable] | None = None) -> tuple[list[Hashable], TaskChain]:
+        """Serialise the DAG into a :class:`TaskChain`.
+
+        Because every task uses the whole platform, any topological order is
+        a valid execution; a chain schedule protecting task ``i`` of the
+        serialisation protects the cumulative state of the first ``i``
+        tasks, which is exactly the data a crash would destroy.
+
+        Parameters
+        ----------
+        order:
+            Explicit topological order; validated.  Default: deterministic
+            (lexicographic) topological sort.
+
+        Returns
+        -------
+        (order, chain):
+            The order used and the weight chain in that order.
+        """
+        if order is None:
+            order = list(nx.lexicographical_topological_sort(self.graph))
+        else:
+            if sorted(order, key=repr) != sorted(self.graph.nodes, key=repr):
+                raise InvalidChainError(
+                    "order must contain every task exactly once"
+                )
+            seen: set[Hashable] = set()
+            for v in order:
+                for u in self.graph.predecessors(v):
+                    if u not in seen:
+                        raise InvalidChainError(
+                            f"order violates precedence {u!r} -> {v!r}"
+                        )
+                seen.add(v)
+        chain = TaskChain(
+            [self.weight(v) for v in order], name=f"{self.name}-serialised"
+        )
+        return order, chain
+
+    def __repr__(self) -> str:
+        return (
+            f"WorkflowDAG({self.name!r}, n={self.n}, "
+            f"edges={self.graph.number_of_edges()})"
+        )

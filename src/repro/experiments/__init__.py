@@ -1,0 +1,34 @@
+"""Experiment drivers regenerating every table and figure of the paper.
+
+==========  ==========================================  ====================
+paper item  content                                     driver
+==========  ==========================================  ====================
+Table I     platform parameters                         :func:`table1.run`
+Figure 5    Uniform: makespan + counts, 4 platforms     :func:`fig5.run`
+Figure 6    ADMV placement maps at n=50, 4 platforms    :func:`fig6.run`
+Figure 7    Decrease: Hera & Coastal SSD                :func:`fig78.run_fig7`
+Figure 8    HighLow: Hera & Coastal SSD                 :func:`fig78.run_fig8`
+==========  ==========================================  ====================
+"""
+
+from . import fig5, fig6, fig78, report, table1
+from .common import (
+    ALGORITHM_LABELS,
+    EXTREME_PLATFORMS,
+    PAPER_ALGORITHMS,
+    PAPER_PLATFORMS,
+    task_grid,
+)
+
+__all__ = [
+    "fig5",
+    "fig6",
+    "report",
+    "fig78",
+    "table1",
+    "ALGORITHM_LABELS",
+    "EXTREME_PLATFORMS",
+    "PAPER_ALGORITHMS",
+    "PAPER_PLATFORMS",
+    "task_grid",
+]

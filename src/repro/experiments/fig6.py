@@ -1,0 +1,62 @@
+"""Figure 6 — placement maps of ``ADMV`` at ``n = 50``, Uniform pattern.
+
+For each of the four platforms, shows where the optimal ``ADMV`` solution
+puts disk checkpoints, memory checkpoints, guaranteed verifications and
+partial verifications along the 50-task chain.
+
+Expected shapes: no disk checkpoint other than the mandatory final one;
+roughly equi-spaced memory checkpoints / guaranteed verifications with
+partial verifications in-between; on Coastal SSD (expensive ``C_M``/``V*``)
+partial verifications dominate over guaranteed ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..analysis.ascii_plot import placement_diagram
+from ..chains import uniform_chain
+from ..platforms import Platform
+from ..core.result import Solution
+from ..core.solver import optimize
+from .common import PAPER_PLATFORMS
+
+__all__ = ["Fig6Result", "run"]
+
+
+@dataclass
+class Fig6Result:
+    """Optimal ``ADMV`` solutions at fixed ``n``, one per platform."""
+
+    n: int
+    pattern: str
+    solutions: dict[str, Solution] = field(default_factory=dict)
+
+    def diagram(self, platform_name: str) -> str:
+        sol = self.solutions[platform_name]
+        return placement_diagram(
+            sol.schedule,
+            title=(
+                f"Platform {platform_name} with ADMV and n={self.n} "
+                f"({self.pattern}) — E[T]={sol.expected_time:.0f}s"
+            ),
+        )
+
+    def render(self) -> str:
+        return "\n\n".join(self.diagram(name) for name in self.solutions)
+
+
+def run(
+    *,
+    n: int = 50,
+    platforms: tuple[Platform, ...] = PAPER_PLATFORMS,
+    algorithm: str = "admv",
+) -> Fig6Result:
+    """Solve ``ADMV`` at ``n`` tasks (Uniform) on each platform."""
+    chain = uniform_chain(n)
+    result = Fig6Result(n=n, pattern="uniform")
+    for platform in platforms:
+        result.solutions[platform.name] = optimize(
+            chain, platform, algorithm=algorithm
+        )
+    return result

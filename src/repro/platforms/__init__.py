@@ -1,0 +1,43 @@
+"""Platform model, Table I catalog, and MTBF utilities."""
+
+from .catalog import (
+    ATLAS,
+    COASTAL,
+    COASTAL_SSD,
+    HERA,
+    PLATFORMS,
+    TABLE1_ROWS,
+    get_platform,
+    platform_names,
+)
+from .mtbf import (
+    SECONDS_PER_DAY,
+    SECONDS_PER_HOUR,
+    SECONDS_PER_YEAR,
+    days,
+    mtbf_to_rate,
+    node_mtbf_from_platform_rate,
+    platform_rate_from_node_mtbf,
+    rate_to_mtbf,
+)
+from .platform import Platform
+
+__all__ = [
+    "Platform",
+    "HERA",
+    "ATLAS",
+    "COASTAL",
+    "COASTAL_SSD",
+    "PLATFORMS",
+    "TABLE1_ROWS",
+    "get_platform",
+    "platform_names",
+    "SECONDS_PER_DAY",
+    "SECONDS_PER_HOUR",
+    "SECONDS_PER_YEAR",
+    "days",
+    "mtbf_to_rate",
+    "node_mtbf_from_platform_rate",
+    "platform_rate_from_node_mtbf",
+    "rate_to_mtbf",
+]

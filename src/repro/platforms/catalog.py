@@ -1,0 +1,83 @@
+"""Platform catalog: Table I of the paper.
+
+The four platforms were used by Moody et al. to evaluate the Scalable
+Checkpoint/Restart (SCR) library [SC'10]; the paper reuses their measured
+error rates and checkpoint costs:
+
+=============  ======  ==========  ==========  ======  ======
+platform       #nodes  λ_f (/s)    λ_s (/s)    C_D (s) C_M (s)
+=============  ======  ==========  ==========  ======  ======
+Hera           256     9.46e-7     3.38e-6     300     15.4
+Atlas          512     5.19e-7     7.78e-6     439     9.1
+Coastal        1024    4.02e-7     2.01e-6     1051    4.5
+Coastal SSD    1024    4.02e-7     2.01e-6     2500    180.0
+=============  ======  ==========  ==========  ======  ======
+
+Derived conventions (Section IV): ``R_D = C_D``, ``R_M = C_M``, ``V* = C_M``,
+``V = V*/100``, ``r = 0.8``.
+"""
+
+from __future__ import annotations
+
+from .platform import Platform
+
+__all__ = [
+    "HERA",
+    "ATLAS",
+    "COASTAL",
+    "COASTAL_SSD",
+    "PLATFORMS",
+    "get_platform",
+    "platform_names",
+    "TABLE1_ROWS",
+]
+
+HERA = Platform.from_costs(
+    "Hera", lf=9.46e-7, ls=3.38e-6, CD=300.0, CM=15.4, nodes=256
+)
+
+ATLAS = Platform.from_costs(
+    "Atlas", lf=5.19e-7, ls=7.78e-6, CD=439.0, CM=9.1, nodes=512
+)
+
+COASTAL = Platform.from_costs(
+    "Coastal", lf=4.02e-7, ls=2.01e-6, CD=1051.0, CM=4.5, nodes=1024
+)
+
+COASTAL_SSD = Platform.from_costs(
+    "Coastal SSD", lf=4.02e-7, ls=2.01e-6, CD=2500.0, CM=180.0, nodes=1024
+)
+
+#: All Table I platforms, keyed by a normalised (lowercase, no space) name.
+PLATFORMS: dict[str, Platform] = {
+    "hera": HERA,
+    "atlas": ATLAS,
+    "coastal": COASTAL,
+    "coastal-ssd": COASTAL_SSD,
+}
+
+#: Rows of Table I in paper order (used by the Table-I bench).
+TABLE1_ROWS: tuple[Platform, ...] = (HERA, ATLAS, COASTAL, COASTAL_SSD)
+
+
+def _normalise(name: str) -> str:
+    return name.strip().lower().replace(" ", "-").replace("_", "-")
+
+
+def get_platform(name: str) -> Platform:
+    """Look up a Table I platform by (case/space-insensitive) name.
+
+    >>> get_platform("Coastal SSD").CD
+    2500.0
+    """
+    key = _normalise(name)
+    try:
+        return PLATFORMS[key]
+    except KeyError:
+        known = ", ".join(sorted(PLATFORMS))
+        raise KeyError(f"unknown platform {name!r}; known platforms: {known}") from None
+
+
+def platform_names() -> list[str]:
+    """Canonical names of the cataloged platforms, in paper order."""
+    return [p.name for p in TABLE1_ROWS]

@@ -1,0 +1,73 @@
+"""MTBF helpers.
+
+The paper quotes platform reliability both as Poisson rates (Table I) and as
+mean times between failures in days ("platform MTBF of 12.2 days for
+fail-stop errors on Hera").  These helpers convert between the two and scale
+individual-node reliability to full-platform rates: with ``N`` independent
+nodes each failing at rate ``λ_node``, the platform failure process is
+Poisson with rate ``N * λ_node`` (exponential minimum), i.e.
+``MTBF_platform = MTBF_node / N``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..exceptions import InvalidParameterError
+
+__all__ = [
+    "rate_to_mtbf",
+    "mtbf_to_rate",
+    "platform_rate_from_node_mtbf",
+    "node_mtbf_from_platform_rate",
+    "days",
+    "SECONDS_PER_DAY",
+    "SECONDS_PER_HOUR",
+    "SECONDS_PER_YEAR",
+]
+
+SECONDS_PER_HOUR = 3600.0
+SECONDS_PER_DAY = 86400.0
+SECONDS_PER_YEAR = 365.25 * SECONDS_PER_DAY
+
+
+def rate_to_mtbf(rate: float) -> float:
+    """Convert a Poisson error rate (errors/s) to an MTBF in seconds.
+
+    A zero rate maps to ``inf`` (the machine never fails).
+    """
+    if not math.isfinite(rate) or rate < 0.0:
+        raise InvalidParameterError(f"rate must be >= 0 and finite, got {rate!r}")
+    return math.inf if rate == 0.0 else 1.0 / rate
+
+
+def mtbf_to_rate(mtbf_seconds: float) -> float:
+    """Convert an MTBF in seconds to a Poisson rate; ``inf`` maps to 0."""
+    if mtbf_seconds != mtbf_seconds or mtbf_seconds <= 0.0:  # NaN or <= 0
+        raise InvalidParameterError(
+            f"MTBF must be > 0 (possibly inf), got {mtbf_seconds!r}"
+        )
+    return 0.0 if math.isinf(mtbf_seconds) else 1.0 / mtbf_seconds
+
+
+def platform_rate_from_node_mtbf(node_mtbf_seconds: float, nodes: int) -> float:
+    """Platform-level Poisson rate from a per-node MTBF.
+
+    ``nodes`` independent exponential lifetimes with mean ``m`` yield a
+    platform inter-failure time exponential with mean ``m / nodes``.
+    """
+    if nodes < 1:
+        raise InvalidParameterError(f"nodes must be >= 1, got {nodes}")
+    return mtbf_to_rate(node_mtbf_seconds) * nodes
+
+
+def node_mtbf_from_platform_rate(platform_rate: float, nodes: int) -> float:
+    """Per-node MTBF (s) implied by a platform-level rate."""
+    if nodes < 1:
+        raise InvalidParameterError(f"nodes must be >= 1, got {nodes}")
+    return rate_to_mtbf(platform_rate / nodes) if platform_rate > 0 else math.inf
+
+
+def days(seconds: float) -> float:
+    """Express a duration in days (the unit used in the paper's prose)."""
+    return seconds / SECONDS_PER_DAY

@@ -1,0 +1,236 @@
+"""Platform / resilience-parameter model.
+
+A :class:`Platform` bundles every scalar the paper's formulas consume:
+
+========  ===========================================================
+``lf``    fail-stop error rate ``λ_f`` (errors/s, Poisson)
+``ls``    silent error rate ``λ_s`` (errors/s, Poisson)
+``CD``    disk checkpoint cost (s)
+``CM``    memory checkpoint cost (s)
+``RD``    disk recovery cost (s) — includes restoring the memory state
+``RM``    memory recovery cost (s)
+``Vg``    guaranteed verification cost ``V*`` (s)
+``Vp``    partial verification cost ``V`` (s)
+``r``     partial verification recall (fraction of silent errors caught)
+========  ===========================================================
+
+The paper's experimental convention (Section IV) is ``RD = CD``, ``RM = CM``,
+``V* = CM``, ``V = V*/100`` and ``r = 0.8``; :meth:`Platform.from_costs`
+applies exactly those defaults so the Table I catalog needs only the four
+measured values (``λ_f``, ``λ_s``, ``C_D``, ``C_M``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+from ..exceptions import InvalidParameterError
+
+__all__ = ["Platform"]
+
+_SECONDS_PER_DAY = 86400.0
+
+
+def _require(cond: bool, message: str) -> None:
+    if not cond:
+        raise InvalidParameterError(message)
+
+
+@dataclass(frozen=True)
+class Platform:
+    """Immutable resilience parameters of a platform.
+
+    All costs are in seconds, rates in errors per second.  See the module
+    docstring for the field glossary.  Instances are hashable and can be used
+    as cache keys.
+    """
+
+    name: str
+    lf: float
+    ls: float
+    CD: float
+    CM: float
+    RD: float
+    RM: float
+    Vg: float
+    Vp: float
+    r: float
+    nodes: int = 0
+
+    def __post_init__(self) -> None:
+        for attr in ("lf", "ls"):
+            v = getattr(self, attr)
+            _require(
+                math.isfinite(v) and v >= 0.0,
+                f"{self.name}: rate {attr} must be >= 0 and finite, got {v!r}",
+            )
+        for attr in ("CD", "CM", "RD", "RM", "Vg", "Vp"):
+            v = getattr(self, attr)
+            _require(
+                math.isfinite(v) and v >= 0.0,
+                f"{self.name}: cost {attr} must be >= 0 and finite, got {v!r}",
+            )
+        _require(
+            0.0 <= self.r <= 1.0,
+            f"{self.name}: recall r must be in [0, 1], got {self.r!r}",
+        )
+        _require(self.nodes >= 0, f"{self.name}: nodes must be >= 0")
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_costs(
+        cls,
+        name: str,
+        *,
+        lf: float,
+        ls: float,
+        CD: float,
+        CM: float,
+        RD: float | None = None,
+        RM: float | None = None,
+        Vg: float | None = None,
+        Vp: float | None = None,
+        r: float = 0.8,
+        partial_cost_ratio: float = 100.0,
+        nodes: int = 0,
+    ) -> "Platform":
+        """Build a platform with the paper's Section-IV conventions.
+
+        Defaults: ``RD = CD``, ``RM = CM``, ``V* = CM`` and
+        ``V = V*/partial_cost_ratio`` (the paper uses a ratio of 100).
+        """
+        _require(
+            partial_cost_ratio > 0,
+            f"{name}: partial_cost_ratio must be > 0, got {partial_cost_ratio!r}",
+        )
+        Vg_val = CM if Vg is None else Vg
+        return cls(
+            name=name,
+            lf=lf,
+            ls=ls,
+            CD=CD,
+            CM=CM,
+            RD=CD if RD is None else RD,
+            RM=CM if RM is None else RM,
+            Vg=Vg_val,
+            Vp=Vg_val / partial_cost_ratio if Vp is None else Vp,
+            r=r,
+            nodes=nodes,
+        )
+
+    # ------------------------------------------------------------------
+    # derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def g(self) -> float:
+        """Miss probability of the partial verification (``g = 1 - r``)."""
+        return 1.0 - self.r
+
+    @property
+    def lam_total(self) -> float:
+        """Combined error rate ``Λ = λ_f + λ_s``."""
+        return self.lf + self.ls
+
+    @property
+    def mtbf_fail_stop(self) -> float:
+        """Platform MTBF for fail-stop errors (s); ``inf`` if ``λ_f == 0``."""
+        return math.inf if self.lf == 0.0 else 1.0 / self.lf
+
+    @property
+    def mtbf_silent(self) -> float:
+        """Platform MTBF for silent errors (s); ``inf`` if ``λ_s == 0``."""
+        return math.inf if self.ls == 0.0 else 1.0 / self.ls
+
+    @property
+    def mtbf_fail_stop_days(self) -> float:
+        """Fail-stop MTBF expressed in days (as quoted in the paper)."""
+        return self.mtbf_fail_stop / _SECONDS_PER_DAY
+
+    @property
+    def mtbf_silent_days(self) -> float:
+        """Silent-error MTBF expressed in days."""
+        return self.mtbf_silent / _SECONDS_PER_DAY
+
+    # ------------------------------------------------------------------
+    # functional updates
+    # ------------------------------------------------------------------
+    def with_overrides(self, **changes) -> "Platform":
+        """Return a copy with some fields replaced (validation re-runs)."""
+        return replace(self, **changes)
+
+    def scaled_rates(self, factor: float, name: str | None = None) -> "Platform":
+        """Return a copy with both error rates multiplied by ``factor``.
+
+        Useful for "what if the machine were k times less reliable"
+        sensitivity studies.
+        """
+        _require(
+            math.isfinite(factor) and factor >= 0.0,
+            f"rate scaling factor must be >= 0, got {factor!r}",
+        )
+        return replace(
+            self,
+            lf=self.lf * factor,
+            ls=self.ls * factor,
+            name=name or f"{self.name}x{factor:g}",
+        )
+
+    def error_free(self, name: str | None = None) -> "Platform":
+        """Return a copy with both error rates set to zero."""
+        return replace(self, lf=0.0, ls=0.0, name=name or f"{self.name}-errorfree")
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        """Multi-line human-readable summary used by the CLI."""
+        lines = [
+            f"platform {self.name}" + (f" ({self.nodes} nodes)" if self.nodes else ""),
+            f"  fail-stop: λ_f = {self.lf:.3g}/s  (MTBF {self.mtbf_fail_stop_days:.1f} days)",
+            f"  silent:    λ_s = {self.ls:.3g}/s  (MTBF {self.mtbf_silent_days:.1f} days)",
+            f"  checkpoints: C_D = {self.CD:g}s, C_M = {self.CM:g}s",
+            f"  recoveries:  R_D = {self.RD:g}s, R_M = {self.RM:g}s",
+            f"  verifications: V* = {self.Vg:g}s, V = {self.Vp:g}s, recall r = {self.r:g}",
+        ]
+        return "\n".join(lines)
+
+    def as_dict(self) -> dict:
+        """JSON-serializable representation."""
+        return {
+            "name": self.name,
+            "lf": self.lf,
+            "ls": self.ls,
+            "CD": self.CD,
+            "CM": self.CM,
+            "RD": self.RD,
+            "RM": self.RM,
+            "Vg": self.Vg,
+            "Vp": self.Vp,
+            "r": self.r,
+            "nodes": self.nodes,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "Platform":
+        """Rebuild a platform from :meth:`as_dict` output."""
+        try:
+            return cls(
+                name=str(doc["name"]),
+                lf=float(doc["lf"]),
+                ls=float(doc["ls"]),
+                CD=float(doc["CD"]),
+                CM=float(doc["CM"]),
+                RD=float(doc["RD"]),
+                RM=float(doc["RM"]),
+                Vg=float(doc["Vg"]),
+                Vp=float(doc["Vp"]),
+                r=float(doc["r"]),
+                nodes=int(doc.get("nodes", 0)),
+            )
+        except KeyError as exc:
+            raise InvalidParameterError(
+                f"platform document is missing field {exc.args[0]!r}"
+            ) from exc

@@ -1,0 +1,24 @@
+"""Fault-injection simulation: engine, error sources, Monte-Carlo harness."""
+
+from .engine import DEFAULT_MAX_ATTEMPTS, RunResult, simulate_run
+from .errors import ErrorSource, PoissonErrorSource, ScriptedErrorSource
+from .monte_carlo import MonteCarloResult, run_monte_carlo
+from .stats import SampleSummary, confidence_interval, summarize
+from .trace import EventKind, Trace, TraceEvent
+
+__all__ = [
+    "simulate_run",
+    "RunResult",
+    "DEFAULT_MAX_ATTEMPTS",
+    "ErrorSource",
+    "PoissonErrorSource",
+    "ScriptedErrorSource",
+    "run_monte_carlo",
+    "MonteCarloResult",
+    "SampleSummary",
+    "confidence_interval",
+    "summarize",
+    "EventKind",
+    "Trace",
+    "TraceEvent",
+]

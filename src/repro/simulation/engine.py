@@ -1,0 +1,207 @@
+"""Discrete-event simulation of one schedule execution under injected errors.
+
+The engine replays the exact semantics of the analytic model (and of the
+Markov evaluator in :mod:`repro.core.evaluator` — the two are cross-checked
+statistically in the test suite):
+
+* execution proceeds segment by segment between *verified* positions;
+* a fail-stop error interrupts the segment at its arrival time; the run
+  pays the elapsed work, the disk recovery cost, and resumes (clean) from
+  the last disk checkpoint — in-memory state, latent corruption included,
+  is lost;
+* silent errors corrupt the segment's output without any symptom; they are
+  only caught by verifications: guaranteed ones always detect corruption,
+  partial ones with probability ``r`` (fresh draw each attempt);
+* detected corruption triggers a memory recovery and a clean restart from
+  the last memory checkpoint; missed corruption propagates latently;
+* checkpoints are only stored after a *clean* guaranteed verification, so
+  stored state is always valid;
+* verifications, recoveries and checkpoint transfers themselves are
+  error-protected (paper assumption).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..chains import TaskChain
+from ..exceptions import InvalidScheduleError, SimulationError
+from ..platforms import Platform
+from ..core.costs import CostProfile
+from ..core.schedule import Action, Schedule
+from .errors import ErrorSource
+from .trace import EventKind, Trace
+
+__all__ = ["RunResult", "simulate_run"]
+
+#: Default cap on segment attempts before declaring a runaway execution.
+DEFAULT_MAX_ATTEMPTS = 10_000_000
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Outcome of one simulated execution.
+
+    Attributes
+    ----------
+    makespan:
+        Total wall-clock time to correct completion (seconds).
+    fail_stop_errors:
+        Number of fail-stop errors that struck.
+    silent_errors:
+        Number of segments whose output got corrupted by >= 1 silent error.
+    silent_detected / silent_missed:
+        Detection outcomes at verifications (a single corruption may be
+        missed several times before being caught).
+    attempts:
+        Number of segment executions (>= number of segments).
+    trace:
+        Full event log, or None when tracing was disabled.
+    """
+
+    makespan: float
+    fail_stop_errors: int
+    silent_errors: int
+    silent_detected: int
+    silent_missed: int
+    attempts: int
+    trace: Trace | None = None
+
+
+def simulate_run(
+    chain: TaskChain,
+    platform: Platform,
+    schedule: Schedule,
+    error_source: ErrorSource,
+    *,
+    record_trace: bool = False,
+    max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+    costs: CostProfile | None = None,
+) -> RunResult:
+    """Simulate one execution of ``schedule`` and return its :class:`RunResult`.
+
+    Raises
+    ------
+    SimulationError
+        If the run exceeds ``max_attempts`` segment executions (pathological
+        parameters, e.g. error rates so high that no segment ever passes).
+    InvalidScheduleError
+        If the schedule/chain are inconsistent or the final task lacks the
+        guaranteed verification needed for correct completion.
+    """
+    if schedule.n != chain.n:
+        raise InvalidScheduleError(
+            f"schedule covers {schedule.n} tasks but the chain has {chain.n}"
+        )
+    if platform.ls > 0.0 and schedule.action(chain.n) < Action.VERIFY:
+        raise InvalidScheduleError(
+            "the final task needs a guaranteed verification for the run to "
+            "complete correctly under silent errors"
+        )
+
+    if costs is None:
+        costs = CostProfile.uniform(chain.n, platform)
+    stops = [0] + schedule.verified_positions
+    if stops[-1] != chain.n:
+        # λ_s == 0 and unverified tail: execute it as a final segment.
+        stops.append(chain.n)
+    n_stops = len(stops)
+    stop_index = {pos: j for j, pos in enumerate(stops)}
+
+    last_mem = [0] * n_stops
+    last_disk = [0] * n_stops
+    mem = disk = 0
+    for j, pos in enumerate(stops):
+        if pos > 0:
+            action = schedule.action(pos)
+            if action >= Action.MEMORY:
+                mem = pos
+            if action == Action.DISK:
+                disk = pos
+        last_mem[j] = mem
+        last_disk[j] = disk
+
+    trace = Trace(enabled=record_trace) if record_trace else Trace(enabled=False)
+    t = 0.0
+    j = 0
+    latent = False
+    fail_stops = silent_errors = detected = missed = attempts = 0
+
+    while j < n_stops - 1:
+        attempts += 1
+        if attempts > max_attempts:
+            raise SimulationError(
+                f"run exceeded {max_attempts} segment attempts at T{stops[j]} "
+                "(error rates too high for this schedule?)"
+            )
+        pos, nxt = stops[j], stops[j + 1]
+        W = chain.segment_weight(pos, nxt)
+        trace.record(t, EventKind.SEGMENT_START, pos)
+
+        arrival = error_source.fail_stop_arrival(W)
+        if arrival is not None:
+            fail_stops += 1
+            t += arrival
+            trace.record(t, EventKind.FAIL_STOP, pos, f"{arrival:.2f}s into segment")
+            target = last_disk[j]
+            t += float(costs.RD[target])
+            trace.record(t, EventKind.DISK_RECOVERY, target)
+            j = stop_index[target]
+            latent = False
+            continue
+
+        t += W
+        trace.record(t, EventKind.SEGMENT_DONE, nxt)
+
+        if error_source.silent_strikes(W):
+            silent_errors += 1
+            trace.record(t, EventKind.SILENT_INTRODUCED, nxt)
+            corrupted = True
+        else:
+            corrupted = latent
+
+        action = schedule.action(nxt) if nxt <= schedule.n else Action.NONE
+        is_partial = action == Action.PARTIAL
+        if action >= Action.PARTIAL:
+            t += float(costs.Vp[nxt] if is_partial else costs.Vg[nxt])
+            trace.record(
+                t,
+                EventKind.VERIFICATION,
+                nxt,
+                "partial" if is_partial else "guaranteed",
+            )
+            if corrupted:
+                if is_partial and not error_source.partial_detects():
+                    missed += 1
+                    latent = True
+                    trace.record(t, EventKind.SILENT_MISSED, nxt)
+                    j += 1
+                    continue
+                detected += 1
+                trace.record(t, EventKind.SILENT_DETECTED, nxt)
+                target = last_mem[j]
+                t += float(costs.RM[target])
+                trace.record(t, EventKind.MEMORY_RECOVERY, target)
+                j = stop_index[target]
+                latent = False
+                continue
+
+        if action >= Action.MEMORY:
+            t += float(costs.CM[nxt])
+            trace.record(t, EventKind.MEMORY_CHECKPOINT, nxt)
+        if action == Action.DISK:
+            t += float(costs.CD[nxt])
+            trace.record(t, EventKind.DISK_CHECKPOINT, nxt)
+        latent = False
+        j += 1
+
+    trace.record(t, EventKind.COMPLETE, chain.n)
+    return RunResult(
+        makespan=t,
+        fail_stop_errors=fail_stops,
+        silent_errors=silent_errors,
+        silent_detected=detected,
+        silent_missed=missed,
+        attempts=attempts,
+        trace=trace if record_trace else None,
+    )

@@ -1,0 +1,144 @@
+"""Error sources for the fault-injection simulator.
+
+The simulator asks an :class:`ErrorSource` two questions per segment
+attempt:
+
+* :meth:`ErrorSource.fail_stop_arrival` — the arrival time of the next
+  fail-stop error, to be compared with the segment length;
+* :meth:`ErrorSource.silent_strikes` — whether at least one silent error
+  corrupts a segment of work ``W``;
+
+plus one per partial verification with corrupted data:
+:meth:`ErrorSource.partial_detects`.
+
+:class:`PoissonErrorSource` implements the paper's stochastic model
+(independent Poisson processes, detection by recall ``r``);
+:class:`ScriptedErrorSource` replays a predetermined outcome sequence, which
+is what failure-injection unit tests use to exercise every simulator branch
+deterministically.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from collections.abc import Iterable
+
+import numpy as np
+
+from ..exceptions import SimulationError
+from ..platforms import Platform
+
+__all__ = ["ErrorSource", "PoissonErrorSource", "ScriptedErrorSource"]
+
+
+class ErrorSource:
+    """Interface consumed by the simulation engine (see module docstring)."""
+
+    def fail_stop_arrival(self, W: float) -> float | None:
+        """Arrival time of a fail-stop error within work ``W``.
+
+        Returns ``None`` when no fail-stop error strikes during the segment,
+        otherwise the elapsed work time ``t < W`` at which it strikes.
+        """
+        raise NotImplementedError
+
+    def silent_strikes(self, W: float) -> bool:
+        """Whether at least one silent error corrupts a segment of work ``W``."""
+        raise NotImplementedError
+
+    def partial_detects(self) -> bool:
+        """Whether a partial verification detects present corruption."""
+        raise NotImplementedError
+
+
+class PoissonErrorSource(ErrorSource):
+    """The paper's stochastic model, driven by a numpy ``Generator``.
+
+    Fail-stop errors form a Poisson process with rate ``λ_f`` — the next
+    arrival is exponential; silent errors strike a segment of work ``W``
+    with probability ``1 - e^{-λ_s W}``; a partial verification detects
+    present corruption with probability ``r`` (independently each time, as
+    assumed by the analytic model).
+    """
+
+    def __init__(
+        self, platform: Platform, rng: np.random.Generator | int | None = None
+    ) -> None:
+        self.platform = platform
+        self.rng = (
+            rng
+            if isinstance(rng, np.random.Generator)
+            else np.random.default_rng(rng)
+        )
+
+    def fail_stop_arrival(self, W: float) -> float | None:
+        lf = self.platform.lf
+        if lf <= 0.0:
+            return None
+        arrival = self.rng.exponential(1.0 / lf)
+        return arrival if arrival < W else None
+
+    def silent_strikes(self, W: float) -> bool:
+        ls = self.platform.ls
+        if ls <= 0.0:
+            return False
+        return bool(self.rng.random() < -math.expm1(-ls * W))
+
+    def partial_detects(self) -> bool:
+        return bool(self.rng.random() < self.platform.r)
+
+
+class ScriptedErrorSource(ErrorSource):
+    """Deterministic replay of scripted outcomes, for failure-injection tests.
+
+    Parameters
+    ----------
+    fail_stops:
+        Sequence of values consumed by :meth:`fail_stop_arrival`: ``None``
+        (no error) or a fraction in ``[0, 1)`` interpreted relative to the
+        segment length ``W`` (e.g. ``0.5`` strikes mid-segment).
+    silents:
+        Booleans consumed by :meth:`silent_strikes`.
+    detections:
+        Booleans consumed by :meth:`partial_detects`.
+    exhausted_ok:
+        When True (default), an exhausted script answers "no error" /
+        "detected" instead of raising, letting tests script only a prefix.
+    """
+
+    def __init__(
+        self,
+        fail_stops: Iterable[float | None] = (),
+        silents: Iterable[bool] = (),
+        detections: Iterable[bool] = (),
+        *,
+        exhausted_ok: bool = True,
+    ) -> None:
+        self._fail_stops = deque(fail_stops)
+        self._silents = deque(silents)
+        self._detections = deque(detections)
+        self._exhausted_ok = exhausted_ok
+
+    def _next(self, queue: deque, default, what: str):
+        if queue:
+            return queue.popleft()
+        if self._exhausted_ok:
+            return default
+        raise SimulationError(f"scripted error source exhausted its {what} script")
+
+    def fail_stop_arrival(self, W: float) -> float | None:
+        frac = self._next(self._fail_stops, None, "fail-stop")
+        if frac is None:
+            return None
+        if not 0.0 <= frac < 1.0:
+            raise SimulationError(
+                f"scripted fail-stop fraction must be in [0, 1), got {frac!r}"
+            )
+        return frac * W
+
+    def silent_strikes(self, W: float) -> bool:
+        return bool(self._next(self._silents, False, "silent-error"))
+
+    def partial_detects(self) -> bool:
+        return bool(self._next(self._detections, True, "detection"))

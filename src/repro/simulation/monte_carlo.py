@@ -1,0 +1,141 @@
+"""Monte-Carlo estimation of a schedule's expected makespan.
+
+Runs :func:`repro.simulation.engine.simulate_run` many times with
+independent, reproducible random streams (one child of a
+``numpy.random.SeedSequence`` per run) and aggregates the makespans.
+The result carries the raw samples, the summary statistics, and — when an
+analytic reference is supplied — the agreement check used by the validation
+suite (the analytic value must fall inside the sample CI).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..chains import TaskChain
+from ..exceptions import InvalidParameterError
+from ..platforms import Platform
+from ..core.schedule import Schedule
+from .engine import RunResult, simulate_run
+from .errors import PoissonErrorSource
+from .stats import SampleSummary, summarize
+
+__all__ = ["MonteCarloResult", "run_monte_carlo"]
+
+
+@dataclass(frozen=True)
+class MonteCarloResult:
+    """Aggregate of a Monte-Carlo campaign.
+
+    Attributes
+    ----------
+    samples:
+        Raw makespans, one per run (seconds).
+    summary:
+        :class:`~repro.simulation.stats.SampleSummary` of the samples.
+    mean_fail_stops / mean_silent_errors:
+        Average error counts per run, useful sanity indicators.
+    analytic:
+        The analytic expected makespan this campaign was compared against
+        (``nan`` when not supplied).
+    """
+
+    samples: np.ndarray
+    summary: SampleSummary
+    mean_fail_stops: float
+    mean_silent_errors: float
+    analytic: float = float("nan")
+
+    @property
+    def mean(self) -> float:
+        """Sample mean makespan (s)."""
+        return self.summary.mean
+
+    @property
+    def agrees_with_analytic(self) -> bool:
+        """True if the analytic value lies inside the CI on the mean."""
+        return not np.isnan(self.analytic) and self.summary.contains(self.analytic)
+
+    @property
+    def relative_gap(self) -> float:
+        """``(sample mean - analytic) / analytic`` (``nan`` if no reference)."""
+        if np.isnan(self.analytic) or self.analytic == 0.0:
+            return float("nan")
+        return (self.mean - self.analytic) / self.analytic
+
+    def report(self) -> str:
+        """One-paragraph textual report."""
+        lines = [f"Monte-Carlo: {self.summary}"]
+        lines.append(
+            f"  mean fail-stop errors/run: {self.mean_fail_stops:.3f}, "
+            f"mean silent corruptions/run: {self.mean_silent_errors:.3f}"
+        )
+        if not np.isnan(self.analytic):
+            lines.append(
+                f"  analytic E[makespan] = {self.analytic:.2f}s "
+                f"(gap {self.relative_gap:+.3%}, "
+                f"{'inside' if self.agrees_with_analytic else 'OUTSIDE'} the "
+                f"{self.summary.confidence:.0%} CI)"
+            )
+        return "\n".join(lines)
+
+
+def run_monte_carlo(
+    chain: TaskChain,
+    platform: Platform,
+    schedule: Schedule,
+    *,
+    runs: int = 1000,
+    seed: int | np.random.SeedSequence | None = 0,
+    confidence: float = 0.99,
+    analytic: float = float("nan"),
+    max_attempts: int | None = None,
+    costs=None,
+) -> MonteCarloResult:
+    """Estimate the expected makespan of ``schedule`` by simulation.
+
+    Parameters
+    ----------
+    runs:
+        Number of independent simulated executions.
+    seed:
+        Seed (or ``SeedSequence``) for reproducible streams; each run gets
+        an independent child stream.
+    analytic:
+        Optional analytic expected makespan to compare against.
+    max_attempts:
+        Per-run segment-attempt cap forwarded to the engine.
+    """
+    if runs < 1:
+        raise InvalidParameterError(f"runs must be >= 1, got {runs}")
+    seed_seq = (
+        seed
+        if isinstance(seed, np.random.SeedSequence)
+        else np.random.SeedSequence(seed)
+    )
+    children = seed_seq.spawn(runs)
+
+    samples = np.empty(runs, dtype=np.float64)
+    fail_stops = 0
+    silents = 0
+    kwargs = {} if max_attempts is None else {"max_attempts": max_attempts}
+    if costs is not None:
+        kwargs["costs"] = costs
+    for i in range(runs):
+        source = PoissonErrorSource(platform, np.random.default_rng(children[i]))
+        result: RunResult = simulate_run(
+            chain, platform, schedule, source, **kwargs
+        )
+        samples[i] = result.makespan
+        fail_stops += result.fail_stop_errors
+        silents += result.silent_errors
+
+    return MonteCarloResult(
+        samples=samples,
+        summary=summarize(samples, confidence),
+        mean_fail_stops=fail_stops / runs,
+        mean_silent_errors=silents / runs,
+        analytic=analytic,
+    )

@@ -1,0 +1,95 @@
+"""Statistics helpers for Monte-Carlo makespan samples."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats as _scipy_stats
+
+from ..exceptions import InvalidParameterError
+
+__all__ = ["SampleSummary", "summarize", "confidence_interval"]
+
+
+@dataclass(frozen=True)
+class SampleSummary:
+    """Summary statistics of a sample of makespans.
+
+    ``ci_low``/``ci_high`` bound the *mean* at the requested confidence
+    level (Student-t interval).
+    """
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    median: float
+    q05: float
+    q95: float
+    confidence: float
+    ci_low: float
+    ci_high: float
+
+    @property
+    def ci_half_width(self) -> float:
+        """Half width of the confidence interval on the mean."""
+        return (self.ci_high - self.ci_low) / 2.0
+
+    def contains(self, value: float) -> bool:
+        """Whether ``value`` lies inside the confidence interval."""
+        return self.ci_low <= value <= self.ci_high
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.count} mean={self.mean:.2f} ± {self.ci_half_width:.2f} "
+            f"({self.confidence:.0%} CI) std={self.std:.2f} "
+            f"[{self.minimum:.2f}, {self.maximum:.2f}]"
+        )
+
+
+def confidence_interval(
+    samples: np.ndarray, confidence: float = 0.99
+) -> tuple[float, float]:
+    """Student-t confidence interval for the mean of ``samples``.
+
+    With a single sample the interval degenerates to ``(x, x)``.
+    """
+    samples = np.asarray(samples, dtype=np.float64)
+    if samples.size == 0:
+        raise InvalidParameterError("cannot build a confidence interval from 0 samples")
+    if not 0.0 < confidence < 1.0:
+        raise InvalidParameterError(
+            f"confidence must be in (0, 1), got {confidence!r}"
+        )
+    mean = float(samples.mean())
+    if samples.size == 1:
+        return mean, mean
+    sem = float(samples.std(ddof=1)) / math.sqrt(samples.size)
+    if sem == 0.0:
+        return mean, mean
+    t = float(_scipy_stats.t.ppf(0.5 + confidence / 2.0, df=samples.size - 1))
+    return mean - t * sem, mean + t * sem
+
+
+def summarize(samples: np.ndarray, confidence: float = 0.99) -> SampleSummary:
+    """Build a :class:`SampleSummary` from raw makespan samples."""
+    samples = np.asarray(samples, dtype=np.float64)
+    if samples.size == 0:
+        raise InvalidParameterError("cannot summarize 0 samples")
+    lo, hi = confidence_interval(samples, confidence)
+    return SampleSummary(
+        count=int(samples.size),
+        mean=float(samples.mean()),
+        std=float(samples.std(ddof=1)) if samples.size > 1 else 0.0,
+        minimum=float(samples.min()),
+        maximum=float(samples.max()),
+        median=float(np.median(samples)),
+        q05=float(np.quantile(samples, 0.05)),
+        q95=float(np.quantile(samples, 0.95)),
+        confidence=confidence,
+        ci_low=lo,
+        ci_high=hi,
+    )

@@ -1,0 +1,95 @@
+"""Execution traces: the event log produced by the simulation engine.
+
+Every state change of a simulated run is recorded as a :class:`TraceEvent`
+with a wall-clock timestamp (seconds since run start).  Traces serve three
+purposes: failure-injection tests assert on exact event sequences, examples
+pretty-print them to explain the model, and the Monte-Carlo harness
+aggregates per-category time breakdowns from them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+__all__ = ["EventKind", "TraceEvent", "Trace"]
+
+
+class EventKind(enum.Enum):
+    """What happened at a trace point."""
+
+    SEGMENT_START = "segment_start"  #: began executing tasks after a stop
+    SEGMENT_DONE = "segment_done"  #: reached the next verified position
+    FAIL_STOP = "fail_stop"  #: fail-stop error interrupted the segment
+    DISK_RECOVERY = "disk_recovery"  #: rolled back to the last disk ckpt
+    SILENT_INTRODUCED = "silent_introduced"  #: a silent error corrupted data
+    VERIFICATION = "verification"  #: a verification executed (cost paid)
+    SILENT_DETECTED = "silent_detected"  #: corruption caught by verification
+    SILENT_MISSED = "silent_missed"  #: partial verification missed corruption
+    MEMORY_RECOVERY = "memory_recovery"  #: rolled back to the last memory ckpt
+    MEMORY_CHECKPOINT = "memory_checkpoint"  #: memory checkpoint stored
+    DISK_CHECKPOINT = "disk_checkpoint"  #: disk checkpoint stored
+    COMPLETE = "complete"  #: the application finished correctly
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One event of a simulated execution.
+
+    Attributes
+    ----------
+    time:
+        Wall-clock time (s) at which the event *completes*.
+    kind:
+        Event category.
+    position:
+        Task index the event refers to (1-based; 0 = virtual start).
+    detail:
+        Free-form extra information (e.g. rollback target).
+    """
+
+    time: float
+    kind: EventKind
+    position: int
+    detail: str = ""
+
+    def __str__(self) -> str:
+        extra = f" ({self.detail})" if self.detail else ""
+        return f"[{self.time:12.2f}s] {self.kind.value:18s} @T{self.position}{extra}"
+
+
+@dataclass
+class Trace:
+    """Ordered list of events plus cheap per-category accounting."""
+
+    events: list[TraceEvent] = field(default_factory=list)
+    enabled: bool = True
+
+    def record(
+        self, time: float, kind: EventKind, position: int, detail: str = ""
+    ) -> None:
+        """Append an event (no-op when recording is disabled)."""
+        if self.enabled:
+            self.events.append(TraceEvent(time, kind, position, detail))
+
+    def count(self, kind: EventKind) -> int:
+        """Number of recorded events of ``kind``."""
+        return sum(1 for e in self.events if e.kind == kind)
+
+    def of_kind(self, kind: EventKind) -> list[TraceEvent]:
+        """All events of ``kind``, in order."""
+        return [e for e in self.events if e.kind == kind]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def render(self, limit: int | None = None) -> str:
+        """Human-readable multi-line rendering (first ``limit`` events)."""
+        shown = self.events if limit is None else self.events[:limit]
+        lines = [str(e) for e in shown]
+        if limit is not None and len(self.events) > limit:
+            lines.append(f"... ({len(self.events) - limit} more events)")
+        return "\n".join(lines)

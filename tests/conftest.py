@@ -1,0 +1,84 @@
+"""Shared fixtures for the test suite.
+
+Two families of platforms are used throughout:
+
+* the Table I catalog (realistic rates: errors are rare, DP values are
+  dominated by checkpoint/verification overhead);
+* "hot" synthetic platforms with exaggerated rates, so that error-handling
+  paths carry real probability mass and disagreements between the DP, the
+  Markov evaluator and the simulator become visible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.chains import TaskChain, uniform_chain
+from repro.platforms import HERA, Platform
+
+
+@pytest.fixture
+def hera() -> Platform:
+    return HERA
+
+
+@pytest.fixture
+def hot_platform() -> Platform:
+    """Exaggerated error rates; partial verifications are attractive."""
+    return Platform.from_costs(
+        "hot", lf=2e-3, ls=8e-3, CD=30.0, CM=6.0, r=0.8, partial_cost_ratio=20.0
+    )
+
+
+@pytest.fixture
+def silent_only_platform() -> Platform:
+    """No fail-stop errors: exercises the λ_f = 0 code paths."""
+    return Platform.from_costs(
+        "silent-only", lf=0.0, ls=5e-3, CD=25.0, CM=4.0, r=0.75
+    )
+
+
+@pytest.fixture
+def fail_stop_only_platform() -> Platform:
+    """No silent errors: exercises the λ_s = 0 code paths."""
+    return Platform.from_costs("fs-only", lf=3e-3, ls=0.0, CD=25.0, CM=4.0)
+
+
+@pytest.fixture
+def error_free_platform() -> Platform:
+    """Zero error rates: every expectation is deterministic."""
+    return Platform.from_costs("error-free", lf=0.0, ls=0.0, CD=20.0, CM=5.0)
+
+
+@pytest.fixture
+def small_chain() -> TaskChain:
+    return TaskChain([40.0, 25.0, 60.0, 35.0], name="small-4")
+
+
+@pytest.fixture
+def uniform10() -> TaskChain:
+    return uniform_chain(10, total_weight=1000.0)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+def random_platform(rng: np.random.Generator, *, with_fail_stop=True, with_silent=True) -> Platform:
+    """A random hot platform for randomized cross-checks."""
+    return Platform.from_costs(
+        "random",
+        lf=float(rng.uniform(1e-4, 8e-3)) if with_fail_stop else 0.0,
+        ls=float(rng.uniform(1e-3, 2e-2)) if with_silent else 0.0,
+        CD=float(rng.uniform(5.0, 40.0)),
+        CM=float(rng.uniform(1.0, 8.0)),
+        r=float(rng.uniform(0.4, 0.95)),
+        partial_cost_ratio=float(rng.uniform(5.0, 100.0)),
+    )
+
+
+def random_chain(rng: np.random.Generator, n: int, scale: float = 50.0) -> TaskChain:
+    """A random chain with positive weights."""
+    return TaskChain(rng.uniform(0.2, 1.0, size=n) * scale)

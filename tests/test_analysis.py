@@ -1,0 +1,207 @@
+"""Unit tests for metrics, ASCII rendering, tables and sweeps."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    daily_savings_seconds,
+    default_task_grid,
+    format_markdown_table,
+    format_table,
+    improvement,
+    line_chart,
+    normalized_makespan,
+    overhead,
+    placement_diagram,
+    sparkline,
+    sweep_task_counts,
+)
+from repro.chains import TaskChain
+from repro.core import optimize
+from repro.core.schedule import Schedule
+from repro.exceptions import InvalidParameterError
+from repro.platforms import Platform
+
+
+@pytest.fixture
+def fast_platform():
+    """Hot platform so small sweeps still show structure."""
+    return Platform.from_costs("fast", lf=1e-3, ls=4e-3, CD=20.0, CM=4.0)
+
+
+class TestMetrics:
+    def test_normalized_makespan(self):
+        chain = TaskChain([50.0, 50.0])
+        assert normalized_makespan(120.0, chain) == pytest.approx(1.2)
+
+    def test_overhead(self):
+        chain = TaskChain([100.0])
+        assert overhead(150.0, chain) == pytest.approx(0.5)
+
+    def test_improvement_sign_convention(self):
+        assert improvement(100.0, 98.0) == pytest.approx(0.02)
+        assert improvement(100.0, 105.0) == pytest.approx(-0.05)
+
+    def test_improvement_accepts_solutions(self, fast_platform):
+        chain = TaskChain([40.0] * 5)
+        a = optimize(chain, fast_platform, algorithm="adv_star")
+        b = optimize(chain, fast_platform, algorithm="admv")
+        assert improvement(a, b) >= 0.0
+
+    def test_improvement_rejects_zero_baseline(self):
+        with pytest.raises(InvalidParameterError):
+            improvement(0.0, 1.0)
+
+    def test_daily_savings(self):
+        # paper: 2% improvement ~ half an hour a day
+        assert daily_savings_seconds(100.0, 98.0) == pytest.approx(1728.0)
+
+
+class TestLineChart:
+    def test_contains_markers_and_legend(self):
+        chart = line_chart(
+            {"A": [(0, 1.0), (10, 2.0)], "B": [(0, 2.0), (10, 1.0)]},
+            title="demo",
+        )
+        assert "demo" in chart
+        assert "o A" in chart
+        assert "x B" in chart
+        assert "o" in chart.splitlines()[1]
+
+    def test_y_axis_labels(self):
+        chart = line_chart({"A": [(0, 1.5), (5, 3.5)]})
+        assert "3.5" in chart
+        assert "1.5" in chart
+
+    def test_single_point_series(self):
+        chart = line_chart({"A": [(1.0, 1.0)]})
+        assert "o" in chart
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidParameterError):
+            line_chart({})
+        with pytest.raises(InvalidParameterError):
+            line_chart({"A": []})
+
+    def test_rejects_tiny_grid(self):
+        with pytest.raises(InvalidParameterError):
+            line_chart({"A": [(0, 0)]}, width=4, height=2)
+
+
+class TestPlacementDiagram:
+    def test_rows_and_markers(self):
+        sched = Schedule.from_positions(
+            10, disk=[10], memory=[5], guaranteed=[2], partial=[3, 7]
+        )
+        diagram = placement_diagram(sched, title="map")
+        lines = diagram.splitlines()
+        assert lines[0] == "map"
+        disk_row = next(l for l in lines if l.startswith("disk"))
+        assert disk_row.endswith("." * 9 + "|")
+        partial_row = next(l for l in lines if l.startswith("partial"))
+        cells = partial_row.split()[-1]
+        assert cells[2] == "|" and cells[6] == "|"
+
+    def test_implied_levels_shown(self):
+        sched = Schedule.from_positions(4, disk=[4])
+        diagram = placement_diagram(sched)
+        mem_row = next(l for l in diagram.splitlines() if l.startswith("memory"))
+        assert mem_row.rstrip().endswith("...|")
+
+
+class TestSparkline:
+    def test_constant(self):
+        assert sparkline([1.0, 1.0, 1.0]) == "▁▁▁"
+
+    def test_monotone(self):
+        s = sparkline([0.0, 0.5, 1.0])
+        assert s[0] == "▁" and s[-1] == "█"
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidParameterError):
+            sparkline([])
+
+
+class TestTables:
+    def test_text_alignment(self):
+        text = format_table(["a", "bb"], [[1, 22], [333, 4]])
+        lines = text.splitlines()
+        assert lines[0].endswith("bb")
+        assert all(len(l) == len(lines[0]) for l in lines[:2])
+
+    def test_title(self):
+        assert format_table(["x"], [[1]], title="T").splitlines()[0] == "T"
+
+    def test_float_formatting(self):
+        assert "1.235" in format_table(["x"], [[1.23456]])
+
+    def test_markdown_shape(self):
+        md = format_markdown_table(["a", "b"], [[1, 2]])
+        lines = md.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| 1 | 2 |"
+
+    def test_mismatched_row_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            format_table(["a"], [[1, 2]])
+
+    def test_empty_header_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            format_table([], [])
+
+
+class TestSweep:
+    def test_default_grid(self):
+        assert default_task_grid(50, 5)[:3] == [1, 5, 10]
+        assert default_task_grid(50, 5)[-1] == 50
+
+    def test_grid_rejects_bad_args(self):
+        with pytest.raises(InvalidParameterError):
+            default_task_grid(0, 5)
+
+    def test_sweep_records_complete(self, fast_platform):
+        sweep = sweep_task_counts(
+            fast_platform,
+            pattern="uniform",
+            task_counts=[2, 4],
+            algorithms=("adv_star", "admv_star"),
+            total_weight=400.0,
+        )
+        assert len(sweep.records) == 4
+        assert sweep.record(2, "adv_star").n == 2
+        with pytest.raises(KeyError):
+            sweep.record(3, "adv_star")
+
+    def test_series_and_rows(self, fast_platform):
+        sweep = sweep_task_counts(
+            fast_platform,
+            task_counts=[2, 4, 8],
+            algorithms=("admv_star",),
+            total_weight=400.0,
+        )
+        series = sweep.makespan_series("admv_star")
+        assert [x for x, _ in series] == [2, 4, 8]
+        rows = sweep.rows()
+        assert len(rows) == 3 and len(rows[0]) == 2
+        assert sweep.header() == ["n", "admv_star"]
+
+    def test_count_series(self, fast_platform):
+        sweep = sweep_task_counts(
+            fast_platform,
+            task_counts=[4],
+            algorithms=("admv",),
+            total_weight=400.0,
+        )
+        pts = sweep.count_series("admv", "disk")
+        assert pts[0][1] >= 1
+
+    def test_aliases_canonicalised(self, fast_platform):
+        sweep = sweep_task_counts(
+            fast_platform,
+            task_counts=[2],
+            algorithms=("ADMV*",),
+            total_weight=100.0,
+        )
+        assert sweep.algorithms == ["admv_star"]

@@ -1,0 +1,147 @@
+"""Unit tests for baseline policies; the DP must dominate all of them."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.baselines import (
+    checkpoint_every_k,
+    checkpoint_everything,
+    checkpoint_nothing,
+    daly_period,
+    periodic_disk_schedule,
+    periodic_positions,
+    periodic_two_level_schedule,
+    solve_periodic,
+    verify_everything,
+    young_period,
+)
+from repro.chains import TaskChain, uniform_chain
+from repro.core import optimize
+from repro.exceptions import InvalidParameterError
+from repro.platforms import HERA
+
+
+class TestDalyFormulas:
+    def test_young_formula(self):
+        assert young_period(100.0, 1e-4) == pytest.approx(
+            math.sqrt(2.0 * 100.0 / 1e-4)
+        )
+
+    def test_daly_subtracts_c(self):
+        assert daly_period(100.0, 1e-4) == pytest.approx(
+            young_period(100.0, 1e-4) - 100.0
+        )
+
+    def test_daly_floor_at_c(self):
+        # enormous rate: sqrt term below C, floor kicks in
+        assert daly_period(100.0, 10.0) == 100.0
+
+    def test_rejects_zero_rate(self):
+        with pytest.raises(InvalidParameterError):
+            young_period(10.0, 0.0)
+
+    def test_rejects_negative_cost(self):
+        with pytest.raises(InvalidParameterError):
+            daly_period(-1.0, 1e-4)
+
+    def test_period_decreases_with_rate(self):
+        assert young_period(10.0, 1e-3) > young_period(10.0, 1e-2)
+
+
+class TestPeriodicPositions:
+    def test_accumulation_logic(self):
+        chain = TaskChain([30.0, 30.0, 30.0, 30.0])
+        # period 50: ckpt after T2 (60 >= 50), then after T4 (60 >= 50)
+        assert periodic_positions(chain, 50.0) == [2, 4]
+
+    def test_final_task_always_selected(self):
+        chain = TaskChain([10.0, 10.0, 10.0])
+        assert periodic_positions(chain, 1000.0) == [3]
+
+    def test_tiny_period_selects_everything(self):
+        chain = TaskChain([10.0] * 5)
+        assert periodic_positions(chain, 1.0) == [1, 2, 3, 4, 5]
+
+    def test_rejects_nonpositive_period(self):
+        with pytest.raises(InvalidParameterError):
+            periodic_positions(TaskChain([1.0]), 0.0)
+
+
+class TestPeriodicSchedules:
+    def test_disk_schedule_strict(self):
+        chain = uniform_chain(10, 1000.0)
+        sched = periodic_disk_schedule(chain, HERA)
+        assert sched.is_strict
+
+    def test_two_level_memory_at_least_as_frequent(self):
+        chain = uniform_chain(20, 25000.0)
+        sched = periodic_two_level_schedule(chain, HERA)
+        assert set(sched.disk_positions) <= set(sched.memory_positions)
+        assert len(sched.memory_positions) >= len(sched.disk_positions)
+
+    def test_explicit_periods_respected(self):
+        chain = TaskChain([10.0] * 10)
+        sched = periodic_disk_schedule(chain, HERA, period=30.0)
+        assert sched.disk_positions == [3, 6, 9, 10]
+
+    def test_solve_periodic_returns_solution(self):
+        chain = uniform_chain(10)
+        sol = solve_periodic(chain, HERA)
+        assert sol.algorithm == "periodic_two_level"
+        assert sol.expected_time > 0
+        sol1 = solve_periodic(chain, HERA, two_level=False)
+        assert sol1.algorithm == "periodic_disk"
+
+
+class TestNaiveBaselines:
+    def test_checkpoint_everything_structure(self, hot_platform):
+        sol = checkpoint_everything(TaskChain([10.0] * 4), hot_platform)
+        assert sol.schedule.to_string() == "DDDD"
+
+    def test_checkpoint_nothing_structure(self, hot_platform):
+        sol = checkpoint_nothing(TaskChain([10.0] * 4), hot_platform)
+        assert sol.schedule.to_string() == "...D"
+
+    def test_verify_everything_structure(self, hot_platform):
+        sol = verify_everything(TaskChain([10.0] * 4), hot_platform)
+        assert sol.schedule.to_string() == "vvvD"
+
+    def test_every_k_structure(self, hot_platform):
+        sol = checkpoint_every_k(TaskChain([10.0] * 7), hot_platform, 3)
+        assert sol.schedule.disk_positions == [3, 6, 7]
+
+    def test_every_k_rejects_zero(self, hot_platform):
+        with pytest.raises(InvalidParameterError):
+            checkpoint_every_k(TaskChain([10.0]), hot_platform, 0)
+
+    def test_single_task_chains(self, hot_platform):
+        for fn in (checkpoint_everything, checkpoint_nothing, verify_everything):
+            sol = fn(TaskChain([10.0]), hot_platform)
+            assert sol.schedule.to_string() == "D"
+
+
+class TestOptimizerDominance:
+    """The ADMV DP must dominate every baseline (it optimizes over a
+    superset of their schedules)."""
+
+    @pytest.mark.parametrize("n", [4, 8])
+    def test_dominates_naive(self, hot_platform, n):
+        chain = TaskChain([40.0] * n)
+        best = optimize(chain, hot_platform, algorithm="admv").expected_time
+        for fn in (checkpoint_everything, checkpoint_nothing, verify_everything):
+            assert best <= fn(chain, hot_platform).expected_time * (1 + 1e-12)
+
+    def test_dominates_periodic_on_hera(self):
+        chain = uniform_chain(20)
+        best = optimize(chain, HERA, algorithm="admv").expected_time
+        assert best <= solve_periodic(chain, HERA).expected_time
+        assert best <= solve_periodic(chain, HERA, two_level=False).expected_time
+
+    def test_dominates_every_k(self, hot_platform):
+        chain = TaskChain([40.0] * 8)
+        best = optimize(chain, hot_platform, algorithm="admv").expected_time
+        for k in (1, 2, 4, 8):
+            assert best <= checkpoint_every_k(chain, hot_platform, k).expected_time

@@ -1,0 +1,94 @@
+"""Tests for the expected-time waste breakdown."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.chains import TaskChain
+from repro.core import evaluate_schedule, optimize
+from repro.core.evaluator import COST_CATEGORIES
+from repro.core.schedule import Action, Schedule
+from repro.platforms import HERA, Platform
+
+from conftest import random_chain, random_platform
+
+
+class TestBreakdownInvariants:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_components_sum_to_total(self, seed):
+        rng = np.random.default_rng(seed)
+        chain = random_chain(rng, int(rng.integers(2, 10)))
+        platform = random_platform(rng)
+        sol = optimize(chain, platform, algorithm="admv")
+        ev = evaluate_schedule(chain, platform, sol.schedule)
+        assert sum(ev.components.values()) == pytest.approx(
+            ev.expected_time, rel=1e-12
+        )
+        assert set(ev.components) == set(COST_CATEGORIES)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_waste_breakdown_sums_and_nonnegative(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        chain = random_chain(rng, 6)
+        platform = random_platform(rng)
+        sol = optimize(chain, platform, algorithm="admv_star")
+        ev = evaluate_schedule(chain, platform, sol.schedule)
+        breakdown = ev.waste_breakdown(chain)
+        assert sum(breakdown.values()) == pytest.approx(
+            ev.expected_time, rel=1e-12
+        )
+        for name, value in breakdown.items():
+            assert value >= -1e-9, name
+        assert breakdown["useful_work"] == pytest.approx(chain.total_weight)
+
+    def test_error_free_breakdown(self, error_free_platform):
+        chain = TaskChain([10.0, 20.0])
+        sched = Schedule([Action.MEMORY, Action.DISK])
+        ev = evaluate_schedule(chain, error_free_platform, sched)
+        b = ev.waste_breakdown(chain)
+        assert b["re_executed_work"] == pytest.approx(0.0, abs=1e-12)
+        assert b["fail_stop_loss"] == 0.0
+        assert b["recovery"] == 0.0
+        assert b["verification"] == pytest.approx(
+            2 * error_free_platform.Vg
+        )
+        assert b["checkpointing"] == pytest.approx(
+            2 * error_free_platform.CM + error_free_platform.CD
+        )
+
+    def test_fail_stop_only_has_no_memory_recovery_into_verif(self):
+        p = Platform.from_costs("fs", lf=2e-3, ls=0.0, CD=10.0, CM=2.0)
+        chain = TaskChain([100.0, 100.0])
+        sched = Schedule([Action.DISK, Action.DISK])
+        ev = evaluate_schedule(chain, p, sched)
+        b = ev.waste_breakdown(chain)
+        assert b["fail_stop_loss"] > 0.0
+        assert b["re_executed_work"] == pytest.approx(0.0, abs=1e-9)
+        # fail-stop interrupts mid-segment: lost time is fail_stop_loss, not
+        # completed re-executed work (segments never complete then repeat)
+
+    def test_silent_only_reexecution_positive(self):
+        p = Platform.from_costs("so", lf=0.0, ls=5e-3, CD=10.0, CM=2.0)
+        chain = TaskChain([100.0, 100.0])
+        sched = Schedule([Action.MEMORY, Action.DISK])
+        ev = evaluate_schedule(chain, p, sched)
+        b = ev.waste_breakdown(chain)
+        assert b["re_executed_work"] > 0.0
+        assert b["fail_stop_loss"] == 0.0
+
+    def test_render_contains_all_rows(self):
+        chain = TaskChain([50.0] * 4)
+        sol = optimize(chain, HERA, algorithm="admv_star")
+        ev = evaluate_schedule(chain, HERA, sol.schedule)
+        text = ev.render_breakdown(chain)
+        for key in (
+            "useful_work",
+            "re_executed_work",
+            "fail_stop_loss",
+            "recovery",
+            "verification",
+            "checkpointing",
+            "total",
+        ):
+            assert key in text

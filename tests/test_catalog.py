@@ -1,0 +1,88 @@
+"""The platform catalog must reproduce Table I and the paper's prose."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.platforms import (
+    ATLAS,
+    COASTAL,
+    COASTAL_SSD,
+    HERA,
+    PLATFORMS,
+    TABLE1_ROWS,
+    get_platform,
+    platform_names,
+)
+
+
+# Table I of the paper, verbatim.
+TABLE1 = {
+    "Hera": (256, 9.46e-7, 3.38e-6, 300.0, 15.4),
+    "Atlas": (512, 5.19e-7, 7.78e-6, 439.0, 9.1),
+    "Coastal": (1024, 4.02e-7, 2.01e-6, 1051.0, 4.5),
+    "Coastal SSD": (1024, 4.02e-7, 2.01e-6, 2500.0, 180.0),
+}
+
+
+@pytest.mark.parametrize("name", sorted(TABLE1))
+def test_table1_values(name):
+    nodes, lf, ls, cd, cm = TABLE1[name]
+    p = get_platform(name)
+    assert p.nodes == nodes
+    assert p.lf == pytest.approx(lf)
+    assert p.ls == pytest.approx(ls)
+    assert p.CD == pytest.approx(cd)
+    assert p.CM == pytest.approx(cm)
+
+
+@pytest.mark.parametrize("name", sorted(TABLE1))
+def test_section_iv_conventions(name):
+    """R_D = C_D, R_M = C_M, V* = C_M, V = V*/100, r = 0.8."""
+    p = get_platform(name)
+    assert p.RD == p.CD
+    assert p.RM == p.CM
+    assert p.Vg == p.CM
+    assert p.Vp == pytest.approx(p.CM / 100.0)
+    assert p.r == 0.8
+
+
+def test_paper_prose_hera_mtbf():
+    """'Hera ... platform MTBF of 12.2 days for fail-stop errors and 3.4
+    days for silent errors'."""
+    assert HERA.mtbf_fail_stop_days == pytest.approx(12.2, abs=0.05)
+    assert HERA.mtbf_silent_days == pytest.approx(3.4, abs=0.05)
+
+
+def test_paper_prose_coastal_mtbf():
+    """'the Coastal platform features a platform MTBF of 28.8 days for
+    fail-stop errors and 5.8 days for silent errors'."""
+    assert COASTAL.mtbf_fail_stop_days == pytest.approx(28.8, abs=0.05)
+    assert COASTAL.mtbf_silent_days == pytest.approx(5.8, abs=0.05)
+
+
+def test_ssd_shares_coastal_rates():
+    assert COASTAL_SSD.lf == COASTAL.lf
+    assert COASTAL_SSD.ls == COASTAL.ls
+    assert COASTAL_SSD.CD > COASTAL.CD
+    assert COASTAL_SSD.CM > COASTAL.CM
+
+
+def test_lookup_is_case_and_space_insensitive():
+    assert get_platform("HERA") is HERA
+    assert get_platform("coastal ssd") is COASTAL_SSD
+    assert get_platform("Coastal_SSD") is COASTAL_SSD
+    assert get_platform(" atlas ") is ATLAS
+
+
+def test_lookup_unknown_platform():
+    with pytest.raises(KeyError, match="unknown platform"):
+        get_platform("summit")
+
+
+def test_platform_names_in_paper_order():
+    assert platform_names() == ["Hera", "Atlas", "Coastal", "Coastal SSD"]
+
+
+def test_registry_and_rows_consistent():
+    assert set(PLATFORMS.values()) == set(TABLE1_ROWS)

@@ -1,0 +1,185 @@
+"""Unit tests for the task-chain model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.chains import Task, TaskChain
+from repro.exceptions import InvalidChainError
+
+
+class TestTask:
+    def test_basic_construction(self):
+        t = Task(index=3, weight=12.5)
+        assert t.index == 3
+        assert t.weight == 12.5
+        assert t.name == "T3"
+
+    def test_custom_name(self):
+        assert Task(index=1, weight=1.0, name="kernel").name == "kernel"
+
+    def test_rejects_zero_index(self):
+        with pytest.raises(InvalidChainError):
+            Task(index=0, weight=1.0)
+
+    def test_rejects_negative_weight(self):
+        with pytest.raises(InvalidChainError):
+            Task(index=1, weight=-1.0)
+
+    def test_rejects_zero_weight(self):
+        with pytest.raises(InvalidChainError):
+            Task(index=1, weight=0.0)
+
+    def test_rejects_nan_weight(self):
+        with pytest.raises(InvalidChainError):
+            Task(index=1, weight=float("nan"))
+
+    def test_rejects_infinite_weight(self):
+        with pytest.raises(InvalidChainError):
+            Task(index=1, weight=float("inf"))
+
+
+class TestTaskChainConstruction:
+    def test_from_list(self):
+        chain = TaskChain([1.0, 2.0, 3.0])
+        assert chain.n == 3
+        assert chain.total_weight == 6.0
+
+    def test_from_generator(self):
+        chain = TaskChain(float(i) for i in range(1, 5))
+        assert chain.n == 4
+
+    def test_default_name(self):
+        assert TaskChain([1.0, 1.0]).name == "chain-2"
+
+    def test_custom_name(self):
+        assert TaskChain([1.0], name="mine").name == "mine"
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidChainError):
+            TaskChain([])
+
+    def test_rejects_negative_weight(self):
+        with pytest.raises(InvalidChainError):
+            TaskChain([1.0, -2.0])
+
+    def test_rejects_nan(self):
+        with pytest.raises(InvalidChainError):
+            TaskChain([1.0, float("nan")])
+
+    def test_weights_are_immutable(self):
+        chain = TaskChain([1.0, 2.0])
+        with pytest.raises(ValueError):
+            chain.weights[0] = 5.0
+
+    def test_from_tasks(self):
+        tasks = [Task(1, 2.0), Task(2, 3.0)]
+        chain = TaskChain.from_tasks(tasks)
+        assert chain.as_list() == [2.0, 3.0]
+
+
+class TestTaskChainAccess:
+    def test_len(self):
+        assert len(TaskChain([1.0] * 7)) == 7
+
+    def test_getitem_is_one_based(self):
+        chain = TaskChain([10.0, 20.0])
+        assert chain[1].weight == 10.0
+        assert chain[2].weight == 20.0
+
+    def test_getitem_out_of_range(self):
+        chain = TaskChain([1.0])
+        with pytest.raises(IndexError):
+            chain[0]
+        with pytest.raises(IndexError):
+            chain[2]
+
+    def test_iteration_yields_tasks_in_order(self):
+        chain = TaskChain([5.0, 6.0, 7.0])
+        tasks = list(chain)
+        assert [t.index for t in tasks] == [1, 2, 3]
+        assert [t.weight for t in tasks] == [5.0, 6.0, 7.0]
+
+    def test_weight_of(self):
+        assert TaskChain([3.0, 4.0]).weight_of(2) == 4.0
+
+
+class TestSegmentWeights:
+    def test_prefix_sums(self):
+        chain = TaskChain([1.0, 2.0, 3.0])
+        assert list(chain.prefix) == [0.0, 1.0, 3.0, 6.0]
+
+    def test_full_segment_is_total(self):
+        chain = TaskChain([1.5, 2.5, 4.0])
+        assert chain.segment_weight(0, 3) == chain.total_weight
+
+    def test_empty_segment_is_zero(self):
+        chain = TaskChain([1.0, 2.0])
+        for i in range(3):
+            assert chain.segment_weight(i, i) == 0.0
+
+    def test_matches_paper_definition(self):
+        # W_{i,j} = sum of w_{i+1} .. w_j
+        weights = [3.0, 5.0, 7.0, 11.0]
+        chain = TaskChain(weights)
+        assert chain.segment_weight(1, 3) == pytest.approx(5.0 + 7.0)
+
+    def test_out_of_range(self):
+        chain = TaskChain([1.0, 2.0])
+        with pytest.raises(InvalidChainError):
+            chain.segment_weight(-1, 1)
+        with pytest.raises(InvalidChainError):
+            chain.segment_weight(0, 3)
+        with pytest.raises(InvalidChainError):
+            chain.segment_weight(2, 1)
+
+    def test_additivity(self):
+        chain = TaskChain([2.0, 4.0, 8.0, 16.0, 32.0])
+        for i in range(chain.n + 1):
+            for k in range(i, chain.n + 1):
+                for j in range(i, k + 1):
+                    assert chain.segment_weight(i, k) == pytest.approx(
+                        chain.segment_weight(i, j) + chain.segment_weight(j, k)
+                    )
+
+
+class TestSubchain:
+    def test_subchain_weights(self):
+        chain = TaskChain([1.0, 2.0, 3.0, 4.0])
+        sub = chain.subchain(1, 3)
+        assert sub.as_list() == [2.0, 3.0]
+
+    def test_subchain_full(self):
+        chain = TaskChain([1.0, 2.0])
+        assert chain.subchain(0, 2).as_list() == chain.as_list()
+
+    def test_subchain_invalid(self):
+        chain = TaskChain([1.0, 2.0])
+        with pytest.raises(InvalidChainError):
+            chain.subchain(1, 1)
+        with pytest.raises(InvalidChainError):
+            chain.subchain(0, 3)
+
+
+class TestEqualityAndHash:
+    def test_equal_chains(self):
+        assert TaskChain([1.0, 2.0]) == TaskChain([1.0, 2.0])
+
+    def test_unequal_chains(self):
+        assert TaskChain([1.0, 2.0]) != TaskChain([2.0, 1.0])
+
+    def test_hash_consistency(self):
+        a, b = TaskChain([1.0, 2.0]), TaskChain([1.0, 2.0])
+        assert hash(a) == hash(b)
+
+    def test_eq_other_type(self):
+        assert TaskChain([1.0]) != "not a chain"
+
+
+class TestDescribe:
+    def test_describe_mentions_stats(self):
+        text = TaskChain([1.0, 3.0], name="demo").describe()
+        assert "demo" in text
+        assert "n=2" in text
+        assert "total=4" in text

@@ -1,0 +1,105 @@
+"""Unit tests for chain serialization (JSON and CSV)."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.chains import (
+    TaskChain,
+    chain_from_csv,
+    chain_from_dict,
+    chain_to_csv,
+    chain_to_dict,
+    load_chain,
+    save_chain,
+    uniform_chain,
+)
+from repro.exceptions import InvalidChainError
+
+
+class TestDictRoundTrip:
+    def test_round_trip_preserves_weights(self):
+        chain = TaskChain([1.25, 2.5, 3.75], name="rt")
+        clone = chain_from_dict(chain_to_dict(chain))
+        assert clone == chain
+        assert clone.name == "rt"
+
+    def test_document_format_field(self):
+        doc = chain_to_dict(uniform_chain(3))
+        assert doc["format"] == "repro.chain/1"
+
+    def test_rejects_wrong_format(self):
+        with pytest.raises(InvalidChainError, match="format"):
+            chain_from_dict({"format": "repro.chain/99", "weights": [1.0]})
+
+    def test_rejects_missing_weights(self):
+        with pytest.raises(InvalidChainError, match="weights"):
+            chain_from_dict({"format": "repro.chain/1"})
+
+    def test_rejects_non_dict(self):
+        with pytest.raises(InvalidChainError):
+            chain_from_dict([1.0, 2.0])
+
+
+class TestJsonFiles:
+    def test_save_and_load(self, tmp_path):
+        chain = TaskChain([10.0, 20.0], name="file-chain")
+        path = tmp_path / "chain.json"
+        save_chain(chain, path)
+        assert load_chain(path) == chain
+
+    def test_saved_file_is_valid_json(self, tmp_path):
+        path = tmp_path / "chain.json"
+        save_chain(uniform_chain(4), path)
+        doc = json.loads(path.read_text())
+        assert len(doc["weights"]) == 4
+
+    def test_load_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(InvalidChainError, match="invalid JSON"):
+            load_chain(path)
+
+
+class TestCsv:
+    def test_round_trip(self, tmp_path):
+        chain = TaskChain([1.0, 2.0, 3.0])
+        path = tmp_path / "weights.csv"
+        chain_to_csv(chain, path)
+        clone = chain_from_csv(path)
+        assert np.allclose(clone.weights, chain.weights)
+
+    def test_csv_has_header(self, tmp_path):
+        path = tmp_path / "weights.csv"
+        chain_to_csv(TaskChain([5.0]), path)
+        assert path.read_text().splitlines()[0] == "weight"
+
+    def test_headerless_csv_accepted(self, tmp_path):
+        path = tmp_path / "raw.csv"
+        path.write_text("1.5\n2.5\n")
+        assert chain_from_csv(path).as_list() == [1.5, 2.5]
+
+    def test_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "raw.csv"
+        path.write_text("weight\n1.0\n\n2.0\n\n")
+        assert chain_from_csv(path).n == 2
+
+    def test_bad_cell_reports_line(self, tmp_path):
+        path = tmp_path / "raw.csv"
+        path.write_text("1.0\nnot-a-number\n")
+        with pytest.raises(InvalidChainError, match=":2"):
+            chain_from_csv(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(InvalidChainError, match="no task weights"):
+            chain_from_csv(path)
+
+    def test_name_defaults_to_stem(self, tmp_path):
+        path = tmp_path / "trace42.csv"
+        path.write_text("1.0\n")
+        assert chain_from_csv(path).name == "trace42"

@@ -1,0 +1,226 @@
+"""End-to-end tests of the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestPlatforms:
+    def test_lists_all(self, capsys):
+        code, out, _ = run_cli(capsys, "platforms")
+        assert code == 0
+        for name in ("Hera", "Atlas", "Coastal", "Coastal SSD"):
+            assert name in out
+
+    def test_json_mode(self, capsys):
+        code, out, _ = run_cli(capsys, "platforms", "--json")
+        assert code == 0
+        docs = json.loads(out)
+        assert len(docs) == 4
+        assert docs[0]["name"] == "Hera"
+
+
+class TestSolve:
+    def test_text_output(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "solve", "-p", "hera", "-n", "8", "-a", "admv*"
+        )
+        assert code == 0
+        assert "expected makespan" in out
+        assert "disk ckpts" in out
+
+    def test_json_output(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "solve", "-p", "atlas", "-n", "6", "-a", "adv*", "--json"
+        )
+        assert code == 0
+        doc = json.loads(out)
+        assert doc["algorithm"] == "adv_star"
+        assert doc["platform"] == "Atlas"
+        assert doc["normalized_makespan"] > 1.0
+        assert doc["schedule"]["n"] == 6
+
+    def test_unknown_platform_fails_cleanly(self, capsys):
+        code, _, err = run_cli(capsys, "solve", "-p", "nonexistent")
+        assert code == 2
+        assert "unknown platform" in err
+
+    def test_unknown_algorithm_fails_cleanly(self, capsys):
+        code, _, err = run_cli(capsys, "solve", "-a", "nope")
+        assert code == 2
+        assert "unknown algorithm" in err
+
+    def test_pattern_selection(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "solve", "--pattern", "highlow", "-n", "10", "-a", "admv*"
+        )
+        assert code == 0
+        assert "highlow" in out
+
+    def test_chain_file(self, capsys, tmp_path):
+        from repro.chains import TaskChain, save_chain
+
+        path = tmp_path / "c.json"
+        save_chain(TaskChain([100.0, 200.0], name="filechain"), path)
+        code, out, _ = run_cli(
+            capsys, "solve", "--chain-file", str(path), "-a", "admv*"
+        )
+        assert code == 0
+        assert "filechain" in out
+
+
+class TestEvaluate:
+    def test_evaluate_schedule_string(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "evaluate", "-p", "hera", "-n", "4", "--schedule", "vMvD"
+        )
+        assert code == 0
+        assert "E[makespan]" in out
+
+    def test_bad_symbol(self, capsys):
+        code, _, err = run_cli(
+            capsys, "evaluate", "-n", "2", "--schedule", "xD"
+        )
+        assert code == 2
+        assert "symbol" in err
+
+    def test_json(self, capsys):
+        code, out, _ = run_cli(
+            capsys,
+            "evaluate",
+            "-n",
+            "3",
+            "--schedule",
+            "vvD",
+            "--json",
+        )
+        doc = json.loads(out)
+        assert doc["schedule"] == "vvD"
+        assert doc["expected_time"] > 0
+
+
+class TestSimulate:
+    def test_simulate_optimal(self, capsys):
+        code, out, _ = run_cli(
+            capsys,
+            "simulate",
+            "-p",
+            "hera",
+            "-n",
+            "5",
+            "-a",
+            "admv*",
+            "--runs",
+            "50",
+        )
+        assert code == 0
+        assert "Monte-Carlo" in out
+        assert "analytic" in out
+
+    def test_simulate_fixed_schedule_json(self, capsys):
+        code, out, _ = run_cli(
+            capsys,
+            "simulate",
+            "-n",
+            "3",
+            "--schedule",
+            "vMD",
+            "--runs",
+            "20",
+            "--json",
+        )
+        doc = json.loads(out)
+        assert doc["runs"] == 20
+        assert len(doc["ci"]) == 2
+
+
+class TestSweepCommand:
+    def test_sweep_table(self, capsys):
+        code, out, _ = run_cli(
+            capsys,
+            "sweep",
+            "-p",
+            "hera",
+            "--max-n",
+            "10",
+            "--step",
+            "5",
+            "--algorithms",
+            "adv_star,admv_star",
+        )
+        assert code == 0
+        assert "ADV*" in out and "ADMV*" in out
+
+    def test_sweep_chart_and_profile(self, capsys):
+        code, out, _ = run_cli(
+            capsys,
+            "sweep",
+            "--max-n",
+            "6",
+            "--step",
+            "3",
+            "--algorithms",
+            "admv_star",
+            "--chart",
+            "--profile",
+        )
+        assert code == 0
+        assert "legend" in out
+        assert "cumulative" in out  # cProfile table
+
+    def test_sweep_json(self, capsys):
+        code, out, _ = run_cli(
+            capsys,
+            "sweep",
+            "--max-n",
+            "4",
+            "--step",
+            "2",
+            "--algorithms",
+            "adv_star",
+            "--json",
+        )
+        doc = json.loads(out)
+        assert doc["header"] == ["n", "adv_star"]
+
+
+class TestFigureAndTable:
+    def test_table_1(self, capsys):
+        code, out, _ = run_cli(capsys, "table", "1")
+        assert code == 0
+        assert "Table I" in out
+
+    def test_figure_6(self, capsys):
+        code, out, _ = run_cli(capsys, "figure", "6")
+        assert code == 0
+        assert "Platform Hera with ADMV" in out
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+
+    def test_no_command_errors(self, capsys):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestSolveBreakdown:
+    def test_breakdown_flag(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "solve", "-p", "hera", "-n", "6", "-a", "admv*", "--breakdown"
+        )
+        assert code == 0
+        assert "expected-time breakdown" in out
+        assert "useful_work" in out
+        assert "re_executed_work" in out

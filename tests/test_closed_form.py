@@ -1,0 +1,194 @@
+"""Closed-form quantities versus independent numerical computation."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from scipy import integrate
+
+from repro.core.closed_form import (
+    SegmentFactors,
+    p_error,
+    phi,
+    segment_cost_factors,
+    segment_cost_guaranteed,
+    t_lost,
+)
+from repro.core.factors import PairFactors
+from repro.chains import TaskChain
+from repro.exceptions import InvalidParameterError
+from repro.platforms import Platform
+
+
+class TestPError:
+    def test_zero_rate(self):
+        assert p_error(0.0, 100.0) == 0.0
+
+    def test_known_value(self):
+        assert p_error(0.01, 100.0) == pytest.approx(1.0 - math.exp(-1.0))
+
+    def test_vectorized(self):
+        out = p_error(0.01, np.array([0.0, 100.0]))
+        assert out[0] == 0.0
+        assert out[1] == pytest.approx(1.0 - math.exp(-1.0))
+
+    def test_monotone_in_work(self):
+        ws = np.linspace(0.0, 1000.0, 50)
+        ps = p_error(1e-3, ws)
+        assert np.all(np.diff(ps) > 0)
+
+    def test_rejects_negative_rate(self):
+        with pytest.raises(InvalidParameterError):
+            p_error(-1.0, 10.0)
+
+
+class TestPhi:
+    def test_zero_rate_limit(self):
+        assert phi(0.0, 42.0) == 42.0
+
+    def test_small_rate_approaches_w(self):
+        assert phi(1e-12, 100.0) == pytest.approx(100.0, rel=1e-6)
+
+    def test_known_value(self):
+        assert phi(0.5, 2.0) == pytest.approx((math.e**1.0 - 1.0) / 0.5)
+
+    def test_vectorized_matches_scalar(self):
+        ws = np.array([1.0, 5.0, 10.0])
+        out = phi(0.1, ws)
+        for w, o in zip(ws, out):
+            assert o == pytest.approx(phi(0.1, float(w)))
+
+
+class TestTlost:
+    def test_zero_rate_is_half_w(self):
+        assert t_lost(0.0, 100.0) == 50.0
+
+    def test_zero_work(self):
+        assert t_lost(0.5, 0.0) == 0.0
+
+    def test_matches_numerical_conditional_expectation(self):
+        """T_lost = E[X | X < W] for X ~ Exp(λ) — integrate numerically."""
+        lam, W = 0.013, 80.0
+        num, _ = integrate.quad(lambda x: x * lam * math.exp(-lam * x), 0.0, W)
+        expected = num / (1.0 - math.exp(-lam * W))
+        assert t_lost(lam, W) == pytest.approx(expected, rel=1e-9)
+
+    def test_small_rate_limit_is_half_w(self):
+        assert t_lost(1e-13, 60.0) == pytest.approx(30.0, rel=1e-3)
+
+    def test_bounded_by_w(self):
+        for lam in (1e-4, 1e-2, 1.0):
+            for W in (0.5, 10.0, 500.0):
+                val = t_lost(lam, W)
+                assert 0.0 < val < W
+
+    def test_less_than_half_w_for_positive_rate(self):
+        # conditioning on early failure pulls the mean below W/2
+        assert t_lost(0.05, 100.0) < 50.0
+
+    def test_vectorized(self):
+        out = t_lost(0.01, np.array([0.0, 10.0, 100.0]))
+        assert out[0] == 0.0
+        assert out[1] == pytest.approx(t_lost(0.01, 10.0))
+
+
+def _manual_eq4(platform, W, E_mem, E_verif, RD, RM):
+    """Literal eq. (4) with naive exponentials (reference)."""
+    lf, ls = platform.lf, platform.ls
+    work = (math.exp(lf * W) - 1.0) / lf if lf > 0 else W
+    return (
+        math.exp(ls * W) * (work + platform.Vg)
+        + math.exp(ls * W) * (math.exp(lf * W) - 1.0) * (RD + E_mem)
+        + (math.exp((ls + lf) * W) - 1.0) * E_verif
+        + (math.exp(ls * W) - 1.0) * RM
+    )
+
+
+class TestSegmentCost:
+    @pytest.fixture
+    def platform(self):
+        return Platform.from_costs("t", lf=1e-3, ls=4e-3, CD=30.0, CM=6.0)
+
+    def test_matches_literal_equation(self, platform):
+        got = segment_cost_guaranteed(
+            platform, 120.0, E_mem=11.0, E_verif=7.0, RD=30.0, RM=6.0
+        )
+        want = _manual_eq4(platform, 120.0, 11.0, 7.0, 30.0, 6.0)
+        assert got == pytest.approx(want, rel=1e-12)
+
+    def test_error_free_reduces_to_work_plus_verif(self):
+        p = Platform.from_costs("ef", lf=0.0, ls=0.0, CD=1.0, CM=2.0)
+        got = segment_cost_guaranteed(p, 50.0, E_mem=0.0, E_verif=0.0, RD=0.0, RM=0.0)
+        assert got == pytest.approx(50.0 + p.Vg)
+
+    def test_broadcasts_over_w(self, platform):
+        Ws = np.array([10.0, 20.0, 40.0])
+        out = segment_cost_guaranteed(
+            platform, Ws, E_mem=0.0, E_verif=0.0, RD=30.0, RM=6.0
+        )
+        assert out.shape == (3,)
+        assert np.all(np.diff(out) > 0)  # more work, more cost
+
+    def test_increasing_in_everif(self, platform):
+        a = segment_cost_guaranteed(platform, 30.0, E_mem=0.0, E_verif=0.0, RD=1.0, RM=1.0)
+        b = segment_cost_guaranteed(platform, 30.0, E_mem=0.0, E_verif=5.0, RD=1.0, RM=1.0)
+        assert b > a
+
+    def test_factor_decomposition_consistent(self, platform):
+        W = np.array([15.0, 70.0])
+        factors = SegmentFactors(platform, W)
+        base, c_rd_mem, c_verif, c_rm = segment_cost_factors(platform, factors)
+        reconstructed = base + c_rd_mem * (30.0 + 11.0) + c_verif * 7.0 + c_rm * 6.0
+        direct = segment_cost_guaranteed(
+            platform, W, E_mem=11.0, E_verif=7.0, RD=30.0, RM=6.0
+        )
+        assert np.allclose(reconstructed, direct, rtol=1e-13)
+
+
+class TestPairFactors:
+    def test_matrices_match_scalar_functions(self):
+        chain = TaskChain([10.0, 20.0, 5.0])
+        platform = Platform.from_costs("t", lf=2e-3, ls=7e-3, CD=9.0, CM=3.0)
+        F = PairFactors(chain, platform)
+        for i in range(4):
+            for j in range(i, 4):
+                W = chain.segment_weight(i, j)
+                assert F.W[i, j] == pytest.approx(W)
+                assert F.es[i, j] == pytest.approx(math.exp(platform.ls * W))
+                assert F.efm1[i, j] == pytest.approx(math.expm1(platform.lf * W))
+                assert F.etot[i, j] == pytest.approx(
+                    math.exp(platform.lam_total * W)
+                )
+                assert F.pf[i, j] == pytest.approx(-math.expm1(-platform.lf * W))
+                assert F.tlost[i, j] == pytest.approx(t_lost(platform.lf, W))
+                if j >= 1:  # column 0 is the virtual T0 (zero verif cost)
+                    assert F.base_g[i, j] == pytest.approx(
+                        math.exp(platform.ls * W)
+                        * (phi(platform.lf, W) + platform.Vg)
+                    )
+
+    def test_zero_failstop_rate_tlost_half(self):
+        chain = TaskChain([8.0, 8.0])
+        platform = Platform.from_costs("nf", lf=0.0, ls=1e-3, CD=1.0, CM=1.0)
+        F = PairFactors(chain, platform)
+        assert F.tlost[0, 1] == pytest.approx(4.0)
+        assert F.tlost[0, 2] == pytest.approx(8.0)
+        assert F.pf[0, 2] == 0.0
+
+    def test_effective_recovery_costs(self):
+        chain = TaskChain([1.0])
+        platform = Platform.from_costs("t", lf=1e-3, ls=1e-3, CD=10.0, CM=2.0)
+        F = PairFactors(chain, platform)
+        assert F.rd_eff(0) == 0.0
+        assert F.rd_eff(1) == platform.RD
+        assert F.rm_eff(0) == 0.0
+        assert F.rm_eff(1) == platform.RM
+
+    def test_matrices_read_only(self):
+        chain = TaskChain([1.0, 2.0])
+        platform = Platform.from_costs("t", lf=1e-3, ls=1e-3, CD=1.0, CM=1.0)
+        F = PairFactors(chain, platform)
+        with pytest.raises(ValueError):
+            F.es[0, 0] = 99.0

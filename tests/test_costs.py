@@ -1,0 +1,209 @@
+"""Heterogeneous (per-task) cost model: unit tests + optimality oracle."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.chains import TaskChain
+from repro.core import evaluate_schedule, exhaustive_search, optimize
+from repro.core.costs import CostProfile
+from repro.core.evaluator import error_free_time
+from repro.core.schedule import Action, Schedule
+from repro.exceptions import InvalidParameterError
+from repro.platforms import Platform
+from repro.simulation import ScriptedErrorSource, run_monte_carlo, simulate_run
+
+from conftest import random_chain, random_platform
+
+
+def random_profile(rng: np.random.Generator, n: int) -> CostProfile:
+    return CostProfile.from_arrays(
+        n,
+        CD=rng.uniform(5.0, 40.0, n),
+        CM=rng.uniform(1.0, 8.0, n),
+        RD=rng.uniform(5.0, 40.0, n),
+        RM=rng.uniform(1.0, 8.0, n),
+        Vg=rng.uniform(0.5, 6.0, n),
+        Vp=rng.uniform(0.05, 0.4, n),
+    )
+
+
+class TestCostProfileConstruction:
+    def test_uniform_matches_platform(self, hot_platform):
+        profile = CostProfile.uniform(5, hot_platform)
+        assert profile.n == 5
+        assert profile.is_uniform()
+        assert profile.CD[3] == hot_platform.CD
+        assert profile.RD[0] == 0.0 and profile.RM[0] == 0.0
+
+    def test_from_arrays_defaults(self):
+        profile = CostProfile.from_arrays(3, CD=[10, 20, 30], CM=[1, 2, 3])
+        assert list(profile.RD[1:]) == [10, 20, 30]
+        assert list(profile.RM[1:]) == [1, 2, 3]
+        assert list(profile.Vg[1:]) == [1, 2, 3]
+        assert profile.Vp[2] == pytest.approx(0.02)
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(InvalidParameterError, match="one entry per task"):
+            CostProfile.from_arrays(3, CD=[1, 2], CM=[1, 2, 3])
+
+    def test_rejects_negative(self):
+        with pytest.raises(InvalidParameterError):
+            CostProfile.from_arrays(2, CD=[1, -1], CM=[1, 1])
+
+    def test_proportional_to_output(self, hot_platform):
+        chain = TaskChain([10.0, 10.0, 10.0])
+        profile = CostProfile.proportional_to_output(
+            chain, hot_platform, [1.0, 2.0, 3.0]
+        )
+        # mean-normalised: middle task pays exactly the platform cost
+        assert profile.CD[2] == pytest.approx(hot_platform.CD)
+        assert profile.CD[3] == pytest.approx(hot_platform.CD * 1.5)
+        assert not profile.is_uniform()
+
+    def test_proportional_rejects_bad_sizes(self, hot_platform):
+        chain = TaskChain([1.0, 1.0])
+        with pytest.raises(InvalidParameterError):
+            CostProfile.proportional_to_output(chain, hot_platform, [1.0])
+        with pytest.raises(InvalidParameterError):
+            CostProfile.proportional_to_output(chain, hot_platform, [1.0, 0.0])
+
+    def test_describe(self, hot_platform):
+        assert "uniform" in CostProfile.uniform(4, hot_platform).describe()
+        hetero = CostProfile.from_arrays(2, CD=[1.0, 2.0], CM=[1.0, 1.0])
+        assert "per-task" in hetero.describe()
+
+
+class TestUniformEquivalence:
+    """costs=None and costs=CostProfile.uniform(...) must agree exactly."""
+
+    @pytest.mark.parametrize("alg", ["adv_star", "admv_star", "admv"])
+    def test_optimizers(self, hot_platform, alg):
+        chain = TaskChain([40.0] * 7)
+        profile = CostProfile.uniform(7, hot_platform)
+        a = optimize(chain, hot_platform, algorithm=alg)
+        b = optimize(chain, hot_platform, algorithm=alg, costs=profile)
+        assert a.expected_time == b.expected_time
+        assert a.schedule == b.schedule
+
+    def test_evaluator(self, hot_platform):
+        chain = TaskChain([30.0] * 5)
+        sched = Schedule.from_positions(5, disk=[5], memory=[2], partial=[3])
+        profile = CostProfile.uniform(5, hot_platform)
+        a = evaluate_schedule(chain, hot_platform, sched).expected_time
+        b = evaluate_schedule(
+            chain, hot_platform, sched, costs=profile
+        ).expected_time
+        assert a == b
+
+    def test_simulator(self, hot_platform):
+        chain = TaskChain([30.0] * 4)
+        sched = Schedule.from_positions(4, disk=[4], memory=[2])
+        profile = CostProfile.uniform(4, hot_platform)
+        src = ScriptedErrorSource(fail_stops=[None, 0.5], silents=[True])
+        a = simulate_run(chain, hot_platform, sched, src)
+        src2 = ScriptedErrorSource(fail_stops=[None, 0.5], silents=[True])
+        b = simulate_run(chain, hot_platform, sched, src2, costs=profile)
+        assert a.makespan == b.makespan
+
+
+class TestHeterogeneousCorrectness:
+    """DP == Markov == exhaustive with random per-task costs."""
+
+    @pytest.mark.parametrize("alg", ["adv_star", "admv_star", "admv"])
+    @pytest.mark.parametrize("seed", range(5))
+    def test_dp_matches_markov(self, alg, seed):
+        rng = np.random.default_rng(1000 + seed)
+        chain = random_chain(rng, int(rng.integers(2, 9)))
+        platform = random_platform(rng)
+        profile = random_profile(rng, chain.n)
+        sol = optimize(chain, platform, algorithm=alg, costs=profile)
+        markov = evaluate_schedule(
+            chain, platform, sol.schedule, costs=profile
+        ).expected_time
+        assert sol.expected_time == pytest.approx(markov, rel=1e-10)
+
+    @pytest.mark.parametrize("alg", ["adv_star", "admv_star", "admv"])
+    @pytest.mark.parametrize("seed", range(4))
+    def test_dp_matches_exhaustive(self, alg, seed):
+        rng = np.random.default_rng(2000 + seed)
+        chain = random_chain(rng, int(rng.integers(2, 6)))
+        platform = random_platform(rng)
+        profile = random_profile(rng, chain.n)
+        best, _ = exhaustive_search(
+            chain, platform, algorithm=alg, costs=profile
+        )
+        sol = optimize(chain, platform, algorithm=alg, costs=profile)
+        assert sol.expected_time == pytest.approx(best, rel=1e-10)
+
+    def test_monte_carlo_agreement(self):
+        rng = np.random.default_rng(77)
+        chain = random_chain(rng, 6)
+        platform = random_platform(rng)
+        profile = random_profile(rng, chain.n)
+        sol = optimize(chain, platform, algorithm="admv", costs=profile)
+        mc = run_monte_carlo(
+            chain,
+            platform,
+            sol.schedule,
+            runs=2500,
+            seed=5,
+            confidence=0.999,
+            analytic=sol.expected_time,
+            costs=profile,
+        )
+        assert mc.agrees_with_analytic, mc.report()
+
+
+class TestHeterogeneousBehaviour:
+    def test_expensive_position_avoided(self):
+        """A task whose checkpoint is outrageously expensive should not be
+        memory-checkpointed when a uniform-cost optimum would pick it."""
+        platform = Platform.from_costs(
+            "hetero", lf=1e-3, ls=6e-3, CD=20.0, CM=2.0
+        )
+        chain = TaskChain([50.0] * 6)
+        uniform_sol = optimize(chain, platform, algorithm="admv_star")
+        mem_positions = [
+            p for p in uniform_sol.schedule.memory_positions if p != 6
+        ]
+        assert mem_positions  # the uniform optimum uses intermediate ckpts
+        target = mem_positions[0]
+        CM = np.full(6, platform.CM)
+        CM[target - 1] = 500.0  # make that position's checkpoint absurd
+        profile = CostProfile.from_arrays(
+            6, CD=np.full(6, platform.CD), CM=CM
+        )
+        hetero_sol = optimize(
+            chain, platform, algorithm="admv_star", costs=profile
+        )
+        assert target not in [
+            p for p in hetero_sol.schedule.memory_positions if p != 6
+        ]
+
+    def test_error_free_time_uses_profile(self, hot_platform):
+        chain = TaskChain([10.0, 10.0])
+        sched = Schedule([Action.MEMORY, Action.DISK])
+        profile = CostProfile.from_arrays(
+            2, CD=[0.0, 7.0], CM=[2.0, 3.0], Vg=[1.0, 1.5], Vp=[0.1, 0.1]
+        )
+        got = error_free_time(chain, hot_platform, sched, profile)
+        assert got == pytest.approx(20.0 + (1.0 + 2.0) + (1.5 + 3.0 + 7.0))
+
+    def test_cheap_everything_encourages_more_actions(self):
+        platform = Platform.from_costs(
+            "base", lf=1e-3, ls=5e-3, CD=30.0, CM=6.0
+        )
+        chain = TaskChain([50.0] * 8)
+        expensive = optimize(chain, platform, algorithm="admv_star")
+        cheap_profile = CostProfile.from_arrays(
+            8,
+            CD=np.full(8, 1.0),
+            CM=np.full(8, 0.2),
+            Vg=np.full(8, 0.2),
+        )
+        cheap = optimize(
+            chain, platform, algorithm="admv_star", costs=cheap_profile
+        )
+        assert cheap.counts().memory >= expensive.counts().memory

@@ -1,0 +1,193 @@
+"""Unit tests for the join-graph checkpointing model (APDCM'15)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.dag import (
+    JoinInstance,
+    JoinSchedule,
+    WorkflowDAG,
+    evaluate_join,
+    exhaustive_join,
+    join_from_dag,
+    local_search_join,
+    simulate_join,
+    threshold_join,
+)
+from repro.exceptions import InvalidParameterError
+
+
+def make_instance(weights=(10.0, 20.0, 30.0), sink=5.0, rate=5e-3, C=3.0, R=2.0):
+    return JoinInstance(tuple(weights), sink, rate, C, R)
+
+
+class TestConstruction:
+    def test_validates_weights(self):
+        with pytest.raises(InvalidParameterError):
+            JoinInstance((), 1.0, 0.0, 0.0, 0.0)
+        with pytest.raises(InvalidParameterError):
+            JoinInstance((0.0,), 1.0, 0.0, 0.0, 0.0)
+        with pytest.raises(InvalidParameterError):
+            JoinInstance((1.0,), -1.0, 0.0, 0.0, 0.0)
+        with pytest.raises(InvalidParameterError):
+            JoinInstance((1.0,), 1.0, -1e-3, 0.0, 0.0)
+
+    def test_schedule_validates_permutation(self):
+        with pytest.raises(InvalidParameterError):
+            JoinSchedule((0, 0), (False, False))
+        with pytest.raises(InvalidParameterError):
+            JoinSchedule((0, 1), (False,))
+
+    def test_n_checkpoints(self):
+        s = JoinSchedule((0, 1, 2), (True, False, True))
+        assert s.n_checkpoints == 2
+
+
+class TestEvaluate:
+    def test_error_free_is_plain_sum(self):
+        inst = make_instance(rate=0.0)
+        sched = JoinSchedule((0, 1, 2), (True, True, False))
+        # no errors: work + 2 checkpoints
+        assert evaluate_join(inst, sched) == pytest.approx(65.0 + 2 * inst.C)
+
+    def test_no_checkpoints_single_segment(self):
+        inst = make_instance(rate=1e-3, R=7.0)
+        sched = JoinSchedule((0, 1, 2), (False, False, False))
+        V = 65.0
+        expected = math.expm1(inst.rate * V) / inst.rate  # R not paid (no ckpt)
+        assert evaluate_join(inst, sched) == pytest.approx(expected)
+
+    def test_full_checkpointing_segments(self):
+        inst = make_instance(rate=2e-3)
+        sched = JoinSchedule((0, 1, 2), (True, True, True))
+        lam = inst.rate
+        expected = (
+            math.expm1(lam * 10.0) / lam + inst.C  # first: restart free
+            + math.expm1(lam * 20.0) * (1 / lam + inst.R) + inst.C
+            + math.expm1(lam * 30.0) * (1 / lam + inst.R) + inst.C
+            + math.expm1(lam * 5.0) * (1 / lam + inst.R)
+        )
+        assert evaluate_join(inst, sched) == pytest.approx(expected, rel=1e-12)
+
+    def test_unprotected_work_stays_volatile(self):
+        """The defining join property: skipping a checkpoint on an early
+        source inflates *every* later segment, not just the next one."""
+        inst = make_instance(weights=(50.0, 10.0, 10.0), rate=5e-3)
+        all_ckpt = JoinSchedule((0, 1, 2), (True, True, True))
+        skip_first = JoinSchedule((0, 1, 2), (False, True, True))
+        lam = inst.rate
+        v_all = evaluate_join(inst, all_ckpt)
+        v_skip = evaluate_join(inst, skip_first)
+        # manual: the unchecked 50s source is part of EVERY later segment's
+        # volatile work — segments are (50+10), (50+10), (50+5), unlike a
+        # chain where a checkpoint would seal it off
+        expected_skip = (
+            math.expm1(lam * 60.0) / lam + inst.C
+            + math.expm1(lam * 60.0) * (1 / lam + inst.R) + inst.C
+            + math.expm1(lam * 55.0) * (1 / lam + inst.R)
+        )
+        assert v_skip == pytest.approx(expected_skip, rel=1e-12)
+        assert v_all != pytest.approx(v_skip)
+
+    def test_mismatched_schedule_rejected(self):
+        inst = make_instance()
+        with pytest.raises(InvalidParameterError, match="covers"):
+            evaluate_join(inst, JoinSchedule((0, 1), (False, False)))
+
+
+class TestSimulationAgreement:
+    @pytest.mark.parametrize(
+        "decisions", [(False, False, False), (True, False, True), (True, True, True)]
+    )
+    def test_monte_carlo_matches_closed_form(self, decisions):
+        inst = make_instance(rate=8e-3, C=2.0, R=4.0)
+        sched = JoinSchedule((0, 1, 2), decisions)
+        analytic = evaluate_join(inst, sched)
+        samples = simulate_join(inst, sched, runs=6000, rng=5)
+        sem = samples.std(ddof=1) / math.sqrt(samples.size)
+        assert abs(samples.mean() - analytic) < 4.0 * sem + 1e-9
+
+    def test_simulation_deterministic_without_errors(self):
+        inst = make_instance(rate=0.0)
+        sched = JoinSchedule((0, 1, 2), (True, False, False))
+        samples = simulate_join(inst, sched, runs=10)
+        assert np.allclose(samples, samples[0])
+
+
+class TestOptimizers:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_local_search_matches_exhaustive_small(self, seed):
+        rng = np.random.default_rng(seed)
+        inst = JoinInstance(
+            tuple(rng.uniform(5.0, 80.0, size=5)),
+            float(rng.uniform(5.0, 30.0)),
+            float(rng.uniform(1e-3, 1e-2)),
+            float(rng.uniform(0.5, 6.0)),
+            float(rng.uniform(0.5, 6.0)),
+        )
+        # identical-order comparison: local search with order moves can only
+        # do better than the fixed-order exhaustive optimum
+        exh_value, _ = exhaustive_join(inst)
+        ls_value, ls_sched = local_search_join(inst)
+        assert ls_value <= exh_value * (1 + 1e-9)
+        assert evaluate_join(inst, ls_sched) == pytest.approx(ls_value)
+
+    def test_exhaustive_with_orders_dominates(self):
+        rng = np.random.default_rng(42)
+        inst = JoinInstance(
+            tuple(rng.uniform(5.0, 50.0, size=4)), 10.0, 6e-3, 2.0, 3.0
+        )
+        v_fixed, _ = exhaustive_join(inst)
+        v_orders, _ = exhaustive_join(inst, optimize_order=True)
+        assert v_orders <= v_fixed + 1e-12
+
+    def test_threshold_never_checkpoints_without_errors(self):
+        inst = make_instance(rate=0.0)
+        _, sched = threshold_join(inst)
+        assert sched.n_checkpoints == 0
+
+    def test_threshold_checkpoints_heavy_tasks_under_high_rate(self):
+        inst = make_instance(weights=(1.0, 500.0, 1.0), rate=5e-2, C=1.0)
+        _, sched = threshold_join(inst)
+        assert sched.checkpoint[1] is True
+
+    def test_exhaustive_guards(self):
+        inst = JoinInstance(tuple([1.0] * 13), 1.0, 1e-3, 1.0, 1.0)
+        with pytest.raises(InvalidParameterError, match="limited"):
+            exhaustive_join(inst)
+        inst8 = JoinInstance(tuple([1.0] * 8), 1.0, 1e-3, 1.0, 1.0)
+        with pytest.raises(InvalidParameterError, match="n!"):
+            exhaustive_join(inst8, optimize_order=True)
+
+    def test_checkpointing_helps_when_errors_frequent(self):
+        inst = make_instance(weights=(200.0, 200.0, 200.0), rate=5e-3, C=1.0)
+        none_value = evaluate_join(
+            inst, JoinSchedule((0, 1, 2), (False, False, False))
+        )
+        best_value, best = exhaustive_join(inst)
+        assert best.n_checkpoints > 0
+        assert best_value < none_value
+
+
+class TestJoinFromDag:
+    def test_round_trip(self):
+        dag = WorkflowDAG(
+            {"s1": 5.0, "s2": 7.0, "sink": 2.0},
+            [("s1", "sink"), ("s2", "sink")],
+        )
+        inst = join_from_dag(dag, rate=1e-3, C=1.0, R=1.0)
+        assert inst.source_weights == (5.0, 7.0)
+        assert inst.sink_weight == 2.0
+
+    def test_rejects_non_join(self):
+        chain = WorkflowDAG({"a": 1.0, "b": 1.0}, [("a", "b")])
+        # a 2-node chain IS a join (1 source + sink); build a real non-join
+        fork = WorkflowDAG(
+            {"a": 1.0, "b": 1.0, "c": 1.0}, [("a", "b"), ("a", "c")]
+        )
+        with pytest.raises(InvalidParameterError, match="not a join"):
+            join_from_dag(fork, rate=1e-3, C=1.0, R=1.0)

@@ -1,0 +1,173 @@
+"""Unit tests for the workflow DAG model and linearization heuristics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dag import (
+    ORDER_STRATEGIES,
+    WorkflowDAG,
+    candidate_orders,
+    optimize_dag,
+)
+from repro.exceptions import InvalidChainError, InvalidParameterError
+from repro.platforms import Platform
+
+
+@pytest.fixture
+def diamond() -> WorkflowDAG:
+    #    a
+    #   / \
+    #  b   c
+    #   \ /
+    #    d
+    return WorkflowDAG(
+        {"a": 10.0, "b": 5.0, "c": 20.0, "d": 8.0},
+        [("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")],
+        name="diamond",
+    )
+
+
+@pytest.fixture
+def platform() -> Platform:
+    return Platform.from_costs("dag", lf=2e-3, ls=5e-3, CD=15.0, CM=3.0)
+
+
+class TestWorkflowDAG:
+    def test_basic_properties(self, diamond):
+        assert diamond.n == 4
+        assert diamond.total_weight == pytest.approx(43.0)
+        assert diamond.sources() == ["a"]
+        assert diamond.sinks() == ["d"]
+
+    def test_weight_lookup(self, diamond):
+        assert diamond.weight("c") == 20.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidChainError):
+            WorkflowDAG({})
+
+    def test_rejects_bad_weight(self):
+        with pytest.raises(InvalidChainError):
+            WorkflowDAG({"a": 0.0})
+        with pytest.raises(InvalidChainError):
+            WorkflowDAG({"a": float("nan")})
+
+    def test_rejects_unknown_edge_endpoint(self):
+        with pytest.raises(InvalidChainError, match="unknown task"):
+            WorkflowDAG({"a": 1.0}, [("a", "b")])
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(InvalidChainError, match="self-loop"):
+            WorkflowDAG({"a": 1.0}, [("a", "a")])
+
+    def test_rejects_cycle(self):
+        with pytest.raises(InvalidChainError, match="cycle"):
+            WorkflowDAG({"a": 1.0, "b": 1.0}, [("a", "b"), ("b", "a")])
+
+    def test_critical_path(self, diamond):
+        path, length = diamond.critical_path()
+        assert path == ["a", "c", "d"]
+        assert length == pytest.approx(38.0)
+
+    def test_is_chain(self):
+        chain = WorkflowDAG({"a": 1.0, "b": 1.0}, [("a", "b")])
+        assert chain.is_chain()
+        fork = WorkflowDAG({"a": 1.0, "b": 1.0, "c": 1.0}, [("a", "b"), ("a", "c")])
+        assert not fork.is_chain()
+
+    def test_is_join(self, diamond):
+        join = WorkflowDAG(
+            {"s1": 1.0, "s2": 2.0, "t": 1.0}, [("s1", "t"), ("s2", "t")]
+        )
+        assert join.is_join()
+        assert not diamond.is_join()
+
+    def test_repr(self, diamond):
+        assert "diamond" in repr(diamond)
+
+
+class TestSerialise:
+    def test_default_order_is_topological(self, diamond):
+        order, chain = diamond.serialise()
+        assert order[0] == "a" and order[-1] == "d"
+        assert chain.n == 4
+        assert chain.total_weight == pytest.approx(43.0)
+
+    def test_explicit_order_respected(self, diamond):
+        order, chain = diamond.serialise(["a", "c", "b", "d"])
+        assert list(chain.weights) == [10.0, 20.0, 5.0, 8.0]
+
+    def test_rejects_precedence_violation(self, diamond):
+        with pytest.raises(InvalidChainError, match="precedence"):
+            diamond.serialise(["b", "a", "c", "d"])
+
+    def test_rejects_wrong_task_set(self, diamond):
+        with pytest.raises(InvalidChainError, match="every task"):
+            diamond.serialise(["a", "b", "c"])
+
+
+class TestCandidateOrders:
+    def test_auto_orders_are_topological(self, diamond):
+        for order in candidate_orders(diamond, "auto"):
+            diamond.serialise(order)  # validates
+
+    def test_named_strategies(self, diamond):
+        for name in ORDER_STRATEGIES:
+            orders = candidate_orders(diamond, name)
+            assert len(orders) == 1
+
+    def test_heavy_first_prefers_heavy_ready_task(self, diamond):
+        (order,) = candidate_orders(diamond, "heavy_first")
+        # after 'a', both b (5) and c (20) are ready: c first
+        assert order.index("c") < order.index("b")
+
+    def test_light_first_prefers_light_ready_task(self, diamond):
+        (order,) = candidate_orders(diamond, "light_first")
+        assert order.index("b") < order.index("c")
+
+    def test_all_enumeration(self, diamond):
+        orders = candidate_orders(diamond, "all")
+        assert len(orders) == 2  # a-(b,c permute)-d
+
+    def test_all_guard(self):
+        big = WorkflowDAG({f"t{i}": 1.0 for i in range(10)})
+        with pytest.raises(InvalidParameterError, match="limited"):
+            candidate_orders(big, "all")
+
+    def test_unknown_strategy(self, diamond):
+        with pytest.raises(InvalidParameterError, match="unknown order"):
+            candidate_orders(diamond, "random")
+
+
+class TestOptimizeDag:
+    def test_returns_dag_solution(self, diamond, platform):
+        sol = optimize_dag(diamond, platform, algorithm="admv_star")
+        assert sol.algorithm == "dag+admv_star"
+        assert len(sol.order) == 4
+        assert sol.schedule.is_strict
+        assert sol.expected_time > diamond.total_weight
+
+    def test_auto_no_worse_than_lexicographic(self, diamond, platform):
+        auto = optimize_dag(diamond, platform, strategy="auto")
+        lex = optimize_dag(diamond, platform, strategy="lexicographic")
+        assert auto.expected_time <= lex.expected_time + 1e-12
+
+    def test_all_orders_is_exact_over_serialisations(self, diamond, platform):
+        best = optimize_dag(diamond, platform, strategy="all")
+        auto = optimize_dag(diamond, platform, strategy="auto")
+        assert best.expected_time <= auto.expected_time + 1e-12
+
+    def test_chain_dag_matches_chain_optimum(self, platform):
+        from repro.chains import TaskChain
+        from repro.core import optimize
+
+        dag = WorkflowDAG(
+            {"a": 30.0, "b": 40.0, "c": 20.0}, [("a", "b"), ("b", "c")]
+        )
+        dag_sol = optimize_dag(dag, platform, algorithm="admv")
+        chain_sol = optimize(TaskChain([30.0, 40.0, 20.0]), platform, "admv")
+        assert dag_sol.expected_time == pytest.approx(
+            chain_sol.expected_time, rel=1e-12
+        )
+        assert dag_sol.order == ["a", "b", "c"]

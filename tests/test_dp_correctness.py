@@ -1,0 +1,196 @@
+"""Correctness of the three dynamic programs.
+
+The two decisive oracles:
+
+1. *Self-consistency*: the optimal value returned by a DP must equal the
+   exact Markov evaluation of the schedule it extracts (any mismatch means
+   either the recurrences or the backtracking are wrong).
+2. *Optimality*: on small chains the DP value must equal the brute-force
+   minimum over every schedule in its action set.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.chains import TaskChain
+from repro.core import evaluate_schedule, exhaustive_search, optimize
+from repro.core.dp_partial import optimize_partial
+from repro.platforms import HERA, Platform
+
+from conftest import random_chain, random_platform
+
+ALGS = ("adv_star", "admv_star", "admv")
+
+
+def _rng(seed):
+    return np.random.default_rng(seed)
+
+
+class TestSelfConsistency:
+    """DP value == Markov(extracted schedule), to machine precision."""
+
+    @pytest.mark.parametrize("alg", ALGS)
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 8, 13])
+    def test_hera_uniform(self, alg, n):
+        chain = TaskChain([25000.0 / n] * n)
+        sol = optimize(chain, HERA, algorithm=alg)
+        markov = evaluate_schedule(chain, HERA, sol.schedule).expected_time
+        assert sol.expected_time == pytest.approx(markov, rel=1e-10)
+
+    @pytest.mark.parametrize("alg", ALGS)
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_hot_instances(self, alg, seed):
+        rng = _rng(seed)
+        chain = random_chain(rng, int(rng.integers(2, 12)))
+        platform = random_platform(rng)
+        sol = optimize(chain, platform, algorithm=alg)
+        markov = evaluate_schedule(chain, platform, sol.schedule).expected_time
+        assert sol.expected_time == pytest.approx(markov, rel=1e-10)
+        assert sol.schedule.is_strict
+
+    @pytest.mark.parametrize("alg", ALGS)
+    def test_silent_only(self, alg, silent_only_platform):
+        chain = TaskChain([30.0, 60.0, 20.0, 45.0, 10.0])
+        sol = optimize(chain, silent_only_platform, algorithm=alg)
+        markov = evaluate_schedule(
+            chain, silent_only_platform, sol.schedule
+        ).expected_time
+        assert sol.expected_time == pytest.approx(markov, rel=1e-10)
+
+    @pytest.mark.parametrize("alg", ALGS)
+    def test_fail_stop_only(self, alg, fail_stop_only_platform):
+        chain = TaskChain([30.0, 60.0, 20.0, 45.0, 10.0])
+        sol = optimize(chain, fail_stop_only_platform, algorithm=alg)
+        markov = evaluate_schedule(
+            chain, fail_stop_only_platform, sol.schedule
+        ).expected_time
+        assert sol.expected_time == pytest.approx(markov, rel=1e-10)
+
+    @pytest.mark.parametrize("alg", ALGS)
+    def test_error_free(self, alg, error_free_platform):
+        chain = TaskChain([10.0] * 6)
+        sol = optimize(chain, error_free_platform, algorithm=alg)
+        # no errors: minimal schedule, deterministic value
+        assert sol.schedule.to_string() == ".....D"
+        assert sol.expected_time == pytest.approx(
+            60.0
+            + error_free_platform.Vg
+            + error_free_platform.CM
+            + error_free_platform.CD
+        )
+
+
+class TestOptimality:
+    """DP value == exhaustive minimum over the matching action set."""
+
+    @pytest.mark.parametrize("alg", ALGS)
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_instances(self, alg, seed):
+        rng = _rng(100 + seed)
+        chain = random_chain(rng, int(rng.integers(2, 6)))
+        platform = random_platform(rng)
+        best, _ = exhaustive_search(chain, platform, algorithm=alg)
+        sol = optimize(chain, platform, algorithm=alg)
+        assert sol.expected_time == pytest.approx(best, rel=1e-10)
+
+    @pytest.mark.parametrize("alg", ALGS)
+    def test_hera_small(self, alg):
+        chain = TaskChain([5000.0] * 5)
+        best, _ = exhaustive_search(chain, HERA, algorithm=alg)
+        sol = optimize(chain, HERA, algorithm=alg)
+        assert sol.expected_time == pytest.approx(best, rel=1e-10)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_admv_beats_restricted_searches(self, seed):
+        rng = _rng(200 + seed)
+        chain = random_chain(rng, 5)
+        platform = random_platform(rng)
+        sol = optimize(chain, platform, algorithm="admv")
+        for restricted in ("adv_star", "admv_star"):
+            best, _ = exhaustive_search(chain, platform, algorithm=restricted)
+            assert sol.expected_time <= best + 1e-9
+
+
+class TestAlgorithmOrdering:
+    """More placement freedom can never hurt: ADMV <= ADMV* <= ADV*."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_ordering_random(self, seed):
+        rng = _rng(300 + seed)
+        chain = random_chain(rng, int(rng.integers(2, 14)))
+        platform = random_platform(rng)
+        v1 = optimize(chain, platform, algorithm="adv_star").expected_time
+        v2 = optimize(chain, platform, algorithm="admv_star").expected_time
+        v3 = optimize(chain, platform, algorithm="admv").expected_time
+        assert v3 <= v2 * (1 + 1e-12)
+        assert v2 <= v1 * (1 + 1e-12)
+
+    def test_ordering_hera_paper_scale(self):
+        chain = TaskChain([25000.0 / 20] * 20)
+        v1 = optimize(chain, HERA, algorithm="adv_star").expected_time
+        v2 = optimize(chain, HERA, algorithm="admv_star").expected_time
+        v3 = optimize(chain, HERA, algorithm="admv").expected_time
+        assert v3 <= v2 <= v1
+
+
+class TestPaperFaithfulVariant:
+    def test_deviates_from_exact_but_close(self):
+        """The literal paper recurrences differ from the exact model by
+        O(λ_f W (V*-V)) — tiny but nonzero on a hot platform."""
+        platform = Platform.from_costs(
+            "hot", lf=2e-3, ls=8e-3, CD=30.0, CM=6.0, r=0.8, partial_cost_ratio=20.0
+        )
+        chain = TaskChain([50.0] * 5)
+        exact = optimize_partial(chain, platform)
+        paper = optimize_partial(chain, platform, paper_faithful=True)
+        assert paper.expected_time != pytest.approx(exact.expected_time, rel=1e-12)
+        assert paper.expected_time == pytest.approx(exact.expected_time, rel=2e-2)
+        # the exact variant matches the Markov oracle; both schedules are
+        # evaluated to (near-)optimal values
+        mk_exact = evaluate_schedule(chain, platform, exact.schedule).expected_time
+        assert exact.expected_time == pytest.approx(mk_exact, rel=1e-10)
+
+    def test_identical_on_error_free_platform(self, error_free_platform):
+        chain = TaskChain([10.0] * 4)
+        exact = optimize_partial(chain, error_free_platform)
+        paper = optimize_partial(chain, error_free_platform, paper_faithful=True)
+        assert exact.expected_time == pytest.approx(paper.expected_time, rel=1e-12)
+
+
+class TestScheduleStructure:
+    def test_final_task_always_full_stack(self):
+        for alg in ALGS:
+            sol = optimize(TaskChain([100.0] * 6), HERA, algorithm=alg)
+            assert sol.schedule.disk_positions[-1] == 6
+
+    def test_adv_star_places_no_standalone_memory(self):
+        rng = _rng(9)
+        chain = random_chain(rng, 8)
+        platform = random_platform(rng)
+        sol = optimize(chain, platform, algorithm="adv_star")
+        assert sol.schedule.memory_positions == sol.schedule.disk_positions
+
+    def test_admv_star_places_no_partials(self):
+        rng = _rng(10)
+        chain = random_chain(rng, 8)
+        platform = random_platform(rng)
+        sol = optimize(chain, platform, algorithm="admv_star")
+        assert sol.schedule.partial_positions == []
+
+    def test_admv_uses_partials_when_attractive(self):
+        """Expensive guaranteed verifications + cheap accurate partials +
+        high silent rate => the optimal schedule contains partials."""
+        platform = Platform.from_costs(
+            "partial-friendly",
+            lf=1e-4,
+            ls=5e-3,
+            CD=100.0,
+            CM=20.0,
+            r=0.9,
+            partial_cost_ratio=100.0,
+        )
+        chain = TaskChain([50.0] * 8)
+        sol = optimize(chain, platform, algorithm="admv")
+        assert sol.counts().partial > 0

@@ -1,0 +1,214 @@
+"""Failure-injection tests for the discrete-event engine.
+
+Every simulator branch is exercised deterministically through
+``ScriptedErrorSource``, asserting both the exact makespan arithmetic and
+the emitted event sequences.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chains import TaskChain
+from repro.core.schedule import Action, Schedule
+from repro.exceptions import InvalidScheduleError, SimulationError
+from repro.platforms import Platform
+from repro.simulation import (
+    EventKind,
+    ScriptedErrorSource,
+    simulate_run,
+)
+
+
+@pytest.fixture
+def platform():
+    return Platform.from_costs(
+        "sim", lf=1e-3, ls=1e-3, CD=10.0, CM=3.0, Vg=2.0, Vp=0.5, r=0.8
+    )
+
+
+@pytest.fixture
+def chain():
+    return TaskChain([100.0, 100.0, 100.0])
+
+
+def kinds(result):
+    return [e.kind for e in result.trace.events]
+
+
+class TestCleanRun:
+    def test_error_free_makespan(self, platform, chain):
+        sched = Schedule([Action.VERIFY, Action.MEMORY, Action.DISK])
+        result = simulate_run(
+            chain, platform, sched, ScriptedErrorSource(), record_trace=True
+        )
+        # 300 work + Vg*3 + CM (T2) + CM+CD (T3)
+        assert result.makespan == pytest.approx(300.0 + 3 * 2.0 + 3.0 + 3.0 + 10.0)
+        assert result.fail_stop_errors == 0
+        assert result.silent_errors == 0
+        assert result.attempts == 3
+        assert kinds(result)[-1] == EventKind.COMPLETE
+
+    def test_unverified_tasks_merge_into_segments(self, platform, chain):
+        sched = Schedule.final_only(3)
+        result = simulate_run(chain, platform, sched, ScriptedErrorSource())
+        assert result.attempts == 1  # single segment of 300s
+        assert result.makespan == pytest.approx(300.0 + 2.0 + 3.0 + 10.0)
+
+
+class TestFailStopPath:
+    def test_rollback_to_virtual_start(self, platform, chain):
+        sched = Schedule([Action.VERIFY, Action.MEMORY, Action.DISK])
+        # fail 30% into the first segment, then run clean
+        src = ScriptedErrorSource(fail_stops=[0.3])
+        result = simulate_run(chain, platform, sched, src, record_trace=True)
+        clean = 300.0 + 3 * 2.0 + 3.0 + 3.0 + 10.0
+        assert result.makespan == pytest.approx(clean + 0.3 * 100.0)  # RD=0 at T0
+        assert result.fail_stop_errors == 1
+        assert EventKind.FAIL_STOP in kinds(result)
+        assert EventKind.DISK_RECOVERY in kinds(result)
+
+    def test_rollback_pays_rd_after_first_disk_ckpt(self, platform):
+        chain = TaskChain([100.0, 100.0])
+        sched = Schedule([Action.DISK, Action.DISK])
+        # clean first segment, fail half-way through the second
+        src = ScriptedErrorSource(fail_stops=[None, 0.5])
+        result = simulate_run(chain, platform, sched, src, record_trace=True)
+        clean = 200.0 + 2 * (2.0 + 3.0 + 10.0)
+        assert result.makespan == pytest.approx(clean + 50.0 + platform.RD)
+        recovery = result.trace.of_kind(EventKind.DISK_RECOVERY)[0]
+        assert recovery.position == 1  # rolled back to T1's checkpoint
+
+    def test_fail_stop_wipes_latent_corruption(self, platform):
+        """Latent silent error + later fail-stop => clean restart, the missed
+        error never needs detecting again."""
+        chain = TaskChain([100.0, 100.0])
+        sched = Schedule([Action.PARTIAL, Action.DISK])
+        src = ScriptedErrorSource(
+            fail_stops=[None, 0.5],  # seg1 ok, seg2 fails
+            silents=[True],  # corruption in seg1 ...
+            detections=[False],  # ... missed by the partial verification
+        )
+        result = simulate_run(chain, platform, sched, src, record_trace=True)
+        assert result.silent_missed == 1
+        assert result.fail_stop_errors == 1
+        # after the fail-stop restart everything is clean (script exhausted
+        # defaults to no further errors): no detection events at the end
+        assert result.trace.count(EventKind.SILENT_DETECTED) == 0
+        # T1 partial verification paid 2x (initial + re-execution)
+        assert result.makespan == pytest.approx(
+            100.0  # seg1 first pass
+            + platform.Vp
+            + 50.0  # seg2 until the crash (RD=0: last disk is T0)
+            + 100.0  # seg1 re-run
+            + platform.Vp
+            + 100.0  # seg2 re-run
+            + platform.Vg
+            + platform.CM
+            + platform.CD
+        )
+
+
+class TestSilentPath:
+    def test_detected_at_guaranteed_rolls_back_to_memory(self, platform):
+        chain = TaskChain([100.0, 100.0])
+        sched = Schedule([Action.MEMORY, Action.DISK])
+        src = ScriptedErrorSource(silents=[False, True])  # corruption in seg2
+        result = simulate_run(chain, platform, sched, src, record_trace=True)
+        assert result.silent_detected == 1
+        recovery = result.trace.of_kind(EventKind.MEMORY_RECOVERY)[0]
+        assert recovery.position == 1
+        assert result.makespan == pytest.approx(
+            100.0 + platform.Vg + platform.CM  # seg1 + ckpt
+            + 100.0 + platform.Vg + platform.RM  # seg2, detected, rollback
+            + 100.0 + platform.Vg + platform.CM + platform.CD  # seg2 again
+        )
+
+    def test_detection_at_start_rolls_back_free(self, platform):
+        chain = TaskChain([100.0])
+        sched = Schedule([Action.DISK])
+        src = ScriptedErrorSource(silents=[True])
+        result = simulate_run(chain, platform, sched, src, record_trace=True)
+        # rollback to virtual T0: RM not paid
+        assert result.makespan == pytest.approx(
+            100.0 + platform.Vg + 100.0 + platform.Vg + platform.CM + platform.CD
+        )
+
+    def test_missed_then_caught_by_guaranteed(self, platform):
+        chain = TaskChain([100.0, 100.0])
+        sched = Schedule([Action.PARTIAL, Action.DISK])
+        src = ScriptedErrorSource(silents=[True, False], detections=[False])
+        result = simulate_run(chain, platform, sched, src, record_trace=True)
+        assert result.silent_missed == 1
+        assert result.silent_detected == 1  # caught by T2's guaranteed verif
+        assert result.makespan == pytest.approx(
+            100.0 + platform.Vp  # corrupted seg1, missed
+            + 100.0 + platform.Vg  # seg2, caught (latent)
+            + 0.0  # rollback to T0 free
+            + 100.0 + platform.Vp + 100.0 + platform.Vg  # clean re-run
+            + platform.CM + platform.CD
+        )
+
+    def test_partial_detects_immediately(self, platform):
+        chain = TaskChain([100.0, 100.0])
+        sched = Schedule([Action.PARTIAL, Action.DISK])
+        src = ScriptedErrorSource(silents=[True], detections=[True])
+        result = simulate_run(chain, platform, sched, src)
+        assert result.silent_detected == 1
+        assert result.silent_missed == 0
+        assert result.makespan == pytest.approx(
+            100.0 + platform.Vp  # detected at T1
+            + 100.0 + platform.Vp + 100.0 + platform.Vg  # clean re-run
+            + platform.CM + platform.CD
+        )
+
+    def test_checkpoint_not_stored_on_detection(self, platform):
+        """A memory checkpoint position whose verification catches an error
+        must NOT store the checkpoint (it would be corrupted)."""
+        chain = TaskChain([100.0, 100.0])
+        sched = Schedule([Action.MEMORY, Action.DISK])
+        src = ScriptedErrorSource(silents=[True])
+        result = simulate_run(chain, platform, sched, src, record_trace=True)
+        ckpts = result.trace.of_kind(EventKind.MEMORY_CHECKPOINT)
+        # stored only on the clean second pass of T1 (plus T2's)
+        assert len(ckpts) == 2
+
+
+class TestGuards:
+    def test_mismatched_chain(self, platform):
+        with pytest.raises(InvalidScheduleError, match="covers"):
+            simulate_run(
+                TaskChain([1.0]),
+                platform,
+                Schedule.final_only(2),
+                ScriptedErrorSource(),
+            )
+
+    def test_silent_errors_need_final_guaranteed(self, platform):
+        chain = TaskChain([1.0, 1.0])
+        sched = Schedule([Action.NONE, Action.PARTIAL])
+        with pytest.raises(InvalidScheduleError, match="guaranteed"):
+            simulate_run(chain, platform, sched, ScriptedErrorSource())
+
+    def test_unverified_tail_ok_without_silent_errors(self):
+        p = Platform.from_costs("fs", lf=1e-3, ls=0.0, CD=5.0, CM=1.0)
+        chain = TaskChain([10.0, 10.0])
+        sched = Schedule([Action.DISK, Action.NONE])  # tail unverified
+        result = simulate_run(chain, p, sched, ScriptedErrorSource())
+        assert result.makespan == pytest.approx(
+            10.0 + p.Vg + p.CM + p.CD + 10.0
+        )
+
+    def test_max_attempts_guard(self, platform):
+        chain = TaskChain([10.0])
+        sched = Schedule([Action.DISK])
+        # every attempt fails
+        src = ScriptedErrorSource(fail_stops=[0.5] * 100, exhausted_ok=False)
+        with pytest.raises(SimulationError, match="attempts"):
+            simulate_run(chain, platform, sched, src, max_attempts=5)
+
+    def test_trace_disabled_by_default(self, platform, chain):
+        result = simulate_run(
+            chain, platform, Schedule.final_only(3), ScriptedErrorSource()
+        )
+        assert result.trace is None

@@ -1,0 +1,97 @@
+"""Unit tests for simulator error sources."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.platforms import Platform
+from repro.simulation import PoissonErrorSource, ScriptedErrorSource
+
+
+def make_platform(lf=1e-2, ls=1e-2, r=0.8):
+    return Platform.from_costs("src", lf=lf, ls=ls, CD=10.0, CM=2.0, r=r)
+
+
+class TestPoissonSource:
+    def test_no_fail_stop_with_zero_rate(self):
+        src = PoissonErrorSource(make_platform(lf=0.0), rng=0)
+        assert all(src.fail_stop_arrival(1e9) is None for _ in range(100))
+
+    def test_no_silent_with_zero_rate(self):
+        src = PoissonErrorSource(make_platform(ls=0.0), rng=0)
+        assert not any(src.silent_strikes(1e9) for _ in range(100))
+
+    def test_fail_stop_arrival_before_w(self):
+        src = PoissonErrorSource(make_platform(lf=0.5), rng=1)
+        for _ in range(200):
+            arrival = src.fail_stop_arrival(10.0)
+            if arrival is not None:
+                assert 0.0 <= arrival < 10.0
+
+    def test_fail_stop_frequency_matches_rate(self):
+        lf, W, trials = 5e-3, 100.0, 20000
+        src = PoissonErrorSource(make_platform(lf=lf), rng=2)
+        hits = sum(src.fail_stop_arrival(W) is not None for _ in range(trials))
+        expected = 1.0 - np.exp(-lf * W)
+        assert hits / trials == pytest.approx(expected, abs=0.01)
+
+    def test_silent_frequency_matches_rate(self):
+        ls, W, trials = 8e-3, 100.0, 20000
+        src = PoissonErrorSource(make_platform(ls=ls), rng=3)
+        hits = sum(src.silent_strikes(W) for _ in range(trials))
+        expected = 1.0 - np.exp(-ls * W)
+        assert hits / trials == pytest.approx(expected, abs=0.01)
+
+    def test_detection_frequency_matches_recall(self):
+        src = PoissonErrorSource(make_platform(r=0.7), rng=4)
+        trials = 20000
+        hits = sum(src.partial_detects() for _ in range(trials))
+        assert hits / trials == pytest.approx(0.7, abs=0.01)
+
+    def test_seed_reproducibility(self):
+        a = PoissonErrorSource(make_platform(), rng=42)
+        b = PoissonErrorSource(make_platform(), rng=42)
+        seq_a = [a.fail_stop_arrival(50.0) for _ in range(20)]
+        seq_b = [b.fail_stop_arrival(50.0) for _ in range(20)]
+        assert seq_a == seq_b
+
+    def test_accepts_generator_instance(self):
+        rng = np.random.default_rng(7)
+        src = PoissonErrorSource(make_platform(), rng=rng)
+        assert src.rng is rng
+
+
+class TestScriptedSource:
+    def test_fail_stop_fraction_scales_with_w(self):
+        src = ScriptedErrorSource(fail_stops=[0.25, None])
+        assert src.fail_stop_arrival(100.0) == pytest.approx(25.0)
+        assert src.fail_stop_arrival(100.0) is None
+
+    def test_invalid_fraction_rejected(self):
+        src = ScriptedErrorSource(fail_stops=[1.5])
+        with pytest.raises(SimulationError, match="fraction"):
+            src.fail_stop_arrival(10.0)
+
+    def test_silent_script(self):
+        src = ScriptedErrorSource(silents=[True, False, True])
+        assert src.silent_strikes(1.0) is True
+        assert src.silent_strikes(1.0) is False
+        assert src.silent_strikes(1.0) is True
+
+    def test_detection_script(self):
+        src = ScriptedErrorSource(detections=[False, True])
+        assert src.partial_detects() is False
+        assert src.partial_detects() is True
+
+    def test_exhausted_defaults(self):
+        src = ScriptedErrorSource()
+        assert src.fail_stop_arrival(5.0) is None
+        assert src.silent_strikes(5.0) is False
+        assert src.partial_detects() is True
+
+    def test_exhausted_strict_raises(self):
+        src = ScriptedErrorSource(exhausted_ok=False)
+        with pytest.raises(SimulationError, match="exhausted"):
+            src.fail_stop_arrival(5.0)

@@ -1,0 +1,71 @@
+"""Every example script must run cleanly and print its key artefacts."""
+
+from __future__ import annotations
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_examples_directory_contents():
+    scripts = sorted(p.name for p in EXAMPLES.glob("*.py"))
+    assert "quickstart.py" in scripts
+    assert len(scripts) >= 3
+
+
+def test_quickstart(capsys):
+    out = run_example("quickstart.py", capsys)
+    assert "optimal placement" in out
+    assert "Markov cross-check" in out
+    assert "Monte-Carlo" in out
+    assert "inside the" in out  # CI agreement line
+
+
+def test_platform_comparison(capsys):
+    out = run_example("platform_comparison.py", capsys)
+    assert "Hera" in out and "Coastal SSD" in out
+    assert "2-level gain" in out
+
+
+def test_workflow_patterns(capsys):
+    out = run_example("workflow_patterns.py", capsys)
+    for pattern in ("uniform", "decrease", "highlow"):
+        assert pattern in out
+    assert "disk ckpts" in out
+
+
+def test_custom_platform_tuning(capsys):
+    out = run_example("custom_platform_tuning.py", capsys)
+    assert "my-cluster" in out
+    assert "Young/Daly" in out
+    assert "sensitivity" in out
+
+
+def test_failure_forensics(capsys):
+    out = run_example("failure_forensics.py", capsys)
+    assert "stochastic run" in out
+    assert "what-if" in out
+    assert "fail_stop" in out or "silent" in out
+
+
+def test_general_workflows(capsys):
+    out = run_example("general_workflows.py", capsys)
+    assert "analysis-pipeline" in out
+    assert "join graph" in out
+    assert "local search" in out
+
+
+def test_heterogeneous_costs(capsys):
+    out = run_example("heterogeneous_costs.py", capsys)
+    assert "per-task costs" in out
+    assert "size-aware optimum" in out
+    assert "penalty for ignoring sizes" in out

@@ -1,0 +1,81 @@
+"""Unit tests for schedule enumeration and brute-force search."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chains import TaskChain
+from repro.core.exhaustive import (
+    ACTION_SETS,
+    enumerate_schedules,
+    exhaustive_search,
+)
+from repro.core.schedule import Action
+from repro.exceptions import InvalidParameterError
+
+
+class TestEnumeration:
+    def test_count_full_action_set(self):
+        # 5^(n-1) schedules with the final task pinned to DISK
+        assert sum(1 for _ in enumerate_schedules(3)) == 25
+        assert sum(1 for _ in enumerate_schedules(4)) == 125
+
+    def test_count_restricted_sets(self):
+        assert sum(1 for _ in enumerate_schedules(4, ACTION_SETS["adv_star"])) == 27
+        assert sum(1 for _ in enumerate_schedules(4, ACTION_SETS["admv_star"])) == 64
+
+    def test_single_task(self):
+        schedules = list(enumerate_schedules(1))
+        assert len(schedules) == 1
+        assert schedules[0].to_string() == "D"
+
+    def test_all_strict(self):
+        assert all(s.is_strict for s in enumerate_schedules(3))
+
+    def test_all_unique(self):
+        schedules = list(enumerate_schedules(4))
+        assert len(set(schedules)) == len(schedules)
+
+    def test_rejects_zero_tasks(self):
+        with pytest.raises(InvalidParameterError):
+            list(enumerate_schedules(0))
+
+    def test_action_set_respected(self):
+        for sched in enumerate_schedules(4, ACTION_SETS["adv_star"]):
+            for action in sched:
+                assert action in (Action.NONE, Action.VERIFY, Action.DISK)
+
+
+class TestSearch:
+    def test_refuses_large_chains(self, hera):
+        with pytest.raises(InvalidParameterError, match="limited"):
+            exhaustive_search(TaskChain([1.0] * 11), hera)
+
+    def test_unknown_algorithm(self, hera, small_chain):
+        with pytest.raises(InvalidParameterError, match="unknown algorithm"):
+            exhaustive_search(small_chain, hera, algorithm="magic")
+
+    def test_single_task_value(self, hot_platform):
+        chain = TaskChain([50.0])
+        value, sched = exhaustive_search(chain, hot_platform)
+        assert sched.to_string() == "D"
+        assert value > 50.0
+
+    def test_restricted_search_never_beats_full(self, hot_platform, small_chain):
+        v_full, _ = exhaustive_search(small_chain, hot_platform, algorithm="admv")
+        v_two, _ = exhaustive_search(small_chain, hot_platform, algorithm="admv_star")
+        v_one, _ = exhaustive_search(small_chain, hot_platform, algorithm="adv_star")
+        assert v_full <= v_two + 1e-12
+        assert v_two <= v_one + 1e-12
+
+    def test_error_free_optimum_is_minimal_schedule(self, error_free_platform):
+        """Without errors every extra action is pure cost."""
+        chain = TaskChain([10.0, 10.0, 10.0])
+        value, sched = exhaustive_search(chain, error_free_platform)
+        assert sched.to_string() == "..D"
+        assert value == pytest.approx(
+            30.0
+            + error_free_platform.Vg
+            + error_free_platform.CM
+            + error_free_platform.CD
+        )

@@ -1,0 +1,130 @@
+"""Tests of the experiment drivers (small grids) and their paper shapes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig5, fig6, fig78, table1
+from repro.platforms import COASTAL_SSD, HERA
+
+
+SMALL_GRID = [2, 6, 12]
+
+
+class TestTable1:
+    def test_rows_in_paper_order(self):
+        result = table1.run()
+        names = [row[0] for row in result.rows()]
+        assert names == ["Hera", "Atlas", "Coastal", "Coastal SSD"]
+
+    def test_render_contains_mtbf(self):
+        text = table1.run().render()
+        assert "12.2" in text  # Hera fail-stop MTBF days
+        assert "Table I" in text
+
+
+class TestFig5:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig5.run(task_counts=SMALL_GRID, platforms=(HERA,))
+
+    def test_sweeps_present(self, result):
+        assert set(result.sweeps) == {"Hera"}
+
+    def test_algorithm_ordering_everywhere(self, result):
+        sweep = result.sweeps["Hera"]
+        for n in sweep.task_counts:
+            v1 = sweep.record(n, "adv_star").normalized_makespan
+            v2 = sweep.record(n, "admv_star").normalized_makespan
+            v3 = sweep.record(n, "admv").normalized_makespan
+            assert v3 <= v2 * (1 + 1e-12) <= v1 * (1 + 1e-12)
+
+    def test_makespan_improves_with_more_tasks(self, result):
+        """Paper shape: few tasks => large re-execution penalty."""
+        sweep = result.sweeps["Hera"]
+        first = sweep.record(SMALL_GRID[0], "admv").normalized_makespan
+        last = sweep.record(SMALL_GRID[-1], "admv").normalized_makespan
+        assert last < first
+
+    def test_gains_nonnegative(self, result):
+        assert result.two_level_gain("Hera") >= 0.0
+        assert result.partial_gain("Hera") >= 0.0
+
+    def test_render_contains_tables_and_chart(self, result):
+        text = result.render()
+        assert "Normalized makespan" in text
+        assert "Figure 5 (counts)" in text
+        assert "ADMV*" in text
+
+
+class TestFig6:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig6.run(n=20)
+
+    def test_all_platforms_solved(self, result):
+        assert set(result.solutions) == {
+            "Hera",
+            "Atlas",
+            "Coastal",
+            "Coastal SSD",
+        }
+
+    def test_paper_shape_single_disk_checkpoint(self, result):
+        """'For all platforms, the algorithm does not perform any additional
+        disk checkpoints' (only the final mandatory one)."""
+        for sol in result.solutions.values():
+            assert sol.counts().disk == 1
+
+    def test_paper_shape_ssd_prefers_partials(self, result):
+        """On Coastal SSD partial verifications dominate guaranteed ones."""
+        counts = result.solutions["Coastal SSD"].counts()
+        assert counts.partial > counts.guaranteed - 1  # final verif excluded
+
+    def test_render_contains_diagrams(self, result):
+        text = result.render()
+        assert "Platform Hera with ADMV" in text
+        assert "disk ckpts" in text
+
+
+class TestFig78:
+    @pytest.fixture(scope="class")
+    def fig7(self):
+        return fig78.run_fig7(task_counts=SMALL_GRID, n_map=20)
+
+    @pytest.fixture(scope="class")
+    def fig8(self):
+        return fig78.run_fig8(task_counts=SMALL_GRID, n_map=20)
+
+    def test_platform_selection(self, fig7):
+        assert set(fig7.sweeps) == {"Hera", "Coastal SSD"}
+
+    def test_decrease_protects_heavy_head(self, fig7):
+        """Paper shape (Fig. 7): the early heavy tasks are protected, the
+        light tail of the Decrease pattern is left mostly bare on Hera."""
+        sched = fig7.map_solutions["Hera"].schedule
+        n = sched.n
+        head = set(range(1, n // 2 + 1))
+        protected = set(sched.memory_positions) - {n}
+        assert protected and protected <= head
+
+    def test_highlow_memory_on_heavy_tasks_hera(self, fig8):
+        """Paper shape (Fig. 8): memory checkpoints are mandatory on the
+        heavy head tasks on Hera."""
+        sched = fig8.map_solutions["Hera"].schedule
+        heavy = set(range(1, max(1, sched.n // 10) + 1))
+        assert heavy <= set(sched.memory_positions) | set(
+            sched.guaranteed_positions
+        )
+
+    def test_ordering_holds(self, fig8):
+        for sweep in fig8.sweeps.values():
+            for n in sweep.task_counts:
+                v1 = sweep.record(n, "adv_star").normalized_makespan
+                v3 = sweep.record(n, "admv").normalized_makespan
+                assert v3 <= v1 * (1 + 1e-12)
+
+    def test_render(self, fig7):
+        text = fig7.render()
+        assert "decrease" in text
+        assert "Figure 7" in text

@@ -1,0 +1,80 @@
+"""Tests for CSV/JSON exporters."""
+
+from __future__ import annotations
+
+import csv
+import json
+
+import pytest
+
+from repro.analysis import (
+    counts_to_csv,
+    solution_to_json,
+    sweep_task_counts,
+    sweep_to_csv,
+    sweep_to_json,
+)
+from repro.chains import TaskChain
+from repro.core import optimize
+from repro.platforms import Platform
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    platform = Platform.from_costs("exp", lf=1e-3, ls=4e-3, CD=20.0, CM=4.0)
+    return sweep_task_counts(
+        platform,
+        task_counts=[2, 4, 6],
+        algorithms=("adv_star", "admv"),
+        total_weight=300.0,
+    )
+
+
+class TestSweepCsv:
+    def test_round_trippable_rows(self, sweep, tmp_path):
+        path = tmp_path / "sweep.csv"
+        sweep_to_csv(sweep, path)
+        with open(path) as fh:
+            rows = list(csv.reader(fh))
+        assert rows[0] == ["n", "adv_star", "admv"]
+        assert len(rows) == 4
+        # values parse back to the recorded normalized makespans
+        for row, n in zip(rows[1:], sweep.task_counts):
+            assert float(row[1]) == pytest.approx(
+                sweep.record(n, "adv_star").normalized_makespan
+            )
+
+    def test_counts_csv(self, sweep, tmp_path):
+        path = tmp_path / "counts.csv"
+        counts_to_csv(sweep, "admv", path)
+        with open(path) as fh:
+            rows = list(csv.reader(fh))
+        assert rows[0] == ["n", "disk", "memory", "guaranteed", "partial"]
+        assert int(rows[1][1]) >= 1  # at least the final disk checkpoint
+
+
+class TestJson:
+    def test_sweep_json_document(self, sweep, tmp_path):
+        path = tmp_path / "sweep.json"
+        doc = sweep_to_json(sweep, path)
+        loaded = json.loads(path.read_text())
+        assert loaded == doc
+        assert loaded["algorithms"] == ["adv_star", "admv"]
+        assert len(loaded["records"]) == 6
+        rec = loaded["records"][0]
+        assert {"n", "algorithm", "expected_time", "schedule"} <= set(rec)
+
+    def test_solution_json_document(self, tmp_path):
+        platform = Platform.from_costs("exp", lf=1e-3, ls=4e-3, CD=20.0, CM=4.0)
+        chain = TaskChain([50.0, 50.0, 50.0])
+        sol = optimize(chain, platform, algorithm="admv_star")
+        path = tmp_path / "sol.json"
+        doc = solution_to_json(sol, path)
+        loaded = json.loads(path.read_text())
+        assert loaded == doc
+        assert loaded["schedule_string"] == sol.schedule.to_string()
+        assert loaded["chain"]["weights"] == [50.0, 50.0, 50.0]
+
+    def test_json_without_path(self, sweep):
+        doc = sweep_to_json(sweep)
+        assert doc["pattern"] == "uniform"

@@ -1,0 +1,91 @@
+"""End-to-end integration: the three model implementations agree.
+
+For each scenario the pipeline is:
+
+    optimize (DP) -> evaluate (Markov) -> simulate (Monte-Carlo)
+
+and the assertions are exact equality (DP vs Markov) plus statistical
+agreement (Monte-Carlo CI brackets the analytic value).  Scenarios cover
+all three workload patterns and both realistic (Table I) and hot synthetic
+platforms.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.chains import make_chain
+from repro.core import evaluate_schedule, optimize
+from repro.platforms import HERA, Platform
+from repro.simulation import run_monte_carlo
+
+HOT = Platform.from_costs(
+    "integration-hot", lf=1.5e-3, ls=5e-3, CD=25.0, CM=5.0, r=0.8,
+    partial_cost_ratio=25.0,
+)
+
+
+@pytest.mark.parametrize("pattern", ["uniform", "decrease", "highlow"])
+@pytest.mark.parametrize("algorithm", ["adv_star", "admv_star", "admv"])
+def test_three_way_agreement_hot(pattern, algorithm):
+    chain = make_chain(pattern, 8, total_weight=500.0)
+    solution = optimize(chain, HOT, algorithm=algorithm)
+
+    markov = evaluate_schedule(chain, HOT, solution.schedule).expected_time
+    assert solution.expected_time == pytest.approx(markov, rel=1e-10)
+
+    mc = run_monte_carlo(
+        chain,
+        HOT,
+        solution.schedule,
+        runs=1500,
+        seed=42,
+        confidence=0.999,
+        analytic=markov,
+    )
+    assert mc.agrees_with_analytic, mc.report()
+
+
+@pytest.mark.parametrize("pattern", ["uniform", "decrease", "highlow"])
+def test_paper_scale_pipeline_hera(pattern):
+    """Full pipeline at paper scale (errors are rare: the CI check is on
+    the mean of 800 runs, looser but still binding)."""
+    chain = make_chain(pattern, 15)
+    solution = optimize(chain, HERA, algorithm="admv")
+    markov = evaluate_schedule(chain, HERA, solution.schedule).expected_time
+    assert solution.expected_time == pytest.approx(markov, rel=1e-10)
+
+    mc = run_monte_carlo(
+        chain,
+        HERA,
+        solution.schedule,
+        runs=800,
+        seed=7,
+        confidence=0.999,
+        analytic=markov,
+    )
+    assert mc.agrees_with_analytic, mc.report()
+
+
+def test_solution_improves_along_algorithm_ladder_all_patterns():
+    for pattern in ("uniform", "decrease", "highlow"):
+        chain = make_chain(pattern, 12, total_weight=600.0)
+        values = [
+            optimize(chain, HOT, algorithm=a).expected_time
+            for a in ("adv_star", "admv_star", "admv")
+        ]
+        assert values[2] <= values[1] * (1 + 1e-12) <= values[0] * (1 + 1e-12)
+
+
+def test_simulated_error_counts_match_rates():
+    """Sanity on the generative model itself: observed fail-stop counts per
+    run match the Poisson expectation within 10%."""
+    chain = make_chain("uniform", 6, total_weight=600.0)
+    solution = optimize(chain, HOT, algorithm="admv_star")
+    mc = run_monte_carlo(chain, HOT, solution.schedule, runs=4000, seed=11)
+    # expected #fail-stops per run ~ λ_f * E[total computed time]; computed
+    # time is at least the error-free work, at most the makespan
+    lo = HOT.lf * chain.total_weight
+    hi = HOT.lf * mc.mean
+    assert lo * 0.8 <= mc.mean_fail_stops <= hi * 1.2

@@ -1,0 +1,140 @@
+"""Unit and statistical tests for the Monte-Carlo harness and stats."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.chains import TaskChain
+from repro.core import evaluate_schedule, optimize
+from repro.core.schedule import Schedule
+from repro.exceptions import InvalidParameterError
+from repro.simulation import (
+    confidence_interval,
+    run_monte_carlo,
+    summarize,
+)
+
+
+class TestStats:
+    def test_summary_basics(self):
+        s = summarize(np.array([1.0, 2.0, 3.0, 4.0]))
+        assert s.count == 4
+        assert s.mean == pytest.approx(2.5)
+        assert s.minimum == 1.0
+        assert s.maximum == 4.0
+        assert s.median == pytest.approx(2.5)
+
+    def test_summary_single_sample(self):
+        s = summarize(np.array([7.0]))
+        assert s.std == 0.0
+        assert s.ci_low == s.ci_high == 7.0
+
+    def test_summary_rejects_empty(self):
+        with pytest.raises(InvalidParameterError):
+            summarize(np.array([]))
+
+    def test_ci_contains_mean(self):
+        rng = np.random.default_rng(0)
+        samples = rng.normal(100.0, 5.0, size=400)
+        lo, hi = confidence_interval(samples, 0.95)
+        assert lo < samples.mean() < hi
+
+    def test_ci_width_shrinks_with_samples(self):
+        rng = np.random.default_rng(1)
+        small = rng.normal(0.0, 1.0, 50)
+        large = rng.normal(0.0, 1.0, 5000)
+        w_small = np.diff(confidence_interval(small, 0.95))[0]
+        w_large = np.diff(confidence_interval(large, 0.95))[0]
+        assert w_large < w_small
+
+    def test_ci_widens_with_confidence(self):
+        rng = np.random.default_rng(2)
+        samples = rng.normal(0.0, 1.0, 200)
+        w95 = np.diff(confidence_interval(samples, 0.95))[0]
+        w99 = np.diff(confidence_interval(samples, 0.99))[0]
+        assert w99 > w95
+
+    def test_ci_rejects_bad_confidence(self):
+        with pytest.raises(InvalidParameterError):
+            confidence_interval(np.array([1.0, 2.0]), 1.0)
+
+    def test_constant_samples_zero_width(self):
+        lo, hi = confidence_interval(np.full(10, 3.0), 0.99)
+        assert lo == hi == 3.0
+
+    def test_contains(self):
+        s = summarize(np.array([1.0, 2.0, 3.0]))
+        assert s.contains(s.mean)
+
+    def test_str_mentions_ci(self):
+        assert "CI" in str(summarize(np.array([1.0, 2.0])))
+
+
+class TestMonteCarlo:
+    @pytest.fixture
+    def instance(self, hot_platform):
+        chain = TaskChain([60.0] * 6)
+        sol = optimize(chain, hot_platform, algorithm="admv")
+        return chain, hot_platform, sol
+
+    def test_reproducible_with_seed(self, instance):
+        chain, platform, sol = instance
+        a = run_monte_carlo(chain, platform, sol.schedule, runs=50, seed=9)
+        b = run_monte_carlo(chain, platform, sol.schedule, runs=50, seed=9)
+        assert np.array_equal(a.samples, b.samples)
+
+    def test_different_seeds_differ(self, instance):
+        chain, platform, sol = instance
+        a = run_monte_carlo(chain, platform, sol.schedule, runs=50, seed=1)
+        b = run_monte_carlo(chain, platform, sol.schedule, runs=50, seed=2)
+        assert not np.array_equal(a.samples, b.samples)
+
+    def test_rejects_zero_runs(self, instance):
+        chain, platform, sol = instance
+        with pytest.raises(InvalidParameterError):
+            run_monte_carlo(chain, platform, sol.schedule, runs=0)
+
+    def test_agreement_with_markov_value(self, instance):
+        """The analytic expectation must fall inside the 99.9% CI.
+
+        (A statistical test, but with 3000 runs and a 99.9% interval the
+        false-failure probability is ~1e-3 with a fixed seed: deterministic
+        in practice.)
+        """
+        chain, platform, sol = instance
+        analytic = evaluate_schedule(chain, platform, sol.schedule).expected_time
+        mc = run_monte_carlo(
+            chain,
+            platform,
+            sol.schedule,
+            runs=3000,
+            seed=7,
+            confidence=0.999,
+            analytic=analytic,
+        )
+        assert mc.agrees_with_analytic, mc.report()
+        assert abs(mc.relative_gap) < 0.05
+
+    def test_error_free_platform_deterministic(self, error_free_platform):
+        chain = TaskChain([10.0, 10.0])
+        sched = Schedule.final_only(2)
+        mc = run_monte_carlo(chain, error_free_platform, sched, runs=20)
+        assert mc.summary.std == 0.0
+        assert mc.mean_fail_stops == 0.0
+        assert mc.mean_silent_errors == 0.0
+
+    def test_report_text(self, instance):
+        chain, platform, sol = instance
+        mc = run_monte_carlo(
+            chain, platform, sol.schedule, runs=30, seed=0, analytic=500.0
+        )
+        text = mc.report()
+        assert "Monte-Carlo" in text
+        assert "analytic" in text
+
+    def test_no_analytic_gap_is_nan(self, instance):
+        chain, platform, sol = instance
+        mc = run_monte_carlo(chain, platform, sol.schedule, runs=10)
+        assert np.isnan(mc.relative_gap)
+        assert not mc.agrees_with_analytic

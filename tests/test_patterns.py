@@ -1,0 +1,179 @@
+"""Unit tests for workload pattern generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.chains import (
+    PAPER_TOTAL_WEIGHT,
+    PATTERNS,
+    custom_chain,
+    decrease_chain,
+    geometric_chain,
+    highlow_chain,
+    increase_chain,
+    make_chain,
+    random_chain,
+    uniform_chain,
+)
+from repro.exceptions import InvalidParameterError
+
+
+ALL_GENERATORS = [
+    uniform_chain,
+    decrease_chain,
+    increase_chain,
+    highlow_chain,
+    geometric_chain,
+    random_chain,
+]
+
+
+@pytest.mark.parametrize("gen", ALL_GENERATORS)
+@pytest.mark.parametrize("n", [1, 2, 7, 50])
+def test_total_weight_is_exact(gen, n):
+    chain = gen(n, 25000.0)
+    assert chain.total_weight == pytest.approx(25000.0, rel=1e-12)
+    assert chain.n == n
+
+
+@pytest.mark.parametrize("gen", ALL_GENERATORS)
+def test_rejects_zero_tasks(gen):
+    with pytest.raises(InvalidParameterError):
+        gen(0)
+
+
+@pytest.mark.parametrize("gen", ALL_GENERATORS)
+def test_rejects_nonpositive_weight(gen):
+    with pytest.raises(InvalidParameterError):
+        gen(5, 0.0)
+    with pytest.raises(InvalidParameterError):
+        gen(5, -1.0)
+
+
+class TestUniform:
+    def test_all_weights_equal(self):
+        chain = uniform_chain(8, 800.0)
+        assert np.allclose(chain.weights, 100.0)
+
+    def test_paper_default_total(self):
+        assert uniform_chain(10).total_weight == pytest.approx(PAPER_TOTAL_WEIGHT)
+
+
+class TestDecrease:
+    def test_strictly_decreasing(self):
+        chain = decrease_chain(20)
+        assert np.all(np.diff(chain.weights) < 0)
+
+    def test_quadratic_ratio(self):
+        # w_i proportional to (n+1-i)^2: w_1/w_n = n^2
+        chain = decrease_chain(10)
+        assert chain.weights[0] / chain.weights[-1] == pytest.approx(100.0)
+
+
+class TestIncrease:
+    def test_strictly_increasing(self):
+        chain = increase_chain(15)
+        assert np.all(np.diff(chain.weights) > 0)
+
+    def test_mirror_of_decrease(self):
+        inc, dec = increase_chain(9), decrease_chain(9)
+        assert np.allclose(inc.weights, dec.weights[::-1])
+
+
+class TestHighLow:
+    def test_paper_structure(self):
+        # 10% of tasks hold 60% of the weight
+        chain = highlow_chain(50, 25000.0)
+        heavy = chain.weights[:5]
+        light = chain.weights[5:]
+        assert np.allclose(heavy, 25000.0 * 0.6 / 5)  # 3000s each (paper)
+        assert heavy.sum() == pytest.approx(0.6 * 25000.0)
+        assert light.sum() == pytest.approx(0.4 * 25000.0)
+        assert np.allclose(light, light[0])
+
+    def test_paper_quoted_weights(self):
+        # "the first 5 tasks have a weight of 3000s each, while the
+        #  remaining tasks have a weight of around 222s each"
+        chain = highlow_chain(50)
+        assert chain.weights[0] == pytest.approx(3000.0)
+        assert chain.weights[-1] == pytest.approx(10000.0 / 45.0)
+
+    def test_at_least_one_heavy_task(self):
+        chain = highlow_chain(3, 300.0, large_fraction=0.01)
+        assert chain.weights[0] > chain.weights[1]
+
+    def test_all_heavy_degenerates_to_uniform(self):
+        chain = highlow_chain(4, 400.0, large_fraction=1.0)
+        assert np.allclose(chain.weights, 100.0)
+
+    def test_invalid_fractions(self):
+        with pytest.raises(InvalidParameterError):
+            highlow_chain(10, large_fraction=0.0)
+        with pytest.raises(InvalidParameterError):
+            highlow_chain(10, large_fraction=1.5)
+        with pytest.raises(InvalidParameterError):
+            highlow_chain(10, large_weight_fraction=0.0)
+
+
+class TestGeometric:
+    def test_ratio_preserved(self):
+        chain = geometric_chain(6, ratio=0.5)
+        ratios = chain.weights[1:] / chain.weights[:-1]
+        assert np.allclose(ratios, 0.5)
+
+    def test_invalid_ratio(self):
+        with pytest.raises(InvalidParameterError):
+            geometric_chain(5, ratio=0.0)
+
+
+class TestRandom:
+    def test_reproducible_with_seed(self):
+        a = random_chain(12, rng=7)
+        b = random_chain(12, rng=7)
+        assert np.allclose(a.weights, b.weights)
+
+    def test_different_seeds_differ(self):
+        a = random_chain(12, rng=1)
+        b = random_chain(12, rng=2)
+        assert not np.allclose(a.weights, b.weights)
+
+    def test_generator_instance_accepted(self):
+        rng = np.random.default_rng(3)
+        chain = random_chain(5, rng=rng)
+        assert chain.n == 5
+
+    def test_invalid_spread(self):
+        with pytest.raises(InvalidParameterError):
+            random_chain(5, spread=1.0)
+
+
+class TestCustomAndRegistry:
+    def test_custom_chain_no_normalisation(self):
+        chain = custom_chain([2.0, 3.0])
+        assert chain.total_weight == 5.0
+
+    def test_registry_covers_all_names(self):
+        assert set(PATTERNS) == {
+            "uniform",
+            "decrease",
+            "increase",
+            "highlow",
+            "geometric",
+            "random",
+        }
+
+    @pytest.mark.parametrize("name", sorted(PATTERNS))
+    def test_make_chain_dispatch(self, name):
+        chain = make_chain(name, 6, 600.0)
+        assert chain.n == 6
+        assert chain.total_weight == pytest.approx(600.0)
+
+    def test_make_chain_unknown(self):
+        with pytest.raises(InvalidParameterError, match="unknown pattern"):
+            make_chain("sawtooth", 5)
+
+    def test_make_chain_forwards_kwargs(self):
+        chain = make_chain("highlow", 10, 1000.0, large_fraction=0.5)
+        assert chain.weights[4] > chain.weights[5]

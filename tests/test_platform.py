@@ -1,0 +1,172 @@
+"""Unit tests for the platform model and MTBF helpers."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.platforms import (
+    Platform,
+    days,
+    mtbf_to_rate,
+    node_mtbf_from_platform_rate,
+    platform_rate_from_node_mtbf,
+    rate_to_mtbf,
+)
+
+
+def make(name="p", **kw) -> Platform:
+    base = dict(lf=1e-6, ls=2e-6, CD=100.0, CM=10.0)
+    base.update(kw)
+    return Platform.from_costs(name, **base)
+
+
+class TestConstruction:
+    def test_from_costs_paper_defaults(self):
+        p = make()
+        assert p.RD == p.CD
+        assert p.RM == p.CM
+        assert p.Vg == p.CM
+        assert p.Vp == pytest.approx(p.CM / 100.0)
+        assert p.r == 0.8
+
+    def test_custom_partial_ratio(self):
+        p = make(partial_cost_ratio=10.0)
+        assert p.Vp == pytest.approx(p.Vg / 10.0)
+
+    def test_explicit_overrides(self):
+        p = Platform.from_costs(
+            "x", lf=0.0, ls=0.0, CD=1.0, CM=1.0, RD=7.0, RM=3.0, Vg=2.0, Vp=0.5
+        )
+        assert (p.RD, p.RM, p.Vg, p.Vp) == (7.0, 3.0, 2.0, 0.5)
+
+    def test_rejects_negative_rate(self):
+        with pytest.raises(InvalidParameterError):
+            make(lf=-1e-6)
+
+    def test_rejects_nan_rate(self):
+        with pytest.raises(InvalidParameterError):
+            make(ls=float("nan"))
+
+    def test_rejects_negative_cost(self):
+        with pytest.raises(InvalidParameterError):
+            make(CD=-5.0)
+
+    def test_rejects_recall_out_of_range(self):
+        with pytest.raises(InvalidParameterError):
+            make(r=1.5)
+        with pytest.raises(InvalidParameterError):
+            make(r=-0.1)
+
+    def test_recall_bounds_accepted(self):
+        assert make(r=0.0).g == 1.0
+        assert make(r=1.0).g == 0.0
+
+    def test_rejects_zero_partial_ratio(self):
+        with pytest.raises(InvalidParameterError):
+            make(partial_cost_ratio=0.0)
+
+
+class TestDerived:
+    def test_g_complements_r(self):
+        assert make(r=0.8).g == pytest.approx(0.2)
+
+    def test_lam_total(self):
+        assert make(lf=1e-6, ls=3e-6).lam_total == pytest.approx(4e-6)
+
+    def test_mtbf_inverse_of_rate(self):
+        p = make(lf=2e-6)
+        assert p.mtbf_fail_stop == pytest.approx(5e5)
+
+    def test_mtbf_zero_rate_is_inf(self):
+        p = make(lf=0.0, ls=0.0)
+        assert math.isinf(p.mtbf_fail_stop)
+        assert math.isinf(p.mtbf_silent)
+
+    def test_mtbf_days(self):
+        p = make(lf=1.0 / 86400.0)
+        assert p.mtbf_fail_stop_days == pytest.approx(1.0)
+
+
+class TestFunctionalUpdates:
+    def test_with_overrides(self):
+        p = make().with_overrides(CD=999.0)
+        assert p.CD == 999.0
+        assert p.CM == make().CM
+
+    def test_with_overrides_revalidates(self):
+        with pytest.raises(InvalidParameterError):
+            make().with_overrides(CD=-1.0)
+
+    def test_scaled_rates(self):
+        p = make(lf=1e-6, ls=2e-6).scaled_rates(10.0)
+        assert p.lf == pytest.approx(1e-5)
+        assert p.ls == pytest.approx(2e-5)
+        assert "x10" in p.name
+
+    def test_scaled_rates_rejects_negative(self):
+        with pytest.raises(InvalidParameterError):
+            make().scaled_rates(-1.0)
+
+    def test_error_free(self):
+        p = make().error_free()
+        assert p.lf == 0.0 and p.ls == 0.0
+
+    def test_immutability(self):
+        p = make()
+        with pytest.raises(AttributeError):
+            p.CD = 1.0  # type: ignore[misc]
+
+
+class TestSerialization:
+    def test_dict_round_trip(self):
+        p = make(r=0.77)
+        assert Platform.from_dict(p.as_dict()) == p
+
+    def test_from_dict_missing_field(self):
+        doc = make().as_dict()
+        del doc["CD"]
+        with pytest.raises(InvalidParameterError, match="CD"):
+            Platform.from_dict(doc)
+
+    def test_describe_contains_key_numbers(self):
+        text = make(name="demo").describe()
+        assert "demo" in text
+        assert "C_D = 100" in text
+        assert "recall" in text
+
+
+class TestMtbfHelpers:
+    def test_rate_to_mtbf_roundtrip(self):
+        assert mtbf_to_rate(rate_to_mtbf(2e-6)) == pytest.approx(2e-6)
+
+    def test_zero_rate_maps_to_inf(self):
+        assert math.isinf(rate_to_mtbf(0.0))
+        assert mtbf_to_rate(math.inf) == 0.0
+
+    def test_rejects_negative_rate(self):
+        with pytest.raises(InvalidParameterError):
+            rate_to_mtbf(-1.0)
+
+    def test_rejects_nonpositive_mtbf(self):
+        with pytest.raises(InvalidParameterError):
+            mtbf_to_rate(0.0)
+        with pytest.raises(InvalidParameterError):
+            mtbf_to_rate(float("nan"))
+
+    def test_platform_rate_scales_with_nodes(self):
+        # 100 nodes with 1000s node MTBF -> platform rate 0.1/s
+        assert platform_rate_from_node_mtbf(1000.0, 100) == pytest.approx(0.1)
+
+    def test_node_mtbf_inverse(self):
+        rate = platform_rate_from_node_mtbf(5000.0, 64)
+        assert node_mtbf_from_platform_rate(rate, 64) == pytest.approx(5000.0)
+
+    def test_node_scaling_rejects_zero_nodes(self):
+        with pytest.raises(InvalidParameterError):
+            platform_rate_from_node_mtbf(1000.0, 0)
+
+    def test_days(self):
+        assert days(86400.0) == pytest.approx(1.0)

@@ -1,0 +1,43 @@
+"""Tests for the paper-vs-measured claim report."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig5, fig6, fig78, table1
+from repro.experiments.report import (
+    Claim,
+    _fig6_claims,
+    _fig7_claims,
+    _table1_claims,
+    generate_report,
+)
+
+
+class TestClaimBuilders:
+    def test_table1_claims_pass(self):
+        claims = _table1_claims(table1.run())
+        assert len(claims) == 1
+        assert claims[0].holds
+
+    def test_fig6_claims_pass(self):
+        claims = _fig6_claims(fig6.run(n=30))
+        assert all(isinstance(c, Claim) for c in claims)
+        # the no-extra-disk and SSD-partials claims should hold at n=30 too
+        assert claims[0].holds
+        assert claims[1].holds
+
+    def test_fig7_claims_pass(self):
+        claims = _fig7_claims(fig78.run_fig7(task_counts=[6, 12], n_map=30))
+        assert all(c.holds for c in claims)
+
+
+@pytest.mark.slow
+class TestFullReport:
+    def test_generate_report_all_pass(self):
+        text = generate_report(fast=True)
+        assert "Paper-vs-measured report" in text
+        assert "FAIL" not in text
+        # every experiment section represented
+        for exp in ("Table I", "Figure 5", "Figure 6", "Figure 7", "Figure 8"):
+            assert exp in text

@@ -1,0 +1,204 @@
+"""Unit tests for the schedule model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.schedule import Action, Schedule
+from repro.exceptions import InvalidScheduleError
+
+
+class TestAction:
+    def test_ordering(self):
+        assert Action.NONE < Action.PARTIAL < Action.VERIFY < Action.MEMORY < Action.DISK
+
+    def test_verification_flags(self):
+        assert not Action.NONE.has_verification
+        assert Action.PARTIAL.has_verification
+        assert Action.PARTIAL.has_partial_verification
+        assert not Action.PARTIAL.has_guaranteed_verification
+        assert Action.VERIFY.has_guaranteed_verification
+        assert Action.MEMORY.has_guaranteed_verification
+        assert Action.DISK.has_guaranteed_verification
+
+    def test_checkpoint_flags(self):
+        assert not Action.VERIFY.has_memory_checkpoint
+        assert Action.MEMORY.has_memory_checkpoint
+        assert Action.DISK.has_memory_checkpoint
+        assert not Action.MEMORY.has_disk_checkpoint
+        assert Action.DISK.has_disk_checkpoint
+
+    def test_symbols_unique(self):
+        symbols = [a.symbol for a in Action]
+        assert len(set(symbols)) == len(symbols)
+
+
+class TestConstruction:
+    def test_from_actions(self):
+        s = Schedule([Action.NONE, Action.PARTIAL, Action.DISK])
+        assert s.n == 3
+        assert s[2] == Action.PARTIAL
+
+    def test_from_ints(self):
+        s = Schedule([0, 1, 4])
+        assert s[3] == Action.DISK
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidScheduleError):
+            Schedule([])
+
+    def test_rejects_out_of_range_levels(self):
+        with pytest.raises(InvalidScheduleError):
+            Schedule([0, 5])
+        with pytest.raises(InvalidScheduleError):
+            Schedule([-1])
+
+    def test_final_only(self):
+        s = Schedule.final_only(4)
+        assert s.to_string() == "...D"
+        assert s.is_strict
+
+
+class TestFromPositions:
+    def test_levels_compose(self):
+        s = Schedule.from_positions(
+            6, disk=[6], memory=[3], guaranteed=[1], partial=[2]
+        )
+        assert s.to_string() == "vpM..D"
+
+    def test_disk_implies_memory_and_verify(self):
+        s = Schedule.from_positions(3, disk=[3])
+        assert s.memory_positions == [3]
+        assert s.guaranteed_positions == [3]
+
+    def test_overlap_takes_max_level(self):
+        s = Schedule.from_positions(2, disk=[2], memory=[2], guaranteed=[2])
+        assert s[2] == Action.DISK
+
+    def test_partial_conflicts_with_guaranteed(self):
+        with pytest.raises(InvalidScheduleError, match="both"):
+            Schedule.from_positions(3, guaranteed=[2], partial=[2])
+
+    def test_partial_conflicts_with_disk(self):
+        with pytest.raises(InvalidScheduleError):
+            Schedule.from_positions(3, disk=[3], partial=[3])
+
+    def test_position_out_of_range(self):
+        with pytest.raises(InvalidScheduleError):
+            Schedule.from_positions(3, disk=[4])
+        with pytest.raises(InvalidScheduleError):
+            Schedule.from_positions(3, partial=[0])
+
+
+class TestPositions:
+    @pytest.fixture
+    def sched(self):
+        # T1 partial, T2 verify, T3 memory, T4 none, T5 disk
+        return Schedule([Action.PARTIAL, Action.VERIFY, Action.MEMORY, Action.NONE, Action.DISK])
+
+    def test_disk_positions(self, sched):
+        assert sched.disk_positions == [5]
+
+    def test_memory_positions_include_disk(self, sched):
+        assert sched.memory_positions == [3, 5]
+
+    def test_guaranteed_positions_include_checkpoints(self, sched):
+        assert sched.guaranteed_positions == [2, 3, 5]
+
+    def test_partial_positions(self, sched):
+        assert sched.partial_positions == [1]
+
+    def test_verified_positions(self, sched):
+        assert sched.verified_positions == [1, 2, 3, 5]
+
+    def test_last_memory_at_or_before(self, sched):
+        assert sched.last_memory_at_or_before(2) == 0
+        assert sched.last_memory_at_or_before(3) == 3
+        assert sched.last_memory_at_or_before(4) == 3
+        assert sched.last_memory_at_or_before(5) == 5
+
+    def test_last_disk_at_or_before(self, sched):
+        assert sched.last_disk_at_or_before(4) == 0
+        assert sched.last_disk_at_or_before(5) == 5
+
+
+class TestCounts:
+    def test_counts_match_paper_legend_semantics(self):
+        s = Schedule.from_positions(
+            10, disk=[10], memory=[4, 7], guaranteed=[2], partial=[1, 5]
+        )
+        c = s.counts()
+        assert c.disk == 1
+        assert c.memory == 3  # includes the disk position
+        assert c.guaranteed == 4  # includes memory and disk positions
+        assert c.partial == 2
+
+    def test_counts_empty(self):
+        c = Schedule([Action.NONE, Action.DISK]).counts()
+        assert (c.disk, c.memory, c.guaranteed, c.partial) == (1, 1, 1, 0)
+
+
+class TestValidation:
+    def test_strict_requires_final_disk(self):
+        s = Schedule([Action.VERIFY, Action.MEMORY])
+        with pytest.raises(InvalidScheduleError, match="disk-checkpoint"):
+            s.validate(strict=True)
+        s.validate(strict=False)  # fine
+
+    def test_is_strict_flag(self):
+        assert Schedule.final_only(2).is_strict
+        assert not Schedule([Action.NONE, Action.VERIFY]).is_strict
+
+
+class TestSerialization:
+    def test_string_round_trip(self):
+        text = ".pvMD"
+        assert Schedule.from_string(text).to_string() == text
+
+    def test_from_string_rejects_unknown_symbol(self):
+        with pytest.raises(InvalidScheduleError, match="symbol"):
+            Schedule.from_string("..X")
+
+    def test_dict_round_trip(self):
+        s = Schedule.from_positions(6, disk=[6], memory=[2], partial=[4])
+        clone = Schedule.from_dict(s.as_dict())
+        assert clone == s
+
+    def test_dict_missing_n(self):
+        with pytest.raises(InvalidScheduleError, match="'n'"):
+            Schedule.from_dict({"disk": [1]})
+
+    def test_repr_contains_string(self):
+        assert ".D" in repr(Schedule([Action.NONE, Action.DISK]))
+
+
+class TestContainerBehaviour:
+    def test_equality_and_hash(self):
+        a = Schedule([0, 4])
+        b = Schedule([Action.NONE, Action.DISK])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != Schedule([1, 4])
+        assert a != "not a schedule"
+
+    def test_iteration(self):
+        actions = list(Schedule([0, 1, 2, 3, 4]))
+        assert actions == [
+            Action.NONE,
+            Action.PARTIAL,
+            Action.VERIFY,
+            Action.MEMORY,
+            Action.DISK,
+        ]
+
+    def test_index_bounds(self):
+        s = Schedule([0, 4])
+        with pytest.raises(IndexError):
+            s.action(0)
+        with pytest.raises(IndexError):
+            s.action(3)
+
+    def test_levels_array_read_only(self):
+        s = Schedule([0, 4])
+        with pytest.raises(ValueError):
+            s.levels_array()[0] = 3

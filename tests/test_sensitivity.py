@@ -1,0 +1,98 @@
+"""Tests for one-parameter sensitivity sweeps."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.sensitivity import (
+    SENSITIVITY_PARAMETERS,
+    sensitivity_sweep,
+)
+from repro.chains import TaskChain
+from repro.exceptions import InvalidParameterError
+from repro.platforms import Platform
+
+
+@pytest.fixture
+def platform():
+    return Platform.from_costs(
+        "sens", lf=1e-3, ls=4e-3, CD=25.0, CM=5.0, r=0.8,
+        partial_cost_ratio=25.0,
+    )
+
+
+@pytest.fixture
+def chain():
+    return TaskChain([50.0] * 8)
+
+
+class TestSweepMechanics:
+    def test_every_registered_parameter_works(self, chain, platform):
+        grids = {
+            "lf": [0.0, 1e-3],
+            "ls": [0.0, 4e-3],
+            "rate_scale": [0.5, 2.0],
+            "CD": [10.0, 50.0],
+            "CM": [2.0, 10.0],
+            "Vp": [0.1, 1.0],
+            "r": [0.5, 1.0],
+        }
+        assert set(grids) == set(SENSITIVITY_PARAMETERS)
+        for parameter, values in grids.items():
+            result = sensitivity_sweep(
+                chain, platform, parameter, values, algorithm="admv_star"
+            )
+            assert len(result.solutions) == len(values)
+
+    def test_unknown_parameter(self, chain, platform):
+        with pytest.raises(InvalidParameterError, match="unknown sensitivity"):
+            sensitivity_sweep(chain, platform, "bandwidth", [1.0])
+
+    def test_empty_grid(self, chain, platform):
+        with pytest.raises(InvalidParameterError, match="at least one"):
+            sensitivity_sweep(chain, platform, "CD", [])
+
+    def test_rows_and_series_shapes(self, chain, platform):
+        result = sensitivity_sweep(chain, platform, "CD", [10.0, 30.0])
+        assert len(result.rows()) == 2
+        assert len(result.rows()[0]) == len(result.header())
+        assert [x for x, _ in result.makespan_series()] == [10.0, 30.0]
+        assert len(result.count_series("disk")) == 2
+
+
+class TestSweepPhysics:
+    def test_makespan_monotone_in_rate_scale(self, chain, platform):
+        result = sensitivity_sweep(
+            chain, platform, "rate_scale", [0.25, 1.0, 4.0, 16.0]
+        )
+        series = [y for _, y in result.makespan_series()]
+        assert series == sorted(series)
+
+    def test_makespan_monotone_in_disk_cost(self, chain, platform):
+        result = sensitivity_sweep(chain, platform, "CD", [5.0, 20.0, 80.0])
+        series = [y for _, y in result.makespan_series()]
+        assert series == sorted(series)
+
+    def test_makespan_nonincreasing_in_recall(self, chain, platform):
+        result = sensitivity_sweep(
+            chain, platform, "r", [0.0, 0.4, 0.8, 1.0], algorithm="admv"
+        )
+        series = [y for _, y in result.makespan_series()]
+        assert all(a >= b - 1e-12 for a, b in zip(series, series[1:]))
+
+    def test_zero_rates_reach_error_free_floor(self, chain, platform):
+        result = sensitivity_sweep(chain, platform, "rate_scale", [0.0])
+        sol = result.solutions[0]
+        floor = (
+            chain.total_weight
+            + platform.Vg
+            + platform.CM
+            + platform.CD
+        ) / chain.total_weight
+        assert sol.normalized_makespan == pytest.approx(floor, rel=1e-12)
+
+    def test_cheaper_disk_means_more_disk_checkpoints(self, chain):
+        hot = Platform.from_costs("hot", lf=4e-3, ls=4e-3, CD=60.0, CM=3.0)
+        result = sensitivity_sweep(chain, hot, "CD", [60.0, 2.0])
+        counts = [sol.counts().disk for sol in result.solutions]
+        assert counts[1] >= counts[0]

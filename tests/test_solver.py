@@ -1,0 +1,83 @@
+"""Unit tests for the solver front-end and the Solution result type."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chains import TaskChain, uniform_chain
+from repro.core import ALGORITHMS, Solution, optimize
+from repro.core.solver import canonical_algorithm
+from repro.exceptions import InvalidParameterError
+from repro.platforms import HERA
+
+
+class TestAliases:
+    @pytest.mark.parametrize(
+        "alias,canon",
+        [
+            ("ADV*", "adv_star"),
+            ("adv*", "adv_star"),
+            ("single", "adv_star"),
+            ("single_level", "adv_star"),
+            ("ADMV*", "admv_star"),
+            ("two-level", "admv_star"),
+            ("ADMV", "admv"),
+            ("partial", "admv"),
+            ("full", "admv"),
+            ("exhaustive", "exhaustive"),
+            ("brute_force", "exhaustive"),
+        ],
+    )
+    def test_alias_resolution(self, alias, canon):
+        assert canonical_algorithm(alias) == canon
+
+    def test_unknown_alias(self):
+        with pytest.raises(InvalidParameterError, match="unknown algorithm"):
+            canonical_algorithm("simulated-annealing")
+
+    def test_algorithms_tuple_ordering(self):
+        assert ALGORITHMS == ("adv_star", "admv_star", "admv")
+
+
+class TestDispatch:
+    def test_default_is_admv(self, hot_platform, small_chain):
+        sol = optimize(small_chain, hot_platform)
+        assert sol.algorithm == "admv"
+
+    def test_exhaustive_dispatch(self, hot_platform, small_chain):
+        sol = optimize(small_chain, hot_platform, algorithm="exhaustive")
+        assert sol.algorithm == "exhaustive"
+        admv = optimize(small_chain, hot_platform, algorithm="admv")
+        assert sol.expected_time == pytest.approx(admv.expected_time, rel=1e-10)
+
+    @pytest.mark.parametrize("alias", ["ADV*", "ADMV*", "ADMV"])
+    def test_paper_notation_accepted(self, alias, hera):
+        sol = optimize(uniform_chain(5), hera, algorithm=alias)
+        assert sol.expected_time > 0
+
+
+class TestSolution:
+    @pytest.fixture
+    def solution(self, hera) -> Solution:
+        return optimize(uniform_chain(10), hera, algorithm="admv_star")
+
+    def test_normalized_makespan(self, solution):
+        assert solution.normalized_makespan == pytest.approx(
+            solution.expected_time / solution.chain.total_weight
+        )
+        assert solution.normalized_makespan > 1.0
+
+    def test_overhead(self, solution):
+        assert solution.overhead == pytest.approx(
+            solution.normalized_makespan - 1.0
+        )
+
+    def test_counts_delegates_to_schedule(self, solution):
+        assert dict(solution.counts()) == dict(solution.schedule.counts())
+
+    def test_summary_text(self, solution):
+        text = solution.summary()
+        assert "admv_star" in text
+        assert "Hera" in text
+        assert "expected makespan" in text
+        assert solution.schedule.to_string() in text

@@ -1,0 +1,57 @@
+"""Unit tests for execution traces."""
+
+from __future__ import annotations
+
+from repro.simulation import EventKind, Trace, TraceEvent
+
+
+class TestTraceEvent:
+    def test_str_format(self):
+        e = TraceEvent(12.5, EventKind.FAIL_STOP, 3, "boom")
+        text = str(e)
+        assert "fail_stop" in text
+        assert "@T3" in text
+        assert "boom" in text
+
+    def test_str_without_detail(self):
+        assert "(" not in str(TraceEvent(0.0, EventKind.COMPLETE, 1))
+
+
+class TestTrace:
+    def test_record_and_count(self):
+        t = Trace()
+        t.record(0.0, EventKind.SEGMENT_START, 0)
+        t.record(1.0, EventKind.SEGMENT_DONE, 1)
+        t.record(2.0, EventKind.SEGMENT_START, 1)
+        assert len(t) == 3
+        assert t.count(EventKind.SEGMENT_START) == 2
+        assert t.count(EventKind.FAIL_STOP) == 0
+
+    def test_of_kind_preserves_order(self):
+        t = Trace()
+        t.record(0.0, EventKind.VERIFICATION, 1)
+        t.record(1.0, EventKind.VERIFICATION, 2)
+        assert [e.position for e in t.of_kind(EventKind.VERIFICATION)] == [1, 2]
+
+    def test_disabled_trace_records_nothing(self):
+        t = Trace(enabled=False)
+        t.record(0.0, EventKind.COMPLETE, 1)
+        assert len(t) == 0
+
+    def test_iteration(self):
+        t = Trace()
+        t.record(0.0, EventKind.COMPLETE, 1)
+        assert [e.kind for e in t] == [EventKind.COMPLETE]
+
+    def test_render_limit(self):
+        t = Trace()
+        for i in range(5):
+            t.record(float(i), EventKind.SEGMENT_DONE, i)
+        text = t.render(limit=2)
+        assert "3 more events" in text
+        assert len(text.splitlines()) == 3
+
+    def test_render_full(self):
+        t = Trace()
+        t.record(0.0, EventKind.COMPLETE, 1)
+        assert "more events" not in t.render()
