@@ -22,7 +22,7 @@ from repro.chains import uniform_chain
 from repro.core import optimize
 from repro.platforms import get_platform
 
-from conftest import save_result
+from bench_common import save_result
 
 PLATFORM_NAMES = ["Hera", "Atlas", "Coastal", "Coastal SSD"]
 

@@ -25,7 +25,7 @@ from repro.dag import (
 )
 from repro.platforms import HERA, Platform
 
-from conftest import save_result
+from bench_common import save_result
 
 
 def test_join_local_search_quality(benchmark, results_dir):

@@ -18,7 +18,7 @@ import pytest
 from repro.experiments import fig5
 from repro.platforms import get_platform
 
-from conftest import bench_task_grid, save_result
+from bench_common import bench_task_grid, save_result
 
 PLATFORM_NAMES = ["Hera", "Atlas", "Coastal", "Coastal SSD"]
 

@@ -16,7 +16,7 @@ import pytest
 
 from repro.experiments import fig6
 
-from conftest import save_result
+from bench_common import save_result
 
 
 def test_fig6_placements(benchmark, results_dir):

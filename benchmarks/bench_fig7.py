@@ -15,7 +15,7 @@ import pytest
 
 from repro.experiments import fig78
 
-from conftest import bench_task_grid, save_result
+from bench_common import bench_task_grid, save_result
 
 
 def test_fig7_decrease(benchmark, results_dir):

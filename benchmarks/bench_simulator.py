@@ -37,12 +37,28 @@ def test_markov_evaluator_throughput(benchmark, schedule):
     assert evaluation.expected_time > 0
 
 
-def test_monte_carlo_campaign(benchmark, schedule):
+def test_monte_carlo_campaign_scalar(benchmark, schedule):
     analytic = evaluate_schedule(CHAIN, HOT, schedule).expected_time
     mc = benchmark.pedantic(
         lambda: run_monte_carlo(
             CHAIN, HOT, schedule, runs=2000, seed=3,
-            confidence=0.999, analytic=analytic,
+            confidence=0.999, analytic=analytic, engine="scalar",
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(mc.report())
+    assert mc.agrees_with_analytic, mc.report()
+
+
+def test_monte_carlo_campaign_batched(benchmark, schedule):
+    """Same campaign on the vectorized engine, at 10x the replications."""
+    analytic = evaluate_schedule(CHAIN, HOT, schedule).expected_time
+    mc = benchmark.pedantic(
+        lambda: run_monte_carlo(
+            CHAIN, HOT, schedule, runs=20_000, seed=3,
+            confidence=0.999, analytic=analytic, engine="batch",
         ),
         rounds=1,
         iterations=1,

@@ -11,7 +11,7 @@ import pytest
 
 from repro.experiments import table1
 
-from conftest import save_result
+from bench_common import save_result
 
 
 def test_table1_regeneration(benchmark, results_dir):

@@ -1,45 +1,20 @@
-"""Shared helpers for the benchmark harness.
+"""Fixtures for the benchmark harness.
 
-Conventions:
-
-* every figure/table bench regenerates the paper artefact, writes the full
-  text rendering to ``results/<name>.txt`` and prints a short summary, so a
-  plain ``pytest benchmarks/ --benchmark-only`` run leaves the regenerated
-  evaluation on disk;
-* the expensive sweeps run once per bench (``benchmark.pedantic`` with a
-  single round) — we are benchmarking the *algorithms*, and the interesting
-  output is the regenerated figure, not nanosecond-level timing stability;
-* set ``REPRO_BENCH_FULL=1`` for the paper-dense task grid (n = 1, 5, ...,
-  50); the default grid (n = 1, 10, ..., 50) preserves every shape at a
-  fraction of the cost.
+All plain helpers (``save_result``, ``bench_task_grid``, ``full_mode``)
+live in :mod:`bench_common`; this conftest only provides fixtures, so it
+never needs to be imported by name and cannot shadow ``tests/conftest.py``.
 """
 
 from __future__ import annotations
 
-import os
 from pathlib import Path
 
 import pytest
 
-RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
-
-
-def full_mode() -> bool:
-    return os.environ.get("REPRO_BENCH_FULL", "") not in ("", "0")
-
-
-def bench_task_grid() -> list[int]:
-    step = 5 if full_mode() else 10
-    return sorted(set([1] + list(range(step, 51, step))))
+from bench_common import RESULTS_DIR
 
 
 @pytest.fixture(scope="session")
 def results_dir() -> Path:
     RESULTS_DIR.mkdir(exist_ok=True)
     return RESULTS_DIR
-
-
-def save_result(results_dir: Path, name: str, text: str) -> Path:
-    path = results_dir / name
-    path.write_text(text + "\n")
-    return path

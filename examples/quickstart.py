@@ -7,7 +7,18 @@ Covers the core API in ~30 lines of logic:
 2. compute the optimal two-level schedule with partial verifications;
 3. print the expected makespan, the placement counts and a placement map;
 4. cross-check the optimizer with the exact Markov evaluator;
-5. sanity-check with a quick Monte-Carlo fault-injection campaign.
+5. validate with a batched Monte-Carlo fault-injection campaign.
+
+Batched validation
+------------------
+``run_monte_carlo`` defaults to ``engine="batch"``: the schedule is
+compiled to flat segment arrays and *all* replications advance through
+them simultaneously with NumPy (see :mod:`repro.simulation.batch`), so
+a 20,000-replication campaign costs tens of milliseconds where the
+scalar loop needed minutes.  The scalar engine remains available as
+``engine="scalar"`` — it is the oracle the batched engine is bitwise
+cross-validated against in the test suite — and big campaigns can shard
+across processes with ``n_jobs=4``.
 """
 
 from repro import HERA, evaluate_schedule, optimize, uniform_chain
@@ -39,11 +50,12 @@ def main() -> None:
     print(markov.render_breakdown(chain))
     print()
 
-    # Fault-injection simulation: the sample mean must bracket the analytic
-    # value. 500 runs keeps this example fast; increase for tighter CIs.
+    # Batched fault-injection simulation: the analytic value must fall
+    # inside the sample CI.  The vectorized engine makes 20k replications
+    # cheaper than 500 used to be on the scalar loop.
     mc = run_monte_carlo(
         chain, HERA, solution.schedule,
-        runs=500, seed=1, analytic=solution.expected_time,
+        runs=20_000, seed=1, analytic=solution.expected_time,
     )
     print(mc.report())
 

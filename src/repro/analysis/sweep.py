@@ -4,17 +4,27 @@ A sweep runs one or more algorithms over chains of increasing task counts
 (same pattern, same total weight) on one platform, recording normalized
 makespans and placement counts.  The figure drivers in
 :mod:`repro.experiments` are thin wrappers around :func:`sweep_task_counts`.
+
+Passing ``validate_runs > 0`` additionally replays every ``(n, algorithm)``
+cell through the batched Monte-Carlo engine and records whether the DP's
+analytic expected makespan falls inside the sample confidence interval —
+statistical certification of the whole sweep at a cost the vectorized
+engine makes negligible next to the DPs themselves.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from ..chains import PAPER_TOTAL_WEIGHT, make_chain
 from ..exceptions import InvalidParameterError
 from ..platforms import Platform
 from ..core.result import Solution
 from ..core.solver import canonical_algorithm, optimize
+
+if TYPE_CHECKING:  # avoids a runtime analysis -> simulation dependency
+    from ..simulation.monte_carlo import MonteCarloResult
 
 __all__ = ["SweepRecord", "SweepResult", "sweep_task_counts", "default_task_grid"]
 
@@ -29,11 +39,16 @@ def default_task_grid(max_n: int = 50, step: int = 5) -> list[int]:
 
 @dataclass(frozen=True)
 class SweepRecord:
-    """One (n, algorithm) cell of a sweep."""
+    """One (n, algorithm) cell of a sweep.
+
+    ``monte_carlo`` is populated when the sweep ran with
+    ``validate_runs > 0`` (batched fault-injection replay of the cell).
+    """
 
     n: int
     algorithm: str
     solution: Solution
+    monte_carlo: "MonteCarloResult | None" = None
 
     @property
     def normalized_makespan(self) -> float:
@@ -42,6 +57,13 @@ class SweepRecord:
     @property
     def counts(self):
         return self.solution.counts()
+
+    @property
+    def validated(self) -> bool | None:
+        """CI agreement of the cell's Monte-Carlo replay (None = not run)."""
+        if self.monte_carlo is None:
+            return None
+        return self.monte_carlo.agrees_with_analytic
 
 
 @dataclass
@@ -93,6 +115,43 @@ class SweepResult:
     def header(self) -> list[str]:
         return ["n"] + list(self.algorithms)
 
+    @property
+    def validated_cells(self) -> int:
+        """Number of cells with a Monte-Carlo replay attached."""
+        return sum(1 for rec in self.records if rec.monte_carlo is not None)
+
+    @property
+    def all_cells_agree(self) -> bool:
+        """True when every validated cell's analytic value sits in its CI.
+
+        False when the sweep ran without validation — an unvalidated sweep
+        must not read as certified.
+        """
+        if not self.validated_cells:
+            return False
+        return all(rec.validated for rec in self.records if rec.validated is not None)
+
+    def validation_report(self) -> str:
+        """Per-cell agreement summary for validated sweeps."""
+        if not self.validated_cells:
+            return "sweep not validated (validate_runs=0)"
+        lines = [
+            f"Monte-Carlo validation: {self.validated_cells} cells, "
+            f"{'ALL AGREE' if self.all_cells_agree else 'DISAGREEMENT'}"
+        ]
+        for rec in self.records:
+            if rec.monte_carlo is None:
+                continue
+            mc = rec.monte_carlo
+            mark = "ok " if rec.validated else "FAIL"
+            lines.append(
+                f"  [{mark}] n={rec.n:3d} {rec.algorithm:10s} "
+                f"analytic={mc.analytic:12.2f}s sample="
+                f"[{mc.summary.ci_low:.2f}, {mc.summary.ci_high:.2f}] "
+                f"(gap {mc.relative_gap:+.3%})"
+            )
+        return "\n".join(lines)
+
 
 def sweep_task_counts(
     platform: Platform,
@@ -101,9 +160,19 @@ def sweep_task_counts(
     task_counts: list[int] | None = None,
     algorithms: tuple[str, ...] = ("adv_star", "admv_star", "admv"),
     total_weight: float = PAPER_TOTAL_WEIGHT,
+    validate_runs: int = 0,
+    validate_seed: int = 0,
+    validate_confidence: float = 0.99,
+    n_jobs: int | None = None,
     **pattern_kwargs,
 ) -> SweepResult:
-    """Run ``algorithms`` over chains of each size in ``task_counts``."""
+    """Run ``algorithms`` over chains of each size in ``task_counts``.
+
+    With ``validate_runs > 0`` every cell is additionally replayed through
+    the batched Monte-Carlo engine with that many replications (seeded
+    per-cell from ``validate_seed``, sharded over ``n_jobs`` processes) and
+    the analytic-vs-sample agreement is attached to its record.
+    """
     if task_counts is None:
         task_counts = default_task_grid()
     canon = [canonical_algorithm(a) for a in algorithms]
@@ -114,9 +183,33 @@ def sweep_task_counts(
         task_counts=list(task_counts),
         algorithms=canon,
     )
+    if validate_runs:
+        import numpy as np
+
+        from ..simulation import run_monte_carlo
+
+        cell_seeds = iter(
+            np.random.SeedSequence(validate_seed).spawn(
+                len(task_counts) * len(canon)
+            )
+        )
     for n in task_counts:
         chain = make_chain(pattern, n, total_weight, **pattern_kwargs)
         for alg in canon:
             sol = optimize(chain, platform, algorithm=alg)
-            result.records.append(SweepRecord(n=n, algorithm=alg, solution=sol))
+            mc = None
+            if validate_runs:
+                mc = run_monte_carlo(
+                    chain,
+                    platform,
+                    sol.schedule,
+                    runs=validate_runs,
+                    seed=next(cell_seeds),
+                    confidence=validate_confidence,
+                    analytic=sol.expected_time,
+                    n_jobs=n_jobs,
+                )
+            result.records.append(
+                SweepRecord(n=n, algorithm=alg, solution=sol, monte_carlo=mc)
+            )
     return result

@@ -111,6 +111,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--schedule", default=None, help="override: fixed schedule string")
     p.add_argument("--runs", type=int, default=1000)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--engine",
+        default="batch",
+        choices=("batch", "scalar"),
+        help="batched vectorized engine (default) or the scalar oracle loop",
+    )
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for the batched engine (default: in-process)",
+    )
+    p.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        help="replications per vectorized chunk (batched engine)",
+    )
     p.add_argument("--json", action="store_true")
 
     p = sub.add_parser("sweep", help="normalized makespan versus task count")
@@ -122,6 +140,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--max-n", type=int, default=50)
     p.add_argument("--step", type=int, default=5)
+    p.add_argument(
+        "--validate-runs",
+        type=int,
+        default=0,
+        help="batched Monte-Carlo replications per cell (0 = no validation)",
+    )
     p.add_argument("--chart", action="store_true", help="also render an ASCII chart")
     p.add_argument("--profile", action="store_true", help="print cProfile hotspots")
     p.add_argument("--json", action="store_true")
@@ -211,6 +235,9 @@ def _cmd_simulate(args) -> str:
         schedule = solution.schedule
         analytic = solution.expected_time
         label = f"optimal {canonical_algorithm(args.algorithm)} schedule"
+    mc_kwargs = {}
+    if args.chunk_size is not None:
+        mc_kwargs["chunk_size"] = args.chunk_size
     mc = run_monte_carlo(
         chain,
         platform,
@@ -218,6 +245,9 @@ def _cmd_simulate(args) -> str:
         runs=args.runs,
         seed=args.seed,
         analytic=analytic,
+        engine=args.engine,
+        n_jobs=args.jobs,
+        **mc_kwargs,
     )
     if args.json:
         return json.dumps(
@@ -225,6 +255,7 @@ def _cmd_simulate(args) -> str:
                 "platform": platform.name,
                 "schedule": schedule.to_string(),
                 "runs": args.runs,
+                "engine": args.engine,
                 "mean": mc.mean,
                 "ci": [mc.summary.ci_low, mc.summary.ci_high],
                 "analytic": analytic,
@@ -232,7 +263,10 @@ def _cmd_simulate(args) -> str:
             },
             indent=2,
         )
-    return f"simulating {label} on {platform.name}\n" + mc.report()
+    return (
+        f"simulating {label} on {platform.name} ({args.engine} engine)\n"
+        + mc.report()
+    )
 
 
 def _cmd_sweep(args) -> str:
@@ -249,20 +283,22 @@ def _cmd_sweep(args) -> str:
         task_counts=grid,
         algorithms=algorithms,
         total_weight=args.total_weight,
+        validate_runs=args.validate_runs,
     )
     if profiler:
         profiler.disable()
 
     if args.json:
-        return json.dumps(
-            {
-                "platform": platform.name,
-                "pattern": args.pattern,
-                "rows": sweep.rows(),
-                "header": sweep.header(),
-            },
-            indent=2,
-        )
+        doc = {
+            "platform": platform.name,
+            "pattern": args.pattern,
+            "rows": sweep.rows(),
+            "header": sweep.header(),
+        }
+        if args.validate_runs:
+            doc["validated_cells"] = sweep.validated_cells
+            doc["all_cells_agree"] = sweep.all_cells_agree
+        return json.dumps(doc, indent=2)
     out = [
         format_table(
             ["n"] + [ALGORITHM_LABELS.get(a, a) for a in sweep.algorithms],
@@ -270,6 +306,8 @@ def _cmd_sweep(args) -> str:
             title=f"normalized makespan — {platform.name}, {args.pattern}",
         )
     ]
+    if args.validate_runs:
+        out.append(sweep.validation_report())
     if args.chart:
         series = {
             ALGORITHM_LABELS.get(a, a): sweep.makespan_series(a)

@@ -55,7 +55,11 @@ def phi(lam: float, W: np.ndarray | float) -> np.ndarray | float:
     if lam == 0.0:
         return W.copy() if W.ndim else float(W)
     x = lam * W
-    out = np.expm1(x) / lam
+    # Large λW overflows e^{λW} to inf — the correct limit (phi -> inf) —
+    # and subnormal λ overflows 1/λ; both are repaired or intended, so the
+    # intermediate overflow warnings are noise.
+    with np.errstate(over="ignore"):
+        out = np.expm1(x) / lam
     # For λW < 1e-8 (including subnormal rates, where expm1/λ divides two
     # denormals and quantizes) switch to the series W (1 + λW/2 + (λW)^2/6).
     small = x < 1e-8
@@ -78,8 +82,13 @@ def t_lost(lam: float, W: np.ndarray | float) -> np.ndarray | float:
         out = W / 2.0
         return out if out.ndim else float(out)
     x = lam * W
-    denom = np.expm1(x)
-    with np.errstate(divide="ignore", invalid="ignore"):
+    # λW > ~709 overflows e^{λW} to inf, where W/(e^{λW}-1) vanishes and
+    # the correct large-λW limit T_lost -> 1/λ falls out of the formula;
+    # subnormal λ overflows 1/λ and is repaired by the series below.  Both
+    # overflows are therefore benign: silence them instead of warning.
+    with np.errstate(over="ignore"):
+        denom = np.expm1(x)
+    with np.errstate(over="ignore", divide="ignore", invalid="ignore"):
         out = np.where(
             denom > 0.0, 1.0 / lam - W / np.where(denom > 0, denom, 1.0), 0.0
         )

@@ -84,19 +84,26 @@ class PairFactors:
         W = prefix[None, :] - prefix[:, None]  # W[i, j] = W_{i,j}
         self.W = W
 
-        self.es = np.exp(ls * W)
-        self.efm1 = np.expm1(lf * W)
-        self.esm1 = np.expm1(ls * W)
-        self.etm1 = np.expm1((lf + ls) * W)
-        self.etot = self.etm1 + 1.0
-        self.pf = -np.expm1(-lf * W)
+        # λW beyond ~709 overflows the exponentials to inf — a meaningful
+        # saturation (such segments have unbounded expected cost, so the
+        # DPs never select them) — and subnormal rates overflow 1/λ, which
+        # the series fallbacks below repair; silence both instead of warning.
+        with np.errstate(over="ignore"):
+            self.es = np.exp(ls * W)
+            self.efm1 = np.expm1(lf * W)
+            self.esm1 = np.expm1(ls * W)
+            self.etm1 = np.expm1((lf + ls) * W)
+            self.etot = self.etm1 + 1.0
+            self.pf = -np.expm1(-lf * W)
 
         # Expected lost time to a fail-stop error, eq. (3); λ_f -> 0 gives
         # W/2 and W == 0 gives 0.  Entries below the diagonal (W < 0) are
         # never read; they are clamped to 0 to avoid spurious warnings.
         if lf > 0.0:
             denom = self.efm1
-            with np.errstate(divide="ignore", invalid="ignore"):
+            with np.errstate(over="ignore", divide="ignore", invalid="ignore"):
+                # Where λ_f W overflowed, W/inf vanishes and the correct
+                # large-λW limit T_lost -> 1/λ_f falls out of the formula.
                 tl = 1.0 / lf - W / np.where(denom != 0.0, denom, np.inf)
             # series fallback where λ_f W is too small for the subtraction
             # (see closed_form.t_lost)
@@ -110,7 +117,8 @@ class PairFactors:
             self.tlost = np.where(W > 0.0, W / 2.0, 0.0)
 
         if lf > 0.0:
-            phi_f = self.efm1 / lf
+            with np.errstate(over="ignore"):
+                phi_f = self.efm1 / lf
             # series fallback where λ_f W is below float-division accuracy
             # (see closed_form.phi)
             x = lf * W

@@ -1,5 +1,22 @@
-"""Fault-injection simulation: engine, error sources, Monte-Carlo harness."""
+"""Fault-injection simulation: engines, error sources, Monte-Carlo harness.
 
+Two engines replay the same model semantics:
+
+* :func:`simulate_run` — the scalar reference engine, one replication at a
+  time with full tracing support; the trusted oracle;
+* :func:`simulate_batch` — the vectorized production engine, advancing all
+  replications of a compiled schedule (:func:`compile_schedule`) at once.
+"""
+
+from .batch import (
+    DEFAULT_CHUNK_SIZE,
+    BatchResult,
+    InverseTransformErrorSource,
+    replication_uniform_rows,
+    run_compiled,
+    simulate_batch,
+)
+from .compile import CompiledSchedule, compile_schedule
 from .engine import DEFAULT_MAX_ATTEMPTS, RunResult, simulate_run
 from .errors import ErrorSource, PoissonErrorSource, ScriptedErrorSource
 from .monte_carlo import MonteCarloResult, run_monte_carlo
@@ -10,6 +27,14 @@ __all__ = [
     "simulate_run",
     "RunResult",
     "DEFAULT_MAX_ATTEMPTS",
+    "simulate_batch",
+    "run_compiled",
+    "BatchResult",
+    "DEFAULT_CHUNK_SIZE",
+    "compile_schedule",
+    "CompiledSchedule",
+    "InverseTransformErrorSource",
+    "replication_uniform_rows",
     "ErrorSource",
     "PoissonErrorSource",
     "ScriptedErrorSource",

@@ -1,0 +1,398 @@
+"""Batched, vectorized Monte-Carlo replay of a compiled schedule.
+
+:func:`simulate_batch` advances *all* ``N`` replications of a schedule
+simultaneously.  Each replication holds four words of state — elapsed
+time, a segment cursor into the :class:`~repro.simulation.compile.
+CompiledSchedule` arrays, and a latent-corruption bit — plus integer
+event counters.  One engine step performs one *segment attempt* for every
+still-running replication with pure NumPy array operations:
+
+1. draw a ``(3, N)`` block of uniforms (fail-stop, silent, detection
+   slots — one row per random decision a segment attempt can need);
+2. convert the fail-stop slot to an exponential arrival time by inverse
+   transform and mask the replications whose arrival lands inside their
+   current segment: those pay the elapsed work plus the disk recovery
+   cost and their cursors jump back to the compiled ``fail_target``;
+3. the survivors complete the segment; the silent slot corrupts them
+   with the compiled per-segment probability, corruption ORs into the
+   latent bitmask carried across unverified (partial-missed) stops;
+4. at verifications, corrupted replications are caught (always, for
+   guaranteed ones; with probability ``r`` via the detection slot for
+   partial ones) and roll back to ``silent_target`` paying the memory
+   recovery cost, or are missed and carry corruption latently;
+5. clean replications pay their verification/checkpoint costs and their
+   cursors advance.
+
+The loop runs until every replication's cursor clears the last segment —
+the number of iterations is the *maximum* attempt count over the batch
+(close to the segment count unless error rates are extreme), so the
+Python-level overhead is O(max attempts), not O(N × attempts) as in the
+scalar engine.
+
+Reproducibility
+---------------
+The uniform block in step 1 is always drawn full-size, including slots of
+already-finished replications, so the stream consumed by replication
+``i`` depends only on the chunk seed, the chunk population and ``i`` —
+never on how fast *other* replications progress.  Replications are
+processed in chunks of ``chunk_size`` (bounding memory and providing the
+sharding grain for ``n_jobs``); chunk ``c`` draws from the ``c``-th child
+of the batch ``SeedSequence``, so results are bit-identical for a given
+``(seed, n_runs, chunk_size)`` regardless of ``n_jobs``.
+
+:func:`replication_uniform_rows` regenerates the exact uniform rows
+replication ``i`` consumes, and :class:`InverseTransformErrorSource`
+feeds them to the trusted scalar engine with the same inverse-transform
+conversions — the test suite replays every replication of a batch
+through :func:`~repro.simulation.engine.simulate_run` this way and
+asserts *bitwise* equal makespans and event counts.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..chains import TaskChain
+from ..exceptions import InvalidParameterError, SimulationError
+from ..platforms import Platform
+from ..core.costs import CostProfile
+from ..core.schedule import Schedule
+from .compile import CompiledSchedule, compile_schedule
+from .engine import DEFAULT_MAX_ATTEMPTS
+from .errors import ErrorSource
+
+__all__ = [
+    "BatchResult",
+    "simulate_batch",
+    "run_compiled",
+    "replication_uniform_rows",
+    "InverseTransformErrorSource",
+    "DEFAULT_CHUNK_SIZE",
+]
+
+#: Replications processed per chunk: bounds peak memory (a dozen
+#: state/scratch arrays of this length) and is the sharding grain for
+#: ``n_jobs``.  Part of the reproducibility contract — changing it
+#: changes which chunk a replication lands in, hence its stream.
+DEFAULT_CHUNK_SIZE = 16_384
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """Per-replication outcome arrays of one batched campaign.
+
+    The fields mirror :class:`~repro.simulation.engine.RunResult`, one
+    array entry per replication.
+    """
+
+    makespans: np.ndarray
+    fail_stop_errors: np.ndarray
+    silent_errors: np.ndarray
+    silent_detected: np.ndarray
+    silent_missed: np.ndarray
+    attempts: np.ndarray
+    steps: int  #: lockstep iterations = max attempts over the batch
+
+    @property
+    def n_runs(self) -> int:
+        return int(self.makespans.size)
+
+    @classmethod
+    def concatenate(cls, parts: list["BatchResult"]) -> "BatchResult":
+        """Stitch per-chunk results back into one batch, in chunk order."""
+        return cls(
+            makespans=np.concatenate([p.makespans for p in parts]),
+            fail_stop_errors=np.concatenate([p.fail_stop_errors for p in parts]),
+            silent_errors=np.concatenate([p.silent_errors for p in parts]),
+            silent_detected=np.concatenate([p.silent_detected for p in parts]),
+            silent_missed=np.concatenate([p.silent_missed for p in parts]),
+            attempts=np.concatenate([p.attempts for p in parts]),
+            steps=max(p.steps for p in parts),
+        )
+
+
+def run_compiled(
+    compiled: CompiledSchedule,
+    n_runs: int,
+    rng: np.random.Generator,
+    max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+) -> BatchResult:
+    """Advance ``n_runs`` replications of ``compiled`` to completion.
+
+    This is the single-chunk kernel; :func:`simulate_batch` wraps it with
+    seeding, chunking and process sharding.  Raises
+    :class:`~repro.exceptions.SimulationError` if any replication exceeds
+    ``max_attempts`` segment attempts.
+    """
+    S = compiled.n_segments
+    lf = compiled.lf
+    work = compiled.work
+    p_silent = compiled.p_silent
+    has_verif = compiled.has_verification
+    is_partial = compiled.is_partial
+    verif_cost = compiled.verification_cost
+    cm_cost = compiled.memory_ckpt_cost
+    cd_cost = compiled.disk_ckpt_cost
+    fail_target = compiled.fail_target
+    fail_cost = compiled.fail_recovery_cost
+    silent_target = compiled.silent_target
+    silent_cost = compiled.silent_recovery_cost
+    recall = compiled.recall
+
+    t = np.zeros(n_runs, dtype=np.float64)
+    cursor = np.zeros(n_runs, dtype=np.int64)
+    latent = np.zeros(n_runs, dtype=bool)
+    n_fail = np.zeros(n_runs, dtype=np.int64)
+    n_silent = np.zeros(n_runs, dtype=np.int64)
+    n_detected = np.zeros(n_runs, dtype=np.int64)
+    n_missed = np.zeros(n_runs, dtype=np.int64)
+    n_attempts = np.zeros(n_runs, dtype=np.int64)
+
+    steps = 0
+    idx = np.arange(n_runs, dtype=np.int64)
+    while idx.size:
+        steps += 1
+        if steps > max_attempts:
+            raise SimulationError(
+                f"batch exceeded {max_attempts} segment attempts with "
+                f"{idx.size} replication(s) still running "
+                "(error rates too high for this schedule?)"
+            )
+        # Full-size draw: finished replications keep consuming their slots
+        # so each replication's stream is independent of the others' pace.
+        u = rng.random((3, n_runs))
+        jj = cursor[idx]
+        W = work[jj]
+        n_attempts[idx] += 1
+
+        if lf > 0.0:
+            arrival = -np.log1p(-u[0, idx]) / lf
+            fail = arrival < W
+        else:
+            fail = np.zeros(idx.size, dtype=bool)
+
+        ok = ~fail
+        silent_new = ok & (u[1, idx] < p_silent[jj])
+        corrupted = silent_new | (latent[idx] & ok)
+        at_verif = has_verif[jj]
+        partial = is_partial[jj]
+        caught = corrupted & at_verif & (~partial | (u[2, idx] < recall))
+        missed = (corrupted & at_verif) & ~caught
+        proceed = ok & ~caught & ~missed
+
+        # --- fail-stop: pay elapsed work + disk recovery, jump back ----
+        fi = idx[fail]
+        if fi.size:
+            jf = jj[fail]
+            t[fi] += arrival[fail]
+            t[fi] += fail_cost[jf]
+            cursor[fi] = fail_target[jf]
+            latent[fi] = False
+            n_fail[fi] += 1
+
+        # --- segment completed: pay the work and any verification ------
+        oi = idx[ok]
+        if oi.size:
+            jo = jj[ok]
+            t[oi] += W[ok]
+            t[oi] += verif_cost[jo]  # zero where unverified
+            n_silent[idx[silent_new]] += 1
+
+        # --- corruption caught: memory recovery, jump back --------------
+        ci = idx[caught]
+        if ci.size:
+            jc = jj[caught]
+            t[ci] += silent_cost[jc]
+            cursor[ci] = silent_target[jc]
+            latent[ci] = False
+            n_detected[ci] += 1
+
+        # --- corruption missed: carry it latently, advance ---------------
+        mi = idx[missed]
+        if mi.size:
+            latent[mi] = True
+            cursor[mi] += 1
+            n_missed[mi] += 1
+
+        # --- clean: pay checkpoints, advance -----------------------------
+        pi = idx[proceed]
+        if pi.size:
+            jp = jj[proceed]
+            t[pi] += cm_cost[jp]  # zero where no checkpoint
+            t[pi] += cd_cost[jp]
+            latent[pi] = False
+            cursor[pi] += 1
+
+        idx = np.flatnonzero(cursor < S)
+
+    return BatchResult(
+        makespans=t,
+        fail_stop_errors=n_fail,
+        silent_errors=n_silent,
+        silent_detected=n_detected,
+        silent_missed=n_missed,
+        attempts=n_attempts,
+        steps=steps,
+    )
+
+
+def _chunk_sizes(n_runs: int, chunk_size: int) -> list[int]:
+    sizes = [chunk_size] * (n_runs // chunk_size)
+    if n_runs % chunk_size:
+        sizes.append(n_runs % chunk_size)
+    return sizes
+
+
+def _run_chunk(
+    compiled: CompiledSchedule,
+    child: np.random.SeedSequence,
+    n: int,
+    max_attempts: int,
+) -> BatchResult:
+    """Worker entry point (module-level so it pickles for ``n_jobs``)."""
+    return run_compiled(
+        compiled, n, np.random.default_rng(child), max_attempts
+    )
+
+
+def simulate_batch(
+    chain: TaskChain,
+    platform: Platform,
+    schedule: Schedule,
+    n_runs: int,
+    *,
+    seed: int | np.random.SeedSequence | None = 0,
+    costs: CostProfile | None = None,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    n_jobs: int | None = None,
+    max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+) -> BatchResult:
+    """Simulate ``n_runs`` executions of ``schedule`` in vectorized batches.
+
+    Parameters
+    ----------
+    seed:
+        Seed (or ``SeedSequence``) for the batch; each chunk of
+        ``chunk_size`` replications draws from an independent child
+        stream.  Results are bit-identical for a given ``(seed, n_runs,
+        chunk_size)`` whatever ``n_jobs`` is.
+    chunk_size:
+        Replications advanced per lockstep kernel call — bounds memory
+        and sets the process-sharding grain.
+    n_jobs:
+        When > 1, chunks are dispatched to that many worker processes;
+        ``None`` or 1 runs them serially in-process.
+    max_attempts:
+        Per-replication cap on segment attempts, as in the scalar engine.
+    """
+    if n_runs < 1:
+        raise InvalidParameterError(f"n_runs must be >= 1, got {n_runs}")
+    if chunk_size < 1:
+        raise InvalidParameterError(f"chunk_size must be >= 1, got {chunk_size}")
+    compiled = compile_schedule(chain, platform, schedule, costs)
+    seed_seq = (
+        seed
+        if isinstance(seed, np.random.SeedSequence)
+        else np.random.SeedSequence(seed)
+    )
+    sizes = _chunk_sizes(n_runs, chunk_size)
+    children = seed_seq.spawn(len(sizes))
+
+    if n_jobs is not None and n_jobs > 1 and len(sizes) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=min(n_jobs, len(sizes))) as pool:
+            parts = list(
+                pool.map(
+                    _run_chunk,
+                    [compiled] * len(sizes),
+                    children,
+                    sizes,
+                    [max_attempts] * len(sizes),
+                )
+            )
+    else:
+        parts = [
+            _run_chunk(compiled, child, n, max_attempts)
+            for child, n in zip(children, sizes)
+        ]
+    if len(parts) == 1:
+        return parts[0]
+    return BatchResult.concatenate(parts)
+
+
+# ----------------------------------------------------------------------
+# scalar replay of the batched streams (cross-validation support)
+# ----------------------------------------------------------------------
+def replication_uniform_rows(
+    seed: int | np.random.SeedSequence | None,
+    n_runs: int,
+    rep_index: int,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+) -> Iterator[np.ndarray]:
+    """Yield the ``(3,)`` uniform rows replication ``rep_index`` of a
+    :func:`simulate_batch` campaign consumes, one row per segment attempt.
+
+    Regenerates the batch's chunk streams (same seeding discipline as
+    :func:`simulate_batch`) and slices out one replication's column —
+    O(chunk population) per attempt, strictly a test/verification tool.
+    """
+    if not 0 <= rep_index < n_runs:
+        raise InvalidParameterError(
+            f"rep_index must be in [0, {n_runs}), got {rep_index}"
+        )
+    seed_seq = (
+        seed
+        if isinstance(seed, np.random.SeedSequence)
+        else np.random.SeedSequence(seed)
+    )
+    sizes = _chunk_sizes(n_runs, chunk_size)
+    chunk = rep_index // chunk_size
+    offset = rep_index % chunk_size
+    rng = np.random.default_rng(seed_seq.spawn(len(sizes))[chunk])
+    chunk_n = sizes[chunk]
+
+    def _rows() -> Iterator[np.ndarray]:
+        while True:
+            yield rng.random((3, chunk_n))[:, offset]
+
+    return _rows()
+
+
+class InverseTransformErrorSource(ErrorSource):
+    """Scalar :class:`~repro.simulation.errors.ErrorSource` drawing by the
+    batched engine's exact discipline.
+
+    Consumes one ``(3,)`` uniform row per segment attempt (fail-stop,
+    silent, detection slots) and applies the same inverse-transform
+    conversions — via the *numpy* transcendentals, which are bitwise
+    identical to the vectorized kernels — so feeding it the rows from
+    :func:`replication_uniform_rows` makes the trusted scalar engine
+    replay one batch replication exactly, down to the last float.
+    """
+
+    def __init__(self, platform: Platform, rows: Iterator[np.ndarray]) -> None:
+        self.platform = platform
+        self._rows = iter(rows)
+        self._row: np.ndarray | None = None
+
+    def fail_stop_arrival(self, W: float) -> float | None:
+        # The engine opens every attempt with this call: advance the row.
+        self._row = next(self._rows)
+        lf = self.platform.lf
+        if lf <= 0.0:
+            return None
+        arrival = float(-np.log1p(-self._row[0]) / lf)
+        return arrival if arrival < W else None
+
+    def silent_strikes(self, W: float) -> bool:
+        ls = self.platform.ls
+        if ls <= 0.0:
+            return False
+        return bool(self._row[1] < -np.expm1(-ls * W))
+
+    def partial_detects(self) -> bool:
+        return bool(self._row[2] < self.platform.r)

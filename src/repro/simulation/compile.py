@@ -1,0 +1,189 @@
+"""Lower a :class:`~repro.core.schedule.Schedule` into flat segment arrays.
+
+The scalar engine (:mod:`repro.simulation.engine`) re-derives everything it
+needs — segment weights, rollback targets, per-position costs — inside its
+replay loop.  The batched engine (:mod:`repro.simulation.batch`) instead
+advances *all* replications through the same segment structure at once, so
+that structure is compiled ahead of time into a :class:`CompiledSchedule`:
+one flat array entry per *segment* (the stretch of work between two
+consecutive verified positions), indexable with a vector of per-replication
+segment cursors.
+
+Segment ``k`` runs from verified position ``stops[k]`` (exclusive) to
+``stops[k+1]`` (inclusive); a replication is complete once its cursor
+reaches ``n_segments``.  For each segment the compiler precomputes:
+
+* ``work`` — the segment weight ``W`` (s);
+* ``p_silent`` — the probability ``1 - e^{-λ_s W}`` that at least one
+  silent error corrupts the segment;
+* ``is_partial`` / ``has_verification`` — what kind of verification (if
+  any) guards the segment's end;
+* ``verification_cost`` — ``V`` or ``V*`` at the end position (0 if none);
+* ``memory_ckpt_cost`` / ``disk_ckpt_cost`` — checkpoint costs paid after
+  a clean guaranteed verification (0 if not taken);
+* ``fail_target`` / ``fail_recovery_cost`` — the segment cursor and disk
+  recovery cost ``R_D`` of a fail-stop rollback from this segment;
+* ``silent_target`` / ``silent_recovery_cost`` — the segment cursor and
+  memory recovery cost ``R_M`` of a detected-corruption rollback.
+
+The arrays are plain (picklable) NumPy buffers, so a compiled schedule can
+be shipped to worker processes when the batch engine shards replications
+across jobs.  Compilation performs the same validation as the scalar
+engine; the two therefore accept exactly the same inputs, which the test
+suite pins with golden-value and same-seed cross-validation tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..chains import TaskChain
+from ..exceptions import InvalidScheduleError
+from ..platforms import Platform
+from ..core.costs import CostProfile
+from ..core.schedule import Action, Schedule
+
+__all__ = ["CompiledSchedule", "compile_schedule"]
+
+
+@dataclass(frozen=True)
+class CompiledSchedule:
+    """Flat per-segment arrays driving the batched replay (see module doc).
+
+    All arrays have length :attr:`n_segments`; ``stops`` has one extra
+    entry (the 1-based verified positions bounding the segments, starting
+    at the virtual ``T0``).
+    """
+
+    n_tasks: int
+    stops: np.ndarray  # int64, n_segments + 1
+    work: np.ndarray  # float64
+    p_silent: np.ndarray  # float64, 1 - e^{-λ_s W}
+    is_partial: np.ndarray  # bool
+    has_verification: np.ndarray  # bool
+    verification_cost: np.ndarray  # float64
+    memory_ckpt_cost: np.ndarray  # float64
+    disk_ckpt_cost: np.ndarray  # float64
+    fail_target: np.ndarray  # int64 segment cursor after a fail-stop
+    fail_recovery_cost: np.ndarray  # float64 (R_D at the rollback target)
+    silent_target: np.ndarray  # int64 segment cursor after a detection
+    silent_recovery_cost: np.ndarray  # float64 (R_M at the rollback target)
+    lf: float
+    ls: float
+    recall: float
+
+    @property
+    def n_segments(self) -> int:
+        """Number of segments a replication must clear to complete."""
+        return int(self.work.size)
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"compiled schedule: {self.n_tasks} tasks -> "
+            f"{self.n_segments} segments, total work {self.work.sum():g}s, "
+            f"λ_f={self.lf:g}/s λ_s={self.ls:g}/s r={self.recall:g}"
+        )
+
+
+def compile_schedule(
+    chain: TaskChain,
+    platform: Platform,
+    schedule: Schedule,
+    costs: CostProfile | None = None,
+) -> CompiledSchedule:
+    """Compile ``schedule`` on ``(chain, platform)`` into flat segment arrays.
+
+    Raises
+    ------
+    InvalidScheduleError
+        Under exactly the conditions the scalar engine rejects: a
+        chain/schedule length mismatch, or a final task without a
+        guaranteed verification while silent errors are possible.
+    """
+    if schedule.n != chain.n:
+        raise InvalidScheduleError(
+            f"schedule covers {schedule.n} tasks but the chain has {chain.n}"
+        )
+    if platform.ls > 0.0 and schedule.action(chain.n) < Action.VERIFY:
+        raise InvalidScheduleError(
+            "the final task needs a guaranteed verification for the run to "
+            "complete correctly under silent errors"
+        )
+    if costs is None:
+        costs = CostProfile.uniform(chain.n, platform)
+
+    stops = [0] + schedule.verified_positions
+    if stops[-1] != chain.n:
+        # λ_s == 0 and unverified tail: execute it as a final segment.
+        stops.append(chain.n)
+    stop_index = {pos: j for j, pos in enumerate(stops)}
+    n_segs = len(stops) - 1
+
+    work = np.empty(n_segs, dtype=np.float64)
+    is_partial = np.zeros(n_segs, dtype=bool)
+    has_verif = np.zeros(n_segs, dtype=bool)
+    verif_cost = np.zeros(n_segs, dtype=np.float64)
+    cm_cost = np.zeros(n_segs, dtype=np.float64)
+    cd_cost = np.zeros(n_segs, dtype=np.float64)
+    fail_target = np.empty(n_segs, dtype=np.int64)
+    fail_cost = np.empty(n_segs, dtype=np.float64)
+    silent_target = np.empty(n_segs, dtype=np.int64)
+    silent_cost = np.empty(n_segs, dtype=np.float64)
+
+    mem = disk = 0
+    for k in range(n_segs):
+        pos, nxt = stops[k], stops[k + 1]
+        # Rollback targets are the last checkpoints at or before stops[k].
+        if pos > 0 and schedule.action(pos) >= Action.MEMORY:
+            mem = pos
+        if pos > 0 and schedule.action(pos) == Action.DISK:
+            disk = pos
+        work[k] = chain.segment_weight(pos, nxt)
+        fail_target[k] = stop_index[disk]
+        fail_cost[k] = float(costs.RD[disk])
+        silent_target[k] = stop_index[mem]
+        silent_cost[k] = float(costs.RM[mem])
+
+        action = schedule.action(nxt)
+        if action >= Action.PARTIAL:
+            has_verif[k] = True
+            is_partial[k] = action == Action.PARTIAL
+            verif_cost[k] = float(
+                costs.Vp[nxt] if is_partial[k] else costs.Vg[nxt]
+            )
+        if action >= Action.MEMORY:
+            cm_cost[k] = float(costs.CM[nxt])
+        if action == Action.DISK:
+            cd_cost[k] = float(costs.CD[nxt])
+
+    ls = platform.ls
+    p_silent = (
+        -np.expm1(-ls * work) if ls > 0.0 else np.zeros(n_segs, dtype=np.float64)
+    )
+
+    arrays = dict(
+        stops=np.asarray(stops, dtype=np.int64),
+        work=work,
+        p_silent=p_silent,
+        is_partial=is_partial,
+        has_verification=has_verif,
+        verification_cost=verif_cost,
+        memory_ckpt_cost=cm_cost,
+        disk_ckpt_cost=cd_cost,
+        fail_target=fail_target,
+        fail_recovery_cost=fail_cost,
+        silent_target=silent_target,
+        silent_recovery_cost=silent_cost,
+    )
+    for arr in arrays.values():
+        arr.setflags(write=False)
+    return CompiledSchedule(
+        n_tasks=chain.n,
+        lf=float(platform.lf),
+        ls=float(ls),
+        recall=float(platform.r),
+        **arrays,
+    )

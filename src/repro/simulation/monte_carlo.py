@@ -1,11 +1,21 @@
 """Monte-Carlo estimation of a schedule's expected makespan.
 
-Runs :func:`repro.simulation.engine.simulate_run` many times with
-independent, reproducible random streams (one child of a
-``numpy.random.SeedSequence`` per run) and aggregates the makespans.
-The result carries the raw samples, the summary statistics, and — when an
-analytic reference is supplied — the agreement check used by the validation
-suite (the analytic value must fall inside the sample CI).
+Two interchangeable engines drive the campaign:
+
+* ``engine="batch"`` (default) — the vectorized lockstep engine of
+  :mod:`repro.simulation.batch`, which advances every replication at once
+  with NumPy and shards chunks across processes via ``n_jobs``; this is
+  the production path, orders of magnitude faster than the scalar loop;
+* ``engine="scalar"`` — one :func:`repro.simulation.engine.simulate_run`
+  per replication with an independent child stream per run; kept as the
+  trusted oracle the batched engine is cross-validated against.
+
+Either way the result carries the raw samples, the summary statistics,
+and — when an analytic reference is supplied — the agreement check used
+by the validation suite (the analytic value must fall inside the sample
+CI).  The two engines use different (both reproducible) stream
+disciplines, so their samples differ for the same seed; only their
+distributions agree.
 """
 
 from __future__ import annotations
@@ -18,6 +28,7 @@ from ..chains import TaskChain
 from ..exceptions import InvalidParameterError
 from ..platforms import Platform
 from ..core.schedule import Schedule
+from .batch import DEFAULT_CHUNK_SIZE, simulate_batch
 from .engine import RunResult, simulate_run
 from .errors import PoissonErrorSource
 from .stats import SampleSummary, summarize
@@ -93,6 +104,9 @@ def run_monte_carlo(
     analytic: float = float("nan"),
     max_attempts: int | None = None,
     costs=None,
+    engine: str = "batch",
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    n_jobs: int | None = None,
 ) -> MonteCarloResult:
     """Estimate the expected makespan of ``schedule`` by simulation.
 
@@ -107,30 +121,60 @@ def run_monte_carlo(
         Optional analytic expected makespan to compare against.
     max_attempts:
         Per-run segment-attempt cap forwarded to the engine.
+    engine:
+        ``"batch"`` (vectorized, default) or ``"scalar"`` (the trusted
+        per-run oracle loop).
+    chunk_size / n_jobs:
+        Batched-engine knobs: replications per vectorized chunk, and the
+        number of worker processes chunks are sharded over (``None`` or
+        1 = in-process).  Ignored by the scalar engine.
     """
     if runs < 1:
         raise InvalidParameterError(f"runs must be >= 1, got {runs}")
+    if engine not in ("batch", "scalar"):
+        raise InvalidParameterError(
+            f"engine must be 'batch' or 'scalar', got {engine!r}"
+        )
     seed_seq = (
         seed
         if isinstance(seed, np.random.SeedSequence)
         else np.random.SeedSequence(seed)
     )
-    children = seed_seq.spawn(runs)
 
-    samples = np.empty(runs, dtype=np.float64)
-    fail_stops = 0
-    silents = 0
-    kwargs = {} if max_attempts is None else {"max_attempts": max_attempts}
-    if costs is not None:
-        kwargs["costs"] = costs
-    for i in range(runs):
-        source = PoissonErrorSource(platform, np.random.default_rng(children[i]))
-        result: RunResult = simulate_run(
-            chain, platform, schedule, source, **kwargs
+    if engine == "batch":
+        batch_kwargs = {} if max_attempts is None else {"max_attempts": max_attempts}
+        batch = simulate_batch(
+            chain,
+            platform,
+            schedule,
+            runs,
+            seed=seed_seq,
+            costs=costs,
+            chunk_size=chunk_size,
+            n_jobs=n_jobs,
+            **batch_kwargs,
         )
-        samples[i] = result.makespan
-        fail_stops += result.fail_stop_errors
-        silents += result.silent_errors
+        samples = batch.makespans
+        fail_stops = int(batch.fail_stop_errors.sum())
+        silents = int(batch.silent_errors.sum())
+    else:
+        children = seed_seq.spawn(runs)
+        samples = np.empty(runs, dtype=np.float64)
+        fail_stops = 0
+        silents = 0
+        kwargs = {} if max_attempts is None else {"max_attempts": max_attempts}
+        if costs is not None:
+            kwargs["costs"] = costs
+        for i in range(runs):
+            source = PoissonErrorSource(
+                platform, np.random.default_rng(children[i])
+            )
+            result: RunResult = simulate_run(
+                chain, platform, schedule, source, **kwargs
+            )
+            samples[i] = result.makespan
+            fail_stops += result.fail_stop_errors
+            silents += result.silent_errors
 
     return MonteCarloResult(
         samples=samples,

@@ -66,19 +66,6 @@ def rng() -> np.random.Generator:
     return np.random.default_rng(12345)
 
 
-def random_platform(rng: np.random.Generator, *, with_fail_stop=True, with_silent=True) -> Platform:
-    """A random hot platform for randomized cross-checks."""
-    return Platform.from_costs(
-        "random",
-        lf=float(rng.uniform(1e-4, 8e-3)) if with_fail_stop else 0.0,
-        ls=float(rng.uniform(1e-3, 2e-2)) if with_silent else 0.0,
-        CD=float(rng.uniform(5.0, 40.0)),
-        CM=float(rng.uniform(1.0, 8.0)),
-        r=float(rng.uniform(0.4, 0.95)),
-        partial_cost_ratio=float(rng.uniform(5.0, 100.0)),
-    )
-
-
-def random_chain(rng: np.random.Generator, n: int, scale: float = 50.0) -> TaskChain:
-    """A random chain with positive weights."""
-    return TaskChain(rng.uniform(0.2, 1.0, size=n) * scale)
+# random_chain / random_platform live in repro.testing: test modules import
+# them from the package, never from `conftest` — see the repro.testing
+# module docstring for the shadowing bug this avoids.

@@ -1,0 +1,338 @@
+"""Cross-validation of the batched Monte-Carlo engine.
+
+Three layers of certification, strongest first:
+
+1. **Bitwise replay** — every replication of a batched campaign is
+   replayed through the trusted scalar engine
+   (:func:`repro.simulation.engine.simulate_run`) fed the *same* uniform
+   stream via :class:`~repro.simulation.batch.InverseTransformErrorSource`;
+   makespans and all event counters must match exactly, across platforms
+   exercising every branch (fail-stop only, silent only, partial-heavy,
+   heterogeneous costs).
+2. **Golden segment arrays** — the compiler's lowering of a known
+   schedule is pinned value-by-value.
+3. **Statistical agreement** — on randomized chain/platform pairs the
+   analytic (Markov-evaluated) expected makespan must fall inside the
+   batched sample's confidence interval.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.chains import TaskChain
+from repro.core import evaluate_schedule, optimize
+from repro.core.costs import CostProfile
+from repro.core.schedule import Schedule
+from repro.exceptions import (
+    InvalidParameterError,
+    InvalidScheduleError,
+    SimulationError,
+)
+from repro.platforms import Platform
+from repro.simulation import (
+    InverseTransformErrorSource,
+    compile_schedule,
+    replication_uniform_rows,
+    run_monte_carlo,
+    simulate_batch,
+    simulate_run,
+)
+from repro.testing import random_chain, random_platform
+
+
+def _assert_bitwise_replay(
+    chain, platform, schedule, *, n_runs=150, seed=1234, costs=None
+):
+    """Replay every batch replication through the scalar oracle, exactly."""
+    batch = simulate_batch(chain, platform, schedule, n_runs, seed=seed, costs=costs)
+    kwargs = {} if costs is None else {"costs": costs}
+    for i in range(n_runs):
+        source = InverseTransformErrorSource(
+            platform, replication_uniform_rows(seed, n_runs, i)
+        )
+        ref = simulate_run(chain, platform, schedule, source, **kwargs)
+        assert ref.makespan == batch.makespans[i], f"rep {i} makespan differs"
+        assert ref.fail_stop_errors == batch.fail_stop_errors[i]
+        assert ref.silent_errors == batch.silent_errors[i]
+        assert ref.silent_detected == batch.silent_detected[i]
+        assert ref.silent_missed == batch.silent_missed[i]
+        assert ref.attempts == batch.attempts[i]
+
+
+# ----------------------------------------------------------------------
+# 1. bitwise replay against the scalar oracle
+# ----------------------------------------------------------------------
+class TestExactAgreementWithScalarOracle:
+    def test_hot_platform_optimal_schedule(self, hot_platform):
+        chain = TaskChain([40.0, 25.0, 60.0, 35.0, 50.0, 45.0])
+        schedule = optimize(chain, hot_platform, algorithm="admv").schedule
+        _assert_bitwise_replay(chain, hot_platform, schedule)
+
+    def test_partial_heavy_schedule(self):
+        # Low recall + cheap partials: many missed detections and latent
+        # corruption carries, exercising the latent bitmask heavily.
+        platform = Platform.from_costs(
+            "partial-heavy", lf=1e-3, ls=1.5e-2, CD=20.0, CM=4.0,
+            r=0.35, partial_cost_ratio=50.0,
+        )
+        chain = TaskChain([30.0] * 8)
+        schedule = Schedule.from_string("p.pvp.pD")
+        _assert_bitwise_replay(chain, platform, schedule)
+
+    def test_silent_only_platform(self, silent_only_platform):
+        chain = TaskChain([50.0, 70.0, 40.0, 60.0])
+        schedule = Schedule.from_string("p.MD")
+        _assert_bitwise_replay(chain, silent_only_platform, schedule)
+
+    def test_fail_stop_only_platform_with_unverified_tail(
+        self, fail_stop_only_platform
+    ):
+        # λ_s = 0 allows an unverified final segment (the appended stop).
+        chain = TaskChain([50.0, 70.0, 40.0, 60.0])
+        schedule = Schedule.from_positions(4, disk=[2])
+        _assert_bitwise_replay(chain, fail_stop_only_platform, schedule)
+
+    def test_error_free_platform(self, error_free_platform):
+        chain = TaskChain([10.0, 20.0, 30.0])
+        schedule = Schedule.from_string("vMD")
+        _assert_bitwise_replay(
+            chain, error_free_platform, schedule, n_runs=8
+        )
+
+    def test_heterogeneous_costs(self, hot_platform):
+        rng = np.random.default_rng(5)
+        chain = TaskChain([30.0] * 6)
+        costs = CostProfile.from_arrays(
+            6,
+            CD=rng.uniform(5.0, 40.0, 6),
+            CM=rng.uniform(1.0, 8.0, 6),
+            RD=rng.uniform(5.0, 40.0, 6),
+            RM=rng.uniform(1.0, 8.0, 6),
+            Vg=rng.uniform(0.5, 6.0, 6),
+            Vp=rng.uniform(0.05, 0.4, 6),
+        )
+        schedule = Schedule.from_string("p.Mp.D")
+        _assert_bitwise_replay(chain, hot_platform, schedule, costs=costs)
+
+    def test_random_instances(self):
+        rng = np.random.default_rng(77)
+        for k in range(6):
+            chain = random_chain(rng, int(rng.integers(2, 9)))
+            platform = random_platform(rng)
+            schedule = optimize(chain, platform, algorithm="admv").schedule
+            _assert_bitwise_replay(
+                chain, platform, schedule, n_runs=60, seed=9000 + k
+            )
+
+
+# ----------------------------------------------------------------------
+# 2. golden values for the compiled segment arrays
+# ----------------------------------------------------------------------
+class TestCompiledScheduleGoldenValues:
+    @pytest.fixture
+    def compiled(self):
+        platform = Platform.from_costs(
+            "golden", lf=2e-3, ls=8e-3, CD=30.0, CM=6.0, RD=25.0, RM=5.0,
+            Vg=4.0, Vp=0.5, r=0.8,
+        )
+        chain = TaskChain([40.0, 25.0, 60.0, 35.0, 50.0])
+        # T1: partial, T2: memory ckpt, T4: partial, T5: disk ckpt.
+        schedule = Schedule.from_string("pM.pD")
+        return compile_schedule(chain, platform, schedule)
+
+    def test_structure(self, compiled):
+        assert compiled.n_tasks == 5
+        assert compiled.n_segments == 4
+        np.testing.assert_array_equal(compiled.stops, [0, 1, 2, 4, 5])
+
+    def test_work_and_silent_probabilities(self, compiled):
+        np.testing.assert_allclose(compiled.work, [40.0, 25.0, 95.0, 50.0])
+        np.testing.assert_allclose(
+            compiled.p_silent, -np.expm1(-8e-3 * compiled.work)
+        )
+
+    def test_verification_flags_and_costs(self, compiled):
+        np.testing.assert_array_equal(
+            compiled.is_partial, [True, False, True, False]
+        )
+        np.testing.assert_array_equal(
+            compiled.has_verification, [True, True, True, True]
+        )
+        np.testing.assert_allclose(
+            compiled.verification_cost, [0.5, 4.0, 0.5, 4.0]
+        )
+
+    def test_checkpoint_costs(self, compiled):
+        np.testing.assert_allclose(compiled.memory_ckpt_cost, [0.0, 6.0, 0.0, 6.0])
+        np.testing.assert_allclose(compiled.disk_ckpt_cost, [0.0, 0.0, 0.0, 30.0])
+
+    def test_rollback_targets_and_costs(self, compiled):
+        # No disk checkpoint before T5: every fail-stop restarts at T0 free.
+        np.testing.assert_array_equal(compiled.fail_target, [0, 0, 0, 0])
+        np.testing.assert_allclose(compiled.fail_recovery_cost, [0.0] * 4)
+        # Memory checkpoint at T2 covers segments starting at/after stop 2.
+        np.testing.assert_array_equal(compiled.silent_target, [0, 0, 2, 2])
+        np.testing.assert_allclose(
+            compiled.silent_recovery_cost, [0.0, 0.0, 5.0, 5.0]
+        )
+
+    def test_rates_and_describe(self, compiled):
+        assert compiled.lf == 2e-3 and compiled.ls == 8e-3
+        assert compiled.recall == 0.8
+        assert "4 segments" in compiled.describe()
+
+    def test_unverified_tail_when_no_silent_errors(self, fail_stop_only_platform):
+        chain = TaskChain([10.0, 20.0, 30.0])
+        compiled = compile_schedule(
+            chain, fail_stop_only_platform, Schedule.from_positions(3, disk=[1])
+        )
+        np.testing.assert_array_equal(compiled.stops, [0, 1, 3])
+        assert not compiled.has_verification[1]
+        assert compiled.p_silent[1] == 0.0
+        # fail-stop after the disk checkpoint at T1 restarts there, paying RD
+        np.testing.assert_array_equal(compiled.fail_target, [0, 1])
+        np.testing.assert_allclose(
+            compiled.fail_recovery_cost, [0.0, fail_stop_only_platform.RD]
+        )
+
+    def test_rejects_mismatched_chain(self, hot_platform):
+        with pytest.raises(InvalidScheduleError):
+            compile_schedule(
+                TaskChain([1.0, 2.0]), hot_platform, Schedule.final_only(3)
+            )
+
+    def test_rejects_unverified_final_under_silent_errors(self, hot_platform):
+        with pytest.raises(InvalidScheduleError):
+            compile_schedule(
+                TaskChain([1.0, 2.0]),
+                hot_platform,
+                Schedule.from_positions(2, partial=[2]),
+            )
+
+
+# ----------------------------------------------------------------------
+# 3. statistical agreement vs the Markov evaluator
+# ----------------------------------------------------------------------
+class TestStatisticalAgreement:
+    def test_analytic_inside_ci_on_random_instances(self):
+        """>= 20 random chain/platform pairs: analytic value in the 99% CI.
+
+        (Statistical but seed-fixed: with 24 pairs at 99% confidence the
+        expected false-failure count is ~0.24; the chosen seed passes and
+        the streams are reproducible, so this is deterministic in CI.)
+        """
+        rng = np.random.default_rng(2024)
+        agreements = 0
+        for k in range(24):
+            chain = random_chain(rng, int(rng.integers(3, 12)))
+            platform = random_platform(rng)
+            sol = optimize(chain, platform, algorithm="admv")
+            analytic = evaluate_schedule(chain, platform, sol.schedule).expected_time
+            mc = run_monte_carlo(
+                chain,
+                platform,
+                sol.schedule,
+                runs=4000,
+                seed=100 + k,
+                confidence=0.99,
+                analytic=analytic,
+                engine="batch",
+            )
+            assert mc.agrees_with_analytic, (
+                f"pair {k}: chain n={chain.n}, {platform.describe()}\n{mc.report()}"
+            )
+            assert abs(mc.relative_gap) < 0.05
+            agreements += 1
+        assert agreements >= 20
+
+    def test_error_free_campaign_is_exactly_deterministic(
+        self, error_free_platform
+    ):
+        chain = TaskChain([10.0, 20.0])
+        schedule = Schedule.final_only(2)
+        batch = simulate_batch(chain, error_free_platform, schedule, 50)
+        expected = (
+            30.0
+            + error_free_platform.Vg
+            + error_free_platform.CM
+            + error_free_platform.CD
+        )
+        np.testing.assert_array_equal(batch.makespans, np.full(50, expected))
+        assert batch.steps == 1
+
+
+# ----------------------------------------------------------------------
+# engine mechanics: chunking, sharding, caps, API
+# ----------------------------------------------------------------------
+class TestBatchMechanics:
+    @pytest.fixture
+    def instance(self, hot_platform):
+        chain = TaskChain([60.0] * 6)
+        schedule = optimize(chain, hot_platform, algorithm="admv").schedule
+        return chain, hot_platform, schedule
+
+    def test_reproducible_for_fixed_seed(self, instance):
+        chain, platform, schedule = instance
+        a = simulate_batch(chain, platform, schedule, 300, seed=5)
+        b = simulate_batch(chain, platform, schedule, 300, seed=5)
+        np.testing.assert_array_equal(a.makespans, b.makespans)
+
+    def test_seeds_differ(self, instance):
+        chain, platform, schedule = instance
+        a = simulate_batch(chain, platform, schedule, 300, seed=5)
+        b = simulate_batch(chain, platform, schedule, 300, seed=6)
+        assert not np.array_equal(a.makespans, b.makespans)
+
+    def test_chunked_equals_unchunked_per_chunk_streams(self, instance):
+        # Chunking changes stream assignment (documented) but each chunk
+        # is an independent child: results are deterministic per
+        # (seed, chunk_size) and chunk boundaries don't corrupt state.
+        chain, platform, schedule = instance
+        whole = simulate_batch(chain, platform, schedule, 500, seed=3, chunk_size=500)
+        parts = simulate_batch(chain, platform, schedule, 500, seed=3, chunk_size=128)
+        assert whole.n_runs == parts.n_runs == 500
+        again = simulate_batch(chain, platform, schedule, 500, seed=3, chunk_size=128)
+        np.testing.assert_array_equal(parts.makespans, again.makespans)
+        # distributions agree even though streams differ
+        assert abs(whole.makespans.mean() - parts.makespans.mean()) < (
+            5.0 * whole.makespans.std() / np.sqrt(500)
+        )
+
+    def test_n_jobs_matches_serial(self, instance):
+        chain, platform, schedule = instance
+        serial = simulate_batch(
+            chain, platform, schedule, 400, seed=3, chunk_size=100, n_jobs=None
+        )
+        sharded = simulate_batch(
+            chain, platform, schedule, 400, seed=3, chunk_size=100, n_jobs=2
+        )
+        np.testing.assert_array_equal(serial.makespans, sharded.makespans)
+        np.testing.assert_array_equal(serial.attempts, sharded.attempts)
+
+    def test_max_attempts_cap_raises(self, instance):
+        chain, platform, schedule = instance
+        with pytest.raises(SimulationError):
+            simulate_batch(chain, platform, schedule, 50, seed=0, max_attempts=2)
+
+    def test_rejects_bad_parameters(self, instance):
+        chain, platform, schedule = instance
+        with pytest.raises(InvalidParameterError):
+            simulate_batch(chain, platform, schedule, 0)
+        with pytest.raises(InvalidParameterError):
+            simulate_batch(chain, platform, schedule, 10, chunk_size=0)
+        with pytest.raises(InvalidParameterError):
+            replication_uniform_rows(0, 10, 10)
+
+    def test_run_monte_carlo_engine_selection(self, instance):
+        chain, platform, schedule = instance
+        with pytest.raises(InvalidParameterError):
+            run_monte_carlo(chain, platform, schedule, runs=10, engine="warp")
+        batch = run_monte_carlo(chain, platform, schedule, runs=200, seed=4)
+        scalar = run_monte_carlo(
+            chain, platform, schedule, runs=200, seed=4, engine="scalar"
+        )
+        # different stream disciplines, same distribution
+        assert batch.summary.count == scalar.summary.count == 200
+        assert not np.array_equal(batch.samples, scalar.samples)

@@ -11,7 +11,7 @@ from repro.core.evaluator import COST_CATEGORIES
 from repro.core.schedule import Action, Schedule
 from repro.platforms import HERA, Platform
 
-from conftest import random_chain, random_platform
+from repro.testing import random_chain, random_platform
 
 
 class TestBreakdownInvariants:

@@ -200,6 +200,7 @@ class TestFigureAndTable:
         assert code == 0
         assert "Table I" in out
 
+    @pytest.mark.slow
     def test_figure_6(self, capsys):
         code, out, _ = run_cli(capsys, "figure", "6")
         assert code == 0

@@ -14,7 +14,7 @@ from repro.exceptions import InvalidParameterError
 from repro.platforms import Platform
 from repro.simulation import ScriptedErrorSource, run_monte_carlo, simulate_run
 
-from conftest import random_chain, random_platform
+from repro.testing import random_chain, random_platform
 
 
 def random_profile(rng: np.random.Generator, n: int) -> CostProfile:

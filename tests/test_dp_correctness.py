@@ -19,7 +19,7 @@ from repro.core import evaluate_schedule, exhaustive_search, optimize
 from repro.core.dp_partial import optimize_partial
 from repro.platforms import HERA, Platform
 
-from conftest import random_chain, random_platform
+from repro.testing import random_chain, random_platform
 
 ALGS = ("adv_star", "admv_star", "admv")
 

@@ -21,7 +21,7 @@ from repro.core.dp_partial import scan_interval
 from repro.core.factors import PairFactors
 from repro.platforms import Platform
 
-from conftest import random_chain, random_platform
+from repro.testing import random_chain, random_platform
 
 
 def reference_everif_row(

@@ -30,6 +30,7 @@ def test_quickstart(capsys):
     assert "inside the" in out  # CI agreement line
 
 
+@pytest.mark.slow
 def test_platform_comparison(capsys):
     out = run_example("platform_comparison.py", capsys)
     assert "Hera" in out and "Coastal SSD" in out
@@ -43,6 +44,7 @@ def test_workflow_patterns(capsys):
     assert "disk ckpts" in out
 
 
+@pytest.mark.slow
 def test_custom_platform_tuning(capsys):
     out = run_example("custom_platform_tuning.py", capsys)
     assert "my-cluster" in out
