@@ -1,0 +1,153 @@
+"""Adaptive-precision orchestrator vs fixed-N campaigns at equal precision.
+
+The question the bench answers: to certify the mean makespan to a ±1%
+relative CI half-width, how many replications does the adaptive
+orchestrator spend versus the fixed-N default of 1000 (the historical
+``run_monte_carlo`` budget, which cannot know in advance whether it is
+too many or too few)?
+
+For each platform/chain pair the bench runs both campaigns, checks both
+reach the target precision, and records replication counts and wall-clock
+times.  Writes ``results/BENCH_adaptive.json`` (uploaded as a CI artifact
+so the perf trajectory is recorded across commits) plus a human-readable
+``results/adaptive.txt``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from bench_common import save_result
+from repro.chains import uniform_chain
+from repro.core import optimize
+from repro.platforms import ATLAS, COASTAL, HERA
+from repro.simulation import run_adaptive, run_monte_carlo
+
+TARGET_CI = 0.01
+FIXED_RUNS = 1000  # the historical fixed-N default
+PAIRS = ((HERA, 20), (ATLAS, 50), (COASTAL, 35))
+
+
+def _time(fn):
+    start = time.perf_counter()
+    out = fn()
+    return out, time.perf_counter() - start
+
+
+def test_adaptive_reps_to_target(benchmark, results_dir):
+    """Adaptive certifies ±1% with fewer reps than the fixed-N default."""
+    records = []
+    for platform, n in PAIRS:
+        chain = uniform_chain(n)
+        sol = optimize(chain, platform, algorithm="admv")
+        adaptive, adaptive_s = _time(
+            lambda: run_adaptive(
+                chain, platform, sol.schedule,
+                target_relative_ci=TARGET_CI, seed=7,
+                analytic=sol.expected_time,
+            )
+        )
+        fixed, fixed_s = _time(
+            lambda: run_monte_carlo(
+                chain, platform, sol.schedule, runs=FIXED_RUNS, seed=7,
+                analytic=sol.expected_time,
+            )
+        )
+        records.append(
+            {
+                "platform": platform.name,
+                "chain": f"uniform n={n}",
+                "target_relative_ci": TARGET_CI,
+                "adaptive_reps": adaptive.reps_used,
+                "adaptive_rounds": len(adaptive.rounds),
+                "adaptive_seconds": adaptive_s,
+                "adaptive_relative_half_width": adaptive.relative_half_width,
+                "adaptive_converged": adaptive.converged,
+                "adaptive_agrees": adaptive.agrees_with_analytic,
+                "fixed_runs": FIXED_RUNS,
+                "fixed_seconds": fixed_s,
+                "fixed_relative_half_width": (
+                    fixed.summary.relative_ci_half_width
+                ),
+                "reps_saved": FIXED_RUNS - adaptive.reps_used,
+            }
+        )
+
+    # one representative campaign through the benchmark fixture
+    platform, n = PAIRS[0]
+    chain = uniform_chain(n)
+    sol = optimize(chain, platform, algorithm="admv")
+    benchmark.pedantic(
+        lambda: run_adaptive(
+            chain, platform, sol.schedule,
+            target_relative_ci=TARGET_CI, seed=7,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    doc = {
+        "bench": "adaptive_vs_fixed",
+        "target_relative_ci": TARGET_CI,
+        "fixed_default_runs": FIXED_RUNS,
+        "pairs": records,
+    }
+    (results_dir / "BENCH_adaptive.json").write_text(
+        json.dumps(doc, indent=2) + "\n"
+    )
+
+    lines = [
+        f"adaptive vs fixed-N Monte-Carlo at ±{TARGET_CI:.1%} target precision"
+    ]
+    for r in records:
+        lines.append(
+            f"  {r['platform']:12s} {r['chain']:14s} "
+            f"adaptive {r['adaptive_reps']:5d} reps "
+            f"(±{r['adaptive_relative_half_width']:.2%}, "
+            f"{r['adaptive_rounds']} rounds, {r['adaptive_seconds']:.3f}s)  "
+            f"fixed {r['fixed_runs']} reps "
+            f"(±{r['fixed_relative_half_width']:.2%}, "
+            f"{r['fixed_seconds']:.3f}s)  saved {r['reps_saved']} reps"
+        )
+    text = "\n".join(lines)
+    print()
+    print(text)
+    save_result(results_dir, "adaptive.txt", text)
+
+    for r in records:
+        assert r["adaptive_converged"], r
+        assert r["adaptive_agrees"], r
+        assert r["adaptive_relative_half_width"] <= TARGET_CI, r
+        assert r["fixed_relative_half_width"] <= TARGET_CI, (
+            "fixed-N baseline no longer certifies the target; "
+            "the comparison is not at equal precision",
+            r,
+        )
+        assert r["adaptive_reps"] < r["fixed_runs"], (
+            "adaptive spent at least as many replications as fixed-N",
+            r,
+        )
+
+
+@pytest.mark.parametrize("platform", [HERA, ATLAS])
+def test_adaptive_streaming_memory_is_bounded(benchmark, platform):
+    """A tight-precision campaign (tens of thousands of reps) streams
+    moments chunk by chunk — the orchestrator never materializes the
+    full sample."""
+    chain = uniform_chain(20)
+    sol = optimize(chain, platform, algorithm="admv")
+    adaptive = benchmark.pedantic(
+        lambda: run_adaptive(
+            chain, platform, sol.schedule,
+            target_relative_ci=0.002, seed=11, chunk_size=4096,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert adaptive.converged
+    assert adaptive.reps_used >= 1000
+    # streamed state is O(categories), not O(reps)
+    assert adaptive.category_totals.shape == (7,)

@@ -1,3 +1,26 @@
-from setuptools import setup
+import re
+from pathlib import Path
 
-setup()
+from setuptools import find_packages, setup
+
+# Single source of truth for the version: repro.__version__ (also what
+# `repro --version` prints).  Parsed textually so building needs no deps.
+_init = Path(__file__).parent / "src" / "repro" / "__init__.py"
+VERSION = re.search(
+    r'^__version__\s*=\s*"([^"]+)"', _init.read_text(), re.MULTILINE
+).group(1)
+
+setup(
+    name="repro-two-level-checkpointing",
+    version=VERSION,
+    description=(
+        "Two-level checkpointing and verifications for linear task graphs "
+        "(Benoit et al., PDSEC 2016): optimizers, analytic evaluator, and "
+        "a vectorized fault-injection Monte-Carlo engine"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=["numpy", "scipy"],
+    entry_points={"console_scripts": ["repro = repro.cli:main"]},
+)

@@ -9,7 +9,11 @@ Passing ``validate_runs > 0`` additionally replays every ``(n, algorithm)``
 cell through the batched Monte-Carlo engine and records whether the DP's
 analytic expected makespan falls inside the sample confidence interval —
 statistical certification of the whole sweep at a cost the vectorized
-engine makes negligible next to the DPs themselves.
+engine makes negligible next to the DPs themselves.  With
+``validate_target_ci`` the replications per cell are chosen adaptively:
+each cell runs the sequential-sampling orchestrator until its relative CI
+half-width reaches the target, so the certification carries an explicit
+precision instead of a fixed replication budget.
 """
 
 from __future__ import annotations
@@ -144,11 +148,16 @@ class SweepResult:
                 continue
             mc = rec.monte_carlo
             mark = "ok " if rec.validated else "FAIL"
+            precision = ""
+            if mc.convergence is not None:
+                precision = (
+                    f" {mc.runs} reps ±{mc.convergence.relative_half_width:.2%}"
+                )
             lines.append(
                 f"  [{mark}] n={rec.n:3d} {rec.algorithm:10s} "
                 f"analytic={mc.analytic:12.2f}s sample="
                 f"[{mc.summary.ci_low:.2f}, {mc.summary.ci_high:.2f}] "
-                f"(gap {mc.relative_gap:+.3%})"
+                f"(gap {mc.relative_gap:+.3%}){precision}"
             )
         return "\n".join(lines)
 
@@ -161,6 +170,7 @@ def sweep_task_counts(
     algorithms: tuple[str, ...] = ("adv_star", "admv_star", "admv"),
     total_weight: float = PAPER_TOTAL_WEIGHT,
     validate_runs: int = 0,
+    validate_target_ci: float | None = None,
     validate_seed: int = 0,
     validate_confidence: float = 0.99,
     n_jobs: int | None = None,
@@ -172,6 +182,12 @@ def sweep_task_counts(
     the batched Monte-Carlo engine with that many replications (seeded
     per-cell from ``validate_seed``, sharded over ``n_jobs`` processes) and
     the analytic-vs-sample agreement is attached to its record.
+
+    ``validate_target_ci`` switches the per-cell replay to the adaptive
+    orchestrator: each cell spends only the replications needed to certify
+    that relative CI half-width (``validate_runs`` then caps the spend; 0
+    means the orchestrator's default cap) — validation is enabled even if
+    ``validate_runs`` is 0.
     """
     if task_counts is None:
         task_counts = default_task_grid()
@@ -183,11 +199,13 @@ def sweep_task_counts(
         task_counts=list(task_counts),
         algorithms=canon,
     )
-    if validate_runs:
+    validate = bool(validate_runs) or validate_target_ci is not None
+    if validate:
         import numpy as np
 
-        from ..simulation import run_monte_carlo
+        from ..simulation import DEFAULT_MAX_RUNS, run_monte_carlo
 
+        cell_runs = validate_runs or DEFAULT_MAX_RUNS
         cell_seeds = iter(
             np.random.SeedSequence(validate_seed).spawn(
                 len(task_counts) * len(canon)
@@ -198,16 +216,17 @@ def sweep_task_counts(
         for alg in canon:
             sol = optimize(chain, platform, algorithm=alg)
             mc = None
-            if validate_runs:
+            if validate:
                 mc = run_monte_carlo(
                     chain,
                     platform,
                     sol.schedule,
-                    runs=validate_runs,
+                    runs=cell_runs,
                     seed=next(cell_seeds),
                     confidence=validate_confidence,
                     analytic=sol.expected_time,
                     n_jobs=n_jobs,
+                    target_ci=validate_target_ci,
                 )
             result.records.append(
                 SweepRecord(n=n, algorithm=alg, solution=sol, monte_carlo=mc)

@@ -6,7 +6,9 @@ Usage (also available as ``python -m repro``)::
     repro solve -p hera -n 20 -a admv            # optimal schedule + value
     repro evaluate -p hera --schedule ..MvpD     # exact value of a schedule
     repro simulate -p hera -n 10 --runs 500      # Monte-Carlo vs analytic
+    repro simulate -p hera --target-ci 0.01      # adaptive: certify ±1%
     repro sweep -p atlas --pattern decrease      # makespan vs n table
+    repro sweep -p atlas --target-ci 0.01        # + certified validation
     repro figure 5 --fast                        # regenerate a paper figure
     repro table 1                                # regenerate Table I
     repro report --fast                          # paper-vs-measured claims
@@ -21,6 +23,7 @@ import argparse
 import cProfile
 import io
 import json
+import math
 import pstats
 import sys
 
@@ -72,6 +75,12 @@ def _make_chain(args: argparse.Namespace):
     return make_chain(args.pattern, args.tasks, args.total_weight)
 
 
+def _finite_or_none(value: float) -> float | None:
+    """JSON-safe float: RFC 8259 has no Infinity/NaN tokens, so degenerate
+    CI bounds (single-replication campaigns) serialize as null."""
+    return value if math.isfinite(value) else None
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -109,8 +118,32 @@ def build_parser() -> argparse.ArgumentParser:
     _add_instance_args(p)
     p.add_argument("-a", "--algorithm", default="admv")
     p.add_argument("--schedule", default=None, help="override: fixed schedule string")
-    p.add_argument("--runs", type=int, default=1000)
+    p.add_argument(
+        "--runs",
+        type=int,
+        default=None,
+        help=(
+            "replications: exact count for fixed-N campaigns (default "
+            "1000), hard cap when --target-ci is set (default: the "
+            "orchestrator's 1M cap, matching `repro sweep --target-ci`)"
+        ),
+    )
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--target-ci",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help=(
+            "adaptive precision: run rounds until the relative CI "
+            "half-width on the mean reaches this target (e.g. 0.01 = ±1%%)"
+        ),
+    )
+    p.add_argument(
+        "--no-breakdown",
+        action="store_true",
+        help="omit the per-category time breakdown table",
+    )
     p.add_argument(
         "--engine",
         default="batch",
@@ -145,6 +178,16 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=0,
         help="batched Monte-Carlo replications per cell (0 = no validation)",
+    )
+    p.add_argument(
+        "--target-ci",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help=(
+            "validate each cell adaptively to this relative CI half-width "
+            "(--validate-runs then caps the per-cell spend)"
+        ),
     )
     p.add_argument("--chart", action="store_true", help="also render an ASCII chart")
     p.add_argument("--profile", action="store_true", help="print cProfile hotspots")
@@ -238,34 +281,62 @@ def _cmd_simulate(args) -> str:
     mc_kwargs = {}
     if args.chunk_size is not None:
         mc_kwargs["chunk_size"] = args.chunk_size
+    if args.runs is not None:
+        runs = args.runs
+    elif args.target_ci is not None:
+        # same default cap as `repro sweep --target-ci`: let the
+        # orchestrator converge, don't silently stop at the fixed-N 1000
+        from .simulation import DEFAULT_MAX_RUNS
+
+        runs = DEFAULT_MAX_RUNS
+    else:
+        runs = 1000
     mc = run_monte_carlo(
         chain,
         platform,
         schedule,
-        runs=args.runs,
+        runs=runs,
         seed=args.seed,
         analytic=analytic,
         engine=args.engine,
         n_jobs=args.jobs,
+        target_ci=args.target_ci,
         **mc_kwargs,
     )
     if args.json:
-        return json.dumps(
-            {
-                "platform": platform.name,
-                "schedule": schedule.to_string(),
-                "runs": args.runs,
-                "engine": args.engine,
-                "mean": mc.mean,
-                "ci": [mc.summary.ci_low, mc.summary.ci_high],
-                "analytic": analytic,
-                "agrees": mc.agrees_with_analytic,
-            },
-            indent=2,
-        )
+        doc = {
+            "platform": platform.name,
+            "schedule": schedule.to_string(),
+            "runs": mc.runs,
+            "engine": args.engine,
+            "mean": mc.mean,
+            "ci": [
+                _finite_or_none(mc.summary.ci_low),
+                _finite_or_none(mc.summary.ci_high),
+            ],
+            "analytic": analytic,
+            "agrees": mc.agrees_with_analytic,
+            "breakdown": mc.breakdown,
+        }
+        if mc.convergence is not None:
+            doc["convergence"] = {
+                "target_relative_ci": mc.convergence.target_relative_ci,
+                "converged": mc.convergence.converged,
+                "relative_half_width": _finite_or_none(
+                    mc.convergence.relative_half_width
+                ),
+                "rounds": len(mc.convergence.rounds),
+                "reps_used": mc.convergence.reps_used,
+            }
+        return json.dumps(doc, indent=2)
+    mode = (
+        f"{args.engine} engine"
+        if args.target_ci is None
+        else f"adaptive, target ±{args.target_ci:.2%}"
+    )
     return (
-        f"simulating {label} on {platform.name} ({args.engine} engine)\n"
-        + mc.report()
+        f"simulating {label} on {platform.name} ({mode})\n"
+        + mc.report(show_breakdown=not args.no_breakdown)
     )
 
 
@@ -284,10 +355,12 @@ def _cmd_sweep(args) -> str:
         algorithms=algorithms,
         total_weight=args.total_weight,
         validate_runs=args.validate_runs,
+        validate_target_ci=args.target_ci,
     )
     if profiler:
         profiler.disable()
 
+    validated = bool(args.validate_runs) or args.target_ci is not None
     if args.json:
         doc = {
             "platform": platform.name,
@@ -295,7 +368,7 @@ def _cmd_sweep(args) -> str:
             "rows": sweep.rows(),
             "header": sweep.header(),
         }
-        if args.validate_runs:
+        if validated:
             doc["validated_cells"] = sweep.validated_cells
             doc["all_cells_agree"] = sweep.all_cells_agree
         return json.dumps(doc, indent=2)
@@ -306,7 +379,7 @@ def _cmd_sweep(args) -> str:
             title=f"normalized makespan — {platform.name}, {args.pattern}",
         )
     ]
-    if args.validate_runs:
+    if validated:
         out.append(sweep.validation_report())
     if args.chart:
         series = {

@@ -22,8 +22,17 @@ from ..analysis.ascii_plot import line_chart
 from ..analysis.sweep import SweepResult, sweep_task_counts
 from ..analysis.tables import format_table
 from ..analysis.metrics import improvement
+from ..chains import make_chain
 from ..platforms import Platform
-from .common import ALGORITHM_LABELS, PAPER_ALGORITHMS, PAPER_PLATFORMS, task_grid
+from .common import (
+    ALGORITHM_LABELS,
+    PAPER_ALGORITHMS,
+    PAPER_PLATFORMS,
+    AgreementStamp,
+    certify_solution,
+    render_stamps,
+    task_grid,
+)
 
 __all__ = ["Fig5Result", "run"]
 
@@ -34,6 +43,7 @@ class Fig5Result:
 
     sweeps: dict[str, SweepResult] = field(default_factory=dict)
     pattern: str = "uniform"
+    stamps: list[AgreementStamp] = field(default_factory=list)
 
     def makespan_table(self, platform_name: str) -> str:
         sweep = self.sweeps[platform_name]
@@ -101,6 +111,7 @@ class Fig5Result:
                 f"gain ADMV* vs ADV* at n=max: {self.two_level_gain(name):+.2%}; "
                 f"gain ADMV vs ADMV*: {self.partial_gain(name):+.2%}"
             )
+        blocks.append(render_stamps(self.stamps))
         return "\n\n".join(blocks)
 
 
@@ -110,15 +121,35 @@ def run(
     platforms: tuple[Platform, ...] = PAPER_PLATFORMS,
     algorithms: tuple[str, ...] = PAPER_ALGORITHMS,
     task_counts: list[int] | None = None,
+    certify: bool = True,
 ) -> Fig5Result:
-    """Run the Figure 5 sweeps (Uniform pattern, all platforms)."""
+    """Run the Figure 5 sweeps (Uniform pattern, all platforms).
+
+    With ``certify`` (default) the headline cell of every sweep — each
+    algorithm at the largest task count — is replayed through the adaptive
+    Monte-Carlo orchestrator and the agreement stamp rides in the
+    rendering.
+    """
     grid = task_counts if task_counts is not None else task_grid(fast)
     result = Fig5Result()
     for platform in platforms:
-        result.sweeps[platform.name] = sweep_task_counts(
+        sweep = sweep_task_counts(
             platform,
             pattern="uniform",
             task_counts=grid,
             algorithms=algorithms,
         )
+        result.sweeps[platform.name] = sweep
+        if certify:
+            n_max = sweep.task_counts[-1]
+            chain = make_chain("uniform", n_max)
+            for alg in sweep.algorithms:
+                result.stamps.append(
+                    certify_solution(
+                        chain,
+                        platform,
+                        sweep.record(n_max, alg).solution,
+                        label=f"uniform n={n_max} {ALGORITHM_LABELS[alg]}",
+                    )
+                )
     return result

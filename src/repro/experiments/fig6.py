@@ -19,7 +19,12 @@ from ..chains import uniform_chain
 from ..platforms import Platform
 from ..core.result import Solution
 from ..core.solver import optimize
-from .common import PAPER_PLATFORMS
+from .common import (
+    PAPER_PLATFORMS,
+    AgreementStamp,
+    certify_solution,
+    render_stamps,
+)
 
 __all__ = ["Fig6Result", "run"]
 
@@ -31,6 +36,7 @@ class Fig6Result:
     n: int
     pattern: str
     solutions: dict[str, Solution] = field(default_factory=dict)
+    stamps: list[AgreementStamp] = field(default_factory=list)
 
     def diagram(self, platform_name: str) -> str:
         sol = self.solutions[platform_name]
@@ -43,7 +49,9 @@ class Fig6Result:
         )
 
     def render(self) -> str:
-        return "\n\n".join(self.diagram(name) for name in self.solutions)
+        blocks = [self.diagram(name) for name in self.solutions]
+        blocks.append(render_stamps(self.stamps))
+        return "\n\n".join(blocks)
 
 
 def run(
@@ -51,12 +59,25 @@ def run(
     n: int = 50,
     platforms: tuple[Platform, ...] = PAPER_PLATFORMS,
     algorithm: str = "admv",
+    certify: bool = True,
 ) -> Fig6Result:
-    """Solve ``ADMV`` at ``n`` tasks (Uniform) on each platform."""
+    """Solve ``ADMV`` at ``n`` tasks (Uniform) on each platform.
+
+    With ``certify`` (default) every placement map's expected makespan is
+    certified by an adaptive Monte-Carlo replay and stamped.
+    """
     chain = uniform_chain(n)
     result = Fig6Result(n=n, pattern="uniform")
     for platform in platforms:
-        result.solutions[platform.name] = optimize(
-            chain, platform, algorithm=algorithm
-        )
+        solution = optimize(chain, platform, algorithm=algorithm)
+        result.solutions[platform.name] = solution
+        if certify:
+            result.stamps.append(
+                certify_solution(
+                    chain,
+                    platform,
+                    solution,
+                    label=f"uniform n={n} {algorithm.upper()}",
+                )
+            )
     return result

@@ -28,6 +28,9 @@ from .common import (
     ALGORITHM_LABELS,
     EXTREME_PLATFORMS,
     PAPER_ALGORITHMS,
+    AgreementStamp,
+    certify_solution,
+    render_stamps,
     task_grid,
 )
 
@@ -43,6 +46,7 @@ class PatternFigureResult:
     n_map: int
     sweeps: dict[str, SweepResult] = field(default_factory=dict)
     map_solutions: dict[str, Solution] = field(default_factory=dict)
+    stamps: list[AgreementStamp] = field(default_factory=list)
 
     def makespan_table(self, platform_name: str) -> str:
         sweep = self.sweeps[platform_name]
@@ -102,6 +106,7 @@ class PatternFigureResult:
             blocks.append(self.makespan_table(name))
             blocks.append(self.counts_table(name))
             blocks.append(self.diagram(name))
+        blocks.append(render_stamps(self.stamps))
         return "\n\n".join(blocks)
 
 
@@ -114,8 +119,14 @@ def run_pattern_figure(
     algorithms: tuple[str, ...] = PAPER_ALGORITHMS,
     task_counts: list[int] | None = None,
     n_map: int = 50,
+    certify: bool = True,
 ) -> PatternFigureResult:
-    """Generic driver behind Figures 7 and 8."""
+    """Generic driver behind Figures 7 and 8.
+
+    With ``certify`` (default) every platform's ``n_map`` placement-map
+    solution is certified by an adaptive Monte-Carlo replay and the
+    agreement stamp rides in the rendering.
+    """
     grid = task_counts if task_counts is not None else task_grid(fast)
     result = PatternFigureResult(figure=figure, pattern=pattern, n_map=n_map)
     map_chain = make_chain(pattern, n_map)
@@ -126,9 +137,17 @@ def run_pattern_figure(
             task_counts=grid,
             algorithms=algorithms,
         )
-        result.map_solutions[platform.name] = optimize(
-            map_chain, platform, algorithm="admv"
-        )
+        solution = optimize(map_chain, platform, algorithm="admv")
+        result.map_solutions[platform.name] = solution
+        if certify:
+            result.stamps.append(
+                certify_solution(
+                    map_chain,
+                    platform,
+                    solution,
+                    label=f"{pattern} n={n_map} ADMV",
+                )
+            )
     return result
 
 

@@ -6,8 +6,23 @@ Two engines replay the same model semantics:
   time with full tracing support; the trusted oracle;
 * :func:`simulate_batch` — the vectorized production engine, advancing all
   replications of a compiled schedule (:func:`compile_schedule`) at once.
+
+Both produce per-category time accounting (:mod:`~repro.simulation.
+breakdown`), cross-validated bitwise between the two.  On top of the
+batched engine, :func:`run_adaptive` (:mod:`~repro.simulation.adaptive`)
+runs sequential-sampling campaigns that stop at a target relative CI
+half-width, streaming moments instead of retaining samples.
 """
 
+from .adaptive import (
+    DEFAULT_MAX_RUNS,
+    DEFAULT_MIN_RUNS,
+    DEFAULT_TARGET_RELATIVE_CI,
+    AdaptiveResult,
+    AdaptiveRound,
+    StreamingMoments,
+    run_adaptive,
+)
 from .batch import (
     DEFAULT_CHUNK_SIZE,
     BatchResult,
@@ -16,11 +31,18 @@ from .batch import (
     run_compiled,
     simulate_batch,
 )
+from .breakdown import (
+    TIME_CATEGORIES,
+    BatchBreakdown,
+    aggregate_trace,
+    render_breakdown,
+    to_analytic_categories,
+)
 from .compile import CompiledSchedule, compile_schedule
 from .engine import DEFAULT_MAX_ATTEMPTS, RunResult, simulate_run
 from .errors import ErrorSource, PoissonErrorSource, ScriptedErrorSource
 from .monte_carlo import MonteCarloResult, run_monte_carlo
-from .stats import SampleSummary, confidence_interval, summarize
+from .stats import SampleSummary, confidence_interval, summarize, t_critical
 from .trace import EventKind, Trace, TraceEvent
 
 __all__ = [
@@ -35,6 +57,18 @@ __all__ = [
     "CompiledSchedule",
     "InverseTransformErrorSource",
     "replication_uniform_rows",
+    "run_adaptive",
+    "AdaptiveResult",
+    "AdaptiveRound",
+    "StreamingMoments",
+    "DEFAULT_TARGET_RELATIVE_CI",
+    "DEFAULT_MIN_RUNS",
+    "DEFAULT_MAX_RUNS",
+    "TIME_CATEGORIES",
+    "BatchBreakdown",
+    "aggregate_trace",
+    "to_analytic_categories",
+    "render_breakdown",
     "ErrorSource",
     "PoissonErrorSource",
     "ScriptedErrorSource",
@@ -43,6 +77,7 @@ __all__ = [
     "SampleSummary",
     "confidence_interval",
     "summarize",
+    "t_critical",
     "EventKind",
     "Trace",
     "TraceEvent",

@@ -60,6 +60,7 @@ from ..exceptions import InvalidParameterError, SimulationError
 from ..platforms import Platform
 from ..core.costs import CostProfile
 from ..core.schedule import Schedule
+from .breakdown import CATEGORY_INDEX, TIME_CATEGORIES, BatchBreakdown
 from .compile import CompiledSchedule, compile_schedule
 from .engine import DEFAULT_MAX_ATTEMPTS
 from .errors import ErrorSource
@@ -85,7 +86,10 @@ class BatchResult:
     """Per-replication outcome arrays of one batched campaign.
 
     The fields mirror :class:`~repro.simulation.engine.RunResult`, one
-    array entry per replication.
+    array entry per replication.  ``time_categories`` is the vectorized
+    per-category accounting: shape ``(len(TIME_CATEGORIES), n_runs)``, row
+    order :data:`~repro.simulation.breakdown.TIME_CATEGORIES`; each column
+    partitions that replication's makespan.
     """
 
     makespans: np.ndarray
@@ -94,11 +98,17 @@ class BatchResult:
     silent_detected: np.ndarray
     silent_missed: np.ndarray
     attempts: np.ndarray
+    time_categories: np.ndarray
     steps: int  #: lockstep iterations = max attempts over the batch
 
     @property
     def n_runs(self) -> int:
         return int(self.makespans.size)
+
+    @property
+    def breakdown(self) -> BatchBreakdown:
+        """The per-category accounting wrapped with its accessors."""
+        return BatchBreakdown(per_run=self.time_categories)
 
     @classmethod
     def concatenate(cls, parts: list["BatchResult"]) -> "BatchResult":
@@ -110,6 +120,9 @@ class BatchResult:
             silent_detected=np.concatenate([p.silent_detected for p in parts]),
             silent_missed=np.concatenate([p.silent_missed for p in parts]),
             attempts=np.concatenate([p.attempts for p in parts]),
+            time_categories=np.concatenate(
+                [p.time_categories for p in parts], axis=1
+            ),
             steps=max(p.steps for p in parts),
         )
 
@@ -150,6 +163,17 @@ def run_compiled(
     n_detected = np.zeros(n_runs, dtype=np.int64)
     n_missed = np.zeros(n_runs, dtype=np.int64)
     n_attempts = np.zeros(n_runs, dtype=np.int64)
+    # Per-category accounting: each row receives the same doubles, in the
+    # same order, as the scalar engine's trace durations for that category
+    # (bitwise cross-validated), and each column partitions t.
+    cat = np.zeros((len(TIME_CATEGORIES), n_runs), dtype=np.float64)
+    c_work = CATEGORY_INDEX["work"]
+    c_lost = CATEGORY_INDEX["fail_stop_lost"]
+    c_rd = CATEGORY_INDEX["disk_recovery"]
+    c_rm = CATEGORY_INDEX["memory_recovery"]
+    c_verif = CATEGORY_INDEX["verification"]
+    c_cm = CATEGORY_INDEX["memory_checkpoint"]
+    c_cd = CATEGORY_INDEX["disk_checkpoint"]
 
     steps = 0
     idx = np.arange(n_runs, dtype=np.int64)
@@ -187,8 +211,12 @@ def run_compiled(
         fi = idx[fail]
         if fi.size:
             jf = jj[fail]
-            t[fi] += arrival[fail]
-            t[fi] += fail_cost[jf]
+            lost = arrival[fail]
+            rd = fail_cost[jf]
+            t[fi] += lost
+            t[fi] += rd
+            cat[c_lost, fi] += lost
+            cat[c_rd, fi] += rd
             cursor[fi] = fail_target[jf]
             latent[fi] = False
             n_fail[fi] += 1
@@ -197,15 +225,21 @@ def run_compiled(
         oi = idx[ok]
         if oi.size:
             jo = jj[ok]
-            t[oi] += W[ok]
-            t[oi] += verif_cost[jo]  # zero where unverified
+            wo = W[ok]
+            vo = verif_cost[jo]  # zero where unverified
+            t[oi] += wo
+            t[oi] += vo
+            cat[c_work, oi] += wo
+            cat[c_verif, oi] += vo
             n_silent[idx[silent_new]] += 1
 
         # --- corruption caught: memory recovery, jump back --------------
         ci = idx[caught]
         if ci.size:
             jc = jj[caught]
-            t[ci] += silent_cost[jc]
+            rm = silent_cost[jc]
+            t[ci] += rm
+            cat[c_rm, ci] += rm
             cursor[ci] = silent_target[jc]
             latent[ci] = False
             n_detected[ci] += 1
@@ -221,8 +255,12 @@ def run_compiled(
         pi = idx[proceed]
         if pi.size:
             jp = jj[proceed]
-            t[pi] += cm_cost[jp]  # zero where no checkpoint
-            t[pi] += cd_cost[jp]
+            cm = cm_cost[jp]  # zero where no checkpoint
+            cd = cd_cost[jp]
+            t[pi] += cm
+            t[pi] += cd
+            cat[c_cm, pi] += cm
+            cat[c_cd, pi] += cd
             latent[pi] = False
             cursor[pi] += 1
 
@@ -235,6 +273,7 @@ def run_compiled(
         silent_detected=n_detected,
         silent_missed=n_missed,
         attempts=n_attempts,
+        time_categories=cat,
         steps=steps,
     )
 

@@ -1,0 +1,172 @@
+"""Per-category time accounting for simulated executions.
+
+Every second a replication spends is attributed to exactly one of the
+:data:`TIME_CATEGORIES`:
+
+* ``work`` — completed segment executions (first pass *and* re-executions
+  after a rollback);
+* ``fail_stop_lost`` — downtime: partial segment work thrown away when a
+  fail-stop error interrupts mid-segment;
+* ``disk_recovery`` / ``memory_recovery`` — recovery transfers after a
+  fail-stop rollback / a detected corruption;
+* ``verification`` — guaranteed and partial verification costs;
+* ``memory_checkpoint`` / ``disk_checkpoint`` — checkpoint transfers.
+
+The categories sum to the makespan.  Two independent producers feed them:
+
+* the batched lockstep kernel (:func:`repro.simulation.batch.run_compiled`)
+  accumulates a ``(n_categories, n_runs)`` array with one scatter-add per
+  category per step, wrapped here as :class:`BatchBreakdown`;
+* the scalar engine's trace carries the exact float added to the clock in
+  each :class:`~repro.simulation.trace.TraceEvent.duration`;
+  :func:`aggregate_trace` folds those into the same categories.
+
+Both producers add the *same* IEEE doubles in the *same* per-category
+order, so on identical uniform streams the two breakdowns agree **bitwise**
+— the test suite's strongest cross-validation layer extends to the
+accounting, not just the makespans.
+
+Derived quantities: given the chain's one-pass total weight,
+``work - total_weight`` is the wasted re-executed work, which is how
+:func:`render_breakdown` presents it (mirroring the analytic
+:meth:`~repro.core.evaluator.MarkovEvaluation.waste_breakdown`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .trace import EventKind, Trace
+
+__all__ = [
+    "TIME_CATEGORIES",
+    "BatchBreakdown",
+    "aggregate_trace",
+    "to_analytic_categories",
+    "render_breakdown",
+]
+
+#: Accounting categories, in array-row order.  They partition the makespan.
+TIME_CATEGORIES: tuple[str, ...] = (
+    "work",
+    "fail_stop_lost",
+    "disk_recovery",
+    "memory_recovery",
+    "verification",
+    "memory_checkpoint",
+    "disk_checkpoint",
+)
+
+#: Row index of each category in a breakdown array.
+CATEGORY_INDEX: dict[str, int] = {c: i for i, c in enumerate(TIME_CATEGORIES)}
+
+#: Trace event kinds carrying a duration, mapped to their category.
+_KIND_TO_CATEGORY: dict[EventKind, str] = {
+    EventKind.SEGMENT_DONE: "work",
+    EventKind.FAIL_STOP: "fail_stop_lost",
+    EventKind.DISK_RECOVERY: "disk_recovery",
+    EventKind.MEMORY_RECOVERY: "memory_recovery",
+    EventKind.VERIFICATION: "verification",
+    EventKind.MEMORY_CHECKPOINT: "memory_checkpoint",
+    EventKind.DISK_CHECKPOINT: "disk_checkpoint",
+}
+
+
+@dataclass(frozen=True)
+class BatchBreakdown:
+    """Per-replication time accounting of a batched campaign.
+
+    ``per_run`` has shape ``(len(TIME_CATEGORIES), n_runs)``; row order is
+    :data:`TIME_CATEGORIES`.
+    """
+
+    per_run: np.ndarray
+
+    @property
+    def n_runs(self) -> int:
+        return int(self.per_run.shape[1])
+
+    def run(self, i: int) -> dict[str, float]:
+        """Category -> seconds for replication ``i``."""
+        return {c: float(self.per_run[k, i]) for c, k in CATEGORY_INDEX.items()}
+
+    def totals(self) -> dict[str, float]:
+        """Category -> summed seconds over all replications."""
+        sums = self.per_run.sum(axis=1)
+        return {c: float(sums[k]) for c, k in CATEGORY_INDEX.items()}
+
+    def means(self) -> dict[str, float]:
+        """Category -> mean seconds per replication."""
+        means = self.per_run.mean(axis=1)
+        return {c: float(means[k]) for c, k in CATEGORY_INDEX.items()}
+
+    def sum_per_run(self) -> np.ndarray:
+        """Per-replication category sums (should reconstruct the makespans)."""
+        return self.per_run.sum(axis=0)
+
+    @classmethod
+    def concatenate(cls, parts: list["BatchBreakdown"]) -> "BatchBreakdown":
+        return cls(per_run=np.concatenate([p.per_run for p in parts], axis=1))
+
+
+def aggregate_trace(trace: Trace) -> dict[str, float]:
+    """Fold a scalar-engine trace into per-category times.
+
+    Sums the recorded event durations per category in event (= clock)
+    order, i.e. with exactly the additions the batched kernel performs per
+    replication — bitwise comparable on identical uniform streams.
+    """
+    out = dict.fromkeys(TIME_CATEGORIES, 0.0)
+    for event in trace:
+        category = _KIND_TO_CATEGORY.get(event.kind)
+        if category is not None:
+            out[category] += event.duration
+    return out
+
+
+def to_analytic_categories(breakdown: dict[str, float]) -> dict[str, float]:
+    """Coarsen a simulated breakdown to the analytic evaluator's categories.
+
+    Matches :data:`repro.core.evaluator.COST_CATEGORIES`, so simulated
+    means can be compared against the Markov evaluator's expected-time
+    components term by term.
+    """
+    return {
+        "work": breakdown["work"],
+        "fail_stop_loss": breakdown["fail_stop_lost"],
+        "recovery": breakdown["disk_recovery"] + breakdown["memory_recovery"],
+        "verification": breakdown["verification"],
+        "checkpointing": breakdown["memory_checkpoint"]
+        + breakdown["disk_checkpoint"],
+    }
+
+
+def render_breakdown(
+    breakdown: dict[str, float],
+    *,
+    useful_work: float | None = None,
+    title: str = "simulated per-run time breakdown:",
+) -> str:
+    """Human-readable table of a (mean) per-category breakdown.
+
+    When ``useful_work`` (the chain's one-pass weight) is given, the
+    ``work`` row is split into useful and re-executed work, mirroring the
+    analytic waste breakdown.
+    """
+    rows: list[tuple[str, float]] = []
+    if useful_work is not None:
+        rows.append(("useful_work", useful_work))
+        rows.append(("re_executed_work", breakdown["work"] - useful_work))
+    else:
+        rows.append(("work", breakdown["work"]))
+    for name in TIME_CATEGORIES[1:]:
+        rows.append((name, breakdown[name]))
+    total = sum(breakdown.values())
+    lines = [title]
+    for name, value in rows:
+        share = value / total if total else 0.0
+        lines.append(f"  {name:17s} {value:12.2f}s  ({share:6.2%})")
+    lines.append(f"  {'total':17s} {total:12.2f}s")
+    return "\n".join(lines)

@@ -73,6 +73,8 @@ class CompiledSchedule:
     lf: float
     ls: float
     recall: float
+    total_work: float  #: one-pass chain weight (s) — the useful-work floor
+    #: of the per-category accounting (work - total_work = re-execution).
 
     @property
     def n_segments(self) -> int:
@@ -185,5 +187,6 @@ def compile_schedule(
         lf=float(platform.lf),
         ls=float(ls),
         recall=float(platform.r),
+        total_work=float(chain.total_weight),
         **arrays,
     )

@@ -142,16 +142,23 @@ def simulate_run(
         if arrival is not None:
             fail_stops += 1
             t += arrival
-            trace.record(t, EventKind.FAIL_STOP, pos, f"{arrival:.2f}s into segment")
+            trace.record(
+                t,
+                EventKind.FAIL_STOP,
+                pos,
+                f"{arrival:.2f}s into segment",
+                duration=arrival,
+            )
             target = last_disk[j]
-            t += float(costs.RD[target])
-            trace.record(t, EventKind.DISK_RECOVERY, target)
+            rd = float(costs.RD[target])
+            t += rd
+            trace.record(t, EventKind.DISK_RECOVERY, target, duration=rd)
             j = stop_index[target]
             latent = False
             continue
 
         t += W
-        trace.record(t, EventKind.SEGMENT_DONE, nxt)
+        trace.record(t, EventKind.SEGMENT_DONE, nxt, duration=W)
 
         if error_source.silent_strikes(W):
             silent_errors += 1
@@ -163,12 +170,14 @@ def simulate_run(
         action = schedule.action(nxt) if nxt <= schedule.n else Action.NONE
         is_partial = action == Action.PARTIAL
         if action >= Action.PARTIAL:
-            t += float(costs.Vp[nxt] if is_partial else costs.Vg[nxt])
+            v = float(costs.Vp[nxt] if is_partial else costs.Vg[nxt])
+            t += v
             trace.record(
                 t,
                 EventKind.VERIFICATION,
                 nxt,
                 "partial" if is_partial else "guaranteed",
+                duration=v,
             )
             if corrupted:
                 if is_partial and not error_source.partial_detects():
@@ -180,18 +189,21 @@ def simulate_run(
                 detected += 1
                 trace.record(t, EventKind.SILENT_DETECTED, nxt)
                 target = last_mem[j]
-                t += float(costs.RM[target])
-                trace.record(t, EventKind.MEMORY_RECOVERY, target)
+                rm = float(costs.RM[target])
+                t += rm
+                trace.record(t, EventKind.MEMORY_RECOVERY, target, duration=rm)
                 j = stop_index[target]
                 latent = False
                 continue
 
         if action >= Action.MEMORY:
-            t += float(costs.CM[nxt])
-            trace.record(t, EventKind.MEMORY_CHECKPOINT, nxt)
+            cm = float(costs.CM[nxt])
+            t += cm
+            trace.record(t, EventKind.MEMORY_CHECKPOINT, nxt, duration=cm)
         if action == Action.DISK:
-            t += float(costs.CD[nxt])
-            trace.record(t, EventKind.DISK_CHECKPOINT, nxt)
+            cd = float(costs.CD[nxt])
+            t += cd
+            trace.record(t, EventKind.DISK_CHECKPOINT, nxt, duration=cd)
         latent = False
         j += 1
 

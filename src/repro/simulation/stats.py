@@ -10,7 +10,13 @@ from scipy import stats as _scipy_stats
 
 from ..exceptions import InvalidParameterError
 
-__all__ = ["SampleSummary", "summarize", "confidence_interval"]
+__all__ = [
+    "SampleSummary",
+    "summarize",
+    "confidence_interval",
+    "t_critical",
+    "certified_agreement",
+]
 
 
 @dataclass(frozen=True)
@@ -35,8 +41,21 @@ class SampleSummary:
 
     @property
     def ci_half_width(self) -> float:
-        """Half width of the confidence interval on the mean."""
+        """Half width of the confidence interval on the mean.
+
+        ``inf`` for a single-sample summary (no variance estimate exists,
+        so nothing is certified); 0 for a zero-variance sample.
+        """
+        if math.isinf(self.ci_high):
+            return math.inf
         return (self.ci_high - self.ci_low) / 2.0
+
+    @property
+    def relative_ci_half_width(self) -> float:
+        """CI half width over ``|mean|`` (``inf`` when undefined)."""
+        if self.mean == 0.0:
+            return 0.0 if self.ci_half_width == 0.0 else math.inf
+        return self.ci_half_width / abs(self.mean)
 
     def contains(self, value: float) -> bool:
         """Whether ``value`` lies inside the confidence interval."""
@@ -50,12 +69,32 @@ class SampleSummary:
         )
 
 
+def t_critical(count: int, confidence: float) -> float:
+    """Two-sided Student-t critical value for a mean over ``count`` samples.
+
+    ``inf`` for ``count < 2`` — the variance is not estimable, so any
+    finite interval would be falsely certain.
+    """
+    if not 0.0 < confidence < 1.0:
+        raise InvalidParameterError(
+            f"confidence must be in (0, 1), got {confidence!r}"
+        )
+    if count < 2:
+        return math.inf
+    return float(_scipy_stats.t.ppf(0.5 + confidence / 2.0, df=count - 1))
+
+
 def confidence_interval(
     samples: np.ndarray, confidence: float = 0.99
 ) -> tuple[float, float]:
     """Student-t confidence interval for the mean of ``samples``.
 
-    With a single sample the interval degenerates to ``(x, x)``.
+    Degenerate cases are well-defined rather than NaN or falsely tight:
+
+    * a single sample has no variance estimate (0 degrees of freedom), so
+      the interval is ``(-inf, inf)`` — one replication certifies nothing;
+    * a zero-variance sample (n >= 2) yields the exact ``(x, x)``: the
+      Student-t interval with ``s = 0`` genuinely collapses.
     """
     samples = np.asarray(samples, dtype=np.float64)
     if samples.size == 0:
@@ -66,12 +105,28 @@ def confidence_interval(
         )
     mean = float(samples.mean())
     if samples.size == 1:
-        return mean, mean
+        return -math.inf, math.inf
     sem = float(samples.std(ddof=1)) / math.sqrt(samples.size)
     if sem == 0.0:
         return mean, mean
-    t = float(_scipy_stats.t.ppf(0.5 + confidence / 2.0, df=samples.size - 1))
+    t = t_critical(int(samples.size), confidence)
     return mean - t * sem, mean + t * sem
+
+
+def certified_agreement(summary: SampleSummary, analytic: float) -> bool:
+    """The single definition of analytic-vs-sample agreement.
+
+    True when ``analytic`` lies inside a *bounded* CI on the mean.  An
+    unbounded interval (single replication) contains everything, so it
+    never counts as agreement — containment must certify, not be vacuous.
+    Used by both fixed-N and adaptive campaign results so the two can
+    never diverge on what "agrees" means.
+    """
+    return bool(
+        not math.isnan(analytic)
+        and math.isfinite(summary.ci_half_width)
+        and summary.contains(analytic)
+    )
 
 
 def summarize(samples: np.ndarray, confidence: float = 0.99) -> SampleSummary:

@@ -1,10 +1,13 @@
 """Execution traces: the event log produced by the simulation engine.
 
 Every state change of a simulated run is recorded as a :class:`TraceEvent`
-with a wall-clock timestamp (seconds since run start).  Traces serve three
-purposes: failure-injection tests assert on exact event sequences, examples
-pretty-print them to explain the model, and the Monte-Carlo harness
-aggregates per-category time breakdowns from them.
+with a wall-clock timestamp (seconds since run start) and the *duration*
+the event added to the clock.  Traces serve three purposes:
+failure-injection tests assert on exact event sequences, examples
+pretty-print them to explain the model, and
+:func:`repro.simulation.breakdown.aggregate_trace` folds the durations
+into the per-category time breakdown the batched engine is
+cross-validated against bitwise.
 """
 
 from __future__ import annotations
@@ -46,12 +49,17 @@ class TraceEvent:
         Task index the event refers to (1-based; 0 = virtual start).
     detail:
         Free-form extra information (e.g. rollback target).
+    duration:
+        Wall-clock seconds the event added (the exact float the engine
+        added to its clock, so per-category sums can be compared bitwise
+        against the batched engine); 0 for pure markers.
     """
 
     time: float
     kind: EventKind
     position: int
     detail: str = ""
+    duration: float = 0.0
 
     def __str__(self) -> str:
         extra = f" ({self.detail})" if self.detail else ""
@@ -66,11 +74,16 @@ class Trace:
     enabled: bool = True
 
     def record(
-        self, time: float, kind: EventKind, position: int, detail: str = ""
+        self,
+        time: float,
+        kind: EventKind,
+        position: int,
+        detail: str = "",
+        duration: float = 0.0,
     ) -> None:
         """Append an event (no-op when recording is disabled)."""
         if self.enabled:
-            self.events.append(TraceEvent(time, kind, position, detail))
+            self.events.append(TraceEvent(time, kind, position, detail, duration))
 
     def count(self, kind: EventKind) -> int:
         """Number of recorded events of ``kind``."""

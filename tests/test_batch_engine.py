@@ -6,9 +6,10 @@ Three layers of certification, strongest first:
    replayed through the trusted scalar engine
    (:func:`repro.simulation.engine.simulate_run`) fed the *same* uniform
    stream via :class:`~repro.simulation.batch.InverseTransformErrorSource`;
-   makespans and all event counters must match exactly, across platforms
-   exercising every branch (fail-stop only, silent only, partial-heavy,
-   heterogeneous costs).
+   makespans, all event counters *and the per-category time breakdown*
+   (batched accounting vectors vs scalar trace aggregation) must match
+   exactly, across platforms exercising every branch (fail-stop only,
+   silent only, partial-heavy, heterogeneous costs).
 2. **Golden segment arrays** — the compiler's lowering of a known
    schedule is pinned value-by-value.
 3. **Statistical agreement** — on randomized chain/platform pairs the
@@ -32,7 +33,9 @@ from repro.exceptions import (
 )
 from repro.platforms import Platform
 from repro.simulation import (
+    TIME_CATEGORIES,
     InverseTransformErrorSource,
+    aggregate_trace,
     compile_schedule,
     replication_uniform_rows,
     run_monte_carlo,
@@ -47,18 +50,34 @@ def _assert_bitwise_replay(
 ):
     """Replay every batch replication through the scalar oracle, exactly."""
     batch = simulate_batch(chain, platform, schedule, n_runs, seed=seed, costs=costs)
+    breakdown = batch.breakdown
     kwargs = {} if costs is None else {"costs": costs}
     for i in range(n_runs):
         source = InverseTransformErrorSource(
             platform, replication_uniform_rows(seed, n_runs, i)
         )
-        ref = simulate_run(chain, platform, schedule, source, **kwargs)
+        ref = simulate_run(
+            chain, platform, schedule, source, record_trace=True, **kwargs
+        )
         assert ref.makespan == batch.makespans[i], f"rep {i} makespan differs"
         assert ref.fail_stop_errors == batch.fail_stop_errors[i]
         assert ref.silent_errors == batch.silent_errors[i]
         assert ref.silent_detected == batch.silent_detected[i]
         assert ref.silent_missed == batch.silent_missed[i]
         assert ref.attempts == batch.attempts[i]
+        # per-category accounting: scalar trace aggregation must equal the
+        # batched accumulation bitwise, category by category
+        trace_categories = aggregate_trace(ref.trace)
+        batch_categories = breakdown.run(i)
+        for category in TIME_CATEGORIES:
+            assert trace_categories[category] == batch_categories[category], (
+                f"rep {i} category {category!r} differs: "
+                f"{trace_categories[category]!r} != {batch_categories[category]!r}"
+            )
+    # each accounting column partitions its replication's makespan
+    np.testing.assert_allclose(
+        breakdown.sum_per_run(), batch.makespans, rtol=1e-12
+    )
 
 
 # ----------------------------------------------------------------------
@@ -183,6 +202,9 @@ class TestCompiledScheduleGoldenValues:
         assert compiled.recall == 0.8
         assert "4 segments" in compiled.describe()
 
+    def test_total_work(self, compiled):
+        assert compiled.total_work == 210.0
+
     def test_unverified_tail_when_no_silent_errors(self, fail_stop_only_platform):
         chain = TaskChain([10.0, 20.0, 30.0])
         compiled = compile_schedule(
@@ -261,6 +283,32 @@ class TestStatisticalAgreement:
         )
         np.testing.assert_array_equal(batch.makespans, np.full(50, expected))
         assert batch.steps == 1
+
+    def test_error_free_breakdown_is_exact(self, error_free_platform):
+        """Without errors every category is deterministic and known."""
+        chain = TaskChain([10.0, 20.0])
+        schedule = Schedule.final_only(2)
+        batch = simulate_batch(chain, error_free_platform, schedule, 10)
+        means = batch.breakdown.means()
+        assert means["work"] == 30.0
+        assert means["verification"] == error_free_platform.Vg
+        assert means["memory_checkpoint"] == error_free_platform.CM
+        assert means["disk_checkpoint"] == error_free_platform.CD
+        assert means["fail_stop_lost"] == 0.0
+        assert means["disk_recovery"] == 0.0
+        assert means["memory_recovery"] == 0.0
+
+    def test_breakdown_concatenates_across_chunks(self, hot_platform):
+        chain = TaskChain([60.0] * 5)
+        schedule = optimize(chain, hot_platform, algorithm="admv").schedule
+        whole = simulate_batch(
+            chain, hot_platform, schedule, 300, seed=3, chunk_size=77
+        )
+        assert whole.breakdown.n_runs == 300
+        assert whole.time_categories.shape == (len(TIME_CATEGORIES), 300)
+        np.testing.assert_allclose(
+            whole.breakdown.sum_per_run(), whole.makespans, rtol=1e-12
+        )
 
 
 # ----------------------------------------------------------------------

@@ -142,6 +142,103 @@ class TestSimulate:
         doc = json.loads(out)
         assert doc["runs"] == 20
         assert len(doc["ci"]) == 2
+        assert doc["breakdown"]["work"] > 0.0
+        assert "convergence" not in doc
+
+    def test_simulate_single_run_json_is_strict_rfc8259(self, capsys):
+        # n=1 => unbounded CI; the JSON must use null, never Infinity.
+        code, out, _ = run_cli(
+            capsys, "simulate", "-n", "3", "--schedule", "vMD", "--runs", "1",
+            "--json",
+        )
+        assert code == 0
+        assert "Infinity" not in out
+        doc = json.loads(out)
+        assert doc["ci"] == [None, None]
+        assert doc["agrees"] is False
+
+    def test_simulate_single_run_adaptive_json_is_strict_rfc8259(self, capsys):
+        # capped at 1 rep: relative_half_width is inf -> must become null
+        code, out, _ = run_cli(
+            capsys, "simulate", "-n", "3", "--schedule", "vMD", "--runs", "1",
+            "--target-ci", "0.01", "--json",
+        )
+        assert code == 0
+        assert "Infinity" not in out
+        doc = json.loads(out)
+        assert doc["convergence"]["relative_half_width"] is None
+        assert doc["convergence"]["converged"] is False
+        assert doc["agrees"] is False
+
+    def test_simulate_prints_breakdown_by_default(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "simulate", "-p", "hera", "-n", "4", "--runs", "30"
+        )
+        assert code == 0
+        assert "useful_work" in out
+        assert "re_executed_work" in out
+
+    def test_simulate_no_breakdown_flag(self, capsys):
+        code, out, _ = run_cli(
+            capsys,
+            "simulate",
+            "-p",
+            "hera",
+            "-n",
+            "4",
+            "--runs",
+            "30",
+            "--no-breakdown",
+        )
+        assert code == 0
+        assert "useful_work" not in out
+
+    def test_simulate_target_ci_adaptive(self, capsys):
+        code, out, _ = run_cli(
+            capsys,
+            "simulate",
+            "-p",
+            "hera",
+            "-n",
+            "5",
+            "--runs",
+            "100000",
+            "--target-ci",
+            "0.02",
+        )
+        assert code == 0
+        assert "adaptive, target ±2.00%" in out
+        assert "adaptive campaign" in out
+        assert "round 0" in out
+
+    def test_simulate_target_ci_defaults_to_orchestrator_cap(self, capsys):
+        # without --runs the adaptive path gets the 1M orchestrator cap
+        # (same as sweep --target-ci), not the fixed-N default of 1000
+        code, out, _ = run_cli(
+            capsys, "simulate", "-p", "hera", "-n", "5", "--target-ci", "0.02"
+        )
+        assert code == 0
+        assert "certified" in out
+        assert "NOT CONVERGED" not in out
+
+    def test_simulate_target_ci_json(self, capsys):
+        code, out, _ = run_cli(
+            capsys,
+            "simulate",
+            "-p",
+            "hera",
+            "-n",
+            "5",
+            "--runs",
+            "100000",
+            "--target-ci",
+            "0.02",
+            "--json",
+        )
+        doc = json.loads(out)
+        assert doc["convergence"]["converged"] is True
+        assert doc["convergence"]["relative_half_width"] <= 0.02
+        assert doc["runs"] == doc["convergence"]["reps_used"]
 
 
 class TestSweepCommand:
@@ -192,6 +289,43 @@ class TestSweepCommand:
         )
         doc = json.loads(out)
         assert doc["header"] == ["n", "adv_star"]
+
+    def test_sweep_target_ci_validates_adaptively(self, capsys):
+        code, out, _ = run_cli(
+            capsys,
+            "sweep",
+            "-p",
+            "hera",
+            "--max-n",
+            "6",
+            "--step",
+            "3",
+            "--algorithms",
+            "admv_star",
+            "--target-ci",
+            "0.02",
+        )
+        assert code == 0
+        assert "Monte-Carlo validation" in out
+        assert "reps ±" in out
+
+    def test_sweep_target_ci_json(self, capsys):
+        code, out, _ = run_cli(
+            capsys,
+            "sweep",
+            "--max-n",
+            "4",
+            "--step",
+            "2",
+            "--algorithms",
+            "adv_star",
+            "--target-ci",
+            "0.05",
+            "--json",
+        )
+        doc = json.loads(out)
+        assert doc["validated_cells"] == 3
+        assert doc["all_cells_agree"] is True
 
 
 class TestFigureAndTable:

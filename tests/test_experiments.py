@@ -13,14 +13,23 @@ SMALL_GRID = [2, 6, 12]
 
 class TestTable1:
     def test_rows_in_paper_order(self):
-        result = table1.run()
+        result = table1.run(certify=False)
         names = [row[0] for row in result.rows()]
         assert names == ["Hera", "Atlas", "Coastal", "Coastal SSD"]
 
     def test_render_contains_mtbf(self):
-        text = table1.run().render()
+        text = table1.run(certify=False).render()
         assert "12.2" in text  # Hera fail-stop MTBF days
         assert "Table I" in text
+        assert "not certified" in text  # uncertified runs say so
+
+    def test_agreement_stamp_by_default(self):
+        result = table1.run(certify_n=10)
+        assert len(result.stamps) == 4
+        assert all(s.agrees for s in result.stamps)
+        text = result.render()
+        assert "Monte-Carlo agreement stamp" in text
+        assert "ALL AGREE" in text
 
 
 class TestFig5:
@@ -56,6 +65,14 @@ class TestFig5:
         assert "Figure 5 (counts)" in text
         assert "ADMV*" in text
 
+    def test_agreement_stamp_rides_along(self, result):
+        # certify defaults on: one stamp per algorithm at the largest n
+        assert len(result.stamps) == 3
+        assert all(s.agrees for s in result.stamps)
+        assert all(s.converged for s in result.stamps)
+        assert all(f"n={SMALL_GRID[-1]}" in s.label for s in result.stamps)
+        assert "Monte-Carlo agreement stamp" in result.render()
+
 
 class TestFig6:
     @pytest.fixture(scope="class")
@@ -85,6 +102,11 @@ class TestFig6:
         text = result.render()
         assert "Platform Hera with ADMV" in text
         assert "disk ckpts" in text
+
+    def test_placement_maps_are_stamped(self, result):
+        assert len(result.stamps) == 4
+        assert all(s.agrees for s in result.stamps)
+        assert "Monte-Carlo agreement stamp" in result.render()
 
 
 class TestFig78:
@@ -128,3 +150,9 @@ class TestFig78:
         text = fig7.render()
         assert "decrease" in text
         assert "Figure 7" in text
+
+    def test_map_solutions_are_stamped(self, fig7, fig8):
+        for result in (fig7, fig8):
+            assert len(result.stamps) == 2  # Hera + Coastal SSD
+            assert all(s.agrees for s in result.stamps)
+            assert "Monte-Carlo agreement stamp" in result.render()

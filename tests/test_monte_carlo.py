@@ -26,9 +26,13 @@ class TestStats:
         assert s.median == pytest.approx(2.5)
 
     def test_summary_single_sample(self):
+        # One replication certifies nothing: the t-interval has 0 degrees
+        # of freedom, so the CI is (-inf, inf) rather than falsely tight.
         s = summarize(np.array([7.0]))
         assert s.std == 0.0
-        assert s.ci_low == s.ci_high == 7.0
+        assert s.mean == 7.0
+        assert np.isneginf(s.ci_low) and np.isposinf(s.ci_high)
+        assert np.isposinf(s.ci_half_width)
 
     def test_summary_rejects_empty(self):
         with pytest.raises(InvalidParameterError):
@@ -138,3 +142,14 @@ class TestMonteCarlo:
         mc = run_monte_carlo(chain, platform, sol.schedule, runs=10)
         assert np.isnan(mc.relative_gap)
         assert not mc.agrees_with_analytic
+
+    def test_single_run_never_agrees(self, instance):
+        # n=1 has an unbounded CI: containment is vacuous, so a
+        # one-replication campaign must not read as a certification.
+        chain, platform, sol = instance
+        mc = run_monte_carlo(
+            chain, platform, sol.schedule, runs=1, analytic=sol.expected_time
+        )
+        assert np.isposinf(mc.summary.ci_half_width)
+        assert not mc.agrees_with_analytic
+        assert "nothing certified" in mc.report()

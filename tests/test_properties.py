@@ -188,4 +188,7 @@ class TestModelProperties:
             chain, platform, Schedule.final_only(chain.n)
         ).expected_time
         best = optimize(chain, platform, algorithm="admv").expected_time
-        assert best <= baseline * (1 + 1e-12)
+        # The DP and the Markov evaluator accumulate the same expectation
+        # through different float orderings; on near-singular instances
+        # (success probability ~e^-15) they differ by up to ~2e-12 relative.
+        assert best <= baseline * (1 + 1e-11)

@@ -16,6 +16,11 @@ class TestTraceEvent:
     def test_str_without_detail(self):
         assert "(" not in str(TraceEvent(0.0, EventKind.COMPLETE, 1))
 
+    def test_duration_defaults_to_zero(self):
+        assert TraceEvent(1.0, EventKind.SEGMENT_DONE, 1).duration == 0.0
+        e = TraceEvent(2.5, EventKind.SEGMENT_DONE, 1, "", 2.5)
+        assert e.duration == 2.5
+
 
 class TestTrace:
     def test_record_and_count(self):
