@@ -1,0 +1,155 @@
+"""Array-API backend throughput: the abstraction must not cost speed.
+
+The lockstep kernel went from NumPy-specific code to the portable
+array-API subset (``repro.simulation.backend``); this bench pins the cost
+of that abstraction.  For every *installed* backend it measures the
+10k-replication campaign of ``bench_batch_engine`` (same instance, same
+seed), checks all backends sample the identical campaign (host-drawn
+uniform streams), and gates the NumPy backend against the scalar oracle
+at the same >= 20x floor the engine has always promised — so a
+regression from the namespace indirection fails CI rather than slipping
+into the trajectory.
+
+Writes ``results/BENCH_backend.json`` (per-backend runs/s; the CI bench
+job copies it, with ``BENCH_adaptive.json``, to the repo root so the
+perf trajectory is tracked in-git, not just in expiring artifacts) plus
+a human-readable ``results/backend.txt``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import numpy as np
+import pytest
+
+from bench_common import save_result
+from repro.chains import TaskChain
+from repro.core import evaluate_schedule, optimize
+from repro.platforms import Platform
+from repro.simulation import installed_backends, run_monte_carlo, simulate_batch
+
+HOT = Platform.from_costs(
+    "hot", lf=2e-3, ls=6e-3, CD=30.0, CM=5.0, r=0.8, partial_cost_ratio=25.0
+)
+CHAIN = TaskChain([60.0] * 10)
+RUNS = 10_000
+SCALAR_RUNS = 1_000  # the oracle loop is ~100x slower; keep the lane fast
+MIN_SPEEDUP = 20.0  # same acceptance floor as bench_batch_engine
+AGREEMENT_RTOL = 1e-9
+
+
+@pytest.fixture(scope="module")
+def schedule():
+    return optimize(CHAIN, HOT, algorithm="admv").schedule
+
+
+def _best_of(fn, repeats=3):
+    best = float("inf")
+    out = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        out = fn()
+        best = min(best, time.perf_counter() - start)
+    return out, best
+
+
+def test_backend_throughput(benchmark, schedule, results_dir):
+    """Every installed backend runs the same campaign; NumPy stays fast."""
+    analytic = evaluate_schedule(CHAIN, HOT, schedule).expected_time
+
+    _, scalar_s = _best_of(
+        lambda: run_monte_carlo(
+            CHAIN, HOT, schedule, runs=SCALAR_RUNS, seed=3, engine="scalar"
+        ),
+        repeats=1,
+    )
+    scalar_runs_per_s = SCALAR_RUNS / scalar_s
+
+    backends = {}
+    reference = None
+    for name in installed_backends():
+        # warm once (namespace import + dispatch setup), then best-of
+        simulate_batch(CHAIN, HOT, schedule, 100, seed=3, backend=name)
+        batch, seconds = _best_of(
+            lambda: simulate_batch(
+                CHAIN, HOT, schedule, RUNS, seed=3, backend=name
+            )
+        )
+        backends[name] = {
+            "seconds": seconds,
+            "runs_per_s": RUNS / seconds,
+            "speedup_vs_scalar": (RUNS / seconds) / scalar_runs_per_s,
+            "mean_makespan": float(batch.makespans.mean()),
+        }
+        if reference is None:
+            reference = batch
+        else:
+            np.testing.assert_allclose(
+                reference.makespans, batch.makespans, rtol=AGREEMENT_RTOL
+            )
+            np.testing.assert_array_equal(
+                reference.attempts, batch.attempts
+            )
+
+    # the numpy row through the benchmark fixture, for the timing report
+    mc = benchmark.pedantic(
+        lambda: run_monte_carlo(
+            CHAIN, HOT, schedule, runs=RUNS, seed=3,
+            analytic=analytic, backend="numpy",
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    doc = {
+        "bench": "backend_throughput",
+        "runs": RUNS,
+        "chain_tasks": CHAIN.n,
+        "platform": "hot",
+        "scalar_runs_per_s": scalar_runs_per_s,
+        "backends": backends,
+    }
+    (results_dir / "BENCH_backend.json").write_text(
+        json.dumps(doc, indent=2) + "\n"
+    )
+
+    lines = [
+        f"array-API backend throughput ({RUNS} replications, "
+        f"{CHAIN.n}-task chain, hot platform)",
+        f"  scalar oracle: {scalar_runs_per_s:10.0f} runs/s",
+    ]
+    for name, rec in backends.items():
+        lines.append(
+            f"  {name:18s} {rec['runs_per_s']:10.0f} runs/s  "
+            f"({rec['speedup_vs_scalar']:6.1f}x scalar, "
+            f"{rec['seconds']:.4f}s)"
+        )
+    text = "\n".join(lines)
+    print()
+    print(text)
+    save_result(results_dir, "backend.txt", text)
+
+    assert mc.agrees_with_analytic, mc.report()
+    numpy_rec = backends["numpy"]
+    assert numpy_rec["speedup_vs_scalar"] >= MIN_SPEEDUP, (
+        "the array-API abstraction cost the NumPy backend its speedup",
+        numpy_rec,
+    )
+
+
+def test_backends_agree_on_adaptive_campaigns(schedule):
+    """Adaptive campaigns reach the same certified mean on every backend."""
+    results = {
+        name: run_monte_carlo(
+            CHAIN, HOT, schedule, runs=50_000, seed=17,
+            target_ci=0.01, backend=name,
+        )
+        for name in installed_backends()
+    }
+    reference = results["numpy"]
+    assert reference.convergence is not None
+    for name, mc in results.items():
+        assert mc.runs == reference.runs, name
+        assert mc.mean == pytest.approx(reference.mean, rel=AGREEMENT_RTOL), name

@@ -7,6 +7,10 @@ so importing helpers from it resolves to whichever directory pytest
 collected first.  Keeping ``benchmarks/conftest.py`` fixture-only makes
 ``pytest tests/`` and ``pytest benchmarks/`` collect cleanly in any order.
 
+Environment setup is *not* duplicated here: the repo-root ``conftest.py``
+is the single place that puts ``src/`` on ``sys.path``, so
+``pytest benchmarks/`` works from a clean checkout with no ``PYTHONPATH``.
+
 Conventions:
 
 * every figure/table bench regenerates the paper artefact, writes the full

@@ -10,14 +10,12 @@ Not paper figures: these quantify the two extensions DESIGN.md calls out.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.chains import TaskChain
 from repro.core import CostProfile, evaluate_schedule, optimize
 from repro.dag import (
     JoinInstance,
     WorkflowDAG,
-    evaluate_join,
     exhaustive_join,
     local_search_join,
     optimize_dag,

@@ -12,7 +12,6 @@ Asserts the qualitative placement structure the paper describes:
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.experiments import fig6
 

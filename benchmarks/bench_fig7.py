@@ -11,7 +11,6 @@ Shapes asserted (paper Section IV, 'Decrease pattern'):
 
 from __future__ import annotations
 
-import pytest
 
 from repro.experiments import fig78
 

@@ -1,0 +1,20 @@
+"""Repo-root pytest bootstrap: single source of the ``src/`` layout path.
+
+The package is laid out under ``src/`` and the container runs it without
+an editable install, so ``import repro`` needs ``src`` on ``sys.path``.
+This conftest is loaded by pytest for *every* collection rooted here —
+``pytest``, ``pytest tests/``, ``pytest benchmarks/`` — so a clean
+checkout works with no ``PYTHONPATH`` environment setup, and no other
+conftest or helper module has to repeat the path juggling.  (Shell
+invocations of the CLI still use ``PYTHONPATH=src`` or an editable
+install; see README.)
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+_SRC = str(Path(__file__).resolve().parent / "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

@@ -19,7 +19,6 @@ from repro.analysis import format_table, placement_diagram
 from repro.dag import (
     JoinInstance,
     WorkflowDAG,
-    candidate_orders,
     evaluate_join,
     exhaustive_join,
     local_search_join,

@@ -11,7 +11,7 @@ The paper's closing argument is quantified in the last column: percent
 improvements translate into saved wall-clock hours per day of execution.
 """
 
-from repro import TaskChain, optimize, uniform_chain
+from repro import optimize, uniform_chain
 from repro.analysis import daily_savings_seconds, format_table, improvement
 from repro.platforms import TABLE1_ROWS
 

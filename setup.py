@@ -21,6 +21,8 @@ setup(
     package_dir={"": "src"},
     packages=find_packages("src"),
     python_requires=">=3.10",
-    install_requires=["numpy", "scipy"],
+    # numpy >= 2: the batched kernel targets the array-API standard names
+    # (np.bool / np.astype / np.concat) that NumPy only exposes from 2.0.
+    install_requires=["numpy>=2.0", "scipy"],
     entry_points={"console_scripts": ["repro = repro.cli:main"]},
 )

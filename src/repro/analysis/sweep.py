@@ -173,6 +173,7 @@ def sweep_task_counts(
     validate_target_ci: float | None = None,
     validate_seed: int = 0,
     validate_confidence: float = 0.99,
+    validate_backend: str | None = None,
     n_jobs: int | None = None,
     **pattern_kwargs,
 ) -> SweepResult:
@@ -188,6 +189,10 @@ def sweep_task_counts(
     that relative CI half-width (``validate_runs`` then caps the spend; 0
     means the orchestrator's default cap) — validation is enabled even if
     ``validate_runs`` is 0.
+
+    ``validate_backend`` selects the array-API backend the validation
+    campaigns run on (a registered name such as ``"array-api-strict"`` or
+    ``"cupy"``; ``None`` = the ``REPRO_BACKEND`` / NumPy default).
     """
     if task_counts is None:
         task_counts = default_task_grid()
@@ -227,6 +232,7 @@ def sweep_task_counts(
                     analytic=sol.expected_time,
                     n_jobs=n_jobs,
                     target_ci=validate_target_ci,
+                    backend=validate_backend,
                 )
             result.records.append(
                 SweepRecord(n=n, algorithm=alg, solution=sol, monte_carlo=mc)

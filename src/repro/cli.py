@@ -7,6 +7,7 @@ Usage (also available as ``python -m repro``)::
     repro evaluate -p hera --schedule ..MvpD     # exact value of a schedule
     repro simulate -p hera -n 10 --runs 500      # Monte-Carlo vs analytic
     repro simulate -p hera --target-ci 0.01      # adaptive: certify ±1%
+    repro simulate --backend array-api-strict    # pick the array backend
     repro sweep -p atlas --pattern decrease      # makespan vs n table
     repro sweep -p atlas --target-ci 0.01        # + certified validation
     repro figure 5 --fast                        # regenerate a paper figure
@@ -33,7 +34,7 @@ from .analysis.sweep import sweep_task_counts
 from .chains import PAPER_TOTAL_WEIGHT, PATTERNS, load_chain, make_chain
 from .core import Schedule, evaluate_schedule, optimize
 from .core.solver import canonical_algorithm
-from .exceptions import ReproError
+from .exceptions import InvalidParameterError, ReproError
 from .experiments import ALGORITHM_LABELS, fig5, fig6, fig78, table1
 from .platforms import PLATFORMS, TABLE1_ROWS, get_platform
 from .simulation import run_monte_carlo
@@ -151,6 +152,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="batched vectorized engine (default) or the scalar oracle loop",
     )
     p.add_argument(
+        "--backend",
+        default=None,
+        metavar="NAME",
+        help=(
+            "array-API backend for the batched kernel (numpy, "
+            "array-api-strict, cupy, torch, or any registered name; "
+            "default: $REPRO_BACKEND, else numpy)"
+        ),
+    )
+    p.add_argument(
         "--jobs",
         type=int,
         default=None,
@@ -187,6 +198,15 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "validate each cell adaptively to this relative CI half-width "
             "(--validate-runs then caps the per-cell spend)"
+        ),
+    )
+    p.add_argument(
+        "--backend",
+        default=None,
+        metavar="NAME",
+        help=(
+            "array-API backend for the validation campaigns (default: "
+            "$REPRO_BACKEND, else numpy)"
         ),
     )
     p.add_argument("--chart", action="store_true", help="also render an ASCII chart")
@@ -301,6 +321,7 @@ def _cmd_simulate(args) -> str:
         engine=args.engine,
         n_jobs=args.jobs,
         target_ci=args.target_ci,
+        backend=args.backend,
         **mc_kwargs,
     )
     if args.json:
@@ -309,6 +330,7 @@ def _cmd_simulate(args) -> str:
             "schedule": schedule.to_string(),
             "runs": mc.runs,
             "engine": args.engine,
+            "backend": mc.backend,
             "mean": mc.mean,
             "ci": [
                 _finite_or_none(mc.summary.ci_low),
@@ -334,6 +356,8 @@ def _cmd_simulate(args) -> str:
         if args.target_ci is None
         else f"adaptive, target ±{args.target_ci:.2%}"
     )
+    if mc.backend != "numpy":
+        mode += f", {mc.backend} backend"
     return (
         f"simulating {label} on {platform.name} ({mode})\n"
         + mc.report(show_breakdown=not args.no_breakdown)
@@ -344,6 +368,17 @@ def _cmd_sweep(args) -> str:
     platform = get_platform(args.platform)
     algorithms = tuple(a.strip() for a in args.algorithms.split(",") if a.strip())
     grid = sorted(set([1] + list(range(args.step, args.max_n + 1, args.step))))
+    validated = bool(args.validate_runs) or args.target_ci is not None
+    if args.backend is not None:
+        from .simulation import get_backend
+
+        get_backend(args.backend)  # diagnose typos/missing installs up front
+        if not validated:
+            raise InvalidParameterError(
+                "--backend selects where the Monte-Carlo validation "
+                "campaigns run; enable them with --validate-runs or "
+                "--target-ci"
+            )
 
     profiler = cProfile.Profile() if args.profile else None
     if profiler:
@@ -356,11 +391,11 @@ def _cmd_sweep(args) -> str:
         total_weight=args.total_weight,
         validate_runs=args.validate_runs,
         validate_target_ci=args.target_ci,
+        validate_backend=args.backend,
     )
     if profiler:
         profiler.disable()
 
-    validated = bool(args.validate_runs) or args.target_ci is not None
     if args.json:
         doc = {
             "platform": platform.name,

@@ -15,6 +15,7 @@ __all__ = [
     "InvalidScheduleError",
     "SolverError",
     "SimulationError",
+    "BackendUnavailableError",
 ]
 
 
@@ -53,3 +54,15 @@ class SolverError(ReproError, RuntimeError):
 class SimulationError(ReproError, RuntimeError):
     """The discrete-event simulator entered an impossible state or exceeded
     its configured event budget (runaway execution)."""
+
+
+class BackendUnavailableError(ReproError, ImportError):
+    """A registered array-API backend cannot be loaded in this environment.
+
+    Raised when a backend *name* is known to the registry
+    (:mod:`repro.simulation.backend`) but importing its array namespace
+    fails — e.g. ``cupy`` on a machine without CUDA, or
+    ``array-api-strict`` when the package is not installed.  Distinct from
+    :class:`InvalidParameterError`, which signals a name the registry has
+    never heard of.
+    """

@@ -12,6 +12,12 @@ breakdown`), cross-validated bitwise between the two.  On top of the
 batched engine, :func:`run_adaptive` (:mod:`~repro.simulation.adaptive`)
 runs sequential-sampling campaigns that stop at a target relative CI
 half-width, streaming moments instead of retaining samples.
+
+The batched kernel is written against the Python array-API standard and
+runs on any registered backend (:mod:`repro.simulation.backend`): NumPy
+by default, ``array-api-strict`` for conformance CI, CuPy/torch as
+drop-in GPU namespaces — selected per call (``backend=...``), via the
+CLI (``--backend``) or the ``REPRO_BACKEND`` environment variable.
 """
 
 from .adaptive import (
@@ -22,6 +28,16 @@ from .adaptive import (
     AdaptiveRound,
     StreamingMoments,
     run_adaptive,
+)
+from .backend import (
+    BACKEND_ENV_VAR,
+    DEFAULT_BACKEND,
+    Backend,
+    array_namespace,
+    available_backends,
+    get_backend,
+    installed_backends,
+    register_backend,
 )
 from .batch import (
     DEFAULT_CHUNK_SIZE,
@@ -46,6 +62,14 @@ from .stats import SampleSummary, confidence_interval, summarize, t_critical
 from .trace import EventKind, Trace, TraceEvent
 
 __all__ = [
+    "Backend",
+    "BACKEND_ENV_VAR",
+    "DEFAULT_BACKEND",
+    "array_namespace",
+    "available_backends",
+    "get_backend",
+    "installed_backends",
+    "register_backend",
     "simulate_run",
     "RunResult",
     "DEFAULT_MAX_ATTEMPTS",

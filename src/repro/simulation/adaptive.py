@@ -42,7 +42,13 @@ from ..exceptions import InvalidParameterError
 from ..platforms import Platform
 from ..core.costs import CostProfile
 from ..core.schedule import Schedule
-from .batch import DEFAULT_CHUNK_SIZE, _chunk_sizes, run_compiled
+from .backend import Backend, get_backend
+from .batch import (
+    DEFAULT_CHUNK_SIZE,
+    _chunk_sizes,
+    _require_shardable,
+    run_compiled,
+)
 from .breakdown import TIME_CATEGORIES
 from .compile import CompiledSchedule, compile_schedule
 from .engine import DEFAULT_MAX_ATTEMPTS
@@ -205,10 +211,11 @@ def _chunk_stats(
     child: np.random.SeedSequence,
     n: int,
     max_attempts: int,
+    backend: "str | Backend | None" = None,
 ) -> _ChunkStats:
     """Worker entry point (module-level so it pickles for ``n_jobs``)."""
     batch = run_compiled(
-        compiled, n, np.random.default_rng(child), max_attempts
+        compiled, n, np.random.default_rng(child), max_attempts, backend
     )
     return _ChunkStats(
         moments=StreamingMoments.from_samples(batch.makespans),
@@ -342,6 +349,7 @@ def run_adaptive(
     n_jobs: int | None = None,
     max_attempts: int = DEFAULT_MAX_ATTEMPTS,
     analytic: float = float("nan"),
+    backend: "str | Backend | None" = None,
 ) -> AdaptiveResult:
     """Simulate ``schedule`` until the mean makespan is certified.
 
@@ -351,7 +359,8 @@ def run_adaptive(
     never before ``min_runs`` replications, never beyond ``max_runs``.
 
     Parameters mirror :func:`~repro.simulation.batch.simulate_batch` where
-    shared; ``analytic`` optionally attaches the reference expectation the
+    shared (including the array-API ``backend`` the lockstep kernel runs
+    on); ``analytic`` optionally attaches the reference expectation the
     certified interval is checked against.
     """
     if not 0.0 < target_relative_ci:
@@ -369,6 +378,7 @@ def run_adaptive(
     if chunk_size < 1:
         raise InvalidParameterError(f"chunk_size must be >= 1, got {chunk_size}")
     t_critical(2, confidence)  # validates the confidence level
+    be = get_backend(backend)  # resolve (and fail) before any work
 
     compiled = compile_schedule(chain, platform, schedule, costs)
     seed_seq = (
@@ -392,6 +402,8 @@ def run_adaptive(
     # platforms) never pay the process spawns.
     pool = None
     shard = n_jobs is not None and n_jobs > 1
+    if shard:
+        _require_shardable(be)
     try:
         total = 0
         next_total = min(min_runs, max_runs)
@@ -400,20 +412,24 @@ def run_adaptive(
             round_n = next_total - total
             sizes = _chunk_sizes(round_n, chunk_size)
             children = seed_seq.spawn(len(sizes))
-            args = (
-                [compiled] * len(sizes),
-                children,
-                sizes,
-                [max_attempts] * len(sizes),
-            )
             if shard and len(sizes) > 1:
+                args = (
+                    [compiled] * len(sizes),
+                    children,
+                    sizes,
+                    [max_attempts] * len(sizes),
+                    [be.name] * len(sizes),  # workers re-resolve by name
+                )
                 if pool is None:
                     from concurrent.futures import ProcessPoolExecutor
 
                     pool = ProcessPoolExecutor(max_workers=n_jobs)
                 stats = list(pool.map(_chunk_stats, *args))
             else:
-                stats = [_chunk_stats(*a) for a in zip(*args)]
+                stats = [
+                    _chunk_stats(compiled, child, n, max_attempts, be)
+                    for child, n in zip(children, sizes)
+                ]
             for s in stats:
                 moments = moments.merge(s.moments)
                 category_totals += s.category_totals

@@ -5,7 +5,9 @@ simultaneously.  Each replication holds four words of state — elapsed
 time, a segment cursor into the :class:`~repro.simulation.compile.
 CompiledSchedule` arrays, and a latent-corruption bit — plus integer
 event counters.  One engine step performs one *segment attempt* for every
-still-running replication with pure NumPy array operations:
+still-running replication with pure array-API operations — the kernel is
+backend-agnostic (:mod:`repro.simulation.backend`): NumPy by default,
+``array-api-strict`` in CI, CuPy/torch namespaces as drop-ins:
 
 1. draw a ``(3, N)`` block of uniforms (fail-stop, silent, detection
    slots — one row per random decision a segment attempt can need);
@@ -56,10 +58,11 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..chains import TaskChain
-from ..exceptions import InvalidParameterError, SimulationError
+from ..exceptions import InvalidParameterError, ReproError, SimulationError
 from ..platforms import Platform
 from ..core.costs import CostProfile
 from ..core.schedule import Schedule
+from .backend import Backend, get_backend
 from .breakdown import CATEGORY_INDEX, TIME_CATEGORIES, BatchBreakdown
 from .compile import CompiledSchedule, compile_schedule
 from .engine import DEFAULT_MAX_ATTEMPTS
@@ -132,6 +135,7 @@ def run_compiled(
     n_runs: int,
     rng: np.random.Generator,
     max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+    backend: "str | Backend | None" = None,
 ) -> BatchResult:
     """Advance ``n_runs`` replications of ``compiled`` to completion.
 
@@ -139,34 +143,38 @@ def run_compiled(
     seeding, chunking and process sharding.  Raises
     :class:`~repro.exceptions.SimulationError` if any replication exceeds
     ``max_attempts`` segment attempts.
+
+    The kernel body is pure array-API (``backend`` selects the namespace,
+    defaulting to ``REPRO_BACKEND`` / NumPy): per-segment constants are
+    gathered with ``xp.take``, branch outcomes are combined with boolean
+    masks and ``xp.where`` (no NumPy-only integer fancy indexing), and the
+    still-running replications are kept *compacted* — finished ones are
+    retired to host NumPy result buffers through boolean-mask selection,
+    so late lockstep iterations touch only the stragglers, whatever the
+    backend.  Uniform draws always come from the host NumPy ``rng`` (full
+    ``(3, n_runs)`` blocks per step, see module doc), which keeps streams
+    identical across backends.
     """
+    be = get_backend(backend)
+    xp = be.xp
+    f8, i8, b1 = xp.float64, xp.int64, xp.bool
     S = compiled.n_segments
     lf = compiled.lf
-    work = compiled.work
-    p_silent = compiled.p_silent
-    has_verif = compiled.has_verification
-    is_partial = compiled.is_partial
-    verif_cost = compiled.verification_cost
-    cm_cost = compiled.memory_ckpt_cost
-    cd_cost = compiled.disk_ckpt_cost
-    fail_target = compiled.fail_target
-    fail_cost = compiled.fail_recovery_cost
-    silent_target = compiled.silent_target
-    silent_cost = compiled.silent_recovery_cost
     recall = compiled.recall
+    # Segment constants onto the execution backend, once per kernel call
+    # (no copy when the compiled arrays already live there, e.g. NumPy).
+    work = be.asarray(compiled.work, dtype=f8)
+    p_silent = be.asarray(compiled.p_silent, dtype=f8)
+    has_verif = be.asarray(compiled.has_verification, dtype=b1)
+    is_partial = be.asarray(compiled.is_partial, dtype=b1)
+    verif_cost = be.asarray(compiled.verification_cost, dtype=f8)
+    cm_cost = be.asarray(compiled.memory_ckpt_cost, dtype=f8)
+    cd_cost = be.asarray(compiled.disk_ckpt_cost, dtype=f8)
+    fail_target = be.asarray(compiled.fail_target, dtype=i8)
+    fail_cost = be.asarray(compiled.fail_recovery_cost, dtype=f8)
+    silent_target = be.asarray(compiled.silent_target, dtype=i8)
+    silent_cost = be.asarray(compiled.silent_recovery_cost, dtype=f8)
 
-    t = np.zeros(n_runs, dtype=np.float64)
-    cursor = np.zeros(n_runs, dtype=np.int64)
-    latent = np.zeros(n_runs, dtype=bool)
-    n_fail = np.zeros(n_runs, dtype=np.int64)
-    n_silent = np.zeros(n_runs, dtype=np.int64)
-    n_detected = np.zeros(n_runs, dtype=np.int64)
-    n_missed = np.zeros(n_runs, dtype=np.int64)
-    n_attempts = np.zeros(n_runs, dtype=np.int64)
-    # Per-category accounting: each row receives the same doubles, in the
-    # same order, as the scalar engine's trace durations for that category
-    # (bitwise cross-validated), and each column partitions t.
-    cat = np.zeros((len(TIME_CATEGORIES), n_runs), dtype=np.float64)
     c_work = CATEGORY_INDEX["work"]
     c_lost = CATEGORY_INDEX["fail_stop_lost"]
     c_rd = CATEGORY_INDEX["disk_recovery"]
@@ -175,105 +183,149 @@ def run_compiled(
     c_cm = CATEGORY_INDEX["memory_checkpoint"]
     c_cd = CATEGORY_INDEX["disk_checkpoint"]
 
+    # Host (NumPy) result buffers, scatter-filled as replications retire.
+    out_t = np.zeros(n_runs, dtype=np.float64)
+    out_fail = np.zeros(n_runs, dtype=np.int64)
+    out_silent = np.zeros(n_runs, dtype=np.int64)
+    out_detected = np.zeros(n_runs, dtype=np.int64)
+    out_missed = np.zeros(n_runs, dtype=np.int64)
+    out_attempts = np.zeros(n_runs, dtype=np.int64)
+    # Per-category accounting: each row receives the same doubles, in the
+    # same order, as the scalar engine's trace durations for that category
+    # (bitwise cross-validated), and each column partitions the makespan.
+    out_cat = np.zeros((len(TIME_CATEGORIES), n_runs), dtype=np.float64)
+
+    # Live (still-running) state, compacted; ``orig`` maps live position
+    # -> original replication index and drives both the host-side stream
+    # gather and the result scatter.
+    orig = np.arange(n_runs, dtype=np.int64)
+    t = be.zeros(n_runs, dtype=f8)
+    cursor = be.zeros(n_runs, dtype=i8)
+    latent = be.zeros(n_runs, dtype=b1)
+    n_fail = be.zeros(n_runs, dtype=i8)
+    n_silent = be.zeros(n_runs, dtype=i8)
+    n_detected = be.zeros(n_runs, dtype=i8)
+    n_missed = be.zeros(n_runs, dtype=i8)
+    n_attempts = be.zeros(n_runs, dtype=i8)
+    cat = [be.zeros(n_runs, dtype=f8) for _ in TIME_CATEGORIES]
+
     steps = 0
-    idx = np.arange(n_runs, dtype=np.int64)
-    while idx.size:
+    while orig.size:
         steps += 1
         if steps > max_attempts:
             raise SimulationError(
                 f"batch exceeded {max_attempts} segment attempts with "
-                f"{idx.size} replication(s) still running "
+                f"{orig.size} replication(s) still running "
                 "(error rates too high for this schedule?)"
             )
         # Full-size draw: finished replications keep consuming their slots
         # so each replication's stream is independent of the others' pace.
         u = rng.random((3, n_runs))
-        jj = cursor[idx]
-        W = work[jj]
-        n_attempts[idx] += 1
+        u_live = u if orig.size == n_runs else u[:, orig]
+        u0 = be.asarray(u_live[0], dtype=f8)
+        u1 = be.asarray(u_live[1], dtype=f8)
+        u2 = be.asarray(u_live[2], dtype=f8)
+        jj = cursor  # every live replication satisfies cursor < S
+        W = xp.take(work, jj)
+        n_attempts = n_attempts + 1
+        zero = be.zeros(orig.size, dtype=f8)
 
         if lf > 0.0:
-            arrival = -np.log1p(-u[0, idx]) / lf
+            arrival = -xp.log1p(-u0) / lf
             fail = arrival < W
         else:
-            fail = np.zeros(idx.size, dtype=bool)
+            arrival = zero
+            fail = be.zeros(orig.size, dtype=b1)
 
         ok = ~fail
-        silent_new = ok & (u[1, idx] < p_silent[jj])
-        corrupted = silent_new | (latent[idx] & ok)
-        at_verif = has_verif[jj]
-        partial = is_partial[jj]
-        caught = corrupted & at_verif & (~partial | (u[2, idx] < recall))
+        silent_new = ok & (u1 < xp.take(p_silent, jj))
+        corrupted = silent_new | (latent & ok)
+        at_verif = xp.take(has_verif, jj)
+        partial = xp.take(is_partial, jj)
+        caught = corrupted & at_verif & (~partial | (u2 < recall))
         missed = (corrupted & at_verif) & ~caught
         proceed = ok & ~caught & ~missed
+        # fail/caught/missed/proceed partition the live set, so the masked
+        # additions below touch each replication exactly once per branch
+        # (adding a masked-out 0.0 elsewhere is bitwise identity).
 
         # --- fail-stop: pay elapsed work + disk recovery, jump back ----
-        fi = idx[fail]
-        if fi.size:
-            jf = jj[fail]
-            lost = arrival[fail]
-            rd = fail_cost[jf]
-            t[fi] += lost
-            t[fi] += rd
-            cat[c_lost, fi] += lost
-            cat[c_rd, fi] += rd
-            cursor[fi] = fail_target[jf]
-            latent[fi] = False
-            n_fail[fi] += 1
+        if lf > 0.0:
+            lost = xp.where(fail, arrival, zero)
+            rd = xp.where(fail, xp.take(fail_cost, jj), zero)
+            t = t + lost
+            t = t + rd
+            cat[c_lost] = cat[c_lost] + lost
+            cat[c_rd] = cat[c_rd] + rd
+            n_fail = n_fail + xp.astype(fail, i8)
 
         # --- segment completed: pay the work and any verification ------
-        oi = idx[ok]
-        if oi.size:
-            jo = jj[ok]
-            wo = W[ok]
-            vo = verif_cost[jo]  # zero where unverified
-            t[oi] += wo
-            t[oi] += vo
-            cat[c_work, oi] += wo
-            cat[c_verif, oi] += vo
-            n_silent[idx[silent_new]] += 1
+        wo = xp.where(ok, W, zero)
+        vo = xp.where(ok, xp.take(verif_cost, jj), zero)  # 0 if unverified
+        t = t + wo
+        t = t + vo
+        cat[c_work] = cat[c_work] + wo
+        cat[c_verif] = cat[c_verif] + vo
+        n_silent = n_silent + xp.astype(silent_new, i8)
 
         # --- corruption caught: memory recovery, jump back --------------
-        ci = idx[caught]
-        if ci.size:
-            jc = jj[caught]
-            rm = silent_cost[jc]
-            t[ci] += rm
-            cat[c_rm, ci] += rm
-            cursor[ci] = silent_target[jc]
-            latent[ci] = False
-            n_detected[ci] += 1
+        rm = xp.where(caught, xp.take(silent_cost, jj), zero)
+        t = t + rm
+        cat[c_rm] = cat[c_rm] + rm
+        n_detected = n_detected + xp.astype(caught, i8)
 
         # --- corruption missed: carry it latently, advance ---------------
-        mi = idx[missed]
-        if mi.size:
-            latent[mi] = True
-            cursor[mi] += 1
-            n_missed[mi] += 1
+        n_missed = n_missed + xp.astype(missed, i8)
 
         # --- clean: pay checkpoints, advance -----------------------------
-        pi = idx[proceed]
-        if pi.size:
-            jp = jj[proceed]
-            cm = cm_cost[jp]  # zero where no checkpoint
-            cd = cd_cost[jp]
-            t[pi] += cm
-            t[pi] += cd
-            cat[c_cm, pi] += cm
-            cat[c_cd, pi] += cd
-            latent[pi] = False
-            cursor[pi] += 1
+        cm = xp.where(proceed, xp.take(cm_cost, jj), zero)  # 0 if no ckpt
+        cd = xp.where(proceed, xp.take(cd_cost, jj), zero)
+        t = t + cm
+        t = t + cd
+        cat[c_cm] = cat[c_cm] + cm
+        cat[c_cd] = cat[c_cd] + cd
 
-        idx = np.flatnonzero(cursor < S)
+        cursor = xp.where(
+            fail,
+            xp.take(fail_target, jj),
+            xp.where(caught, xp.take(silent_target, jj), cursor + 1),
+        )
+        latent = missed  # every other branch clears the latent bit
+
+        # --- retire finished replications, compact the live set ----------
+        cursor_np = be.to_numpy(cursor)
+        done_np = cursor_np >= S
+        if done_np.any():
+            ids = orig[done_np]
+            done = be.asarray(done_np, dtype=b1)
+            out_t[ids] = be.to_numpy(t[done])
+            out_fail[ids] = be.to_numpy(n_fail[done])
+            out_silent[ids] = be.to_numpy(n_silent[done])
+            out_detected[ids] = be.to_numpy(n_detected[done])
+            out_missed[ids] = be.to_numpy(n_missed[done])
+            out_attempts[ids] = be.to_numpy(n_attempts[done])
+            for k, row in enumerate(cat):
+                out_cat[k, ids] = be.to_numpy(row[done])
+            orig = orig[~done_np]
+            keep = be.asarray(~done_np, dtype=b1)
+            t = t[keep]
+            cursor = cursor[keep]
+            latent = latent[keep]
+            n_fail = n_fail[keep]
+            n_silent = n_silent[keep]
+            n_detected = n_detected[keep]
+            n_missed = n_missed[keep]
+            n_attempts = n_attempts[keep]
+            cat = [row[keep] for row in cat]
 
     return BatchResult(
-        makespans=t,
-        fail_stop_errors=n_fail,
-        silent_errors=n_silent,
-        silent_detected=n_detected,
-        silent_missed=n_missed,
-        attempts=n_attempts,
-        time_categories=cat,
+        makespans=out_t,
+        fail_stop_errors=out_fail,
+        silent_errors=out_silent,
+        silent_detected=out_detected,
+        silent_missed=out_missed,
+        attempts=out_attempts,
+        time_categories=out_cat,
         steps=steps,
     )
 
@@ -285,15 +337,43 @@ def _chunk_sizes(n_runs: int, chunk_size: int) -> list[int]:
     return sizes
 
 
+def _require_shardable(be: Backend) -> None:
+    """Reject ``n_jobs`` sharding for backends workers cannot re-resolve.
+
+    Array namespaces (module objects) are not picklable, so worker
+    processes receive only the backend *name* and re-resolve it from the
+    registry.  A live :class:`Backend` handle whose name was never
+    registered — or a loader that only exists in this process under the
+    ``spawn`` start method — would surface as a confusing worker-side
+    failure; catch it up front with an actionable message.
+    """
+    try:
+        resolved = get_backend(be.name)
+    except ReproError as exc:
+        raise InvalidParameterError(
+            f"n_jobs sharding re-resolves the backend by name, but "
+            f"{be.name!r} is not resolvable from the registry ({exc}); "
+            "register it with register_backend(...) or run with n_jobs=None"
+        ) from exc
+    if resolved.xp is not be.xp or resolved.device != be.device:
+        raise InvalidParameterError(
+            f"n_jobs sharding would silently replace the customized "
+            f"backend handle {be.name!r} (device={be.device!r}) with the "
+            f"registry's default (device={resolved.device!r}); register a "
+            "loader reproducing the handle or run with n_jobs=None"
+        )
+
+
 def _run_chunk(
     compiled: CompiledSchedule,
     child: np.random.SeedSequence,
     n: int,
     max_attempts: int,
+    backend: "str | Backend | None" = None,
 ) -> BatchResult:
     """Worker entry point (module-level so it pickles for ``n_jobs``)."""
     return run_compiled(
-        compiled, n, np.random.default_rng(child), max_attempts
+        compiled, n, np.random.default_rng(child), max_attempts, backend
     )
 
 
@@ -308,6 +388,7 @@ def simulate_batch(
     chunk_size: int = DEFAULT_CHUNK_SIZE,
     n_jobs: int | None = None,
     max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+    backend: "str | Backend | None" = None,
 ) -> BatchResult:
     """Simulate ``n_runs`` executions of ``schedule`` in vectorized batches.
 
@@ -326,11 +407,19 @@ def simulate_batch(
         ``None`` or 1 runs them serially in-process.
     max_attempts:
         Per-replication cap on segment attempts, as in the scalar engine.
+    backend:
+        Array-API backend the lockstep kernel runs on: a registered name
+        (``"numpy"``, ``"array-api-strict"``, ``"cupy"``, ``"torch"``), a
+        :class:`~repro.simulation.backend.Backend` handle, or ``None``
+        for the ``REPRO_BACKEND`` / NumPy default.  Uniform streams stay
+        on the host, so the sampled campaign is the same one on every
+        backend; results always come back as NumPy arrays.
     """
     if n_runs < 1:
         raise InvalidParameterError(f"n_runs must be >= 1, got {n_runs}")
     if chunk_size < 1:
         raise InvalidParameterError(f"chunk_size must be >= 1, got {chunk_size}")
+    be = get_backend(backend)  # resolve (and fail) before any work
     compiled = compile_schedule(chain, platform, schedule, costs)
     seed_seq = (
         seed
@@ -341,6 +430,7 @@ def simulate_batch(
     children = seed_seq.spawn(len(sizes))
 
     if n_jobs is not None and n_jobs > 1 and len(sizes) > 1:
+        _require_shardable(be)
         from concurrent.futures import ProcessPoolExecutor
 
         with ProcessPoolExecutor(max_workers=min(n_jobs, len(sizes))) as pool:
@@ -351,11 +441,12 @@ def simulate_batch(
                     children,
                     sizes,
                     [max_attempts] * len(sizes),
+                    [be.name] * len(sizes),  # workers re-resolve by name
                 )
             )
     else:
         parts = [
-            _run_chunk(compiled, child, n, max_attempts)
+            _run_chunk(compiled, child, n, max_attempts, be)
             for child, n in zip(children, sizes)
         ]
     if len(parts) == 1:

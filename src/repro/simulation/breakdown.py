@@ -35,9 +35,9 @@ Derived quantities: given the chain's one-pass total weight,
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
-import numpy as np
-
+from .backend import array_namespace
 from .trace import EventKind, Trace
 
 __all__ = [
@@ -79,10 +79,13 @@ class BatchBreakdown:
     """Per-replication time accounting of a batched campaign.
 
     ``per_run`` has shape ``(len(TIME_CATEGORIES), n_runs)``; row order is
-    :data:`TIME_CATEGORIES`.
+    :data:`TIME_CATEGORIES`.  The accessors are array-API generic — they
+    resolve the array's own namespace, so a breakdown works unchanged
+    whether ``per_run`` is a NumPy buffer (the engine's host-side result
+    contract) or still lives on another backend.
     """
 
-    per_run: np.ndarray
+    per_run: Any
 
     @property
     def n_runs(self) -> int:
@@ -94,21 +97,25 @@ class BatchBreakdown:
 
     def totals(self) -> dict[str, float]:
         """Category -> summed seconds over all replications."""
-        sums = self.per_run.sum(axis=1)
+        xp = array_namespace(self.per_run)
+        sums = xp.sum(self.per_run, axis=1)
         return {c: float(sums[k]) for c, k in CATEGORY_INDEX.items()}
 
     def means(self) -> dict[str, float]:
         """Category -> mean seconds per replication."""
-        means = self.per_run.mean(axis=1)
+        xp = array_namespace(self.per_run)
+        means = xp.mean(self.per_run, axis=1)
         return {c: float(means[k]) for c, k in CATEGORY_INDEX.items()}
 
-    def sum_per_run(self) -> np.ndarray:
+    def sum_per_run(self) -> Any:
         """Per-replication category sums (should reconstruct the makespans)."""
-        return self.per_run.sum(axis=0)
+        xp = array_namespace(self.per_run)
+        return xp.sum(self.per_run, axis=0)
 
     @classmethod
     def concatenate(cls, parts: list["BatchBreakdown"]) -> "BatchBreakdown":
-        return cls(per_run=np.concatenate([p.per_run for p in parts], axis=1))
+        xp = array_namespace(parts[0].per_run)
+        return cls(per_run=xp.concat([p.per_run for p in parts], axis=1))
 
 
 def aggregate_trace(trace: Trace) -> dict[str, float]:

@@ -26,9 +26,14 @@ reaches ``n_segments``.  For each segment the compiler precomputes:
 * ``silent_target`` / ``silent_recovery_cost`` — the segment cursor and
   memory recovery cost ``R_M`` of a detected-corruption rollback.
 
-The arrays are plain (picklable) NumPy buffers, so a compiled schedule can
-be shipped to worker processes when the batch engine shards replications
-across jobs.  Compilation performs the same validation as the scalar
+Lowering is array-API generic: the per-segment values are gathered into
+plain Python lists and materialized through an explicit
+:class:`~repro.simulation.backend.Backend` (``xp.asarray`` with explicit
+dtypes, ``xp.expm1`` for the silent-error probabilities).  By default the
+arrays are plain (picklable, read-only) NumPy buffers, so a compiled
+schedule can be shipped to worker processes when the batch engine shards
+replications across jobs; the engine moves them onto its own backend once
+per kernel call.  Compilation performs the same validation as the scalar
 engine; the two therefore accept exactly the same inputs, which the test
 suite pins with golden-value and same-seed cross-validation tests.
 """
@@ -36,6 +41,7 @@ suite pins with golden-value and same-seed cross-validation tests.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
 
@@ -44,6 +50,7 @@ from ..exceptions import InvalidScheduleError
 from ..platforms import Platform
 from ..core.costs import CostProfile
 from ..core.schedule import Action, Schedule
+from .backend import Backend, array_namespace, get_backend
 
 __all__ = ["CompiledSchedule", "compile_schedule"]
 
@@ -54,22 +61,23 @@ class CompiledSchedule:
 
     All arrays have length :attr:`n_segments`; ``stops`` has one extra
     entry (the 1-based verified positions bounding the segments, starting
-    at the virtual ``T0``).
+    at the virtual ``T0``).  They live on whatever backend compiled them
+    (NumPy unless a backend was passed to :func:`compile_schedule`).
     """
 
     n_tasks: int
-    stops: np.ndarray  # int64, n_segments + 1
-    work: np.ndarray  # float64
-    p_silent: np.ndarray  # float64, 1 - e^{-λ_s W}
-    is_partial: np.ndarray  # bool
-    has_verification: np.ndarray  # bool
-    verification_cost: np.ndarray  # float64
-    memory_ckpt_cost: np.ndarray  # float64
-    disk_ckpt_cost: np.ndarray  # float64
-    fail_target: np.ndarray  # int64 segment cursor after a fail-stop
-    fail_recovery_cost: np.ndarray  # float64 (R_D at the rollback target)
-    silent_target: np.ndarray  # int64 segment cursor after a detection
-    silent_recovery_cost: np.ndarray  # float64 (R_M at the rollback target)
+    stops: Any  # int64, n_segments + 1
+    work: Any  # float64
+    p_silent: Any  # float64, 1 - e^{-λ_s W}
+    is_partial: Any  # bool
+    has_verification: Any  # bool
+    verification_cost: Any  # float64
+    memory_ckpt_cost: Any  # float64
+    disk_ckpt_cost: Any  # float64
+    fail_target: Any  # int64 segment cursor after a fail-stop
+    fail_recovery_cost: Any  # float64 (R_D at the rollback target)
+    silent_target: Any  # int64 segment cursor after a detection
+    silent_recovery_cost: Any  # float64 (R_M at the rollback target)
     lf: float
     ls: float
     recall: float
@@ -79,13 +87,14 @@ class CompiledSchedule:
     @property
     def n_segments(self) -> int:
         """Number of segments a replication must clear to complete."""
-        return int(self.work.size)
+        return int(self.work.shape[0])
 
     def describe(self) -> str:
         """One-line human-readable summary."""
+        total = float(array_namespace(self.work).sum(self.work))
         return (
             f"compiled schedule: {self.n_tasks} tasks -> "
-            f"{self.n_segments} segments, total work {self.work.sum():g}s, "
+            f"{self.n_segments} segments, total work {total:g}s, "
             f"λ_f={self.lf:g}/s λ_s={self.ls:g}/s r={self.recall:g}"
         )
 
@@ -95,8 +104,15 @@ def compile_schedule(
     platform: Platform,
     schedule: Schedule,
     costs: CostProfile | None = None,
+    *,
+    backend: "str | Backend | None" = "numpy",
 ) -> CompiledSchedule:
     """Compile ``schedule`` on ``(chain, platform)`` into flat segment arrays.
+
+    ``backend`` selects the array namespace the segment arrays are
+    materialized on — NumPy by default (and the only picklable choice for
+    ``n_jobs`` sharding); the engine itself accepts a NumPy-compiled
+    schedule for any execution backend.
 
     Raises
     ------
@@ -116,6 +132,8 @@ def compile_schedule(
         )
     if costs is None:
         costs = CostProfile.uniform(chain.n, platform)
+    be = get_backend(backend)
+    xp = be.xp
 
     stops = [0] + schedule.verified_positions
     if stops[-1] != chain.n:
@@ -124,16 +142,16 @@ def compile_schedule(
     stop_index = {pos: j for j, pos in enumerate(stops)}
     n_segs = len(stops) - 1
 
-    work = np.empty(n_segs, dtype=np.float64)
-    is_partial = np.zeros(n_segs, dtype=bool)
-    has_verif = np.zeros(n_segs, dtype=bool)
-    verif_cost = np.zeros(n_segs, dtype=np.float64)
-    cm_cost = np.zeros(n_segs, dtype=np.float64)
-    cd_cost = np.zeros(n_segs, dtype=np.float64)
-    fail_target = np.empty(n_segs, dtype=np.int64)
-    fail_cost = np.empty(n_segs, dtype=np.float64)
-    silent_target = np.empty(n_segs, dtype=np.int64)
-    silent_cost = np.empty(n_segs, dtype=np.float64)
+    work = [0.0] * n_segs
+    is_partial = [False] * n_segs
+    has_verif = [False] * n_segs
+    verif_cost = [0.0] * n_segs
+    cm_cost = [0.0] * n_segs
+    cd_cost = [0.0] * n_segs
+    fail_target = [0] * n_segs
+    fail_cost = [0.0] * n_segs
+    silent_target = [0] * n_segs
+    silent_cost = [0.0] * n_segs
 
     mem = disk = 0
     for k in range(n_segs):
@@ -143,7 +161,7 @@ def compile_schedule(
             mem = pos
         if pos > 0 and schedule.action(pos) == Action.DISK:
             disk = pos
-        work[k] = chain.segment_weight(pos, nxt)
+        work[k] = float(chain.segment_weight(pos, nxt))
         fail_target[k] = stop_index[disk]
         fail_cost[k] = float(costs.RD[disk])
         silent_target[k] = stop_index[mem]
@@ -162,26 +180,29 @@ def compile_schedule(
             cd_cost[k] = float(costs.CD[nxt])
 
     ls = platform.ls
-    p_silent = (
-        -np.expm1(-ls * work) if ls > 0.0 else np.zeros(n_segs, dtype=np.float64)
-    )
+    work_arr = be.asarray(work, dtype=xp.float64)
+    if ls > 0.0:
+        p_silent = -xp.expm1((-ls) * work_arr)
+    else:
+        p_silent = be.zeros(n_segs, dtype=xp.float64)
 
     arrays = dict(
-        stops=np.asarray(stops, dtype=np.int64),
-        work=work,
+        stops=be.asarray(stops, dtype=xp.int64),
+        work=work_arr,
         p_silent=p_silent,
-        is_partial=is_partial,
-        has_verification=has_verif,
-        verification_cost=verif_cost,
-        memory_ckpt_cost=cm_cost,
-        disk_ckpt_cost=cd_cost,
-        fail_target=fail_target,
-        fail_recovery_cost=fail_cost,
-        silent_target=silent_target,
-        silent_recovery_cost=silent_cost,
+        is_partial=be.asarray(is_partial, dtype=xp.bool),
+        has_verification=be.asarray(has_verif, dtype=xp.bool),
+        verification_cost=be.asarray(verif_cost, dtype=xp.float64),
+        memory_ckpt_cost=be.asarray(cm_cost, dtype=xp.float64),
+        disk_ckpt_cost=be.asarray(cd_cost, dtype=xp.float64),
+        fail_target=be.asarray(fail_target, dtype=xp.int64),
+        fail_recovery_cost=be.asarray(fail_cost, dtype=xp.float64),
+        silent_target=be.asarray(silent_target, dtype=xp.int64),
+        silent_recovery_cost=be.asarray(silent_cost, dtype=xp.float64),
     )
     for arr in arrays.values():
-        arr.setflags(write=False)
+        if isinstance(arr, np.ndarray):
+            arr.setflags(write=False)
     return CompiledSchedule(
         n_tasks=chain.n,
         lf=float(platform.lf),

@@ -37,6 +37,7 @@ from ..exceptions import InvalidParameterError
 from ..platforms import Platform
 from ..core.schedule import Schedule
 from .adaptive import DEFAULT_MIN_RUNS, AdaptiveResult, run_adaptive
+from .backend import Backend, canonical_name, get_backend
 from .batch import DEFAULT_CHUNK_SIZE, simulate_batch
 from .breakdown import aggregate_trace, render_breakdown
 from .engine import RunResult, simulate_run
@@ -69,6 +70,9 @@ class MonteCarloResult:
     convergence:
         The :class:`~repro.simulation.adaptive.AdaptiveResult` of an
         adaptive-precision campaign (None for fixed-N campaigns).
+    backend:
+        Name of the array-API backend the batched kernel ran on
+        (``"numpy"`` for the scalar oracle engine).
     """
 
     samples: np.ndarray
@@ -80,6 +84,7 @@ class MonteCarloResult:
     convergence: AdaptiveResult | None = None
     useful_work: float = float("nan")  #: chain one-pass weight (s), for the
     #: useful/re-executed split in the breakdown rendering
+    backend: str = "numpy"
 
     @property
     def mean(self) -> float:
@@ -146,6 +151,7 @@ def run_monte_carlo(
     chunk_size: int = DEFAULT_CHUNK_SIZE,
     n_jobs: int | None = None,
     target_ci: float | None = None,
+    backend: "str | Backend | None" = None,
 ) -> MonteCarloResult:
     """Estimate the expected makespan of ``schedule`` by simulation.
 
@@ -174,6 +180,12 @@ def run_monte_carlo(
         replications run until the precision target is met (or the
         ``runs`` cap is hit), and the result carries the convergence
         report.  Batch engine only.
+    backend:
+        Array-API backend for the batched kernel — a registered name, a
+        :class:`~repro.simulation.backend.Backend` handle, or ``None``
+        for the ``REPRO_BACKEND`` / NumPy default.  The scalar oracle is
+        a host NumPy loop: it ignores the environment default and rejects
+        an explicit non-NumPy selection.
     """
     if runs < 1:
         raise InvalidParameterError(f"runs must be >= 1, got {runs}")
@@ -181,6 +193,19 @@ def run_monte_carlo(
         raise InvalidParameterError(
             f"engine must be 'batch' or 'scalar', got {engine!r}"
         )
+    if engine == "scalar":
+        requested = (
+            backend.name if isinstance(backend, Backend) else backend
+        )
+        if requested is not None and canonical_name(requested) != "numpy":
+            raise InvalidParameterError(
+                "the scalar oracle engine runs on NumPy only; "
+                f"backend {requested!r} requires engine='batch'"
+            )
+        backend_name = "numpy"
+    else:
+        backend = get_backend(backend)
+        backend_name = backend.name
     seed_seq = (
         seed
         if isinstance(seed, np.random.SeedSequence)
@@ -206,6 +231,7 @@ def run_monte_carlo(
             chunk_size=chunk_size,
             n_jobs=n_jobs,
             analytic=analytic,
+            backend=backend,
             **({} if max_attempts is None else {"max_attempts": max_attempts}),
         )
         n = adaptive.reps_used
@@ -218,6 +244,7 @@ def run_monte_carlo(
             breakdown=adaptive.breakdown_means(),
             convergence=adaptive,
             useful_work=float(chain.total_weight),
+            backend=backend_name,
         )
 
     if engine == "batch":
@@ -231,6 +258,7 @@ def run_monte_carlo(
             costs=costs,
             chunk_size=chunk_size,
             n_jobs=n_jobs,
+            backend=backend,
             **batch_kwargs,
         )
         samples = batch.makespans
@@ -277,4 +305,5 @@ def run_monte_carlo(
         analytic=analytic,
         breakdown=breakdown,
         useful_work=float(chain.total_weight),
+        backend=backend_name,
     )

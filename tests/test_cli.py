@@ -144,6 +144,48 @@ class TestSimulate:
         assert len(doc["ci"]) == 2
         assert doc["breakdown"]["work"] > 0.0
         assert "convergence" not in doc
+        assert doc["backend"] == "numpy"
+
+    def test_simulate_explicit_backend_json(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "simulate", "-n", "3", "--schedule", "vMD", "--runs",
+            "20", "--backend", "numpy", "--json",
+        )
+        assert code == 0
+        assert json.loads(out)["backend"] == "numpy"
+
+    def test_simulate_unknown_backend_fails_cleanly(self, capsys):
+        code, _, err = run_cli(
+            capsys, "simulate", "-n", "3", "--schedule", "vMD",
+            "--backend", "warp-drive",
+        )
+        assert code == 2
+        assert "unknown backend" in err
+
+    def test_simulate_uninstalled_backend_fails_cleanly(self, capsys):
+        # registered names whose namespace is missing must error, not crash
+        import pytest as _pytest
+
+        try:
+            import cupy  # noqa: F401
+        except ImportError:
+            pass
+        else:  # pragma: no cover - only on CUDA-equipped machines
+            _pytest.skip("cupy installed; the error path is not reachable")
+        code, _, err = run_cli(
+            capsys, "simulate", "-n", "3", "--schedule", "vMD",
+            "--backend", "cupy",
+        )
+        assert code == 2
+        assert "not installed" in err
+
+    def test_simulate_scalar_engine_rejects_non_numpy_backend(self, capsys):
+        code, _, err = run_cli(
+            capsys, "simulate", "-n", "3", "--schedule", "vMD",
+            "--engine", "scalar", "--backend", "array-api-strict",
+        )
+        assert code == 2
+        assert "scalar" in err
 
     def test_simulate_single_run_json_is_strict_rfc8259(self, capsys):
         # n=1 => unbounded CI; the JSON must use null, never Infinity.
@@ -257,6 +299,30 @@ class TestSweepCommand:
         )
         assert code == 0
         assert "ADV*" in out and "ADMV*" in out
+
+    def test_sweep_backend_without_validation_fails_cleanly(self, capsys):
+        # --backend only drives validation campaigns; silently ignoring
+        # it (or a typo in it) would mislead
+        code, _, err = run_cli(
+            capsys, "sweep", "--max-n", "4", "--step", "2", "--algorithms",
+            "admv", "--backend", "numpy",
+        )
+        assert code == 2
+        assert "--validate-runs" in err
+        code, _, err = run_cli(
+            capsys, "sweep", "--max-n", "4", "--step", "2", "--algorithms",
+            "admv", "--backend", "numpyy",
+        )
+        assert code == 2
+        assert "unknown backend" in err
+
+    def test_sweep_unknown_backend_fails_cleanly(self, capsys):
+        code, _, err = run_cli(
+            capsys, "sweep", "--max-n", "4", "--step", "2", "--algorithms",
+            "admv", "--validate-runs", "10", "--backend", "warp-drive",
+        )
+        assert code == 2
+        assert "unknown backend" in err
 
     def test_sweep_chart_and_profile(self, capsys):
         code, out, _ = run_cli(

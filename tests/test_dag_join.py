@@ -184,8 +184,7 @@ class TestJoinFromDag:
         assert inst.sink_weight == 2.0
 
     def test_rejects_non_join(self):
-        chain = WorkflowDAG({"a": 1.0, "b": 1.0}, [("a", "b")])
-        # a 2-node chain IS a join (1 source + sink); build a real non-join
+        # a 2-node chain would BE a join (1 source + sink): use a fork
         fork = WorkflowDAG(
             {"a": 1.0, "b": 1.0, "c": 1.0}, [("a", "b"), ("a", "c")]
         )

@@ -19,7 +19,6 @@ import pytest
 from repro.chains import TaskChain
 from repro.core.dp_partial import scan_interval
 from repro.core.factors import PairFactors
-from repro.platforms import Platform
 
 from repro.testing import random_chain, random_platform
 

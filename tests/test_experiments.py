@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.experiments import fig5, fig6, fig78, table1
-from repro.platforms import COASTAL_SSD, HERA
+from repro.platforms import HERA
 
 
 SMALL_GRID = [2, 6, 12]

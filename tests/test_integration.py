@@ -12,7 +12,6 @@ platforms.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.chains import make_chain

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.experiments import fig5, fig6, fig78, table1
+from repro.experiments import fig6, fig78, table1
 from repro.experiments.report import (
     Claim,
     _fig6_claims,

@@ -4,11 +4,10 @@ from __future__ import annotations
 
 import pytest
 
-from repro.chains import TaskChain, uniform_chain
+from repro.chains import uniform_chain
 from repro.core import ALGORITHMS, Solution, optimize
 from repro.core.solver import canonical_algorithm
 from repro.exceptions import InvalidParameterError
-from repro.platforms import HERA
 
 
 class TestAliases:
