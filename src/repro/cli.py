@@ -10,6 +10,9 @@ Usage (also available as ``python -m repro``)::
     repro simulate --backend array-api-strict    # pick the array backend
     repro sweep -p atlas --pattern decrease      # makespan vs n table
     repro sweep -p atlas --target-ci 0.01        # + certified validation
+    repro dag generate --kind layered --seed 3   # random workflow DAG
+    repro dag optimize --kind layered --strategy search   # order search
+    repro dag sweep --seed 3                     # heuristics vs search
     repro figure 5 --fast                        # regenerate a paper figure
     repro table 1                                # regenerate Table I
     repro report --fast                          # paper-vs-measured claims
@@ -209,9 +212,118 @@ def build_parser() -> argparse.ArgumentParser:
             "$REPRO_BACKEND, else numpy)"
         ),
     )
+    p.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="seed for the validation campaigns (echoed in --json output)",
+    )
     p.add_argument("--chart", action="store_true", help="also render an ASCII chart")
     p.add_argument("--profile", action="store_true", help="print cProfile hotspots")
     p.add_argument("--json", action="store_true")
+
+    p = sub.add_parser(
+        "dag", help="general workflows: generate / optimize / sweep"
+    )
+    dag_sub = p.add_subparsers(dest="dag_command", required=True)
+
+    def _add_dag_instance_args(q: argparse.ArgumentParser) -> None:
+        from .dag.generate import GENERATORS, WEIGHT_DISTRIBUTIONS
+
+        q.add_argument(
+            "--kind",
+            default="layered",
+            choices=sorted(GENERATORS),
+            help="workflow family to generate",
+        )
+        q.add_argument("--seed", type=int, default=0, help="generator seed")
+        q.add_argument(
+            "--weights",
+            default=None,
+            choices=WEIGHT_DISTRIBUTIONS,
+            help="task-weight distribution (default: uniform)",
+        )
+        q.add_argument("--mean", type=float, default=None, help="mean task weight (s)")
+        q.add_argument("--spread", type=float, default=None, help="weight dispersion")
+        # family-specific shape knobs (only the ones given are passed on)
+        q.add_argument("--tasks", type=int, default=None)
+        q.add_argument("--layers", type=int, default=None)
+        q.add_argument("--density", type=float, default=None)
+        q.add_argument("--branches", type=int, default=None)
+        q.add_argument("--branch-length", type=int, default=None)
+        q.add_argument("--arity", type=int, default=None)
+        q.add_argument("--rows", type=int, default=None)
+        q.add_argument("--cols", type=int, default=None)
+        q.add_argument(
+            "--dag-file",
+            default=None,
+            help="load the workflow from a JSON file instead of generating",
+        )
+
+    q = dag_sub.add_parser("generate", help="generate a random workflow DAG")
+    _add_dag_instance_args(q)
+    q.add_argument("-o", "--output", default=None, help="write the JSON document here")
+    q.add_argument("--json", action="store_true")
+
+    q = dag_sub.add_parser(
+        "optimize", help="best serialisation + chain schedule for a DAG"
+    )
+    _add_dag_instance_args(q)
+    q.add_argument("-p", "--platform", default="hera")
+    q.add_argument("-a", "--algorithm", default="admv", help="adv*, admv*, admv")
+    q.add_argument(
+        "--strategy",
+        default="auto",
+        help="auto, all, search, or a single heuristic order",
+    )
+    q.add_argument(
+        "--method",
+        default="hill_climb",
+        help="search method: hill_climb, anneal, hybrid",
+    )
+    q.add_argument("--restarts", type=int, default=2, help="random restarts (search)")
+    q.add_argument(
+        "--iterations", type=int, default=400, help="annealing iterations (search)"
+    )
+    q.add_argument(
+        "--certify",
+        action="store_true",
+        help="Monte-Carlo certify the winning order (adaptive, batched engine)",
+    )
+    q.add_argument(
+        "--target-ci",
+        type=float,
+        default=0.01,
+        metavar="FRACTION",
+        help="certification precision (relative CI half-width)",
+    )
+    q.add_argument(
+        "--backend",
+        default=None,
+        metavar="NAME",
+        help="array-API backend for the certification campaign",
+    )
+    q.add_argument("--json", action="store_true")
+
+    q = dag_sub.add_parser(
+        "sweep", help="heuristics vs search vs exhaustive over campaigns"
+    )
+    q.add_argument("--seed", type=int, default=0, help="campaign master seed")
+    q.add_argument(
+        "--full",
+        action="store_true",
+        help="all campaign instances with the full exact-polish budget",
+    )
+    q.add_argument(
+        "--no-certify", action="store_true", help="skip the Monte-Carlo stamp"
+    )
+    q.add_argument(
+        "--backend",
+        default=None,
+        metavar="NAME",
+        help="array-API backend for the certification campaign",
+    )
+    q.add_argument("--json", action="store_true")
 
     p = sub.add_parser("figure", help="regenerate a paper figure (5, 6, 7, 8)")
     p.add_argument("number", type=int, choices=(5, 6, 7, 8))
@@ -329,6 +441,7 @@ def _cmd_simulate(args) -> str:
             "platform": platform.name,
             "schedule": schedule.to_string(),
             "runs": mc.runs,
+            "seed": args.seed,
             "engine": args.engine,
             "backend": mc.backend,
             "mean": mc.mean,
@@ -391,6 +504,7 @@ def _cmd_sweep(args) -> str:
         total_weight=args.total_weight,
         validate_runs=args.validate_runs,
         validate_target_ci=args.target_ci,
+        validate_seed=args.seed,
         validate_backend=args.backend,
     )
     if profiler:
@@ -400,6 +514,7 @@ def _cmd_sweep(args) -> str:
         doc = {
             "platform": platform.name,
             "pattern": args.pattern,
+            "seed": args.seed,
             "rows": sweep.rows(),
             "header": sweep.header(),
         }
@@ -427,6 +542,234 @@ def _cmd_sweep(args) -> str:
         pstats.Stats(profiler, stream=buf).sort_stats("cumulative").print_stats(12)
         out.append(buf.getvalue())
     return "\n\n".join(out)
+
+
+_DAG_SHAPE_KNOBS = (
+    "weights",
+    "mean",
+    "spread",
+    "tasks",
+    "layers",
+    "density",
+    "branches",
+    "branch_length",
+    "arity",
+    "rows",
+    "cols",
+)
+
+
+def _make_dag(args):
+    import inspect
+
+    from .dag import WorkflowDAG, generate
+    from .dag.generate import GENERATORS
+
+    if args.dag_file:
+        from pathlib import Path
+
+        try:
+            document = json.loads(Path(args.dag_file).read_text())
+        except OSError as exc:
+            raise InvalidParameterError(
+                f"cannot read workflow file {args.dag_file!r}: {exc}"
+            ) from exc
+        except json.JSONDecodeError as exc:
+            raise InvalidParameterError(
+                f"workflow file {args.dag_file!r} is not valid JSON: {exc}"
+            ) from exc
+        return WorkflowDAG.from_dict(document)
+    kwargs = {
+        knob: getattr(args, knob)
+        for knob in _DAG_SHAPE_KNOBS
+        if getattr(args, knob) is not None
+    }
+    accepted = inspect.signature(GENERATORS[args.kind]).parameters
+    unknown = sorted(set(kwargs) - set(accepted))
+    if unknown:
+        raise InvalidParameterError(
+            f"workflow family {args.kind!r} does not accept "
+            f"{', '.join('--' + k.replace('_', '-') for k in unknown)} "
+            f"(it takes {', '.join(sorted(set(accepted) - {'seed', 'name'}))})"
+        )
+    return generate(args.kind, seed=args.seed, **kwargs)
+
+
+def _cmd_dag_generate(args) -> str:
+    dag = _make_dag(args)
+    doc = dag.as_dict()
+    # provenance: meaningless for file-loaded DAGs (the flags didn't
+    # produce the workflow), so both fields are nulled together
+    doc.update(
+        kind=None if args.dag_file else args.kind,
+        seed=None if args.dag_file else args.seed,
+    )
+    if args.output:
+        from pathlib import Path
+
+        Path(args.output).write_text(json.dumps(doc, indent=2) + "\n")
+    if args.json:
+        return json.dumps(doc, indent=2)
+    path, length = dag.critical_path()
+    lines = [
+        f"{dag!r} (kind={doc['kind']}, seed={doc['seed']})",
+        f"  total work {dag.total_weight:.1f}s over {dag.n} tasks, "
+        f"{dag.graph.number_of_edges()} edges",
+        f"  sources {len(dag.sources())}, sinks {len(dag.sinks())}, "
+        f"critical path {length:.1f}s ({len(path)} tasks)",
+    ]
+    if args.output:
+        lines.append(f"  written to {args.output}")
+    return "\n".join(lines)
+
+
+def _cmd_dag_optimize(args) -> str:
+    from .dag import optimize_dag
+
+    dag = _make_dag(args)
+    platform = get_platform(args.platform)
+    if not args.certify:
+        ignored = [
+            flag
+            for flag, is_set in (
+                ("--backend", args.backend is not None),
+                ("--target-ci", args.target_ci != 0.01),
+            )
+            if is_set
+        ]
+        if ignored:
+            raise InvalidParameterError(
+                f"{', '.join(ignored)} configure the Monte-Carlo "
+                f"certification campaign; enable it with --certify"
+            )
+    if args.strategy != "search":
+        ignored = [
+            flag
+            for flag, is_set in (
+                ("--method", args.method != "hill_climb"),
+                ("--restarts", args.restarts != 2),
+                ("--iterations", args.iterations != 400),
+            )
+            if is_set
+        ]
+        if ignored:
+            raise InvalidParameterError(
+                f"{', '.join(ignored)} only affect the metaheuristic "
+                f"search; add --strategy search (got --strategy "
+                f"{args.strategy})"
+            )
+    search_result = None
+    certificate = None
+    if args.strategy == "search":
+        from .dag import search_order
+
+        search_result = search_order(
+            dag,
+            platform,
+            algorithm=args.algorithm,
+            method=args.method,
+            seed=args.seed,
+            restarts=args.restarts,
+            iterations=args.iterations,
+            certify=args.certify,
+            backend=args.backend,
+            target_ci=args.target_ci,
+        )
+        solution = search_result.solution
+        certificate = search_result.certificate
+    else:
+        solution = optimize_dag(
+            dag,
+            platform,
+            algorithm=args.algorithm,
+            strategy=args.strategy,
+            seed=args.seed,
+        )
+        if args.certify:  # stamp fixed-strategy winners too
+            from .experiments.common import certify_solution
+
+            _, chain = dag.serialise(solution.order)
+            certificate = certify_solution(
+                chain,
+                platform,
+                solution,
+                label=f"{dag.name} {args.strategy} order",
+                seed=args.seed,
+                backend=args.backend,
+                target_ci=args.target_ci,
+            )
+    if args.json:
+        doc = {
+            "platform": platform.name,
+            "dag": dag.name,
+            "n": dag.n,
+            "seed": args.seed,
+            "strategy": args.strategy,
+            "algorithm": solution.algorithm,
+            "order": [str(v) for v in solution.order],
+            "expected_time": solution.expected_time,
+            "normalized_makespan": solution.normalized_makespan,
+            "schedule": solution.schedule.as_dict(),
+        }
+        if search_result is not None:
+            doc["search"] = {
+                "method": search_result.method,
+                "starts": search_result.starts,
+                "orders_scored": search_result.orders_scored,
+                "exact_evaluations": search_result.exact_evaluations,
+                "bound_evaluations": search_result.bound_evaluations,
+                "cache_hits": search_result.exact_cache_hits
+                + search_result.bound_cache_hits,
+            }
+        if certificate is not None:
+            doc["certificate"] = {
+                "simulated": certificate.simulated,
+                "relative_gap": certificate.relative_gap,
+                "reps": certificate.reps,
+                "target_ci": certificate.target_ci,
+                "agrees": certificate.agrees,
+                "converged": certificate.converged,
+            }
+        return json.dumps(doc, indent=2)
+    out = [
+        f"workflow {dag.name} on {platform.name} (strategy {args.strategy}, "
+        f"seed {args.seed})",
+        solution.summary(),
+        "  order: " + " -> ".join(str(v) for v in solution.order),
+    ]
+    if search_result is not None:
+        out.append(search_result.summary())
+    elif certificate is not None:
+        out.append(certificate.line())
+    return "\n".join(out)
+
+
+def _cmd_dag_sweep(args) -> str:
+    from .experiments import dag_search
+
+    if args.no_certify and args.backend is not None:
+        raise InvalidParameterError(
+            "--backend selects where the certification campaign runs; "
+            "drop --no-certify to use it"
+        )
+    result = dag_search.run(
+        fast=not args.full,
+        seed=args.seed,
+        backend=args.backend,
+        certify=not args.no_certify,
+    )
+    if args.json:
+        return json.dumps(result.as_dict(), indent=2)
+    return result.render()
+
+
+def _cmd_dag(args) -> str:
+    handlers = {
+        "generate": _cmd_dag_generate,
+        "optimize": _cmd_dag_optimize,
+        "sweep": _cmd_dag_sweep,
+    }
+    return handlers[args.dag_command](args)
 
 
 def _cmd_figure(args) -> str:
@@ -464,6 +807,7 @@ def main(argv: list[str] | None = None) -> int:
         "evaluate": _cmd_evaluate,
         "simulate": _cmd_simulate,
         "sweep": _cmd_sweep,
+        "dag": _cmd_dag,
         "figure": _cmd_figure,
         "table": _cmd_table,
         "report": _cmd_report,

@@ -74,7 +74,9 @@ class CostProfile:
                 )
         if self.RD[0] != 0.0 or self.RM[0] != 0.0:
             raise InvalidParameterError(
-                "recovery costs at the virtual T0 must be zero"
+                "recovery costs at the virtual T0 must be zero (use "
+                "with_boundary_recovery() to price a subchain that opens "
+                "at a checkpoint of a longer chain)"
             )
 
     @property
@@ -158,6 +160,49 @@ class CostProfile:
             Vg=platform.Vg * rel,
             Vp=platform.Vp * rel,
         )
+
+    def with_boundary_recovery(
+        self, rd0: float, rm0: float = 0.0
+    ) -> "CostProfile":
+        """Price the virtual ``T0`` restart at ``rd0`` / ``rm0``.
+
+        By default ``T0`` restarts for free (the application start needs no
+        checkpoint load), and :meth:`__post_init__` enforces that for every
+        ordinary construction path.  This factory is the one sanctioned
+        exception: when a chain is a *disk interval* of a longer chain,
+        rolling back to the interval start re-loads the disk checkpoint
+        that opened it, so the boundary recovery costs the platform's
+        ``R_D`` (and ``R_M`` for the memory copy every disk checkpoint
+        carries).  The optimum of the full chain then decomposes exactly
+        into the sum of its disk intervals priced this way — an identity
+        the test suite pins against all three DPs (at float-rounding
+        precision: the sums associate differently).
+        """
+        for name, value in (("rd0", rd0), ("rm0", rm0)):
+            if not (np.isfinite(value) and value >= 0.0):
+                raise InvalidParameterError(
+                    f"boundary recovery {name} must be >= 0 and finite, "
+                    f"got {value!r}"
+                )
+        rd = self.RD.copy()
+        rd[0] = rd0
+        rd.setflags(write=False)
+        rm = self.RM.copy()
+        rm[0] = rm0
+        rm.setflags(write=False)
+        zero_rd = self.RD.copy()
+        zero_rd[0] = 0.0
+        zero_rm = self.RM.copy()
+        zero_rm[0] = 0.0
+        profile = CostProfile(
+            CD=self.CD, CM=self.CM, RD=zero_rd, RM=zero_rm,
+            Vg=self.Vg, Vp=self.Vp,
+        )
+        # bypass the frozen-dataclass validation deliberately: nonzero
+        # boundary recovery is valid only through this factory
+        object.__setattr__(profile, "RD", rd)
+        object.__setattr__(profile, "RM", rm)
+        return profile
 
     # ------------------------------------------------------------------
     # queries

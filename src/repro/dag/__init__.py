@@ -4,10 +4,17 @@
   one task at a time on the whole platform;
 * :func:`~repro.dag.linearize.optimize_dag` — linearize-then-DP heuristics
   (the general problem is NP-hard);
+* :mod:`~repro.dag.generate` — seeded random-workflow generators (layered
+  Erdős–Rényi, fork-join, trees, stencil meshes) and sweep campaigns;
+* :mod:`~repro.dag.search` — metaheuristic search over topological orders
+  (precedence-preserving moves, memoized incremental evaluation,
+  hill climbing + simulated annealing), also reachable through
+  ``optimize_dag(strategy="search")``;
 * :mod:`~repro.dag.join` — the APDCM'15 join-graph checkpointing problem
   (fail-stop only): exact evaluator, brute force, local search.
 """
 
+from .generate import CAMPAIGNS, GENERATORS, campaign, draw_weights, generate
 from .join import (
     JoinInstance,
     JoinSchedule,
@@ -24,6 +31,7 @@ from .linearize import (
     candidate_orders,
     optimize_dag,
 )
+from .search import ChainObjective, SearchResult, search_order
 from .workflow import WorkflowDAG
 
 __all__ = [
@@ -32,6 +40,14 @@ __all__ = [
     "candidate_orders",
     "optimize_dag",
     "ORDER_STRATEGIES",
+    "CAMPAIGNS",
+    "GENERATORS",
+    "campaign",
+    "draw_weights",
+    "generate",
+    "ChainObjective",
+    "SearchResult",
+    "search_order",
     "JoinInstance",
     "JoinSchedule",
     "evaluate_join",

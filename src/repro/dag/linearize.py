@@ -11,15 +11,18 @@ before much state accumulates) or grouping subtrees can both matter.
 * ``"heavy_first"`` / ``"light_first"`` — greedy list scheduling by weight
   among ready tasks;
 * ``"dfs"`` — depth-first from each source (keeps related tasks adjacent);
-* ``"all"`` — every topological order (small DAGs only).
+* ``"all"`` — every topological order (small DAGs only, capped);
+* ``"search"`` — metaheuristic order search (:mod:`repro.dag.search`).
 
-This is a *heuristic* for the NP-hard general problem (paper §V); for
-chains all orders coincide and the result is exactly the chain optimum.
+The fixed orders are *heuristics* for the NP-hard general problem (paper
+§V); for chains all orders coincide and the result is exactly the chain
+optimum.
 """
 
 from __future__ import annotations
 
 import heapq
+import itertools
 from collections.abc import Hashable
 
 import networkx as nx
@@ -32,8 +35,12 @@ from .workflow import WorkflowDAG
 
 __all__ = ["candidate_orders", "optimize_dag", "DagSolution", "ORDER_STRATEGIES"]
 
-#: Maximum number of tasks for strategy "all" (n! blow-up guard).
-MAX_EXHAUSTIVE_ORDERS_N = 9
+#: Maximum number of candidate orders strategy "all" will enumerate.  The
+#: count of topological orders grows factorially with DAG *width* (already
+#: 9! = 362 880 for nine independent tasks), so the cap is on the orders
+#: actually produced, not on ``n``: deep narrow DAGs of any size pass,
+#: wide ones fail fast with a pointer at ``strategy="search"``.
+MAX_EXHAUSTIVE_ORDERS = 20_000
 
 
 def _greedy_order(dag: WorkflowDAG, *, heavy_first: bool) -> list[Hashable]:
@@ -84,20 +91,36 @@ ORDER_STRATEGIES = ("lexicographic", "heavy_first", "light_first", "dfs")
 
 
 def candidate_orders(
-    dag: WorkflowDAG, strategy: str = "auto"
+    dag: WorkflowDAG,
+    strategy: str = "auto",
+    *,
+    max_orders: int = MAX_EXHAUSTIVE_ORDERS,
 ) -> list[list[Hashable]]:
     """Candidate topological orders for ``strategy`` (deduplicated).
 
     ``"auto"`` returns the four heuristic orders; ``"all"`` enumerates every
-    topological order (guarded by :data:`MAX_EXHAUSTIVE_ORDERS_N`).
+    topological order, refusing (with :class:`InvalidParameterError`) as
+    soon as more than ``max_orders`` candidates exist — a wide DAG has
+    factorially many and would silently hang otherwise.
     """
     if strategy == "all":
-        if dag.n > MAX_EXHAUSTIVE_ORDERS_N:
+        orders = [
+            list(o)
+            for o in itertools.islice(dag.topological_orders(), max_orders + 1)
+        ]
+        if len(orders) > max_orders:
             raise InvalidParameterError(
-                f"exhaustive order enumeration limited to "
-                f"n <= {MAX_EXHAUSTIVE_ORDERS_N} (got {dag.n})"
+                f"{dag.name!r} has more than {max_orders} topological orders; "
+                f'exhaustive enumeration is infeasible — use strategy="search" '
+                f"(metaheuristic order search) instead, or raise max_orders"
             )
-        return [list(o) for o in dag.topological_orders()]
+        return orders
+    if strategy == "search":
+        raise InvalidParameterError(
+            'strategy "search" explores orders instead of enumerating '
+            "candidates; call optimize_dag(strategy=\"search\") or "
+            "repro.dag.search.search_order directly"
+        )
     if strategy == "auto":
         names = ORDER_STRATEGIES
     elif strategy in ORDER_STRATEGIES:
@@ -105,7 +128,7 @@ def candidate_orders(
     else:
         raise InvalidParameterError(
             f"unknown order strategy {strategy!r}; expected one of "
-            f"{ORDER_STRATEGIES + ('all', 'auto')}"
+            f"{ORDER_STRATEGIES + ('all', 'auto', 'search')}"
         )
     orders: list[list[Hashable]] = []
     for name in names:
@@ -145,12 +168,25 @@ def optimize_dag(
     *,
     algorithm: str = "admv",
     strategy: str = "auto",
+    seed: int = 0,
+    search_options: dict | None = None,
 ) -> DagSolution:
     """Best (order, chain schedule) over the candidate serialisations.
 
+    ``strategy="search"`` runs the metaheuristic order search
+    (:func:`repro.dag.search.search_order`, seeded by ``seed``;
+    ``search_options`` are passed through) instead of fixed candidates.
     Returns a :class:`DagSolution` carrying the winning topological order;
     ``solution.schedule`` indexes tasks by their position in that order.
     """
+    if strategy == "search":
+        from .search import search_order
+
+        result = search_order(
+            dag, platform, algorithm=algorithm, seed=seed,
+            **(search_options or {}),
+        )
+        return result.solution
     best: DagSolution | None = None
     for order in candidate_orders(dag, strategy):
         _, chain = dag.serialise(order)

@@ -1,0 +1,601 @@
+"""Metaheuristic search over topological orders (paper §V, NP-hard).
+
+The linearize-then-optimize heuristics (:mod:`repro.dag.linearize`) try a
+handful of fixed orders; ``strategy="all"`` enumerates factorially many.
+This module fills the gap between them: local search over the space of
+*topological orders* with precedence-preserving moves —
+
+* **adjacent swap** — exchange ``order[i]`` and ``order[i+1]`` (feasible
+  iff there is no edge between them);
+* **block reinsertion** — pull one task out and re-insert it anywhere in
+  its feasibility window (after its last predecessor, before its first
+  successor).
+
+Both are classic linear-extension moves: every neighbor is again a valid
+topological order, and repeated adjacent swaps connect the whole order
+space, so the search can in principle reach any serialisation.
+
+Incremental evaluation
+----------------------
+Scoring one order exactly means serialising it and running the chain DP
+(:func:`repro.core.solver.optimize`) — ``O(n^5)`` for ``ADMV``.  Doing
+that per neighbor would throttle the search, so :class:`ChainObjective`
+layers two reuse mechanisms on top of the exact solver:
+
+* **weight-tuple memo** — the chain optimum depends on the order only
+  through the serialised weight sequence, so exact solutions are memoized
+  on it (revisited orders, and distinct orders that serialise identically,
+  cost a dictionary lookup);
+* **frozen-schedule bounds** — a neighbor is screened by re-pricing the
+  *incumbent's* optimal action sequence on the neighbor's weight sequence
+  through the closed-form Markov evaluator
+  (:func:`repro.core.evaluator.evaluate_schedule`), an ``O(n)``
+  segment-cost computation instead of the DP.  The frozen actions are one
+  feasible schedule for the neighbor, so the bound is an *upper* bound on
+  the neighbor's optimum and exact for the incumbent itself; accepting
+  only exact-confirmed improvements keeps hill climbing sound.  The
+  evaluation depends on the weights only through the segment weights
+  between consecutive verified positions, so bounds are memoized on that
+  segment vector: a move that permutes tasks strictly inside one
+  verification segment leaves every segment weight unchanged and costs a
+  cache hit — no evaluation at all.
+
+The winning order can optionally be **certified** by replaying it through
+the batched adaptive Monte-Carlo engine (``certify=True``; the array-API
+``backend=`` is threaded through), attaching an analytic-vs-simulated
+agreement stamp to the result.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Hashable, Iterator, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..chains import TaskChain
+from ..core.evaluator import evaluate_schedule
+from ..core.result import Solution
+from ..core.solver import optimize
+from ..exceptions import InvalidParameterError
+from ..platforms import Platform
+from .linearize import DagSolution, candidate_orders
+from .workflow import WorkflowDAG
+
+__all__ = [
+    "ChainObjective",
+    "SearchResult",
+    "adjacent_swaps",
+    "apply_reinsertion",
+    "apply_swap",
+    "hill_climb",
+    "neighborhood",
+    "random_neighbor",
+    "random_order",
+    "reinsertion_window",
+    "search_order",
+    "simulated_annealing",
+    "SEARCH_METHODS",
+]
+
+#: Relative improvement below which two orders are considered equivalent
+#: (guards against accepting float noise as progress).
+RELATIVE_TOLERANCE = 1e-12
+
+
+# ----------------------------------------------------------------------
+# precedence-preserving moves
+# ----------------------------------------------------------------------
+def adjacent_swaps(dag: WorkflowDAG, order: Sequence[Hashable]) -> list[int]:
+    """Positions ``i`` where swapping ``order[i]`` and ``order[i+1]`` is
+    precedence-preserving (no edge between the two)."""
+    graph = dag.graph
+    return [
+        i
+        for i in range(len(order) - 1)
+        if not graph.has_edge(order[i], order[i + 1])
+    ]
+
+
+def apply_swap(order: Sequence[Hashable], i: int) -> list[Hashable]:
+    """The order with positions ``i`` and ``i + 1`` exchanged."""
+    new = list(order)
+    new[i], new[i + 1] = new[i + 1], new[i]
+    return new
+
+
+def reinsertion_window(
+    dag: WorkflowDAG, order: Sequence[Hashable], i: int
+) -> tuple[int, int]:
+    """Feasible insertion slots ``[lo, hi]`` for task ``order[i]``.
+
+    Slots index the order *with the task removed*: inserting at ``j``
+    places the task before the element currently at position ``j`` of the
+    shortened order.  ``lo`` is just after the last predecessor, ``hi``
+    just before the first successor; ``j == i`` reproduces the original
+    order.
+    """
+    graph = dag.graph
+    position = {v: p for p, v in enumerate(order)}
+    task = order[i]
+    lo = max((position[u] for u in graph.predecessors(task)), default=-1) + 1
+    hi = min(
+        (position[w] for w in graph.successors(task)), default=len(order)
+    ) - 1  # shifted left by the removal
+    return lo, hi
+
+
+def apply_reinsertion(
+    order: Sequence[Hashable], i: int, j: int
+) -> list[Hashable]:
+    """Remove the task at position ``i`` and insert it at slot ``j``."""
+    new = list(order)
+    task = new.pop(i)
+    new.insert(j, task)
+    return new
+
+
+def neighborhood(
+    dag: WorkflowDAG,
+    order: Sequence[Hashable],
+    *,
+    rng: np.random.Generator | None = None,
+    max_reinsertions: int | None = None,
+) -> Iterator[tuple[list[Hashable], tuple]]:
+    """Yield ``(neighbor, move)`` pairs around ``order``.
+
+    All feasible adjacent swaps are yielded first (moves ``("swap", i)``),
+    then block reinsertions (``("reinsert", i, j)``) — every slot of every
+    task's feasibility window, excluding the no-ops the swaps already
+    cover.  ``max_reinsertions`` caps the reinsertion count by uniform
+    subsampling (``rng`` required), keeping neighborhoods linear-sized on
+    big DAGs.
+    """
+    for i in adjacent_swaps(dag, order):
+        yield apply_swap(order, i), ("swap", i)
+    moves: list[tuple[int, int]] = []
+    for i in range(len(order)):
+        lo, hi = reinsertion_window(dag, order, i)
+        for j in range(lo, hi + 1):
+            if j == i or abs(j - i) == 1:  # no-op / duplicate of a swap
+                continue
+            moves.append((i, j))
+    if max_reinsertions is not None and len(moves) > max_reinsertions:
+        if rng is None:
+            raise InvalidParameterError(
+                "max_reinsertions requires an rng to subsample"
+            )
+        picked = rng.choice(len(moves), size=max_reinsertions, replace=False)
+        moves = [moves[int(k)] for k in sorted(picked)]
+    for i, j in moves:
+        yield apply_reinsertion(order, i, j), ("reinsert", i, j)
+
+
+def random_neighbor(
+    dag: WorkflowDAG,
+    order: Sequence[Hashable],
+    rng: np.random.Generator,
+    *,
+    p_reinsert: float = 0.5,
+) -> tuple[list[Hashable], tuple] | None:
+    """One uniformly-drawn feasible move (``None`` iff the order is rigid)."""
+    if rng.random() >= p_reinsert:
+        swaps = adjacent_swaps(dag, order)
+        if swaps:
+            i = int(swaps[int(rng.integers(len(swaps)))])
+            return apply_swap(order, i), ("swap", i)
+    # fall through to reinsertion (also the swap fallback)
+    starts = list(rng.permutation(len(order)))
+    for i in starts:
+        i = int(i)
+        lo, hi = reinsertion_window(dag, order, i)
+        slots = [j for j in range(lo, hi + 1) if j != i]
+        if slots:
+            j = int(slots[int(rng.integers(len(slots)))])
+            return apply_reinsertion(order, i, j), ("reinsert", i, j)
+    return None
+
+
+def random_order(
+    dag: WorkflowDAG, rng: np.random.Generator
+) -> list[Hashable]:
+    """A uniformly-random-ish topological order (random ready-task picks)."""
+    graph = dag.graph
+    indeg = {v: graph.in_degree(v) for v in graph}
+    ready = sorted((v for v in graph if indeg[v] == 0), key=repr)
+    order: list[Hashable] = []
+    while ready:
+        v = ready.pop(int(rng.integers(len(ready))))
+        order.append(v)
+        for w in graph.successors(v):
+            indeg[w] -= 1
+            if indeg[w] == 0:
+                ready.append(w)
+    return order
+
+
+# ----------------------------------------------------------------------
+# the pluggable objective
+# ----------------------------------------------------------------------
+class ChainObjective:
+    """Expected-makespan objective with memoized incremental evaluation.
+
+    ``exact(order)`` serialises the order and runs the chain optimizer,
+    memoized on the weight tuple.  ``bound(order, reference)`` re-prices
+    the reference solution's frozen schedule on the order's weights — an
+    upper bound on ``exact(order).expected_time``, memoized on the
+    verification-segment weight vector.  Counters expose the work done so
+    benchmarks and diagnostics can report evaluation rates and hit ratios.
+    """
+
+    def __init__(
+        self,
+        dag: WorkflowDAG,
+        platform: Platform,
+        *,
+        algorithm: str = "admv",
+    ) -> None:
+        self.dag = dag
+        self.platform = platform
+        self.algorithm = algorithm
+        self._exact: dict[bytes, Solution] = {}
+        self._bounds: dict[tuple[bytes, bytes], float] = {}
+        self._stops: dict[bytes, np.ndarray] = {}
+        self.exact_evaluations = 0
+        self.exact_cache_hits = 0
+        self.bound_evaluations = 0
+        self.bound_cache_hits = 0
+
+    # -- helpers -------------------------------------------------------
+    def weights_of(self, order: Sequence[Hashable]) -> np.ndarray:
+        return np.asarray([self.dag.weight(v) for v in order], dtype=np.float64)
+
+    @property
+    def orders_scored(self) -> int:
+        """Total candidate orders this objective has priced (any path)."""
+        return (
+            self.exact_evaluations
+            + self.exact_cache_hits
+            + self.bound_evaluations
+            + self.bound_cache_hits
+        )
+
+    # -- exact path ----------------------------------------------------
+    def exact(self, order: Sequence[Hashable]) -> Solution:
+        """Optimal chain solution for this serialisation (memoized)."""
+        weights = self.weights_of(order)
+        key = weights.tobytes()
+        cached = self._exact.get(key)
+        if cached is not None:
+            self.exact_cache_hits += 1
+            return cached
+        _, chain = self.dag.serialise(list(order))
+        solution = optimize(chain, self.platform, algorithm=self.algorithm)
+        self._exact[key] = solution
+        self.exact_evaluations += 1
+        return solution
+
+    # -- incremental bound path ----------------------------------------
+    def _schedule_key(self, reference: Solution) -> bytes:
+        # content-keyed (not id()-keyed): identical schedules share cache
+        # entries, and a reference the caller dropped can never alias a
+        # later one through address reuse
+        return reference.schedule.levels_array().tobytes()
+
+    def _stop_positions(self, reference: Solution, key: bytes) -> np.ndarray:
+        stops = self._stops.get(key)
+        if stops is None:
+            stops = np.asarray(
+                [0] + reference.schedule.verified_positions, dtype=np.intp
+            )
+            self._stops[key] = stops
+        return stops
+
+    def bound(
+        self, order: Sequence[Hashable], reference: Solution
+    ) -> float:
+        """Upper bound: the reference schedule re-priced on ``order``.
+
+        Exact when ``order`` serialises like the reference's chain; for a
+        neighbor it is the expected makespan of one feasible (frozen)
+        schedule, hence ``>= exact(order).expected_time``.
+        """
+        weights = self.weights_of(order)
+        schedule_key = self._schedule_key(reference)
+        stops = self._stop_positions(reference, schedule_key)
+        prefix = np.concatenate(([0.0], np.cumsum(weights)))
+        segments = prefix[stops[1:]] - prefix[stops[:-1]]
+        key = (schedule_key, segments.tobytes())
+        cached = self._bounds.get(key)
+        if cached is not None:
+            self.bound_cache_hits += 1
+            return cached
+        value = evaluate_schedule(
+            TaskChain(weights), self.platform, reference.schedule
+        ).expected_time
+        self._bounds[key] = value
+        self.bound_evaluations += 1
+        return value
+
+
+# ----------------------------------------------------------------------
+# search drivers
+# ----------------------------------------------------------------------
+def _improves(candidate: float, incumbent: float) -> bool:
+    return candidate < incumbent * (1.0 - RELATIVE_TOLERANCE)
+
+
+def hill_climb(
+    dag: WorkflowDAG,
+    objective: ChainObjective,
+    start: Sequence[Hashable],
+    rng: np.random.Generator,
+    *,
+    max_rounds: int = 200,
+    max_reinsertions: int | None = None,
+    polish_budget: int | None = None,
+) -> tuple[list[Hashable], Solution, int]:
+    """Steepest-feasible descent from ``start``; returns order, solution
+    and the number of improvement rounds taken.
+
+    Each round screens the whole neighborhood with frozen-schedule bounds
+    (cheap), exact-confirms candidates in bound order, and accepts the
+    first genuine improvement.  When no bound promises progress, the round
+    *polishes*: it exact-evaluates the ``polish_budget`` most promising
+    neighbors anyway (``None`` = all of them), because the bound can hide
+    an improvement that only materialises after re-optimizing the
+    placements.  The climb stops at an order no evaluated neighbor beats.
+    """
+    order = list(start)
+    solution = objective.exact(order)
+    if max_reinsertions is None:
+        max_reinsertions = max(16, 2 * dag.n)
+    rounds = 0
+    for _ in range(max_rounds):
+        scored = sorted(
+            (
+                (objective.bound(cand, solution), cand)
+                for cand, _ in neighborhood(
+                    dag, order, rng=rng, max_reinsertions=max_reinsertions
+                )
+            ),
+            key=lambda pair: pair[0],
+        )
+        accepted = False
+        value = solution.expected_time
+        for b, cand in scored:
+            if not _improves(b, value):
+                break
+            cand_solution = objective.exact(cand)
+            if _improves(cand_solution.expected_time, value):
+                order, solution, accepted = cand, cand_solution, True
+                break
+        if not accepted:
+            budget = len(scored) if polish_budget is None else polish_budget
+            for b, cand in scored[:budget]:
+                cand_solution = objective.exact(cand)
+                if _improves(cand_solution.expected_time, value):
+                    order, solution, accepted = cand, cand_solution, True
+                    break
+        if not accepted:
+            return order, solution, rounds
+        rounds += 1
+    return order, solution, rounds
+
+
+def simulated_annealing(
+    dag: WorkflowDAG,
+    objective: ChainObjective,
+    start: Sequence[Hashable],
+    rng: np.random.Generator,
+    *,
+    iterations: int = 400,
+    initial_temperature: float | None = None,
+    cooling: float = 0.99,
+) -> tuple[list[Hashable], Solution, int]:
+    """Metropolis walk over orders; returns the best order visited.
+
+    Moves are screened with the frozen-schedule bound of the *current*
+    solution; accepted moves are exact-evaluated (memoized), so the walk
+    anneals on true values while paying the DP only for accepted states.
+    The default initial temperature is 2% of the start value — enough to
+    hop over order-of-``V*`` barriers without random-walking.
+    """
+    order = list(start)
+    solution = objective.exact(order)
+    best_order, best_solution = order, solution
+    temperature = (
+        initial_temperature
+        if initial_temperature is not None
+        else 0.02 * solution.expected_time
+    )
+    accepted = 0
+    for _ in range(iterations):
+        neighbor = random_neighbor(dag, order, rng)
+        if neighbor is None:  # rigid DAG (a chain): nothing to explore
+            break
+        cand, _move = neighbor
+        b = objective.bound(cand, solution)
+        delta = b - solution.expected_time
+        if delta <= 0.0 or rng.random() < math.exp(
+            -delta / max(temperature, 1e-300)
+        ):
+            solution = objective.exact(cand)
+            order = cand
+            accepted += 1
+            if _improves(solution.expected_time, best_solution.expected_time):
+                best_order, best_solution = order, solution
+        temperature *= cooling
+    return best_order, best_solution, accepted
+
+
+SEARCH_METHODS = ("hill_climb", "anneal", "hybrid")
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """Outcome of :func:`search_order` with its work accounting."""
+
+    solution: DagSolution
+    method: str
+    seed: int
+    algorithm: str
+    starts: int  #: heuristic + random starting orders explored
+    rounds: int  #: hill-climb improvement rounds (plus SA acceptances)
+    orders_scored: int  #: candidate orders priced by any path
+    exact_evaluations: int  #: full chain-DP solves
+    exact_cache_hits: int
+    bound_evaluations: int  #: frozen-schedule Markov evaluations
+    bound_cache_hits: int
+    start_values: dict[str, float] = field(default_factory=dict)
+    certificate: object | None = None  #: AgreementStamp when certify=True
+
+    @property
+    def expected_time(self) -> float:
+        return self.solution.expected_time
+
+    def summary(self) -> str:
+        lines = [
+            f"order search ({self.method}, seed {self.seed}) over "
+            f"{self.starts} starts: E[T] = {self.expected_time:.2f}s",
+            f"  orders scored: {self.orders_scored} "
+            f"({self.exact_evaluations} exact DP solves, "
+            f"{self.bound_evaluations} frozen-schedule bounds, "
+            f"{self.exact_cache_hits + self.bound_cache_hits} cache hits)",
+        ]
+        if self.certificate is not None:
+            lines.append(self.certificate.line())
+        return "\n".join(lines)
+
+
+def search_order(
+    dag: WorkflowDAG,
+    platform: Platform,
+    *,
+    algorithm: str = "admv",
+    method: str = "hill_climb",
+    seed: int = 0,
+    restarts: int = 2,
+    iterations: int = 400,
+    max_rounds: int = 200,
+    polish_budget: int | None = None,
+    objective: ChainObjective | None = None,
+    certify: bool = False,
+    backend: str | None = None,
+    target_ci: float = 0.01,
+    certify_runs: int = 200_000,
+) -> SearchResult:
+    """Best serialisation of ``dag`` found by metaheuristic order search.
+
+    Parameters
+    ----------
+    method:
+        ``"hill_climb"`` — steepest descent from every heuristic order
+        plus ``restarts`` random orders; ``"anneal"`` — an independent
+        ``iterations``-step simulated-annealing walk from *each* of those
+        starts (so total work scales with the start count); ``"hybrid"``
+        — hill climbing from every start, then one annealing walk from
+        its winner.
+    seed:
+        Single seed pinning every random choice (restart orders, move
+        sampling, annealing acceptances).
+    objective:
+        Pluggable evaluation — pass a prepared :class:`ChainObjective`
+        (e.g. shared across calls to reuse its memo) or leave ``None`` to
+        build one for ``algorithm``.
+    certify:
+        Replay the winning order through the batched adaptive Monte-Carlo
+        engine until the mean is certified to ``target_ci`` (running on
+        the array-API ``backend``), attaching the agreement stamp.
+    """
+    if method not in SEARCH_METHODS:
+        raise InvalidParameterError(
+            f"unknown search method {method!r}; expected one of {SEARCH_METHODS}"
+        )
+    if objective is None:
+        objective = ChainObjective(dag, platform, algorithm=algorithm)
+    rng = np.random.default_rng(seed)
+
+    starts: list[tuple[str, list[Hashable]]] = [
+        (f"heuristic-{k}", order)
+        for k, order in enumerate(candidate_orders(dag, "auto"))
+    ]
+    for r in range(max(0, restarts)):
+        starts.append((f"random-{r}", random_order(dag, rng)))
+
+    best_order: list[Hashable] | None = None
+    best_solution: Solution | None = None
+    rounds_total = 0
+    start_values: dict[str, float] = {}
+    for label, start in starts:
+        if method == "anneal":
+            order, solution, rounds = simulated_annealing(
+                dag, objective, start, rng, iterations=iterations
+            )
+        else:
+            order, solution, rounds = hill_climb(
+                dag,
+                objective,
+                start,
+                rng,
+                max_rounds=max_rounds,
+                polish_budget=polish_budget,
+            )
+        start_values[label] = solution.expected_time
+        rounds_total += rounds
+        if best_solution is None or _improves(
+            solution.expected_time, best_solution.expected_time
+        ):
+            best_order, best_solution = order, solution
+    assert best_order is not None and best_solution is not None
+
+    if method == "hybrid":
+        order, solution, rounds = simulated_annealing(
+            dag, objective, best_order, rng, iterations=iterations
+        )
+        rounds_total += rounds
+        start_values["anneal"] = solution.expected_time
+        if _improves(solution.expected_time, best_solution.expected_time):
+            best_order, best_solution = order, solution
+
+    dag_solution = DagSolution(best_order, best_solution)
+    dag_solution.diagnostics.update(
+        search_method=method,
+        search_seed=seed,
+        search_starts=len(starts),
+        search_exact_evaluations=objective.exact_evaluations,
+        search_bound_evaluations=objective.bound_evaluations,
+    )
+
+    certificate = None
+    if certify:
+        from ..experiments.common import certify_solution
+
+        _, chain = dag.serialise(list(best_order))
+        certificate = certify_solution(
+            chain,
+            platform,
+            best_solution,
+            label=f"{dag.name} search order",
+            target_ci=target_ci,
+            seed=seed,
+            backend=backend,
+            max_runs=certify_runs,
+        )
+
+    return SearchResult(
+        solution=dag_solution,
+        method=method,
+        seed=seed,
+        algorithm=objective.algorithm,
+        starts=len(starts),
+        rounds=rounds_total,
+        orders_scored=objective.orders_scored,
+        exact_evaluations=objective.exact_evaluations,
+        exact_cache_hits=objective.exact_cache_hits,
+        bound_evaluations=objective.bound_evaluations,
+        bound_cache_hits=objective.bound_cache_hits,
+        start_values=start_values,
+        certificate=certificate,
+    )

@@ -194,6 +194,29 @@ class WorkflowDAG:
         )
         return order, chain
 
+    # ------------------------------------------------------------------
+    # serialization (CLI / JSON round-trip)
+    # ------------------------------------------------------------------
+    def as_dict(self) -> dict:
+        """JSON-safe document: name, per-task weights, edge list."""
+        return {
+            "name": self.name,
+            "tasks": {str(v): self.weight(v) for v in self.graph},
+            "edges": [[str(u), str(v)] for u, v in self.graph.edges],
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Mapping) -> "WorkflowDAG":
+        """Inverse of :meth:`as_dict` (task names become strings)."""
+        try:
+            tasks = doc["tasks"]
+            edges = [(u, v) for u, v in doc["edges"]]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise InvalidChainError(
+                f"workflow document needs 'tasks' and 'edges': {exc}"
+            ) from None
+        return cls(tasks, edges, name=str(doc.get("name", "")))
+
     def __repr__(self) -> str:
         return (
             f"WorkflowDAG({self.name!r}, n={self.n}, "

@@ -9,9 +9,13 @@ Figure 6    ADMV placement maps at n=50, 4 platforms    :func:`fig6.run`
 Figure 7    Decrease: Hera & Coastal SSD                :func:`fig78.run_fig7`
 Figure 8    HighLow: Hera & Coastal SSD                 :func:`fig78.run_fig8`
 ==========  ==========================================  ====================
+
+Beyond the paper, :mod:`.dag_search` compares the fixed linearization
+heuristics, the metaheuristic order search and (where feasible) the
+exhaustive optimum over generated workflows (``repro dag sweep``).
 """
 
-from . import fig5, fig6, fig78, report, table1
+from . import dag_search, fig5, fig6, fig78, report, table1
 from .common import (
     ALGORITHM_LABELS,
     EXTREME_PLATFORMS,
@@ -21,6 +25,7 @@ from .common import (
 )
 
 __all__ = [
+    "dag_search",
     "fig5",
     "fig6",
     "report",

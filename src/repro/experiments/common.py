@@ -96,18 +96,26 @@ def certify_solution(
     label: str,
     target_ci: float = STAMP_TARGET_CI,
     seed: int = 0,
+    backend: str | None = None,
+    max_runs: int = 1_000_000,
 ) -> AgreementStamp:
-    """Replay ``solution`` adaptively and stamp its analytic agreement."""
+    """Replay ``solution`` adaptively and stamp its analytic agreement.
+
+    ``backend`` selects the array-API backend the batched campaign runs on
+    (``None`` = the ``REPRO_BACKEND`` / NumPy default); ``max_runs`` caps
+    the adaptive spend.
+    """
     from ..simulation import run_monte_carlo
 
     mc = run_monte_carlo(
         chain,
         platform,
         solution.schedule,
-        runs=1_000_000,
+        runs=max_runs,
         seed=seed,
         analytic=solution.expected_time,
         target_ci=target_ci,
+        backend=backend,
     )
     adaptive = mc.convergence
     return AgreementStamp(

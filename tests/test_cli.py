@@ -394,6 +394,241 @@ class TestSweepCommand:
         assert doc["all_cells_agree"] is True
 
 
+class TestDagCommand:
+    def test_generate_text(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "dag", "generate", "--kind", "fork_join",
+            "--branches", "2", "--branch-length", "2", "--seed", "7",
+        )
+        assert code == 0
+        assert "forkjoin-2x2" in out
+        assert "seed=7" in out
+
+    def test_generate_json_echoes_seed_and_roundtrips(self, capsys, tmp_path):
+        from repro.dag import WorkflowDAG
+
+        path = tmp_path / "dag.json"
+        code, out, _ = run_cli(
+            capsys, "dag", "generate", "--kind", "diamond", "--rows", "2",
+            "--cols", "3", "--seed", "11", "--json", "-o", str(path),
+        )
+        assert code == 0
+        doc = json.loads(out)
+        assert doc["seed"] == 11
+        assert doc["kind"] == "diamond"
+        assert len(doc["tasks"]) == 6
+        on_disk = json.loads(path.read_text())
+        assert WorkflowDAG.from_dict(on_disk).n == 6
+
+    def test_generate_seed_determinism(self, capsys):
+        argv = ("dag", "generate", "--kind", "layered", "--seed", "3", "--json")
+        _, first, _ = run_cli(capsys, *argv)
+        _, second, _ = run_cli(capsys, *argv)
+        assert first == second
+
+    def test_generate_rejects_unknown_weights(self, capsys):
+        with pytest.raises(SystemExit):  # argparse choices guard
+            main(["dag", "generate", "--weights", "zipf"])
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_generate_rejects_mismatched_knobs(self, capsys):
+        code, _, err = run_cli(
+            capsys, "dag", "generate", "--kind", "diamond", "--branches", "3"
+        )
+        assert code == 2
+        assert "does not accept" in err
+
+    def test_optimize_heuristics_text(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "dag", "optimize", "--kind", "fork_join",
+            "--branches", "2", "--branch-length", "2", "--seed", "1",
+            "-a", "adv*",
+        )
+        assert code == 0
+        assert "order:" in out
+        assert "expected makespan" in out
+
+    def test_optimize_search_json(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "dag", "optimize", "--kind", "layered", "--tasks", "7",
+            "--layers", "3", "--seed", "5", "-a", "adv*",
+            "--strategy", "search", "--restarts", "1", "--json",
+        )
+        assert code == 0
+        doc = json.loads(out)
+        assert doc["seed"] == 5
+        assert doc["strategy"] == "search"
+        assert len(doc["order"]) == 7
+        assert doc["search"]["orders_scored"] > 0
+        assert doc["expected_time"] > 0
+
+    def test_optimize_search_certified_json(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "dag", "optimize", "--kind", "fork_join",
+            "--branches", "2", "--branch-length", "1", "--seed", "0",
+            "-a", "adv*", "--strategy", "search", "--certify",
+            "--target-ci", "0.05", "--backend", "numpy", "--json",
+        )
+        assert code == 0
+        doc = json.loads(out)
+        assert doc["certificate"]["agrees"] is True
+        assert doc["certificate"]["target_ci"] == 0.05
+
+    def test_optimize_rejects_search_flags_without_search(self, capsys):
+        code, _, err = run_cli(
+            capsys, "dag", "optimize", "--kind", "fork_join", "--branches",
+            "2", "--branch-length", "1", "-a", "adv*", "--method", "anneal",
+            "--restarts", "8",
+        )
+        assert code == 2
+        assert "--method" in err and "--restarts" in err
+        assert "--strategy search" in err
+
+    def test_dag_file_errors_fail_cleanly(self, capsys, tmp_path):
+        code, _, err = run_cli(
+            capsys, "dag", "optimize", "--dag-file", "missing.json",
+        )
+        assert code == 2
+        assert "cannot read workflow file" in err
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        code, _, err = run_cli(capsys, "dag", "optimize", "--dag-file", str(bad))
+        assert code == 2
+        assert "not valid JSON" in err
+
+    def test_generate_from_file_nulls_provenance(self, capsys, tmp_path):
+        path = tmp_path / "wf.json"
+        run_cli(
+            capsys, "dag", "generate", "--kind", "fork_join", "--branches",
+            "2", "--branch-length", "1", "--seed", "3", "-o", str(path),
+        )
+        code, out, _ = run_cli(
+            capsys, "dag", "generate", "--dag-file", str(path), "--seed", "9",
+            "--json",
+        )
+        assert code == 0
+        doc = json.loads(out)
+        assert doc["kind"] is None and doc["seed"] is None
+
+    def test_optimize_certify_works_without_search(self, capsys):
+        # --certify must stamp fixed-strategy winners too, not be
+        # silently dropped when --strategy search is absent
+        code, out, _ = run_cli(
+            capsys, "dag", "optimize", "--kind", "fork_join",
+            "--branches", "2", "--branch-length", "1", "--seed", "0",
+            "-a", "adv*", "--certify", "--target-ci", "0.05", "--json",
+        )
+        assert code == 0
+        doc = json.loads(out)
+        assert doc["strategy"] == "auto"
+        assert doc["certificate"]["agrees"] is True
+
+    def test_optimize_from_dag_file(self, capsys, tmp_path):
+        path = tmp_path / "dag.json"
+        run_cli(
+            capsys, "dag", "generate", "--kind", "fork_join", "--branches",
+            "2", "--branch-length", "1", "--seed", "3", "-o", str(path),
+        )
+        code, out, _ = run_cli(
+            capsys, "dag", "optimize", "--dag-file", str(path), "-a", "adv*",
+            "--json",
+        )
+        assert code == 0
+        doc = json.loads(out)
+        assert doc["dag"] == "forkjoin-2x1"
+        assert len(doc["order"]) == 4
+
+    def test_optimize_wide_dag_all_fails_cleanly(self, capsys):
+        code, _, err = run_cli(
+            capsys, "dag", "optimize", "--kind", "layered", "--tasks", "12",
+            "--layers", "1", "--strategy", "all",
+        )
+        assert code == 2
+        assert 'strategy="search"' in err
+
+    def test_sweep_wiring(self, capsys, monkeypatch):
+        # the full driver is exercised in test_experiments (slow lane);
+        # here only the CLI plumbing: flags forwarded, JSON passthrough
+        from repro.experiments import dag_search
+
+        calls = {}
+
+        def fake_run(**kwargs):
+            calls.update(kwargs)
+
+            class Stub:
+                def as_dict(self):
+                    return {"seed": kwargs["seed"]}
+
+                def render(self):
+                    return "stub table"
+
+            return Stub()
+
+        monkeypatch.setattr(dag_search, "run", fake_run)
+        code, out, _ = run_cli(
+            capsys, "dag", "sweep", "--seed", "6", "--full",
+            "--backend", "numpy", "--json",
+        )
+        assert code == 0
+        assert json.loads(out) == {"seed": 6}
+        assert calls == {
+            "fast": False, "seed": 6, "backend": "numpy", "certify": True,
+        }
+
+    def test_sweep_backend_requires_certification(self, capsys):
+        code, _, err = run_cli(
+            capsys, "dag", "sweep", "--no-certify", "--backend", "numpy",
+        )
+        assert code == 2
+        assert "drop --no-certify" in err
+
+    def test_optimize_certify_flags_require_certify(self, capsys):
+        code, _, err = run_cli(
+            capsys, "dag", "optimize", "--kind", "fork_join", "--branches",
+            "2", "--branch-length", "1", "--backend", "torch",
+            "--target-ci", "0.005",
+        )
+        assert code == 2
+        assert "--backend" in err and "--target-ci" in err
+        assert "--certify" in err
+
+
+class TestSeedThreading:
+    """One --seed flag everywhere randomness exists, echoed in JSON."""
+
+    def test_simulate_json_echoes_seed(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "simulate", "-n", "3", "--schedule", "vMD",
+            "--runs", "50", "--seed", "9", "--json",
+        )
+        assert code == 0
+        assert json.loads(out)["seed"] == 9
+
+    def test_sweep_json_echoes_seed(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "sweep", "-n", "4", "--max-n", "6", "--step", "3",
+            "--algorithms", "adv_star", "--validate-runs", "40",
+            "--seed", "4", "--json",
+        )
+        assert code == 0
+        doc = json.loads(out)
+        assert doc["seed"] == 4
+        assert doc["validated_cells"]
+
+    def test_dag_commands_accept_seed(self, capsys):
+        for argv in (
+            ("dag", "generate", "--seed", "2", "--json"),
+            (
+                "dag", "optimize", "--kind", "fork_join", "--branches", "2",
+                "--branch-length", "1", "--seed", "2", "-a", "adv*", "--json",
+            ),
+        ):
+            code, out, _ = run_cli(capsys, *argv)
+            assert code == 0
+            assert json.loads(out)["seed"] == 2
+
+
 class TestFigureAndTable:
     def test_table_1(self, capsys):
         code, out, _ = run_cli(capsys, "table", "1")

@@ -207,3 +207,63 @@ class TestHeterogeneousBehaviour:
             chain, platform, algorithm="admv_star", costs=cheap_profile
         )
         assert cheap.counts().memory >= expensive.counts().memory
+
+
+class TestBoundaryRecovery:
+    """`with_boundary_recovery` prices a disk interval as a standalone
+    subchain; the full-chain optimum must equal the sum of its optimal
+    disk intervals priced that way — exactly, for every DP (the sums
+    associate differently, so the match is pinned at float-rounding
+    precision, not bit equality)."""
+
+    def test_ordinary_construction_still_fails_fast(self):
+        with pytest.raises(InvalidParameterError, match="virtual T0"):
+            CostProfile.from_arrays(
+                2, CD=[1.0, 1.0], CM=[1.0, 1.0]
+            ).__class__(
+                CD=np.zeros(3),
+                CM=np.zeros(3),
+                RD=np.array([5.0, 0.0, 0.0]),  # nonzero T0 recovery
+                RM=np.zeros(3),
+                Vg=np.zeros(3),
+                Vp=np.zeros(3),
+            )
+
+    def test_factory_validates_and_sets_boundary(self):
+        platform = Platform.from_costs("b", lf=1e-3, ls=2e-3, CD=10.0, CM=2.0)
+        base = CostProfile.uniform(4, platform)
+        priced = base.with_boundary_recovery(platform.RD, platform.RM)
+        assert priced.RD[0] == platform.RD and priced.RM[0] == platform.RM
+        assert np.array_equal(priced.RD[1:], base.RD[1:])
+        # restating the boundary on a priced profile works too
+        again = priced.with_boundary_recovery(0.0)
+        assert again.RD[0] == 0.0
+        with pytest.raises(InvalidParameterError, match="boundary recovery"):
+            base.with_boundary_recovery(-1.0)
+        with pytest.raises(InvalidParameterError, match="boundary recovery"):
+            base.with_boundary_recovery(float("inf"))
+
+    @pytest.mark.parametrize("algorithm", ["adv_star", "admv_star", "admv"])
+    def test_disk_interval_decomposition_is_exact(self, algorithm):
+        platform = Platform.from_costs(
+            "intense", lf=8e-4, ls=2e-3, CD=25.0, CM=5.0, r=0.8
+        )
+        rng = np.random.default_rng(7)
+        weights = rng.uniform(20.0, 120.0, size=18)
+        chain = TaskChain(list(weights))
+        full = optimize(chain, platform, algorithm=algorithm)
+        disks = full.schedule.disk_positions
+        assert disks[-1] == chain.n
+        assert len(disks) >= 2  # the decomposition must be non-trivial
+        total = 0.0
+        previous = 0
+        for d in disks:
+            sub = TaskChain(list(weights[previous:d]))
+            costs = CostProfile.uniform(sub.n, platform)
+            if previous > 0:  # interval opens at a real disk checkpoint
+                costs = costs.with_boundary_recovery(platform.RD, platform.RM)
+            total += optimize(
+                sub, platform, algorithm=algorithm, costs=costs
+            ).expected_time
+            previous = d
+        assert total == pytest.approx(full.expected_time, rel=1e-12, abs=0.0)

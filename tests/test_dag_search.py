@@ -1,0 +1,323 @@
+"""Tests for the metaheuristic order search (repro.dag.search)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dag import (
+    ChainObjective,
+    WorkflowDAG,
+    generate,
+    optimize_dag,
+    search_order,
+)
+from repro.dag.search import (
+    adjacent_swaps,
+    apply_reinsertion,
+    apply_swap,
+    hill_climb,
+    neighborhood,
+    random_neighbor,
+    random_order,
+    reinsertion_window,
+    simulated_annealing,
+)
+from repro.exceptions import InvalidParameterError
+from repro.platforms import Platform
+
+FAST_ALGO = "adv_star"  # cheapest exact DP: keeps the suite quick
+
+
+@pytest.fixture
+def platform() -> Platform:
+    return Platform.from_costs("dag", lf=2e-4, ls=6e-4, CD=40.0, CM=8.0, r=0.8)
+
+
+@pytest.fixture
+def pipeline() -> WorkflowDAG:
+    return generate(
+        "layered", seed=5, tasks=10, layers=3, density=0.5, weights="lognormal"
+    )
+
+
+# ----------------------------------------------------------------------
+# moves
+# ----------------------------------------------------------------------
+@st.composite
+def dag_and_order(draw):
+    kind = draw(st.sampled_from(["layered", "fork_join", "in_tree", "diamond"]))
+    seed = draw(st.integers(min_value=0, max_value=1000))
+    if kind == "layered":
+        dag = generate(kind, seed=seed, tasks=draw(st.integers(4, 12)), layers=3)
+    elif kind == "fork_join":
+        dag = generate(kind, seed=seed, branches=draw(st.integers(1, 3)),
+                       branch_length=draw(st.integers(1, 3)))
+    elif kind == "in_tree":
+        dag = generate(kind, seed=seed, tasks=draw(st.integers(2, 12)), arity=2)
+    else:
+        dag = generate(kind, seed=seed, rows=draw(st.integers(1, 3)),
+                       cols=draw(st.integers(2, 3)))
+    rng = np.random.default_rng(draw(st.integers(0, 2**31)))
+    return dag, random_order(dag, rng), rng
+
+
+class TestMoves:
+    @given(data=dag_and_order())
+    @settings(max_examples=40, deadline=None)
+    def test_random_order_is_topological(self, data):
+        dag, order, _ = data
+        dag.serialise(order)  # raises InvalidChainError if not topological
+
+    @given(data=dag_and_order())
+    @settings(max_examples=40, deadline=None)
+    def test_every_neighbor_is_topological(self, data):
+        dag, order, rng = data
+        count = 0
+        for cand, move in neighborhood(dag, order):
+            dag.serialise(cand)  # validates precedence
+            assert sorted(map(repr, cand)) == sorted(map(repr, order))
+            assert cand != order
+            count += 1
+        # the neighborhood is empty only for a rigid DAG (a chain)
+        if count == 0:
+            assert len(list(dag.topological_orders())) == 1
+
+    @given(data=dag_and_order())
+    @settings(max_examples=30, deadline=None)
+    def test_random_neighbor_is_topological(self, data):
+        dag, order, rng = data
+        neighbor = random_neighbor(dag, order, rng)
+        if neighbor is None:
+            assert len(list(dag.topological_orders())) == 1
+        else:
+            cand, move = neighbor
+            dag.serialise(cand)
+            assert cand != order
+
+    def test_swap_feasibility(self):
+        dag = WorkflowDAG(
+            {"a": 1.0, "b": 2.0, "c": 3.0}, [("a", "b"), ("a", "c")]
+        )
+        order = ["a", "b", "c"]
+        assert adjacent_swaps(dag, order) == [1]  # a must stay first
+        assert apply_swap(order, 1) == ["a", "c", "b"]
+
+    def test_reinsertion_window_respects_precedence(self):
+        dag = WorkflowDAG(
+            {"a": 1.0, "b": 2.0, "c": 3.0, "d": 4.0},
+            [("a", "d")],
+        )
+        order = ["a", "b", "c", "d"]
+        lo, hi = reinsertion_window(dag, order, 0)  # "a" before "d"
+        assert (lo, hi) == (0, 2)
+        lo, hi = reinsertion_window(dag, order, 1)  # "b" is free
+        assert (lo, hi) == (0, 3)
+        assert apply_reinsertion(order, 1, 3) == ["a", "c", "d", "b"]
+
+    def test_neighborhood_subsampling_needs_rng(self):
+        dag = generate("layered", seed=0, tasks=8, layers=2)
+        order = random_order(dag, np.random.default_rng(0))
+        with pytest.raises(InvalidParameterError, match="rng"):
+            list(neighborhood(dag, order, max_reinsertions=1))
+
+
+# ----------------------------------------------------------------------
+# the objective
+# ----------------------------------------------------------------------
+class TestChainObjective:
+    def test_exact_is_memoized_on_weight_tuple(self, pipeline, platform):
+        objective = ChainObjective(pipeline, platform, algorithm=FAST_ALGO)
+        order = random_order(pipeline, np.random.default_rng(0))
+        a = objective.exact(order)
+        b = objective.exact(list(order))
+        assert a is b
+        assert objective.exact_evaluations == 1
+        assert objective.exact_cache_hits == 1
+
+    def test_bound_is_exact_on_reference_order(self, pipeline, platform):
+        objective = ChainObjective(pipeline, platform, algorithm=FAST_ALGO)
+        order = random_order(pipeline, np.random.default_rng(1))
+        solution = objective.exact(order)
+        assert objective.bound(order, solution) == pytest.approx(
+            solution.expected_time, rel=1e-9
+        )
+
+    def test_bound_upper_bounds_every_neighbor(self, pipeline, platform):
+        objective = ChainObjective(pipeline, platform, algorithm=FAST_ALGO)
+        order = random_order(pipeline, np.random.default_rng(2))
+        solution = objective.exact(order)
+        for cand, _ in neighborhood(pipeline, order):
+            bound = objective.bound(cand, solution)
+            exact = objective.exact(cand).expected_time
+            assert bound >= exact * (1 - 1e-9)
+
+    def test_bound_hits_cache_for_intra_segment_moves(self):
+        # on a reliable platform the optimal schedule leaves runs of
+        # unverified tasks; permuting inside a run keeps every
+        # verification-segment weight, so the bound is a pure cache hit
+        benign = Platform.from_costs(
+            "benign", lf=1e-6, ls=1e-6, CD=15.0, CM=3.0, r=0.8
+        )
+        dag = generate("layered", seed=3, tasks=6, layers=1)
+        objective = ChainObjective(dag, benign, algorithm=FAST_ALGO)
+        order = random_order(dag, np.random.default_rng(0))
+        solution = objective.exact(order)
+        assert len(solution.schedule.verified_positions) < dag.n
+        for cand, _ in neighborhood(dag, order):
+            objective.bound(cand, solution)
+        assert objective.bound_cache_hits > 0
+
+    def test_bound_caches_are_content_keyed(self, pipeline, platform):
+        # references the objective never saw (built by optimize() directly,
+        # then dropped) must share cache entries with equal schedules and
+        # can never alias different ones through id() reuse
+        from repro.core.solver import optimize as solve
+
+        objective = ChainObjective(pipeline, platform, algorithm=FAST_ALGO)
+        order = random_order(pipeline, np.random.default_rng(3))
+        _, chain = pipeline.serialise(order)
+        first = objective.bound(order, solve(chain, platform, FAST_ALGO))
+        evaluations = objective.bound_evaluations
+        # a *distinct* Solution object with an identical schedule: pure hit
+        second = objective.bound(order, solve(chain, platform, FAST_ALGO))
+        assert second == first
+        assert objective.bound_evaluations == evaluations
+        assert objective.bound_cache_hits == 1
+
+    def test_orders_scored_accounting(self, pipeline, platform):
+        objective = ChainObjective(pipeline, platform, algorithm=FAST_ALGO)
+        order = random_order(pipeline, np.random.default_rng(0))
+        solution = objective.exact(order)
+        objective.bound(order, solution)
+        objective.exact(order)
+        assert objective.orders_scored == (
+            objective.exact_evaluations
+            + objective.exact_cache_hits
+            + objective.bound_evaluations
+            + objective.bound_cache_hits
+        )
+        assert objective.orders_scored == 3
+
+
+# ----------------------------------------------------------------------
+# search drivers
+# ----------------------------------------------------------------------
+class TestSearch:
+    def test_chain_dag_has_nothing_to_search(self, platform):
+        weights = {f"t{i}": float(10 + i) for i in range(6)}
+        edges = [(f"t{i}", f"t{i + 1}") for i in range(5)]
+        chain_dag = WorkflowDAG(weights, edges, name="chain")
+        result = search_order(chain_dag, platform, algorithm=FAST_ALGO, seed=0)
+        # one unique order -> one exact solve, everything else cache hits
+        assert result.exact_evaluations == 1
+        reference = optimize_dag(chain_dag, platform, algorithm=FAST_ALGO)
+        assert result.expected_time == pytest.approx(reference.expected_time)
+
+    def test_equal_weights_evaluate_once(self, platform):
+        # all orders serialise to the same weight tuple: the memo collapses
+        # the whole search to a single DP solve
+        dag = WorkflowDAG({c: 100.0 for c in "abcde"})
+        result = search_order(dag, platform, algorithm=FAST_ALGO, seed=0)
+        assert result.exact_evaluations == 1
+
+    @pytest.mark.parametrize("method", ["hill_climb", "anneal", "hybrid"])
+    def test_methods_match_exhaustive_on_small_dag(self, platform, method):
+        dag = generate(
+            "layered", seed=2, tasks=6, layers=3, density=0.5,
+            weights="lognormal",
+        )
+        exhaustive = optimize_dag(
+            dag, platform, algorithm=FAST_ALGO, strategy="all"
+        )
+        result = search_order(
+            dag, platform, algorithm=FAST_ALGO, method=method, seed=0,
+            iterations=150,
+        )
+        assert result.expected_time <= exhaustive.expected_time * (1 + 1e-9)
+        assert result.method == method
+
+    def test_search_never_worse_than_heuristics(self, pipeline, platform):
+        heuristics = optimize_dag(
+            pipeline, platform, algorithm=FAST_ALGO, strategy="auto"
+        )
+        result = search_order(pipeline, platform, algorithm=FAST_ALGO, seed=0)
+        assert result.expected_time <= heuristics.expected_time * (1 + 1e-12)
+
+    def test_search_is_deterministic_per_seed(self, pipeline, platform):
+        a = search_order(pipeline, platform, algorithm=FAST_ALGO, seed=3)
+        b = search_order(pipeline, platform, algorithm=FAST_ALGO, seed=3)
+        assert a.solution.order == b.solution.order
+        assert a.expected_time == b.expected_time
+        assert a.orders_scored == b.orders_scored
+
+    def test_result_accounting_and_summary(self, pipeline, platform):
+        result = search_order(pipeline, platform, algorithm=FAST_ALGO, seed=0)
+        assert result.starts >= 2
+        assert result.exact_evaluations >= result.starts - 1
+        assert result.orders_scored >= result.exact_evaluations
+        text = result.summary()
+        assert "orders scored" in text
+        assert result.solution.diagnostics["search_seed"] == 0
+
+    def test_unknown_method_rejected(self, pipeline, platform):
+        with pytest.raises(InvalidParameterError, match="unknown search"):
+            search_order(pipeline, platform, method="tabu")
+
+    def test_hill_climb_and_anneal_return_valid_orders(
+        self, pipeline, platform
+    ):
+        objective = ChainObjective(pipeline, platform, algorithm=FAST_ALGO)
+        rng = np.random.default_rng(0)
+        start = random_order(pipeline, rng)
+        for driver, kwargs in (
+            (hill_climb, {"max_rounds": 5}),
+            (simulated_annealing, {"iterations": 50}),
+        ):
+            order, solution, _ = driver(
+                pipeline, objective, start, rng, **kwargs
+            )
+            pipeline.serialise(order)
+            assert solution.expected_time <= objective.exact(
+                start
+            ).expected_time * (1 + 1e-12)
+
+    def test_optimize_dag_search_strategy(self, pipeline, platform):
+        solution = optimize_dag(
+            pipeline,
+            platform,
+            algorithm=FAST_ALGO,
+            strategy="search",
+            seed=1,
+            search_options={"restarts": 1},
+        )
+        pipeline.serialise(solution.order)
+        auto = optimize_dag(
+            pipeline, platform, algorithm=FAST_ALGO, strategy="auto"
+        )
+        assert solution.expected_time <= auto.expected_time * (1 + 1e-12)
+        assert solution.diagnostics["search_method"] == "hill_climb"
+
+
+class TestCertification:
+    def test_certified_search_attaches_stamp(self, platform):
+        # backend=None -> the REPRO_BACKEND / NumPy default, so CI's
+        # backend-matrix lane proves the dag -> batched-engine path under
+        # array-api-strict too
+        dag = generate("fork_join", seed=1, branches=2, branch_length=2)
+        result = search_order(
+            dag,
+            platform,
+            algorithm=FAST_ALGO,
+            seed=0,
+            certify=True,
+            target_ci=0.05,
+            certify_runs=20_000,
+        )
+        stamp = result.certificate
+        assert stamp is not None
+        assert stamp.agrees, stamp.line()
+        assert stamp.label.endswith("search order")
+        assert "search order" in result.summary()

@@ -130,14 +130,34 @@ class TestCandidateOrders:
         orders = candidate_orders(diamond, "all")
         assert len(orders) == 2  # a-(b,c permute)-d
 
-    def test_all_guard(self):
+    def test_all_guard_on_wide_dag(self):
+        # 10 independent tasks -> 10! orders: refuse, pointing at search
         big = WorkflowDAG({f"t{i}": 1.0 for i in range(10)})
-        with pytest.raises(InvalidParameterError, match="limited"):
+        with pytest.raises(InvalidParameterError, match='strategy="search"'):
             candidate_orders(big, "all")
+
+    def test_all_guard_is_count_based_not_n_based(self):
+        # a deep 12-task chain has exactly one order: "all" must accept it
+        weights = {f"t{i:02d}": 1.0 for i in range(12)}
+        edges = [(f"t{i:02d}", f"t{i + 1:02d}") for i in range(11)]
+        deep = WorkflowDAG(weights, edges)
+        assert len(candidate_orders(deep, "all")) == 1
+
+    def test_all_guard_respects_max_orders(self):
+        wide = WorkflowDAG({f"t{i}": 1.0 for i in range(5)})
+        assert len(candidate_orders(wide, "all", max_orders=120)) == 120
+        with pytest.raises(InvalidParameterError, match="more than 10"):
+            candidate_orders(wide, "all", max_orders=10)
 
     def test_unknown_strategy(self, diamond):
         with pytest.raises(InvalidParameterError, match="unknown order"):
             candidate_orders(diamond, "random")
+
+    def test_search_strategy_points_at_the_search_api(self, diamond):
+        # "search" is not an enumeration: the error must say where to go,
+        # not list it among the expected enumeration strategies
+        with pytest.raises(InvalidParameterError, match="search_order"):
+            candidate_orders(diamond, "search")
 
 
 class TestOptimizeDag:

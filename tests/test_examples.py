@@ -63,6 +63,8 @@ def test_general_workflows(capsys):
     assert "analysis-pipeline" in out
     assert "join graph" in out
     assert "local search" in out
+    assert "order search" in out
+    assert "searching orders instead" in out
 
 
 def test_heterogeneous_costs(capsys):

@@ -156,3 +156,36 @@ class TestFig78:
             assert len(result.stamps) == 2  # Hera + Coastal SSD
             assert all(s.agrees for s in result.stamps)
             assert "Monte-Carlo agreement stamp" in result.render()
+
+
+@pytest.mark.slow
+class TestDagSearchDriver:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.experiments import dag_search
+
+        return dag_search.run(fast=True, seed=0)
+
+    def test_small_campaign_recovers_exhaustive(self, result):
+        assert result.all_recovered
+        for _name, _n, exhaustive, heuristic, search, _ok in result.small_rows:
+            assert search <= exhaustive * (1 + 1e-9)
+            assert exhaustive <= heuristic * (1 + 1e-9)
+
+    def test_campaign_search_never_worse(self, result):
+        for _name, _n, heuristic, search, gain, won, scored in result.campaign_rows:
+            assert search <= heuristic * (1 + 1e-9)
+            assert scored > 0
+            assert won == (search < heuristic * (1 - 1e-9))
+
+    def test_render_and_dict(self, result):
+        text = result.render()
+        assert "search vs exhaustive optimum" in text
+        assert "Monte-Carlo agreement stamp" in text
+        doc = result.as_dict()
+        assert doc["seed"] == 0
+        assert doc["all_small_recovered"] is True
+        assert len(doc["campaign"]) == len(result.campaign_rows)
+
+    def test_stamp_agrees(self, result):
+        assert result.stamps and all(s.agrees for s in result.stamps)
