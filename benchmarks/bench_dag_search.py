@@ -3,13 +3,22 @@
 The metaheuristic order search (:mod:`repro.dag.search`) earns its place
 only if (a) it is *correct* where correctness is checkable and *better*
 than the fixed heuristics where it is not, and (b) its incremental
-evaluation actually avoids the per-neighbor chain-DP re-solve.  Three
+evaluation actually avoids the per-neighbor chain-DP re-solve.  Five
 gates, one per claim:
 
 * **small campaign** (n <= 8): search must recover the exhaustive
   enumeration optimum exactly on every instance;
 * **default campaign** (n >= 20): search must beat the best fixed
   heuristic's expected makespan on a strict majority of instances;
+* **hetero campaign** (per-task cost multipliers): search must beat the
+  best fixed heuristic **by a margin** — a >= 1% expected-makespan gain
+  on a majority of instances and a positive gain on every one (the
+  uniform-cost campaigns cap out around 0.14%; heterogeneity is what
+  makes order matter);
+* **join campaign**: the join-aware search (orders + checkpoint
+  decisions under the forever-vulnerable APDCM'15 objective) must match
+  ``exhaustive_join(optimize_order=True)`` on instances small enough to
+  enumerate, and never lose to the threshold / local-search baselines;
 * **incremental evaluation**: screening a neighbor with the
   frozen-schedule bound must be >= 5x faster than re-running
   ``optimize()`` from scratch on the neighbor's serialisation (measured
@@ -31,6 +40,12 @@ import numpy as np
 from bench_common import save_result
 from repro.core import optimize
 from repro.dag import ChainObjective, campaign, candidate_orders, generate
+from repro.dag.join import (
+    exhaustive_join,
+    join_from_dag,
+    local_search_join,
+    threshold_join,
+)
 from repro.dag.linearize import optimize_dag
 from repro.dag.search import neighborhood, search_order
 from repro.experiments.dag_search import stress_platform
@@ -40,6 +55,7 @@ QUALITY_ALGORITHM = "admv_star"  # many exact solves: the O(n^4) DP
 SPEEDUP_ALGORITHM = "admv"  # the production default the bound must beat
 MIN_INCREMENTAL_SPEEDUP = 5.0
 NEIGHBOR_SAMPLE = 40
+HETERO_MARGIN = 0.01  # the hetero campaign must beat heuristics by >= 1%
 
 
 def test_dag_search_gates(benchmark, results_dir):
@@ -133,7 +149,96 @@ def test_dag_search_gates(benchmark, results_dir):
     assert wins * 2 > len(rows), (wins, rows)
 
     # ------------------------------------------------------------------
-    # gate 3 — incremental neighbor evaluation >= 5x from-scratch
+    # gate 3 — hetero campaign: beat the heuristics BY A MARGIN
+    # ------------------------------------------------------------------
+    hetero = []
+    for dag in campaign("hetero", seed=SEED):
+        heuristics = optimize_dag(
+            dag, platform, algorithm=QUALITY_ALGORITHM, strategy="auto"
+        )
+        t0 = time.perf_counter()
+        found = search_order(
+            dag,
+            platform,
+            algorithm=QUALITY_ALGORITHM,
+            seed=SEED,
+            restarts=1,
+            polish_budget=16,
+        )
+        seconds = time.perf_counter() - t0
+        gain = (
+            heuristics.expected_time - found.expected_time
+        ) / heuristics.expected_time
+        hetero.append(
+            {
+                "instance": dag.name,
+                "n": dag.n,
+                "best_heuristic": heuristics.expected_time,
+                "search": found.expected_time,
+                "relative_gain": gain,
+                "gain_at_least_margin": gain >= HETERO_MARGIN,
+                "orders_scored": found.orders_scored,
+                "seconds": seconds,
+            }
+        )
+        lines.append(
+            f"  {dag.name:18s} n={dag.n:2d}  heuristic "
+            f"{heuristics.expected_time:10.2f}s  search "
+            f"{found.expected_time:10.2f}s  gain {gain:+.3%}"
+        )
+    margin_wins = sum(r["gain_at_least_margin"] for r in hetero)
+    mean_hetero_gain = sum(r["relative_gain"] for r in hetero) / len(hetero)
+    lines.insert(
+        2,
+        f"hetero campaign: search gained >= {HETERO_MARGIN:.0%} on "
+        f"{margin_wins}/{len(hetero)} instances (mean {mean_hetero_gain:+.3%})",
+    )
+    # the margin gate: not just majority-wins — majority of instances must
+    # clear a >= 1% gain and none may regress below the heuristics
+    assert margin_wins * 2 > len(hetero), (margin_wins, hetero)
+    assert all(r["relative_gain"] > 0.0 for r in hetero), hetero
+
+    # ------------------------------------------------------------------
+    # gate 4 — join campaign: joint (order, decisions) search quality
+    # ------------------------------------------------------------------
+    join_rows = []
+    for dag in campaign("join", seed=SEED):
+        instance = join_from_dag(
+            dag, rate=platform.lf, C=platform.CD, R=platform.RD
+        )
+        baseline = min(
+            threshold_join(instance)[0], local_search_join(instance)[0]
+        )
+        found = search_order(dag, platform, seed=SEED)
+        matches = None
+        if instance.n_sources <= 7:
+            exh_value, _ = exhaustive_join(instance, optimize_order=True)
+            matches = found.expected_time <= exh_value * (1 + 1e-9)
+            assert matches, (dag.name, found.expected_time, exh_value)
+        assert found.expected_time <= baseline * (1 + 1e-9), (
+            dag.name,
+            found.expected_time,
+            baseline,
+        )
+        join_rows.append(
+            {
+                "instance": dag.name,
+                "sources": instance.n_sources,
+                "baseline": baseline,
+                "search": found.expected_time,
+                "matches_exhaustive": matches,
+                "states_scored": found.orders_scored,
+            }
+        )
+    lines.append(
+        f"join campaign: search matched the joint exhaustive optimum on "
+        f"{sum(1 for r in join_rows if r['matches_exhaustive'])} small "
+        f"instances and never lost to the threshold/local-search baseline "
+        f"({len(join_rows)} instances)"
+    )
+
+    # ------------------------------------------------------------------
+    # gate 5 — incremental neighbor evaluation >= 5x from-scratch
     # ------------------------------------------------------------------
     dag = generate(
         "layered",
@@ -198,6 +303,11 @@ def test_dag_search_gates(benchmark, results_dir):
         "small_campaign": small,
         "default_campaign": rows,
         "campaign_wins": wins,
+        "hetero_campaign": hetero,
+        "hetero_margin": HETERO_MARGIN,
+        "hetero_margin_wins": margin_wins,
+        "mean_hetero_gain": mean_hetero_gain,
+        "join_campaign": join_rows,
         "incremental": {
             "algorithm": SPEEDUP_ALGORITHM,
             "n": dag.n,

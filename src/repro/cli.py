@@ -11,7 +11,10 @@ Usage (also available as ``python -m repro``)::
     repro sweep -p atlas --pattern decrease      # makespan vs n table
     repro sweep -p atlas --target-ci 0.01        # + certified validation
     repro dag generate --kind layered --seed 3   # random workflow DAG
+    repro dag generate --kind join --sources 12  # APDCM'15 join graph
     repro dag optimize --kind layered --strategy search   # order search
+    repro dag optimize --kind layered --cost-spread 1.0 \
+        --strategy search --jobs 4               # heterogeneous costs
     repro dag sweep --seed 3                     # heuristics vs search
     repro figure 5 --fast                        # regenerate a paper figure
     repro table 1                                # regenerate Table I
@@ -245,6 +248,21 @@ def build_parser() -> argparse.ArgumentParser:
         )
         q.add_argument("--mean", type=float, default=None, help="mean task weight (s)")
         q.add_argument("--spread", type=float, default=None, help="weight dispersion")
+        q.add_argument(
+            "--cost-spread",
+            type=float,
+            default=None,
+            help=(
+                "per-task resilience-cost heterogeneity (0 = the paper's "
+                "uniform costs; ~1 spans a decade of checkpoint costs)"
+            ),
+        )
+        q.add_argument(
+            "--cost-weights",
+            default=None,
+            choices=WEIGHT_DISTRIBUTIONS,
+            help="cost-multiplier distribution (default: lognormal)",
+        )
         # family-specific shape knobs (only the ones given are passed on)
         q.add_argument("--tasks", type=int, default=None)
         q.add_argument("--layers", type=int, default=None)
@@ -254,6 +272,7 @@ def build_parser() -> argparse.ArgumentParser:
         q.add_argument("--arity", type=int, default=None)
         q.add_argument("--rows", type=int, default=None)
         q.add_argument("--cols", type=int, default=None)
+        q.add_argument("--sources", type=int, default=None)
         q.add_argument(
             "--dag-file",
             default=None,
@@ -284,6 +303,21 @@ def build_parser() -> argparse.ArgumentParser:
     q.add_argument("--restarts", type=int, default=2, help="random restarts (search)")
     q.add_argument(
         "--iterations", type=int, default=400, help="annealing iterations (search)"
+    )
+    q.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help=(
+            "worker processes sharding the start climbs (search; the "
+            "winning order is invariant in --jobs)"
+        ),
+    )
+    q.add_argument(
+        "--recombine",
+        type=int,
+        default=2,
+        help="elite-order crossover children to climb (search; 0 disables)",
     )
     q.add_argument(
         "--certify",
@@ -548,6 +582,8 @@ _DAG_SHAPE_KNOBS = (
     "weights",
     "mean",
     "spread",
+    "cost_spread",
+    "cost_weights",
     "tasks",
     "layers",
     "density",
@@ -556,6 +592,7 @@ _DAG_SHAPE_KNOBS = (
     "arity",
     "rows",
     "cols",
+    "sources",
 )
 
 
@@ -618,6 +655,12 @@ def _cmd_dag_generate(args) -> str:
         f"  sources {len(dag.sources())}, sinks {len(dag.sinks())}, "
         f"critical path {length:.1f}s ({len(path)} tasks)",
     ]
+    if dag.has_heterogeneous_costs():
+        mult = [dag.cost_multiplier(v) for v in dag.graph]
+        lines.append(
+            f"  heterogeneous costs: multipliers in "
+            f"[{min(mult):.2f}, {max(mult):.2f}]"
+        )
     if args.output:
         lines.append(f"  written to {args.output}")
     return "\n".join(lines)
@@ -649,6 +692,8 @@ def _cmd_dag_optimize(args) -> str:
                 ("--method", args.method != "hill_climb"),
                 ("--restarts", args.restarts != 2),
                 ("--iterations", args.iterations != 400),
+                ("--jobs", args.jobs is not None),
+                ("--recombine", args.recombine != 2),
             )
             if is_set
         ]
@@ -662,6 +707,23 @@ def _cmd_dag_optimize(args) -> str:
     certificate = None
     if args.strategy == "search":
         from .dag import search_order
+        from .dag.search import uses_join_objective
+
+        if uses_join_objective(dag):
+            ignored = [
+                flag
+                for flag, is_set in (
+                    ("--jobs", args.jobs is not None),
+                    ("--recombine", args.recombine != 2),
+                )
+                if is_set
+            ]
+            if ignored:
+                raise InvalidParameterError(
+                    f"{', '.join(ignored)} do not apply to the join "
+                    f"objective ({dag.name!r} is join-shaped: states are "
+                    f"evaluated exactly in-process, with no recombination)"
+                )
 
         search_result = search_order(
             dag,
@@ -674,6 +736,8 @@ def _cmd_dag_optimize(args) -> str:
             certify=args.certify,
             backend=args.backend,
             target_ci=args.target_ci,
+            n_jobs=args.jobs,
+            recombine=args.recombine,
         )
         solution = search_result.solution
         certificate = search_result.certificate
@@ -697,6 +761,7 @@ def _cmd_dag_optimize(args) -> str:
                 seed=args.seed,
                 backend=args.backend,
                 target_ci=args.target_ci,
+                costs=dag.cost_profile(solution.order, platform),
             )
     if args.json:
         doc = {
@@ -720,6 +785,22 @@ def _cmd_dag_optimize(args) -> str:
                 "bound_evaluations": search_result.bound_evaluations,
                 "cache_hits": search_result.exact_cache_hits
                 + search_result.bound_cache_hits,
+                "n_jobs": search_result.n_jobs,
+                "recombined": search_result.recombined,
+                "objective": search_result.algorithm,
+            }
+        decisions = getattr(solution, "decisions", None)
+        if decisions is not None:  # join-shaped DAG: forever-vulnerable model
+            from .dag import canonical_node_key
+
+            doc["join"] = {
+                "checkpointed_sources": sorted(
+                    (str(v) for v, d in decisions.items() if d),
+                    key=canonical_node_key,
+                ),
+                "rate": solution.instance.rate,
+                "C": solution.instance.C,
+                "R": solution.instance.R,
             }
         if certificate is not None:
             doc["certificate"] = {

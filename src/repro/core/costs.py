@@ -130,6 +130,37 @@ class CostProfile:
         return cls(CD=cd, CM=cm, RD=rd, RM=rm, Vg=vg, Vp=vp)
 
     @classmethod
+    def scaled(
+        cls, platform: Platform, multipliers: Sequence[float]
+    ) -> "CostProfile":
+        """Platform scalars scaled by a per-task multiplier (one per task).
+
+        Unlike :meth:`proportional_to_output` the multipliers are taken
+        *as given* (no mean normalisation): 1.0 means exactly the
+        platform's scalar costs, so a workflow's per-task multipliers
+        keep their meaning when tasks are permuted — the profile for a
+        serialisation is just the multipliers in that order.  Checkpoint,
+        recovery and verification costs all scale together (output-size
+        semantics).
+        """
+        mult = np.asarray(multipliers, dtype=np.float64)
+        if mult.ndim != 1 or mult.size < 1:
+            raise InvalidParameterError(
+                "multipliers must be a 1-D sequence with one entry per task"
+            )
+        if not np.all(np.isfinite(mult)) or np.any(mult <= 0.0):
+            raise InvalidParameterError("multipliers must be > 0 and finite")
+        return cls.from_arrays(
+            mult.size,
+            CD=platform.CD * mult,
+            CM=platform.CM * mult,
+            RD=platform.RD * mult,
+            RM=platform.RM * mult,
+            Vg=platform.Vg * mult,
+            Vp=platform.Vp * mult,
+        )
+
+    @classmethod
     def proportional_to_output(
         cls,
         chain: TaskChain,

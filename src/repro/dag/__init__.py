@@ -21,6 +21,7 @@ from .join import (
     evaluate_join,
     exhaustive_join,
     join_from_dag,
+    join_sources,
     local_search_join,
     simulate_join,
     threshold_join,
@@ -31,11 +32,19 @@ from .linearize import (
     candidate_orders,
     optimize_dag,
 )
-from .search import ChainObjective, SearchResult, search_order
-from .workflow import WorkflowDAG
+from .search import (
+    ChainObjective,
+    JoinDagSolution,
+    JoinObjective,
+    SearchResult,
+    crossover_orders,
+    search_order,
+)
+from .workflow import WorkflowDAG, canonical_node_key
 
 __all__ = [
     "WorkflowDAG",
+    "canonical_node_key",
     "DagSolution",
     "candidate_orders",
     "optimize_dag",
@@ -46,13 +55,17 @@ __all__ = [
     "draw_weights",
     "generate",
     "ChainObjective",
+    "JoinObjective",
+    "JoinDagSolution",
     "SearchResult",
+    "crossover_orders",
     "search_order",
     "JoinInstance",
     "JoinSchedule",
     "evaluate_join",
     "exhaustive_join",
     "join_from_dag",
+    "join_sources",
     "local_search_join",
     "simulate_join",
     "threshold_join",

@@ -14,16 +14,28 @@ seeded generators for the classic synthetic-workflow families:
 * ``in_tree`` / ``out_tree`` — random trees built by preferential-free
   attachment with a bounded arity (reduction trees / divide-and-conquer);
 * ``diamond`` — a rows × cols stencil mesh with down and down-right
-  dependencies (wavefront computations).
+  dependencies (wavefront computations);
+* ``join`` — the APDCM'15 NP-hard shape: independent sources feeding one
+  sink (checkpoint decisions + order are searched jointly).
 
 Every generator draws task weights from a pluggable distribution
 (``uniform``, ``lognormal``, ``bimodal``), is fully determined by its
 ``seed``, and returns a validated :class:`~repro.dag.workflow.WorkflowDAG`.
 
+Heterogeneous resilience costs: every family takes ``cost_spread`` /
+``cost_weights`` knobs drawing per-task cost *multipliers* around 1.0
+(:func:`draw_cost_multipliers`); ``cost_spread=0`` (the default) keeps
+the paper's uniform model and reproduces PR-4-era instances bit-for-bit
+— multipliers are drawn strictly after the weights, so the weight stream
+is untouched.
+
 :data:`CAMPAIGNS` names small instance suites (generator + kwargs per
 instance) used by the CLI (``repro dag sweep``), the experiment driver and
 the benchmarks; :func:`campaign` instantiates one with per-instance seeds
-derived deterministically from a single master seed.
+derived deterministically from a single master seed.  ``small`` /
+``default`` are the PR-4 uniform-cost suites; ``hetero`` carries strong
+per-task cost heterogeneity (where serialisation order genuinely moves
+the makespan) and ``join`` the forever-vulnerable join instances.
 """
 
 from __future__ import annotations
@@ -39,6 +51,7 @@ __all__ = [
     "WEIGHT_DISTRIBUTIONS",
     "campaign",
     "campaign_names",
+    "draw_cost_multipliers",
     "draw_weights",
     "generate",
 ]
@@ -100,6 +113,28 @@ def draw_weights(
     return np.maximum(w, 1e-9)
 
 
+def draw_cost_multipliers(
+    rng: np.random.Generator,
+    n: int,
+    distribution: str = "lognormal",
+    *,
+    spread: float,
+) -> np.ndarray | None:
+    """Per-task resilience-cost multipliers centred on 1.0.
+
+    A multiplier of 1.0 means the platform's scalar costs; the draw
+    reuses :func:`draw_weights` with ``mean=1.0`` so the same
+    distribution names apply (``lognormal`` with ``spread=1.0`` spans
+    roughly one decade in each direction — checkpointing some outputs is
+    then an order of magnitude cheaper than others, the regime where the
+    serialisation order genuinely matters).  ``spread=0`` returns
+    ``None``: the homogeneous paper model, with no rng consumption.
+    """
+    if spread == 0.0:
+        return None
+    return draw_weights(rng, n, distribution, mean=1.0, spread=spread)
+
+
 def _task_names(n: int) -> list[str]:
     width = len(str(n - 1))
     return [f"t{i:0{width}d}" for i in range(n)]
@@ -107,6 +142,20 @@ def _task_names(n: int) -> list[str]:
 
 def _weights_map(names: list[str], w: np.ndarray) -> dict[str, float]:
     return {name: float(x) for name, x in zip(names, w)}
+
+
+def _costs_map(
+    names: list[str],
+    rng: np.random.Generator,
+    cost_weights: str,
+    cost_spread: float,
+) -> dict[str, float] | None:
+    mult = draw_cost_multipliers(
+        rng, len(names), cost_weights, spread=cost_spread
+    )
+    if mult is None:
+        return None
+    return {name: float(m) for name, m in zip(names, mult)}
 
 
 def layered(
@@ -118,6 +167,8 @@ def layered(
     weights: str = "uniform",
     mean: float = DEFAULT_MEAN_WEIGHT,
     spread: float = 0.5,
+    cost_spread: float = 0.0,
+    cost_weights: str = "lognormal",
     name: str = "",
 ) -> WorkflowDAG:
     """Layered Erdős–Rényi DAG: ``tasks`` spread over ``layers`` layers.
@@ -150,7 +201,10 @@ def layered(
             edges.extend((u, v) for u in wired)
     w = draw_weights(rng, tasks, weights, mean=mean, spread=spread)
     return WorkflowDAG(
-        _weights_map(names, w), edges, name=name or f"layered-{tasks}x{layers}"
+        _weights_map(names, w),
+        edges,
+        name=name or f"layered-{tasks}x{layers}",
+        cost_multipliers=_costs_map(names, rng, cost_weights, cost_spread),
     )
 
 
@@ -162,6 +216,8 @@ def fork_join(
     weights: str = "uniform",
     mean: float = DEFAULT_MEAN_WEIGHT,
     spread: float = 0.5,
+    cost_spread: float = 0.0,
+    cost_weights: str = "lognormal",
     name: str = "",
 ) -> WorkflowDAG:
     """Fork-join: source -> ``branches`` parallel chains -> sink."""
@@ -186,6 +242,7 @@ def fork_join(
         _weights_map(names, w),
         edges,
         name=name or f"forkjoin-{branches}x{branch_length}",
+        cost_multipliers=_costs_map(names, rng, cost_weights, cost_spread),
     )
 
 
@@ -211,6 +268,8 @@ def out_tree(
     weights: str = "uniform",
     mean: float = DEFAULT_MEAN_WEIGHT,
     spread: float = 0.5,
+    cost_spread: float = 0.0,
+    cost_weights: str = "lognormal",
     name: str = "",
 ) -> WorkflowDAG:
     """Random out-tree (divide shape): one source, children fan out."""
@@ -224,7 +283,10 @@ def out_tree(
     edges = [(names[p], names[i]) for i, p in enumerate(parents, start=1)]
     w = draw_weights(rng, tasks, weights, mean=mean, spread=spread)
     return WorkflowDAG(
-        _weights_map(names, w), edges, name=name or f"outtree-{tasks}"
+        _weights_map(names, w),
+        edges,
+        name=name or f"outtree-{tasks}",
+        cost_multipliers=_costs_map(names, rng, cost_weights, cost_spread),
     )
 
 
@@ -236,6 +298,8 @@ def in_tree(
     weights: str = "uniform",
     mean: float = DEFAULT_MEAN_WEIGHT,
     spread: float = 0.5,
+    cost_spread: float = 0.0,
+    cost_weights: str = "lognormal",
     name: str = "",
 ) -> WorkflowDAG:
     """Random in-tree (reduction shape): leaves reduce into one sink."""
@@ -251,7 +315,10 @@ def in_tree(
     edges = [(mirrored[i], mirrored[p]) for i, p in enumerate(parents, start=1)]
     w = draw_weights(rng, tasks, weights, mean=mean, spread=spread)
     return WorkflowDAG(
-        _weights_map(names, w), edges, name=name or f"intree-{tasks}"
+        _weights_map(names, w),
+        edges,
+        name=name or f"intree-{tasks}",
+        cost_multipliers=_costs_map(names, rng, cost_weights, cost_spread),
     )
 
 
@@ -263,6 +330,8 @@ def diamond(
     weights: str = "uniform",
     mean: float = DEFAULT_MEAN_WEIGHT,
     spread: float = 0.5,
+    cost_spread: float = 0.0,
+    cost_weights: str = "lognormal",
     name: str = "",
 ) -> WorkflowDAG:
     """Stencil mesh: cell (r, c) feeds (r+1, c) and (r+1, c+1)."""
@@ -285,7 +354,44 @@ def diamond(
                 edges.append((at(r, c), at(r + 1, c + 1)))
     w = draw_weights(rng, n, weights, mean=mean, spread=spread)
     return WorkflowDAG(
-        _weights_map(names, w), edges, name=name or f"diamond-{rows}x{cols}"
+        _weights_map(names, w),
+        edges,
+        name=name or f"diamond-{rows}x{cols}",
+        cost_multipliers=_costs_map(names, rng, cost_weights, cost_spread),
+    )
+
+
+def join_graph(
+    *,
+    sources: int = 8,
+    seed: int = 0,
+    weights: str = "uniform",
+    mean: float = DEFAULT_MEAN_WEIGHT,
+    spread: float = 0.5,
+    cost_spread: float = 0.0,
+    cost_weights: str = "lognormal",
+    name: str = "",
+) -> WorkflowDAG:
+    """APDCM'15 join: ``sources`` independent tasks feeding one sink.
+
+    The canonical NP-hard shape for joint order + checkpoint-decision
+    search (:meth:`WorkflowDAG.is_join` is True, so
+    ``optimize_dag(strategy="search")`` prices it under the
+    forever-vulnerable join objective).
+    """
+    if sources < 1:
+        raise InvalidParameterError(f"need sources >= 1, got {sources}")
+    rng = np.random.default_rng(seed)
+    n = sources + 1
+    names = _task_names(n)
+    sink = names[-1]
+    edges = [(src, sink) for src in names[:-1]]
+    w = draw_weights(rng, n, weights, mean=mean, spread=spread)
+    return WorkflowDAG(
+        _weights_map(names, w),
+        edges,
+        name=name or f"join-{sources}",
+        cost_multipliers=_costs_map(names, rng, cost_weights, cost_spread),
     )
 
 
@@ -296,6 +402,7 @@ GENERATORS = {
     "in_tree": in_tree,
     "out_tree": out_tree,
     "diamond": diamond,
+    "join": join_graph,
 }
 
 
@@ -349,6 +456,57 @@ CAMPAIGNS: dict[str, dict[str, tuple[str, dict]]] = {
             {"tasks": 21, "arity": 2, "weights": "lognormal"},
         ),
         "diamond-4x5": ("diamond", {"rows": 4, "cols": 5, "weights": "bimodal"}),
+    },
+    # the ``default`` shapes with strong per-task cost heterogeneity:
+    # lognormal multipliers with sigma ~1 span roughly [0.1, 10]x the
+    # platform costs, so *where* a checkpoint lands dominates the optimum
+    # and the serialisation order genuinely moves the makespan
+    "hetero": {
+        "hetero-layered-20": (
+            "layered",
+            {
+                "tasks": 20, "layers": 5, "density": 0.4,
+                "weights": "lognormal", "cost_spread": 1.0,
+            },
+        ),
+        "hetero-layered-24": (
+            "layered",
+            {
+                "tasks": 24, "layers": 6, "density": 0.8,
+                "weights": "bimodal", "cost_spread": 0.9,
+            },
+        ),
+        "hetero-forkjoin-20": (
+            "fork_join",
+            {
+                "branches": 6, "branch_length": 3,
+                "weights": "lognormal", "cost_spread": 1.0,
+            },
+        ),
+        "hetero-intree-21": (
+            "in_tree",
+            {"tasks": 21, "arity": 3, "weights": "bimodal", "cost_spread": 0.9},
+        ),
+        "hetero-outtree-21": (
+            "out_tree",
+            {
+                "tasks": 21, "arity": 2,
+                "weights": "lognormal", "cost_spread": 1.0,
+            },
+        ),
+        "hetero-diamond-4x5": (
+            "diamond",
+            {"rows": 4, "cols": 5, "weights": "bimodal", "cost_spread": 0.9},
+        ),
+    },
+    # forever-vulnerable join instances (fail-stop only); join-5/6 stay
+    # within exhaustive_join(optimize_order=True) reach so search can be
+    # checked against the true joint optimum
+    "join": {
+        "join-5": ("join", {"sources": 5}),
+        "join-6": ("join", {"sources": 6, "weights": "lognormal"}),
+        "join-12": ("join", {"sources": 12, "weights": "lognormal"}),
+        "join-24": ("join", {"sources": 24, "weights": "bimodal"}),
     },
 }
 

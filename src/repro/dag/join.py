@@ -49,7 +49,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..exceptions import InvalidParameterError
-from .workflow import WorkflowDAG
+from .workflow import WorkflowDAG, canonical_node_key
 
 __all__ = [
     "JoinInstance",
@@ -60,7 +60,14 @@ __all__ = [
     "threshold_join",
     "simulate_join",
     "join_from_dag",
+    "join_sources",
 ]
+
+#: Relative improvement below which the local search considers itself
+#: converged — one value for every makespan scale (an absolute epsilon is
+#: below one ulp once makespans exceed ~10^4 s and the loop never stops
+#: improving-by-noise).  Matches :data:`repro.dag.search.RELATIVE_TOLERANCE`.
+RELATIVE_TOLERANCE = 1e-12
 
 
 @dataclass(frozen=True)
@@ -211,13 +218,42 @@ def exhaustive_join(
 
 def threshold_join(instance: JoinInstance) -> tuple[float, JoinSchedule]:
     """Young/Daly-flavoured heuristic: checkpoint sources whose weight
-    exceeds ``sqrt(2C/λ)`` (never checkpoints when ``λ = 0``)."""
+    exceeds ``sqrt(2C/λ)``.
+
+    Derivation: checkpointing a source of weight ``w`` pays ``C`` once but
+    removes ``w`` from the volatile work of every later segment; to first
+    order in ``λV`` a segment of volatile work ``V`` wastes ``λV²/2``
+    (failures arrive uniformly over the segment and lose half of it on
+    average), so carrying ``w`` through one more segment of its own size
+    costs ~``λw²/2`` extra.  Balancing ``C = λw²/2`` gives the classic
+    Young/Daly break-even ``w = sqrt(2C/λ)`` — a per-source transplant of
+    the periodic-checkpointing period.
+
+    Degenerate regimes are handled explicitly, not through the formula:
+
+    * ``λ = 0`` — failures never happen, checkpoints are pure cost:
+      never checkpoint (this one *is* exact);
+    * ``C = 0`` — the rule's natural limit: the threshold goes to 0, so
+      every source is checkpointed.  Splitting volatile work into more
+      segments shrinks the failure-work term by convexity of ``expm1``
+      (``e^{λ(a+b)} − 1 ≥ (e^{λa} − 1) + (e^{λb} − 1)``), but — like the
+      threshold rule everywhere — this ignores the recovery surcharge:
+      once any checkpoint exists, every later retry pays ``R``, so on
+      ``R``-heavy instances checkpointing nothing can still win (the
+      local search and the join-aware order search explore that; this
+      function is the cheap starting heuristic).  The point of deciding
+      ``C = 0`` explicitly is consistency: an earlier clamp
+      ``max(C, 1e-12)`` silently produced a *positive* threshold at
+      ``C = 0``, skipping checkpoints on very light sources only.
+    """
     n = instance.n_sources
     order = tuple(range(n))
     if instance.rate == 0.0:
         decisions = tuple([False] * n)
+    elif instance.C == 0.0:
+        decisions = tuple([True] * n)
     else:
-        threshold = math.sqrt(2.0 * max(instance.C, 1e-12) / instance.rate)
+        threshold = math.sqrt(2.0 * instance.C / instance.rate)
         decisions = tuple(w >= threshold for w in instance.source_weights)
     schedule = JoinSchedule(order, decisions)
     return evaluate_join(instance, schedule), schedule
@@ -233,7 +269,10 @@ def local_search_join(
 
     Starts from the heaviest-first order with the threshold decisions and
     repeatedly applies the best single move until a local optimum.  Runs in
-    ``O(rounds * n^2)`` evaluations, each ``O(n)``.
+    ``O(rounds * n^2)`` evaluations, each ``O(n)``.  Convergence uses a
+    *relative* improvement test (``RELATIVE_TOLERANCE``): an absolute
+    ``1e-15`` epsilon is below one ulp for large makespans, which made the
+    loop spin through all ``max_rounds`` re-accepting float noise.
     """
     n = instance.n_sources
     start_order = tuple(
@@ -265,7 +304,7 @@ def local_search_join(
                 cand_value = evaluate_join(instance, cand)
                 if cand_value < best_value:
                     best_value, best_schedule = cand_value, cand
-        if best_value >= value - 1e-15:
+        if best_value >= value * (1.0 - RELATIVE_TOLERANCE):
             break
         value, schedule = best_value, best_schedule
     return value, schedule
@@ -319,16 +358,34 @@ def simulate_join(
     return makespans
 
 
-def join_from_dag(
-    dag: WorkflowDAG, *, rate: float, C: float, R: float
-) -> JoinInstance:
-    """Build a :class:`JoinInstance` from a join-shaped :class:`WorkflowDAG`."""
+def join_sources(dag: WorkflowDAG) -> list:
+    """Source tasks of a join-shaped DAG in canonical node order.
+
+    This is *the* index convention for :func:`join_from_dag`: source ``i``
+    of the returned :class:`JoinInstance` is ``join_sources(dag)[i]``.
+    The order is the numeric-aware canonical one
+    (:func:`~repro.dag.workflow.canonical_node_key`), so generator names
+    line up with their numeric indices — a plain ``repr`` sort put
+    ``"t10"`` before ``"t2"`` and silently permuted source weights on
+    >9-source joins.
+    """
     if not dag.is_join():
         raise InvalidParameterError(
             f"{dag!r} is not a join graph (n-1 sources + one sink)"
         )
     sink = dag.sinks()[0]
-    sources = sorted((v for v in dag.graph if v != sink), key=repr)
+    return sorted((v for v in dag.graph if v != sink), key=canonical_node_key)
+
+
+def join_from_dag(
+    dag: WorkflowDAG, *, rate: float, C: float, R: float
+) -> JoinInstance:
+    """Build a :class:`JoinInstance` from a join-shaped :class:`WorkflowDAG`.
+
+    ``source_weights[i]`` is the weight of ``join_sources(dag)[i]``.
+    """
+    sources = join_sources(dag)
+    sink = dag.sinks()[0]
     return JoinInstance(
         source_weights=tuple(dag.weight(v) for v in sources),
         sink_weight=dag.weight(sink),

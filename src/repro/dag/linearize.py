@@ -7,16 +7,23 @@ before much state accumulates) or grouping subtrees can both matter.
 
 :func:`optimize_dag` tries a set of candidate orders and keeps the best:
 
-* ``"lexicographic"`` — deterministic baseline;
+* ``"lexicographic"`` — deterministic baseline (canonical node order);
 * ``"heavy_first"`` / ``"light_first"`` — greedy list scheduling by weight
   among ready tasks;
 * ``"dfs"`` — depth-first from each source (keeps related tasks adjacent);
+* ``"bottom_level"`` — classic critical-path list scheduling: among ready
+  tasks pick the one with the largest *bottom level* (its weight plus the
+  heaviest downstream path), so long chains of work drain first;
+* ``"critical_path"`` — rank ready tasks by the longest path *through*
+  them (top level + bottom level): tasks on the critical path run as
+  early as their predecessors allow;
 * ``"all"`` — every topological order (small DAGs only, capped);
 * ``"search"`` — metaheuristic order search (:mod:`repro.dag.search`).
 
 The fixed orders are *heuristics* for the NP-hard general problem (paper
 §V); for chains all orders coincide and the result is exactly the chain
-optimum.
+optimum.  All deterministic tie-breaks use the numeric-aware
+:func:`~repro.dag.workflow.canonical_node_key` (``t2`` before ``t10``).
 """
 
 from __future__ import annotations
@@ -31,7 +38,7 @@ from ..exceptions import InvalidParameterError
 from ..platforms import Platform
 from ..core.result import Solution
 from ..core.solver import optimize
-from .workflow import WorkflowDAG
+from .workflow import WorkflowDAG, canonical_node_key
 
 __all__ = ["candidate_orders", "optimize_dag", "DagSolution", "ORDER_STRATEGIES"]
 
@@ -43,16 +50,15 @@ __all__ = ["candidate_orders", "optimize_dag", "DagSolution", "ORDER_STRATEGIES"
 MAX_EXHAUSTIVE_ORDERS = 20_000
 
 
-def _greedy_order(dag: WorkflowDAG, *, heavy_first: bool) -> list[Hashable]:
-    """List scheduling: among ready tasks, pick the heaviest (or lightest).
-
-    Ties break lexicographically on ``repr`` for determinism.
-    """
+def _list_schedule(dag: WorkflowDAG, priority) -> list[Hashable]:
+    """Generic list scheduling: repeatedly run the ready task minimizing
+    ``priority(v)``; ties break on the canonical node order."""
     graph = dag.graph
     indeg = {v: graph.in_degree(v) for v in graph}
-    sign = -1.0 if heavy_first else 1.0
     ready = [
-        (sign * dag.weight(v), repr(v), v) for v in graph if indeg[v] == 0
+        (priority(v), canonical_node_key(v), v)
+        for v in graph
+        if indeg[v] == 0
     ]
     heapq.heapify(ready)
     order: list[Hashable] = []
@@ -62,8 +68,49 @@ def _greedy_order(dag: WorkflowDAG, *, heavy_first: bool) -> list[Hashable]:
         for w in graph.successors(v):
             indeg[w] -= 1
             if indeg[w] == 0:
-                heapq.heappush(ready, (sign * dag.weight(w), repr(w), w))
+                heapq.heappush(ready, (priority(w), canonical_node_key(w), w))
     return order
+
+
+def _greedy_order(dag: WorkflowDAG, *, heavy_first: bool) -> list[Hashable]:
+    """List scheduling: among ready tasks, pick the heaviest (or lightest)."""
+    sign = -1.0 if heavy_first else 1.0
+    return _list_schedule(dag, lambda v: sign * dag.weight(v))
+
+
+def _level_keys(dag: WorkflowDAG) -> tuple[dict, dict]:
+    """``(top_level, bottom_level)`` per node.
+
+    ``bottom_level[v]`` is the heaviest weighted path starting at ``v``
+    (``v`` included); ``top_level[v]`` the heaviest path ending at ``v``
+    (``v`` excluded).  Their sum is the longest path *through* ``v``.
+    """
+    graph = dag.graph
+    order = list(nx.topological_sort(graph))
+    top: dict[Hashable, float] = {}
+    for v in order:
+        top[v] = max(
+            (top[u] + dag.weight(u) for u in graph.predecessors(v)),
+            default=0.0,
+        )
+    bottom: dict[Hashable, float] = {}
+    for v in reversed(order):
+        bottom[v] = dag.weight(v) + max(
+            (bottom[w] for w in graph.successors(v)), default=0.0
+        )
+    return top, bottom
+
+
+def _bottom_level_order(dag: WorkflowDAG) -> list[Hashable]:
+    """Priority rule: largest bottom level first (critical-path method)."""
+    _, bottom = _level_keys(dag)
+    return _list_schedule(dag, lambda v: -bottom[v])
+
+
+def _critical_path_order(dag: WorkflowDAG) -> list[Hashable]:
+    """Priority rule: longest path through the task first."""
+    top, bottom = _level_keys(dag)
+    return _list_schedule(dag, lambda v: -(top[v] + bottom[v]))
 
 
 def _dfs_order(dag: WorkflowDAG) -> list[Hashable]:
@@ -71,10 +118,11 @@ def _dfs_order(dag: WorkflowDAG) -> list[Hashable]:
     graph = dag.graph
     indeg = {v: graph.in_degree(v) for v in graph}
     order: list[Hashable] = []
-    stack = sorted(
-        (v for v in graph if indeg[v] == 0),
-        key=lambda v: (dag.weight(v), repr(v)),
-    )
+
+    def dfs_key(v: Hashable):
+        return (dag.weight(v), canonical_node_key(v))
+
+    stack = sorted((v for v in graph if indeg[v] == 0), key=dfs_key)
     while stack:
         v = stack.pop()
         order.append(v)
@@ -83,11 +131,18 @@ def _dfs_order(dag: WorkflowDAG) -> list[Hashable]:
             indeg[w] -= 1
             if indeg[w] == 0:
                 newly_ready.append(w)
-        stack.extend(sorted(newly_ready, key=lambda w: (dag.weight(w), repr(w))))
+        stack.extend(sorted(newly_ready, key=dfs_key))
     return order
 
 
-ORDER_STRATEGIES = ("lexicographic", "heavy_first", "light_first", "dfs")
+ORDER_STRATEGIES = (
+    "lexicographic",
+    "heavy_first",
+    "light_first",
+    "dfs",
+    "bottom_level",
+    "critical_path",
+)
 
 
 def candidate_orders(
@@ -98,7 +153,7 @@ def candidate_orders(
 ) -> list[list[Hashable]]:
     """Candidate topological orders for ``strategy`` (deduplicated).
 
-    ``"auto"`` returns the four heuristic orders; ``"all"`` enumerates every
+    ``"auto"`` returns every fixed heuristic order; ``"all"`` enumerates every
     topological order, refusing (with :class:`InvalidParameterError`) as
     soon as more than ``max_orders`` candidates exist — a wide DAG has
     factorially many and would silently hang otherwise.
@@ -133,11 +188,19 @@ def candidate_orders(
     orders: list[list[Hashable]] = []
     for name in names:
         if name == "lexicographic":
-            order = list(nx.lexicographical_topological_sort(dag.graph))
+            order = list(
+                nx.lexicographical_topological_sort(
+                    dag.graph, key=canonical_node_key
+                )
+            )
         elif name == "heavy_first":
             order = _greedy_order(dag, heavy_first=True)
         elif name == "light_first":
             order = _greedy_order(dag, heavy_first=False)
+        elif name == "bottom_level":
+            order = _bottom_level_order(dag)
+        elif name == "critical_path":
+            order = _critical_path_order(dag)
         else:
             order = _dfs_order(dag)
         if order not in orders:
@@ -175,7 +238,12 @@ def optimize_dag(
 
     ``strategy="search"`` runs the metaheuristic order search
     (:func:`repro.dag.search.search_order`, seeded by ``seed``;
-    ``search_options`` are passed through) instead of fixed candidates.
+    ``search_options`` are passed through) instead of fixed candidates —
+    and *dispatches on the DAG shape*: a join-shaped DAG is searched
+    under the APDCM'15 forever-vulnerable join objective (orders plus
+    per-source checkpoint decisions), any other shape under the chain
+    serialisation objective.  Heterogeneous per-task cost multipliers
+    (:meth:`WorkflowDAG.cost_profile`) are priced through every strategy.
     Returns a :class:`DagSolution` carrying the winning topological order;
     ``solution.schedule`` indexes tasks by their position in that order.
     """
@@ -190,7 +258,12 @@ def optimize_dag(
     best: DagSolution | None = None
     for order in candidate_orders(dag, strategy):
         _, chain = dag.serialise(order)
-        sol = optimize(chain, platform, algorithm=algorithm)
+        sol = optimize(
+            chain,
+            platform,
+            algorithm=algorithm,
+            costs=dag.cost_profile(order, platform),
+        )
         if best is None or sol.expected_time < best.expected_time:
             best = DagSolution(order, sol)
     assert best is not None  # candidate_orders is never empty

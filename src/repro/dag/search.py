@@ -40,10 +40,47 @@ layers two reuse mechanisms on top of the exact solver:
   verification segment leaves every segment weight unchanged and costs a
   cache hit — no evaluation at all.
 
+Heterogeneous per-task costs
+----------------------------
+When the DAG carries per-task cost multipliers
+(:meth:`~repro.dag.workflow.WorkflowDAG.cost_profile`), both evaluation
+paths price them through a permuted :class:`~repro.core.costs.CostProfile`
+— the multiplier travels with the *task*, so reordering changes which
+position pays which checkpoint/verification/recovery cost.  This is what
+makes the order genuinely matter: on uniform-cost instances the optimal
+schedules are nearly order-insensitive (gains < 0.14%), with
+heterogeneous costs the search can park cheap-checkpoint tasks at the
+positions the schedule wants to protect.
+
+Join-shaped DAGs
+----------------
+A join graph (``n-1`` independent sources feeding one sink) is searched
+under the APDCM'15 **forever-vulnerable** objective instead
+(:class:`JoinObjective`, scored by :func:`repro.dag.join.evaluate_join`
+with ``rate = λ_f``, ``C = C_D``, ``R = R_D``): the state is an order
+*plus* per-source checkpoint decisions, and the moves are
+reposition-source (the decision travels with the source) and
+flip-decision.  :func:`search_order` dispatches on
+:meth:`~repro.dag.workflow.WorkflowDAG.is_join` automatically.
+
+Multi-start, crossover, parallelism
+-----------------------------------
+The climbs start from every fixed heuristic order (including the
+critical-path / bottom-level priority rules) plus random restarts; each
+start draws its moves from an independently spawned child seed, so the
+result is reproducible for a fixed ``(seed, n_jobs)`` — in fact invariant
+in ``n_jobs``, which only shards the start climbs across worker
+processes.  Elite survivors are then recombined with a
+precedence-preserving one-point order crossover (MoRoTA-style: a prefix
+of one parent completed in the other parent's relative order is always a
+valid linear extension) and the children are climbed too.
+
 The winning order can optionally be **certified** by replaying it through
 the batched adaptive Monte-Carlo engine (``certify=True``; the array-API
-``backend=`` is threaded through), attaching an analytic-vs-simulated
-agreement stamp to the result.
+``backend=`` is threaded through; heterogeneous cost profiles are priced
+in the simulation as well), attaching an analytic-vs-simulated agreement
+stamp to the result.  Join winners are certified against
+:func:`repro.dag.join.simulate_join` instead.
 """
 
 from __future__ import annotations
@@ -55,27 +92,44 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..chains import TaskChain
+from ..core.costs import CostProfile
 from ..core.evaluator import evaluate_schedule
 from ..core.result import Solution
+from ..core.schedule import Schedule
 from ..core.solver import optimize
 from ..exceptions import InvalidParameterError
 from ..platforms import Platform
+from .join import (
+    JoinInstance,
+    JoinSchedule,
+    evaluate_join,
+    join_from_dag,
+    join_sources,
+    simulate_join,
+    threshold_join,
+)
 from .linearize import DagSolution, candidate_orders
-from .workflow import WorkflowDAG
+from .workflow import WorkflowDAG, canonical_node_key
 
 __all__ = [
     "ChainObjective",
+    "JoinObjective",
+    "JoinDagSolution",
     "SearchResult",
     "adjacent_swaps",
     "apply_reinsertion",
     "apply_swap",
+    "crossover_orders",
     "hill_climb",
+    "join_neighborhood",
     "neighborhood",
+    "random_join_neighbor",
     "random_neighbor",
     "random_order",
     "reinsertion_window",
     "search_order",
     "simulated_annealing",
+    "uses_join_objective",
     "SEARCH_METHODS",
 ]
 
@@ -200,10 +254,16 @@ def random_neighbor(
 def random_order(
     dag: WorkflowDAG, rng: np.random.Generator
 ) -> list[Hashable]:
-    """A uniformly-random-ish topological order (random ready-task picks)."""
+    """A uniformly-random-ish topological order (random ready-task picks).
+
+    The initial ready set is put in canonical node order
+    (:func:`~repro.dag.workflow.canonical_node_key`) so a given ``rng``
+    state maps to the same order regardless of dict/graph insertion
+    history — and numerically, not by ``repr`` (``t2`` before ``t10``).
+    """
     graph = dag.graph
     indeg = {v: graph.in_degree(v) for v in graph}
-    ready = sorted((v for v in graph if indeg[v] == 0), key=repr)
+    ready = sorted((v for v in graph if indeg[v] == 0), key=canonical_node_key)
     order: list[Hashable] = []
     while ready:
         v = ready.pop(int(rng.integers(len(ready))))
@@ -213,6 +273,26 @@ def random_order(
             if indeg[w] == 0:
                 ready.append(w)
     return order
+
+
+def crossover_orders(
+    a: Sequence[Hashable], b: Sequence[Hashable], cut: int
+) -> list[Hashable]:
+    """Precedence-preserving one-point order crossover (OX).
+
+    The child copies ``a[:cut]`` and completes it with the remaining
+    tasks *in the relative order of* ``b``.  If ``a`` and ``b`` are
+    topological orders of the same DAG the child is one too: a prefix of
+    ``a`` is closed under predecessors, and any edge with both endpoints
+    in the suffix appears in ``b``'s (topological) relative order.
+    """
+    if not 0 <= cut <= len(a):
+        raise InvalidParameterError(
+            f"crossover cut must be in [0, {len(a)}], got {cut}"
+        )
+    prefix = list(a[:cut])
+    taken = set(prefix)
+    return prefix + [v for v in b if v not in taken]
 
 
 # ----------------------------------------------------------------------
@@ -227,6 +307,14 @@ class ChainObjective:
     upper bound on ``exact(order).expected_time``, memoized on the
     verification-segment weight vector.  Counters expose the work done so
     benchmarks and diagnostics can report evaluation rates and hit ratios.
+
+    Heterogeneous DAGs (per-task cost multipliers) are priced through a
+    :class:`~repro.core.costs.CostProfile` permuted with each order; the
+    memo keys then carry the serialised multiplier vector too, because
+    two orders with equal weights can still pay different costs.  The
+    frozen-schedule bound stays sound: the reference's action sequence is
+    one feasible schedule for the neighbor *under the neighbor's permuted
+    costs*, so its evaluation upper-bounds the neighbor's optimum.
     """
 
     def __init__(
@@ -239,6 +327,12 @@ class ChainObjective:
         self.dag = dag
         self.platform = platform
         self.algorithm = algorithm
+        self.heterogeneous = dag.has_heterogeneous_costs()
+        self._multiplier = (
+            {v: dag.cost_multiplier(v) for v in dag.graph}
+            if self.heterogeneous
+            else None
+        )
         self._exact: dict[bytes, Solution] = {}
         self._bounds: dict[tuple[bytes, bytes], float] = {}
         self._stops: dict[bytes, np.ndarray] = {}
@@ -250,6 +344,21 @@ class ChainObjective:
     # -- helpers -------------------------------------------------------
     def weights_of(self, order: Sequence[Hashable]) -> np.ndarray:
         return np.asarray([self.dag.weight(v) for v in order], dtype=np.float64)
+
+    def multipliers_of(self, order: Sequence[Hashable]) -> np.ndarray | None:
+        """Per-position cost multipliers (``None`` on homogeneous DAGs)."""
+        if self._multiplier is None:
+            return None
+        return np.asarray(
+            [self._multiplier[v] for v in order], dtype=np.float64
+        )
+
+    def costs_of(self, order: Sequence[Hashable]) -> CostProfile | None:
+        """The order's permuted cost profile (``None`` = uniform model)."""
+        mult = self.multipliers_of(order)
+        if mult is None:
+            return None
+        return CostProfile.scaled(self.platform, mult)
 
     @property
     def orders_scored(self) -> int:
@@ -265,13 +374,23 @@ class ChainObjective:
     def exact(self, order: Sequence[Hashable]) -> Solution:
         """Optimal chain solution for this serialisation (memoized)."""
         weights = self.weights_of(order)
-        key = weights.tobytes()
+        mult = self.multipliers_of(order)
+        key = (
+            weights.tobytes()
+            if mult is None
+            else weights.tobytes() + b"|" + mult.tobytes()
+        )
         cached = self._exact.get(key)
         if cached is not None:
             self.exact_cache_hits += 1
             return cached
         _, chain = self.dag.serialise(list(order))
-        solution = optimize(chain, self.platform, algorithm=self.algorithm)
+        solution = optimize(
+            chain,
+            self.platform,
+            algorithm=self.algorithm,
+            costs=self.costs_of(order),
+        )
         self._exact[key] = solution
         self.exact_evaluations += 1
         return solution
@@ -306,13 +425,27 @@ class ChainObjective:
         stops = self._stop_positions(reference, schedule_key)
         prefix = np.concatenate(([0.0], np.cumsum(weights)))
         segments = prefix[stops[1:]] - prefix[stops[:-1]]
-        key = (schedule_key, segments.tobytes())
+        mult = self.multipliers_of(order)
+        # heterogeneous costs break the segment-weights sufficiency (a
+        # move inside one verification segment relocates which position
+        # pays which cost), so the memo key grows the multiplier vector
+        segment_key = (
+            segments.tobytes()
+            if mult is None
+            else segments.tobytes() + b"|" + mult.tobytes()
+        )
+        key = (schedule_key, segment_key)
         cached = self._bounds.get(key)
         if cached is not None:
             self.bound_cache_hits += 1
             return cached
         value = evaluate_schedule(
-            TaskChain(weights), self.platform, reference.schedule
+            TaskChain(weights),
+            self.platform,
+            reference.schedule,
+            costs=None if mult is None else CostProfile.scaled(
+                self.platform, mult
+            ),
         ).expected_time
         self._bounds[key] = value
         self.bound_evaluations += 1
@@ -433,6 +566,226 @@ def simulated_annealing(
 SEARCH_METHODS = ("hill_climb", "anneal", "hybrid")
 
 
+# ----------------------------------------------------------------------
+# join-aware search (APDCM'15 forever-vulnerable objective)
+# ----------------------------------------------------------------------
+class JoinObjective:
+    """Memoized exact objective over join states (order + decisions).
+
+    :func:`repro.dag.join.evaluate_join` is an exact ``O(n)`` closed
+    form, so unlike :class:`ChainObjective` there is no DP/bound split —
+    every state is priced exactly and memoized on the
+    ``(order, checkpoint)`` tuple.  The *forever-vulnerable* semantics
+    are what make order search worthwhile here: an unprotected source
+    inflates every later segment, so repositioning sources interacts
+    with the checkpoint decisions.
+    """
+
+    def __init__(self, instance: JoinInstance) -> None:
+        self.instance = instance
+        self._memo: dict[tuple, float] = {}
+        self.evaluations = 0
+        self.cache_hits = 0
+
+    def value(self, schedule: JoinSchedule) -> float:
+        key = (schedule.order, schedule.checkpoint)
+        cached = self._memo.get(key)
+        if cached is not None:
+            self.cache_hits += 1
+            return cached
+        v = evaluate_join(self.instance, schedule)
+        self._memo[key] = v
+        self.evaluations += 1
+        return v
+
+    @property
+    def orders_scored(self) -> int:
+        return self.evaluations + self.cache_hits
+
+
+def join_neighborhood(schedule: JoinSchedule) -> Iterator[JoinSchedule]:
+    """All single-move neighbors of a join state.
+
+    Two move families, mirroring the chain search's precedence moves:
+
+    * **flip-decision** — toggle one source's checkpoint bit;
+    * **reposition-source** — move one source to another position, its
+      decision travelling with it (sources are independent, so every
+      permutation is feasible; only the sink is pinned last).
+    """
+    n = len(schedule.order)
+    for i in range(n):
+        flipped = list(schedule.checkpoint)
+        flipped[i] = not flipped[i]
+        yield JoinSchedule(schedule.order, tuple(flipped))
+    for i in range(n):
+        for j in range(n):
+            if j == i:
+                continue
+            order = list(schedule.order)
+            decisions = list(schedule.checkpoint)
+            src = order.pop(i)
+            dec = decisions.pop(i)
+            order.insert(j, src)
+            decisions.insert(j, dec)
+            yield JoinSchedule(tuple(order), tuple(decisions))
+
+
+def random_join_neighbor(
+    schedule: JoinSchedule,
+    rng: np.random.Generator,
+    *,
+    p_flip: float = 0.5,
+) -> JoinSchedule:
+    """One uniformly-drawn join move (flip with probability ``p_flip``)."""
+    n = len(schedule.order)
+    if n < 2 or rng.random() < p_flip:
+        i = int(rng.integers(n))
+        flipped = list(schedule.checkpoint)
+        flipped[i] = not flipped[i]
+        return JoinSchedule(schedule.order, tuple(flipped))
+    i = int(rng.integers(n))
+    j = int(rng.integers(n - 1))
+    if j >= i:
+        j += 1
+    order = list(schedule.order)
+    decisions = list(schedule.checkpoint)
+    src = order.pop(i)
+    dec = decisions.pop(i)
+    order.insert(j, src)
+    decisions.insert(j, dec)
+    return JoinSchedule(tuple(order), tuple(decisions))
+
+
+def _join_hill_climb(
+    objective: JoinObjective,
+    schedule: JoinSchedule,
+    *,
+    max_rounds: int = 200,
+) -> tuple[JoinSchedule, float, int]:
+    """Steepest descent over flips + repositions; exact values only."""
+    value = objective.value(schedule)
+    rounds = 0
+    for _ in range(max_rounds):
+        best_value, best_schedule = value, schedule
+        for cand in join_neighborhood(schedule):
+            v = objective.value(cand)
+            if _improves(v, best_value):
+                best_value, best_schedule = v, cand
+        if not _improves(best_value, value):
+            break
+        value, schedule = best_value, best_schedule
+        rounds += 1
+    return schedule, value, rounds
+
+
+def _join_anneal(
+    objective: JoinObjective,
+    schedule: JoinSchedule,
+    rng: np.random.Generator,
+    *,
+    iterations: int = 400,
+    cooling: float = 0.99,
+) -> tuple[JoinSchedule, float, int]:
+    """Metropolis walk over join states; returns the best state visited."""
+    value = objective.value(schedule)
+    best_schedule, best_value = schedule, value
+    temperature = 0.02 * value
+    accepted = 0
+    for _ in range(iterations):
+        cand = random_join_neighbor(schedule, rng)
+        v = objective.value(cand)
+        delta = v - value
+        if delta <= 0.0 or rng.random() < math.exp(
+            -delta / max(temperature, 1e-300)
+        ):
+            schedule, value = cand, v
+            accepted += 1
+            if _improves(value, best_value):
+                best_schedule, best_value = schedule, value
+        temperature *= cooling
+    return best_schedule, best_value, accepted
+
+
+class JoinDagSolution(DagSolution):
+    """A :class:`DagSolution` priced under the join model.
+
+    ``expected_time`` is :func:`repro.dag.join.evaluate_join`'s
+    forever-vulnerable value (fail-stop errors only, single disk level)
+    — *not* the chain evaluator's value for ``schedule``.  The chain
+    ``schedule`` renders the decisions in chain notation (``D`` after
+    each checkpointed source, the sink unprotected); ``join_schedule``
+    and ``decisions`` carry the native representation.
+    """
+
+    join_schedule: JoinSchedule
+    decisions: dict
+    instance: JoinInstance
+
+    def __init__(
+        self,
+        order: list[Hashable],
+        base: Solution,
+        join_schedule: JoinSchedule,
+        decisions: dict,
+        instance: JoinInstance,
+    ) -> None:
+        super().__init__(order, base)
+        object.__setattr__(self, "join_schedule", join_schedule)
+        object.__setattr__(self, "decisions", decisions)
+        object.__setattr__(self, "instance", instance)
+
+
+def _certify_join(
+    instance: JoinInstance,
+    schedule: JoinSchedule,
+    platform: Platform,
+    label: str,
+    *,
+    analytic: float,
+    target_ci: float,
+    max_runs: int,
+    seed: int,
+):
+    """Monte-Carlo agreement stamp for a join schedule.
+
+    Replays the schedule through :func:`repro.dag.join.simulate_join` in
+    geometrically growing rounds until the relative CI half-width on the
+    mean reaches ``target_ci`` (or ``max_runs`` caps the spend) — the
+    join-model analogue of the adaptive chain certification.
+    """
+    from ..experiments.common import AgreementStamp
+    from ..simulation.stats import summarize
+
+    rng = np.random.default_rng(seed)
+    samples = np.empty(0, dtype=np.float64)
+    batch = 2000
+    while True:
+        batch = max(1, min(batch, max_runs - samples.size))
+        samples = np.concatenate(
+            [samples, simulate_join(instance, schedule, runs=batch, rng=rng)]
+        )
+        summary = summarize(samples)
+        if (
+            summary.relative_ci_half_width <= target_ci
+            or samples.size >= max_runs
+        ):
+            break
+        batch *= 2
+    return AgreementStamp(
+        platform=platform.name,
+        label=label,
+        analytic=analytic,
+        simulated=summary.mean,
+        relative_gap=(summary.mean - analytic) / analytic,
+        reps=int(samples.size),
+        relative_half_width=summary.relative_ci_half_width,
+        target_ci=target_ci,
+        agrees=summary.contains(analytic),
+        converged=summary.relative_ci_half_width <= target_ci,
+    )
+
+
 @dataclass(frozen=True)
 class SearchResult:
     """Outcome of :func:`search_order` with its work accounting."""
@@ -450,23 +803,261 @@ class SearchResult:
     bound_cache_hits: int
     start_values: dict[str, float] = field(default_factory=dict)
     certificate: object | None = None  #: AgreementStamp when certify=True
+    n_jobs: int | None = None  #: worker processes the start climbs used
+    recombined: int = 0  #: crossover children climbed
 
     @property
     def expected_time(self) -> float:
         return self.solution.expected_time
 
     def summary(self) -> str:
+        if self.algorithm == "join":
+            accounting = (
+                f"  states scored: {self.orders_scored} "
+                f"({self.exact_evaluations} join evaluations, "
+                f"{self.exact_cache_hits} cache hits)"
+            )
+        else:
+            accounting = (
+                f"  orders scored: {self.orders_scored} "
+                f"({self.exact_evaluations} exact DP solves, "
+                f"{self.bound_evaluations} frozen-schedule bounds, "
+                f"{self.exact_cache_hits + self.bound_cache_hits} cache hits)"
+            )
         lines = [
             f"order search ({self.method}, seed {self.seed}) over "
             f"{self.starts} starts: E[T] = {self.expected_time:.2f}s",
-            f"  orders scored: {self.orders_scored} "
-            f"({self.exact_evaluations} exact DP solves, "
-            f"{self.bound_evaluations} frozen-schedule bounds, "
-            f"{self.exact_cache_hits + self.bound_cache_hits} cache hits)",
+            accounting,
         ]
         if self.certificate is not None:
             lines.append(self.certificate.line())
         return "\n".join(lines)
+
+
+def _climb(
+    dag: WorkflowDAG,
+    objective: ChainObjective,
+    method: str,
+    start: Sequence[Hashable],
+    rng: np.random.Generator,
+    *,
+    iterations: int,
+    max_rounds: int,
+    polish_budget: int | None,
+) -> tuple[list[Hashable], Solution, int]:
+    """One climb (hill climbing or annealing, per ``method``)."""
+    if method == "anneal":
+        return simulated_annealing(
+            dag, objective, start, rng, iterations=iterations
+        )
+    return hill_climb(
+        dag,
+        objective,
+        start,
+        rng,
+        max_rounds=max_rounds,
+        polish_budget=polish_budget,
+    )
+
+
+def _climb_worker(payload: tuple):
+    """Process-pool entry point: one start climbed with a fresh objective.
+
+    Module-level so it pickles; each worker builds its own
+    :class:`ChainObjective` (memos are value-transparent, so private
+    caches change the work accounting but never the result) and returns
+    its counters for merging.
+    """
+    (
+        dag,
+        platform,
+        algorithm,
+        method,
+        start,
+        seed_seq,
+        iterations,
+        max_rounds,
+        polish_budget,
+    ) = payload
+    objective = ChainObjective(dag, platform, algorithm=algorithm)
+    order, solution, rounds = _climb(
+        dag,
+        objective,
+        method,
+        start,
+        np.random.default_rng(seed_seq),
+        iterations=iterations,
+        max_rounds=max_rounds,
+        polish_budget=polish_budget,
+    )
+    counters = (
+        objective.exact_evaluations,
+        objective.exact_cache_hits,
+        objective.bound_evaluations,
+        objective.bound_cache_hits,
+    )
+    return order, solution, rounds, counters
+
+
+def uses_join_objective(dag: WorkflowDAG) -> bool:
+    """Will :func:`search_order` price ``dag`` under the join objective?
+
+    True exactly when the join model applies: join-shaped, at least two
+    sources (single tasks and 2-node chains are degenerate-join-shaped
+    but keep the chain model, whose values stay comparable across
+    strategies), and uniform costs (the join model has one scalar ``C``,
+    so heterogeneous DAGs keep the cost-pricing chain objective).
+    """
+    return dag.is_join() and dag.n >= 3 and not dag.has_heterogeneous_costs()
+
+
+def _search_join_order(
+    dag: WorkflowDAG,
+    platform: Platform,
+    *,
+    method: str,
+    seed: int,
+    restarts: int,
+    iterations: int,
+    max_rounds: int,
+    certify: bool,
+    target_ci: float,
+    certify_runs: int,
+) -> SearchResult:
+    """Join-shaped dispatch target of :func:`search_order`.
+
+    Searches (source order, checkpoint decisions) jointly under the
+    forever-vulnerable join objective.  The platform maps onto the join
+    model's fail-stop parameters as ``rate = λ_f``, ``C = C_D``,
+    ``R = R_D``; silent-error handling does not exist in the APDCM'15
+    model, so ``λ_s`` is deliberately ignored.
+    """
+    instance = join_from_dag(
+        dag, rate=platform.lf, C=platform.CD, R=platform.RD
+    )
+    sources = join_sources(dag)
+    sink = dag.sinks()[0]
+    n = instance.n_sources
+    objective = JoinObjective(instance)
+
+    ss_starts, ss_climbs, ss_anneal = np.random.SeedSequence(seed).spawn(3)
+    _, thr = threshold_join(instance)
+    starts: list[tuple[str, JoinSchedule]] = [("threshold", thr)]
+    for label, sign in (("heavy-first", -1.0), ("light-first", 1.0)):
+        order = tuple(
+            sorted(range(n), key=lambda i: sign * instance.source_weights[i])
+        )
+        # decisions travel with the sources (thr uses the natural order,
+        # so thr.checkpoint[src] is src's own decision)
+        decisions = tuple(thr.checkpoint[src] for src in order)
+        starts.append((label, JoinSchedule(order, decisions)))
+    start_rng = np.random.default_rng(ss_starts)
+    for r in range(max(0, restarts)):
+        order = tuple(int(x) for x in start_rng.permutation(n))
+        decisions = tuple(bool(b) for b in start_rng.random(n) < 0.5)
+        starts.append((f"random-{r}", JoinSchedule(order, decisions)))
+
+    best_schedule: JoinSchedule | None = None
+    best_value = math.inf
+    rounds_total = 0
+    start_values: dict[str, float] = {}
+    for (label, start), climb_seed in zip(starts, ss_climbs.spawn(len(starts))):
+        if method == "anneal":
+            sched, value, rounds = _join_anneal(
+                objective,
+                start,
+                np.random.default_rng(climb_seed),
+                iterations=iterations,
+            )
+        else:
+            sched, value, rounds = _join_hill_climb(
+                objective, start, max_rounds=max_rounds
+            )
+        start_values[label] = value
+        rounds_total += rounds
+        if best_schedule is None or _improves(value, best_value):
+            best_schedule, best_value = sched, value
+    assert best_schedule is not None
+
+    if method == "hybrid":
+        sched, value, rounds = _join_anneal(
+            objective,
+            best_schedule,
+            np.random.default_rng(ss_anneal),
+            iterations=iterations,
+        )
+        rounds_total += rounds
+        start_values["anneal"] = value
+        if _improves(value, best_value):
+            best_schedule, best_value = sched, value
+
+    order_nodes = [sources[i] for i in best_schedule.order] + [sink]
+    _, chain = dag.serialise(order_nodes)
+    schedule = Schedule.from_positions(
+        chain.n,
+        disk=[
+            pos + 1
+            for pos, decided in enumerate(best_schedule.checkpoint)
+            if decided
+        ],
+    )
+    base = Solution(
+        algorithm="join",
+        chain=chain,
+        platform=platform,
+        expected_time=best_value,
+        schedule=schedule,
+    )
+    solution = JoinDagSolution(
+        order_nodes,
+        base,
+        best_schedule,
+        {
+            sources[src]: decided
+            for src, decided in zip(best_schedule.order, best_schedule.checkpoint)
+        },
+        instance,
+    )
+    solution.diagnostics.update(
+        search_method=method,
+        search_seed=seed,
+        search_starts=len(starts),
+        search_exact_evaluations=objective.evaluations,
+        search_bound_evaluations=0,
+        join_rate=instance.rate,
+        join_C=instance.C,
+        join_R=instance.R,
+        join_checkpoints=best_schedule.n_checkpoints,
+    )
+
+    certificate = None
+    if certify:
+        certificate = _certify_join(
+            instance,
+            best_schedule,
+            platform,
+            label=f"{dag.name} join order",
+            analytic=best_value,
+            target_ci=target_ci,
+            max_runs=certify_runs,
+            seed=seed,
+        )
+
+    return SearchResult(
+        solution=solution,
+        method=method,
+        seed=seed,
+        algorithm="join",
+        starts=len(starts),
+        rounds=rounds_total,
+        orders_scored=objective.orders_scored,
+        exact_evaluations=objective.evaluations,
+        exact_cache_hits=objective.cache_hits,
+        bound_evaluations=0,
+        bound_cache_hits=0,
+        start_values=start_values,
+        certificate=certificate,
+    )
 
 
 def search_order(
@@ -485,8 +1076,23 @@ def search_order(
     backend: str | None = None,
     target_ci: float = 0.01,
     certify_runs: int = 200_000,
+    n_jobs: int | None = None,
+    recombine: int = 2,
 ) -> SearchResult:
     """Best serialisation of ``dag`` found by metaheuristic order search.
+
+    Join-shaped DAGs (:meth:`WorkflowDAG.is_join`) dispatch to the
+    APDCM'15 join objective — orders *plus* per-source checkpoint
+    decisions under forever-vulnerable semantics — when the join model
+    actually applies: at least two sources (a single task or a 2-node
+    chain is degenerate-join-shaped but stays on the chain model, whose
+    values remain comparable across strategies) and uniform costs (the
+    join model has one scalar ``C``, so heterogeneous DAGs keep the
+    chain objective, which does price the multipliers).  Passing an
+    explicit ``objective`` also pins chain semantics.  The join path
+    evaluates states exactly in ``O(n)``, so ``n_jobs``/``recombine``
+    (and ``algorithm``/``polish_budget``/``backend``) do not apply and
+    are ignored there.
 
     Parameters
     ----------
@@ -498,50 +1104,121 @@ def search_order(
         — hill climbing from every start, then one annealing walk from
         its winner.
     seed:
-        Single seed pinning every random choice (restart orders, move
-        sampling, annealing acceptances).
+        Single seed pinning every random choice.  Each start climbs with
+        an independently spawned child seed, so results are reproducible
+        for a fixed ``(seed, n_jobs)`` — and in fact invariant in
+        ``n_jobs``, which only shards the start climbs across processes.
+    n_jobs:
+        Worker processes for the start climbs (``None``/1 = in-process,
+        sharing one memoized objective).  Workers use private memos, so
+        the work *accounting* differs from the in-process run but the
+        winning order and value do not.
+    recombine:
+        Crossover children to breed from the elite start-climb results
+        (precedence-preserving one-point OX, decisions N/A on chains);
+        each child is climbed like a start.  0 disables recombination.
     objective:
         Pluggable evaluation — pass a prepared :class:`ChainObjective`
         (e.g. shared across calls to reuse its memo) or leave ``None`` to
-        build one for ``algorithm``.
+        build one for ``algorithm``.  Passing one also forces chain
+        semantics on join-shaped DAGs.
     certify:
         Replay the winning order through the batched adaptive Monte-Carlo
         engine until the mean is certified to ``target_ci`` (running on
-        the array-API ``backend``), attaching the agreement stamp.
+        the array-API ``backend``; heterogeneous cost profiles are priced
+        in the simulation too), attaching the agreement stamp.  Join
+        winners replay through :func:`repro.dag.join.simulate_join`.
     """
     if method not in SEARCH_METHODS:
         raise InvalidParameterError(
             f"unknown search method {method!r}; expected one of {SEARCH_METHODS}"
         )
+    if objective is None and uses_join_objective(dag):
+        return _search_join_order(
+            dag,
+            platform,
+            method=method,
+            seed=seed,
+            restarts=restarts,
+            iterations=iterations,
+            max_rounds=max_rounds,
+            certify=certify,
+            target_ci=target_ci,
+            certify_runs=certify_runs,
+        )
     if objective is None:
         objective = ChainObjective(dag, platform, algorithm=algorithm)
-    rng = np.random.default_rng(seed)
 
+    ss_starts, ss_climbs, ss_recombine, ss_anneal = np.random.SeedSequence(
+        seed
+    ).spawn(4)
+    start_rng = np.random.default_rng(ss_starts)
     starts: list[tuple[str, list[Hashable]]] = [
         (f"heuristic-{k}", order)
         for k, order in enumerate(candidate_orders(dag, "auto"))
     ]
     for r in range(max(0, restarts)):
-        starts.append((f"random-{r}", random_order(dag, rng)))
+        starts.append((f"random-{r}", random_order(dag, start_rng)))
+    climb_seeds = ss_climbs.spawn(len(starts))
+    climb_kwargs = dict(
+        iterations=iterations,
+        max_rounds=max_rounds,
+        polish_budget=polish_budget,
+    )
+
+    results: list[tuple[str, list[Hashable], Solution, int]] = []
+    pool_counters = np.zeros(4, dtype=np.int64)
+    # pool workers rebuild a *stock* ChainObjective from the algorithm
+    # name, so a caller-supplied objective (possibly a subclass with its
+    # own pricing) must keep every climb in-process to stay authoritative
+    use_pool = (
+        n_jobs is not None
+        and n_jobs > 1
+        and len(starts) > 1
+        and type(objective) is ChainObjective
+    )
+    if use_pool:
+        from concurrent.futures import ProcessPoolExecutor
+
+        payloads = [
+            (
+                dag,
+                platform,
+                objective.algorithm,
+                method,
+                start,
+                climb_seed,
+                iterations,
+                max_rounds,
+                polish_budget,
+            )
+            for (_, start), climb_seed in zip(starts, climb_seeds)
+        ]
+        with ProcessPoolExecutor(
+            max_workers=min(n_jobs, len(starts))
+        ) as pool:
+            for (label, _), (order, solution, rounds, counters) in zip(
+                starts, pool.map(_climb_worker, payloads)
+            ):
+                results.append((label, order, solution, rounds))
+                pool_counters += np.asarray(counters, dtype=np.int64)
+    else:
+        for (label, start), climb_seed in zip(starts, climb_seeds):
+            order, solution, rounds = _climb(
+                dag,
+                objective,
+                method,
+                start,
+                np.random.default_rng(climb_seed),
+                **climb_kwargs,
+            )
+            results.append((label, order, solution, rounds))
 
     best_order: list[Hashable] | None = None
     best_solution: Solution | None = None
     rounds_total = 0
     start_values: dict[str, float] = {}
-    for label, start in starts:
-        if method == "anneal":
-            order, solution, rounds = simulated_annealing(
-                dag, objective, start, rng, iterations=iterations
-            )
-        else:
-            order, solution, rounds = hill_climb(
-                dag,
-                objective,
-                start,
-                rng,
-                max_rounds=max_rounds,
-                polish_budget=polish_budget,
-            )
+    for label, order, solution, rounds in results:
         start_values[label] = solution.expected_time
         rounds_total += rounds
         if best_solution is None or _improves(
@@ -550,22 +1227,67 @@ def search_order(
             best_order, best_solution = order, solution
     assert best_order is not None and best_solution is not None
 
+    # -- elite recombination (precedence-preserving one-point OX) ------
+    recombined = 0
+    if recombine > 0 and dag.n >= 2:
+        elites: list[list[Hashable]] = []
+        for _, order, solution, _ in sorted(
+            results, key=lambda r: r[2].expected_time
+        ):
+            if order not in elites:
+                elites.append(order)
+            if len(elites) >= 4:
+                break
+        if len(elites) >= 2:
+            seeds = ss_recombine.spawn(recombine + 1)
+            select_rng = np.random.default_rng(seeds[0])
+            for c in range(recombine):
+                a, b = select_rng.choice(len(elites), size=2, replace=False)
+                cut = int(select_rng.integers(1, dag.n))
+                child = crossover_orders(elites[int(a)], elites[int(b)], cut)
+                order, solution, rounds = _climb(
+                    dag,
+                    objective,
+                    method,
+                    child,
+                    np.random.default_rng(seeds[c + 1]),
+                    **climb_kwargs,
+                )
+                start_values[f"crossover-{c}"] = solution.expected_time
+                rounds_total += rounds
+                recombined += 1
+                if _improves(
+                    solution.expected_time, best_solution.expected_time
+                ):
+                    best_order, best_solution = order, solution
+
     if method == "hybrid":
         order, solution, rounds = simulated_annealing(
-            dag, objective, best_order, rng, iterations=iterations
+            dag,
+            objective,
+            best_order,
+            np.random.default_rng(ss_anneal),
+            iterations=iterations,
         )
         rounds_total += rounds
         start_values["anneal"] = solution.expected_time
         if _improves(solution.expected_time, best_solution.expected_time):
             best_order, best_solution = order, solution
 
+    exact_evaluations = objective.exact_evaluations + int(pool_counters[0])
+    exact_cache_hits = objective.exact_cache_hits + int(pool_counters[1])
+    bound_evaluations = objective.bound_evaluations + int(pool_counters[2])
+    bound_cache_hits = objective.bound_cache_hits + int(pool_counters[3])
+
     dag_solution = DagSolution(best_order, best_solution)
     dag_solution.diagnostics.update(
         search_method=method,
         search_seed=seed,
         search_starts=len(starts),
-        search_exact_evaluations=objective.exact_evaluations,
-        search_bound_evaluations=objective.bound_evaluations,
+        search_exact_evaluations=exact_evaluations,
+        search_bound_evaluations=bound_evaluations,
+        search_n_jobs=n_jobs,
+        search_recombined=recombined,
     )
 
     certificate = None
@@ -582,6 +1304,7 @@ def search_order(
             seed=seed,
             backend=backend,
             max_runs=certify_runs,
+            costs=dag.cost_profile(list(best_order), platform),
         )
 
     return SearchResult(
@@ -591,11 +1314,18 @@ def search_order(
         algorithm=objective.algorithm,
         starts=len(starts),
         rounds=rounds_total,
-        orders_scored=objective.orders_scored,
-        exact_evaluations=objective.exact_evaluations,
-        exact_cache_hits=objective.exact_cache_hits,
-        bound_evaluations=objective.bound_evaluations,
-        bound_cache_hits=objective.bound_cache_hits,
+        orders_scored=(
+            exact_evaluations
+            + exact_cache_hits
+            + bound_evaluations
+            + bound_cache_hits
+        ),
+        exact_evaluations=exact_evaluations,
+        exact_cache_hits=exact_cache_hits,
+        bound_evaluations=bound_evaluations,
+        bound_cache_hits=bound_cache_hits,
         start_values=start_values,
         certificate=certificate,
+        n_jobs=n_jobs,
+        recombined=recombined,
     )

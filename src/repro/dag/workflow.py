@@ -15,6 +15,7 @@ to the linear-chain machinery (:meth:`WorkflowDAG.serialise`).
 from __future__ import annotations
 
 import math
+import re
 from collections.abc import Hashable, Iterable, Mapping
 
 import networkx as nx
@@ -22,7 +23,32 @@ import networkx as nx
 from ..chains import TaskChain
 from ..exceptions import InvalidChainError
 
-__all__ = ["WorkflowDAG"]
+__all__ = ["WorkflowDAG", "canonical_node_key"]
+
+_DIGIT_RUN = re.compile(r"(\d+)")
+
+
+def canonical_node_key(node: Hashable) -> tuple:
+    """Numeric-aware canonical sort key for task names.
+
+    The canonical node order sorts on ``str(node)`` split into digit and
+    non-digit runs, with digit runs compared *numerically*: ``"t2"``
+    sorts before ``"t10"`` (a plain lexicographic/``repr`` sort puts
+    ``"t10"`` first, silently diverging from generator node indices).
+    Every deterministic tie-break over DAG nodes — join source
+    enumeration, ready-set ordering, greedy-heuristic ties — must use
+    this key so that node order always matches the numeric intuition.
+
+    Digit runs sort before non-digit runs at the same position, and a
+    final ``repr`` component disambiguates distinct nodes whose ``str``
+    forms collide (e.g. ``1`` vs ``"1"``), keeping the order total.
+    """
+    chunks = tuple(
+        (0, int(run), "") if run.isdigit() else (1, 0, run)
+        for run in _DIGIT_RUN.split(str(node))
+        if run
+    )
+    return (chunks, repr(node))
 
 
 class WorkflowDAG:
@@ -36,6 +62,13 @@ class WorkflowDAG:
         Iterable of ``(u, v)`` precedence pairs (``u`` before ``v``).
     name:
         Optional label.
+    cost_multipliers:
+        Optional mapping from task name to a positive cost multiplier
+        scaling every resilience cost that task pays (checkpoints,
+        verifications, recoveries — the output-size semantics of
+        :meth:`~repro.core.costs.CostProfile.proportional_to_output`).
+        Missing tasks default to 1.0 (the platform's scalar costs); an
+        all-ones mapping is the paper's uniform model.
 
     Examples
     --------
@@ -52,6 +85,7 @@ class WorkflowDAG:
         weights: Mapping[Hashable, float],
         edges: Iterable[tuple[Hashable, Hashable]] = (),
         name: str = "",
+        cost_multipliers: Mapping[Hashable, float] | None = None,
     ) -> None:
         if not weights:
             raise InvalidChainError("a workflow needs at least one task")
@@ -62,6 +96,17 @@ class WorkflowDAG:
                     f"task {node!r} weight must be positive and finite, got {w!r}"
                 )
             graph.add_node(node, weight=float(w))
+        for node, m in (cost_multipliers or {}).items():
+            if node not in graph:
+                raise InvalidChainError(
+                    f"cost multiplier references an unknown task {node!r}"
+                )
+            if not (isinstance(m, (int, float)) and math.isfinite(m) and m > 0):
+                raise InvalidChainError(
+                    f"task {node!r} cost multiplier must be positive and "
+                    f"finite, got {m!r}"
+                )
+            graph.nodes[node]["cost"] = float(m)
         for u, v in edges:
             if u not in graph or v not in graph:
                 raise InvalidChainError(
@@ -87,6 +132,33 @@ class WorkflowDAG:
     def weight(self, node: Hashable) -> float:
         """Weight of one task."""
         return float(self.graph.nodes[node]["weight"])
+
+    def cost_multiplier(self, node: Hashable) -> float:
+        """Resilience-cost multiplier of one task (1.0 = platform scalars)."""
+        return float(self.graph.nodes[node].get("cost", 1.0))
+
+    def has_heterogeneous_costs(self) -> bool:
+        """True when any task carries a cost multiplier != 1.0."""
+        return any(
+            d.get("cost", 1.0) != 1.0 for _, d in self.graph.nodes(data=True)
+        )
+
+    def cost_profile(self, order: list[Hashable], platform) -> "object | None":
+        """Per-position :class:`~repro.core.costs.CostProfile` for ``order``.
+
+        Each serialised position pays the platform's scalar costs scaled
+        by the task's multiplier, so the profile *permutes with the
+        order* — heterogeneity is attached to tasks, not chain slots.
+        Returns ``None`` for homogeneous DAGs (the uniform paper model),
+        which keeps every downstream memo and fast path unchanged.
+        """
+        if not self.has_heterogeneous_costs():
+            return None
+        from ..core.costs import CostProfile
+
+        return CostProfile.scaled(
+            platform, [self.cost_multiplier(v) for v in order]
+        )
 
     @property
     def total_weight(self) -> float:
@@ -167,7 +239,8 @@ class WorkflowDAG:
         ----------
         order:
             Explicit topological order; validated.  Default: deterministic
-            (lexicographic) topological sort.
+            topological sort tie-broken by the numeric-aware
+            :func:`canonical_node_key` (so ``t2`` precedes ``t10``).
 
         Returns
         -------
@@ -175,9 +248,15 @@ class WorkflowDAG:
             The order used and the weight chain in that order.
         """
         if order is None:
-            order = list(nx.lexicographical_topological_sort(self.graph))
+            order = list(
+                nx.lexicographical_topological_sort(
+                    self.graph, key=canonical_node_key
+                )
+            )
         else:
-            if sorted(order, key=repr) != sorted(self.graph.nodes, key=repr):
+            # multiset equality without sorting: node identity is what
+            # matters here, not any particular canonical order
+            if len(order) != self.n or set(order) != set(self.graph.nodes):
                 raise InvalidChainError(
                     "order must contain every task exactly once"
                 )
@@ -198,12 +277,22 @@ class WorkflowDAG:
     # serialization (CLI / JSON round-trip)
     # ------------------------------------------------------------------
     def as_dict(self) -> dict:
-        """JSON-safe document: name, per-task weights, edge list."""
-        return {
+        """JSON-safe document: name, per-task weights, edge list.
+
+        Heterogeneous DAGs additionally carry a ``"cost_multipliers"``
+        mapping; homogeneous ones omit it so PR-4-era documents stay
+        byte-identical.
+        """
+        doc = {
             "name": self.name,
             "tasks": {str(v): self.weight(v) for v in self.graph},
             "edges": [[str(u), str(v)] for u, v in self.graph.edges],
         }
+        if self.has_heterogeneous_costs():
+            doc["cost_multipliers"] = {
+                str(v): self.cost_multiplier(v) for v in self.graph
+            }
+        return doc
 
     @classmethod
     def from_dict(cls, doc: Mapping) -> "WorkflowDAG":
@@ -215,7 +304,12 @@ class WorkflowDAG:
             raise InvalidChainError(
                 f"workflow document needs 'tasks' and 'edges': {exc}"
             ) from None
-        return cls(tasks, edges, name=str(doc.get("name", "")))
+        return cls(
+            tasks,
+            edges,
+            name=str(doc.get("name", "")),
+            cost_multipliers=doc.get("cost_multipliers"),
+        )
 
     def __repr__(self) -> str:
         return (

@@ -98,12 +98,15 @@ def certify_solution(
     seed: int = 0,
     backend: str | None = None,
     max_runs: int = 1_000_000,
+    costs=None,
 ) -> AgreementStamp:
     """Replay ``solution`` adaptively and stamp its analytic agreement.
 
     ``backend`` selects the array-API backend the batched campaign runs on
     (``None`` = the ``REPRO_BACKEND`` / NumPy default); ``max_runs`` caps
-    the adaptive spend.
+    the adaptive spend; ``costs`` prices a heterogeneous per-task
+    :class:`~repro.core.costs.CostProfile` in the simulated campaign (it
+    must match the profile the analytic value was computed with).
     """
     from ..simulation import run_monte_carlo
 
@@ -116,6 +119,7 @@ def certify_solution(
         analytic=solution.expected_time,
         target_ci=target_ci,
         backend=backend,
+        costs=costs,
     )
     adaptive = mc.convergence
     return AgreementStamp(

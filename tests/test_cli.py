@@ -616,6 +616,93 @@ class TestSeedThreading:
         assert doc["seed"] == 4
         assert doc["validated_cells"]
 
+    def test_generate_heterogeneous_costs(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "dag", "generate", "--kind", "layered", "--tasks", "8",
+            "--layers", "2", "--cost-spread", "1.0", "--json",
+        )
+        assert code == 0
+        doc = json.loads(out)
+        assert len(doc["cost_multipliers"]) == 8
+        code, out, _ = run_cli(
+            capsys, "dag", "generate", "--kind", "layered", "--tasks", "8",
+            "--layers", "2", "--cost-spread", "1.0",
+        )
+        assert code == 0
+        assert "heterogeneous costs" in out
+
+    def test_generate_join_kind(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "dag", "generate", "--kind", "join", "--sources", "11",
+            "--json",
+        )
+        assert code == 0
+        doc = json.loads(out)
+        assert len(doc["tasks"]) == 12
+        assert all(edge[1] == "t11" for edge in doc["edges"])
+
+    def test_optimize_join_search_reports_decisions(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "dag", "optimize", "--kind", "join", "--sources", "5",
+            "--strategy", "search", "--json",
+        )
+        assert code == 0
+        doc = json.loads(out)
+        assert doc["search"]["objective"] == "join"
+        assert "checkpointed_sources" in doc["join"]
+        assert doc["join"]["C"] > 0
+
+    def test_optimize_search_accepts_jobs_and_recombine(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "dag", "optimize", "--kind", "layered", "--tasks", "7",
+            "--layers", "2", "--strategy", "search", "-a", "adv*",
+            "--recombine", "1", "--json",
+        )
+        assert code == 0
+        doc = json.loads(out)
+        assert doc["search"]["recombined"] == 1
+
+    def test_jobs_requires_search_strategy(self, capsys):
+        code, _, err = run_cli(
+            capsys, "dag", "optimize", "--kind", "fork_join", "--branches",
+            "2", "--branch-length", "1", "--jobs", "2",
+        )
+        assert code == 2
+        assert "--jobs" in err and "search" in err
+
+    def test_jobs_rejected_for_join_objective(self, capsys):
+        code, _, err = run_cli(
+            capsys, "dag", "optimize", "--kind", "join", "--sources", "4",
+            "--strategy", "search", "--jobs", "2",
+        )
+        assert code == 2
+        assert "join objective" in err
+
+    def test_optimize_hetero_fixed_strategy_certified(self, capsys):
+        # regression: the fixed-strategy certify path must price the
+        # heterogeneous cost profile too, or the stamp spuriously FAILs
+        code, out, _ = run_cli(
+            capsys, "dag", "optimize", "--kind", "layered", "--tasks", "6",
+            "--layers", "2", "--cost-spread", "1.0", "--strategy",
+            "heavy_first", "-a", "adv*", "--certify", "--target-ci", "0.05",
+            "--json",
+        )
+        assert code == 0
+        doc = json.loads(out)
+        assert doc["certificate"]["agrees"] is True
+
+    def test_optimize_hetero_search_certified(self, capsys):
+        # heterogeneous costs threaded end to end: search + MC stamp must
+        # agree (the certification prices the permuted cost profile)
+        code, out, _ = run_cli(
+            capsys, "dag", "optimize", "--kind", "layered", "--tasks", "6",
+            "--layers", "2", "--cost-spread", "1.0", "--strategy", "search",
+            "-a", "adv*", "--certify", "--target-ci", "0.05", "--json",
+        )
+        assert code == 0
+        doc = json.loads(out)
+        assert doc["certificate"]["agrees"] is True
+
     def test_dag_commands_accept_seed(self, capsys):
         for argv in (
             ("dag", "generate", "--seed", "2", "--json"),

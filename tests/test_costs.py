@@ -52,6 +52,24 @@ class TestCostProfileConstruction:
         with pytest.raises(InvalidParameterError):
             CostProfile.from_arrays(2, CD=[1, -1], CM=[1, 1])
 
+    def test_scaled_takes_multipliers_as_given(self, hot_platform):
+        profile = CostProfile.scaled(hot_platform, [1.0, 0.5, 4.0])
+        assert profile.n == 3
+        # NO mean normalisation: multiplier 1.0 pays the platform scalars
+        assert profile.CD[1] == pytest.approx(hot_platform.CD)
+        assert profile.CD[2] == pytest.approx(hot_platform.CD * 0.5)
+        assert profile.Vg[3] == pytest.approx(hot_platform.Vg * 4.0)
+        assert profile.RM[2] == pytest.approx(hot_platform.RM * 0.5)
+        assert profile.RD[0] == 0.0  # the virtual T0 still restarts free
+
+    def test_scaled_rejects_bad_multipliers(self, hot_platform):
+        with pytest.raises(InvalidParameterError, match="> 0"):
+            CostProfile.scaled(hot_platform, [1.0, 0.0])
+        with pytest.raises(InvalidParameterError, match="> 0"):
+            CostProfile.scaled(hot_platform, [1.0, float("nan")])
+        with pytest.raises(InvalidParameterError, match="1-D"):
+            CostProfile.scaled(hot_platform, [[1.0, 2.0]])
+
     def test_proportional_to_output(self, hot_platform):
         chain = TaskChain([10.0, 10.0, 10.0])
         profile = CostProfile.proportional_to_output(

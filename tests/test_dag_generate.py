@@ -39,9 +39,13 @@ def generator_call(draw):
     elif kind in ("in_tree", "out_tree"):
         kwargs["tasks"] = draw(st.integers(min_value=1, max_value=25))
         kwargs["arity"] = draw(st.integers(min_value=1, max_value=4))
+    elif kind == "join":
+        kwargs["sources"] = draw(st.integers(min_value=1, max_value=25))
     else:  # diamond
         kwargs["rows"] = draw(st.integers(min_value=1, max_value=5))
         kwargs["cols"] = draw(st.integers(min_value=1, max_value=5))
+    # every family takes the heterogeneity knobs (0 = uniform model)
+    kwargs["cost_spread"] = draw(st.sampled_from([0.0, 0.5, 1.0]))
     return kind, kwargs
 
 
@@ -52,6 +56,8 @@ def expected_n(kind: str, kwargs: dict) -> int:
         return 2 + kwargs["branches"] * kwargs["branch_length"]
     if kind in ("in_tree", "out_tree"):
         return kwargs["tasks"]
+    if kind == "join":
+        return kwargs["sources"] + 1
     return kwargs["rows"] * kwargs["cols"]
 
 

@@ -6,6 +6,8 @@ import math
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.dag import (
     JoinInstance,
@@ -13,11 +15,14 @@ from repro.dag import (
     WorkflowDAG,
     evaluate_join,
     exhaustive_join,
+    generate,
     join_from_dag,
+    join_sources,
     local_search_join,
     simulate_join,
     threshold_join,
 )
+from repro.dag.search import join_neighborhood, random_join_neighbor
 from repro.exceptions import InvalidParameterError
 
 
@@ -190,3 +195,164 @@ class TestJoinFromDag:
         )
         with pytest.raises(InvalidParameterError, match="not a join"):
             join_from_dag(fork, rate=1e-3, C=1.0, R=1.0)
+
+    def test_source_weights_follow_numeric_name_order(self):
+        # regression: with key=repr sorting, "t10" sorted before "t2" and
+        # the weights of >9-source joins were silently permuted
+        n = 12
+        weights = {f"t{i}": float(100 + i) for i in range(n)}
+        weights["sink"] = 7.0
+        dag = WorkflowDAG(
+            weights, [(f"t{i}", "sink") for i in range(n)]
+        )
+        inst = join_from_dag(dag, rate=1e-3, C=1.0, R=1.0)
+        assert inst.source_weights == tuple(float(100 + i) for i in range(n))
+        assert join_sources(dag) == [f"t{i}" for i in range(n)]
+
+    def test_generated_join_round_trip(self):
+        # generate("join") -> join_from_dag -> rebuild a WorkflowDAG:
+        # the instance must survive the round trip exactly
+        dag = generate("join", seed=5, sources=11, weights="lognormal")
+        inst = join_from_dag(dag, rate=2e-3, C=3.0, R=2.0)
+        sources = join_sources(dag)
+        assert [dag.weight(v) for v in sources] == list(inst.source_weights)
+        sink = dag.sinks()[0]
+        rebuilt = WorkflowDAG(
+            {str(v): dag.weight(v) for v in sources}
+            | {str(sink): inst.sink_weight},
+            [(str(v), str(sink)) for v in sources],
+        )
+        inst2 = join_from_dag(rebuilt, rate=2e-3, C=3.0, R=2.0)
+        assert inst2 == inst
+
+
+class TestToleranceBugfix:
+    def test_local_search_is_scale_invariant(self, monkeypatch):
+        """Regression: the old absolute 1e-15 convergence epsilon is below
+        one ulp for large makespans, so scaled-up instances churned through
+        all max_rounds re-accepting float noise.  With the relative
+        tolerance the search does identical work at every scale."""
+        import repro.dag.join as join_mod
+
+        rng = np.random.default_rng(7)
+        weights = tuple(rng.uniform(5.0, 80.0, size=6))
+        base = JoinInstance(weights, 12.0, 8e-3, 2.0, 3.0)
+        K = 1e6  # scaling time by K and rate by 1/K scales the optimum by K
+        scaled = JoinInstance(
+            tuple(w * K for w in weights), 12.0 * K, 8e-3 / K, 2.0 * K, 3.0 * K
+        )
+
+        counts = []
+        real_evaluate = join_mod.evaluate_join
+        for instance in (base, scaled):
+            calls = 0
+
+            def counting(inst, sched, _real=real_evaluate):
+                nonlocal calls
+                calls += 1
+                return _real(inst, sched)
+
+            monkeypatch.setattr(join_mod, "evaluate_join", counting)
+            value, _ = join_mod.local_search_join(instance)
+            monkeypatch.setattr(join_mod, "evaluate_join", real_evaluate)
+            counts.append(calls)
+        assert counts[0] == counts[1], counts
+        # and the optima really do scale linearly
+        v_base, _ = local_search_join(base)
+        v_scaled, _ = local_search_join(scaled)
+        assert v_scaled == pytest.approx(v_base * K, rel=1e-9)
+
+    def test_local_search_terminates_quickly_on_large_makespans(self):
+        inst = JoinInstance(
+            tuple(float(w) for w in (3e5, 5e5, 2e5, 7e5, 4e5)),
+            1e5, 5e-6, 6e3, 4e3,
+        )
+        value, sched = local_search_join(inst, max_rounds=200)
+        assert evaluate_join(inst, sched) == pytest.approx(value)
+
+
+class TestThresholdZeroCost:
+    def test_free_checkpoints_are_always_taken(self):
+        # regression: the max(C, 1e-12) clamp produced a positive threshold
+        # at C=0, skipping checkpoints on very light sources
+        inst = JoinInstance((1e-9, 1e-9, 500.0), 10.0, 1e-3, 0.0, 5.0)
+        _, sched = threshold_join(inst)
+        assert sched.checkpoint == (True, True, True)
+
+    def test_zero_rate_still_never_checkpoints(self):
+        inst = JoinInstance((1.0, 2.0), 1.0, 0.0, 0.0, 0.0)
+        _, sched = threshold_join(inst)
+        assert sched.n_checkpoints == 0
+
+    def test_positive_threshold_unchanged(self):
+        inst = JoinInstance((1.0, 500.0), 10.0, 5e-2, 1.0, 1.0)
+        _, sched = threshold_join(inst)
+        threshold = math.sqrt(2.0 * inst.C / inst.rate)
+        assert sched.checkpoint == tuple(
+            w >= threshold for w in inst.source_weights
+        )
+
+
+class TestSeededSimulationAgreement:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_evaluate_matches_simulate_on_random_instances(self, seed):
+        """evaluate_join's closed form vs the generative Monte Carlo on
+        seeded random (instance, schedule) pairs: 4-sigma CI agreement."""
+        rng = np.random.default_rng(100 + seed)
+        n = int(rng.integers(3, 8))
+        inst = JoinInstance(
+            tuple(rng.uniform(10.0, 120.0, size=n)),
+            float(rng.uniform(5.0, 40.0)),
+            float(rng.uniform(2e-3, 9e-3)),
+            float(rng.uniform(0.5, 5.0)),
+            float(rng.uniform(0.5, 5.0)),
+        )
+        order = tuple(int(i) for i in rng.permutation(n))
+        decisions = tuple(bool(b) for b in rng.random(n) < 0.5)
+        sched = JoinSchedule(order, decisions)
+        analytic = evaluate_join(inst, sched)
+        samples = simulate_join(inst, sched, runs=6000, rng=seed)
+        sem = samples.std(ddof=1) / math.sqrt(samples.size)
+        assert abs(samples.mean() - analytic) < 4.0 * sem + 1e-9
+
+
+@st.composite
+def join_state(draw):
+    n = draw(st.integers(min_value=1, max_value=8))
+    rng = np.random.default_rng(draw(st.integers(0, 2**31)))
+    order = tuple(int(i) for i in rng.permutation(n))
+    decisions = tuple(bool(b) for b in rng.random(n) < 0.5)
+    return JoinSchedule(order, decisions)
+
+
+class TestJoinMoveProperties:
+    @given(state=join_state())
+    @settings(max_examples=40, deadline=None)
+    def test_neighbors_are_valid_and_decisions_travel(self, state):
+        by_source = dict(zip(state.order, state.checkpoint))
+        for cand in join_neighborhood(state):
+            # JoinSchedule.__post_init__ re-validates the permutation
+            assert sorted(cand.order) == sorted(state.order)
+            cand_by_source = dict(zip(cand.order, cand.checkpoint))
+            flips = [
+                src
+                for src in by_source
+                if cand_by_source[src] != by_source[src]
+            ]
+            if cand.order == state.order:
+                assert len(flips) == 1  # flip move: exactly one decision
+            else:
+                assert flips == []  # reposition: decisions travel along
+
+    @given(state=join_state(), seed=st.integers(0, 2**31))
+    @settings(max_examples=40, deadline=None)
+    def test_random_neighbor_is_a_single_move(self, state, seed):
+        rng = np.random.default_rng(seed)
+        cand = random_join_neighbor(state, rng)
+        assert sorted(cand.order) == sorted(state.order)
+        by_source = dict(zip(state.order, state.checkpoint))
+        cand_by_source = dict(zip(cand.order, cand.checkpoint))
+        changed = [s for s in by_source if cand_by_source[s] != by_source[s]]
+        assert (cand.order == state.order and len(changed) == 1) or (
+            cand.order != state.order and not changed
+        )

@@ -321,3 +321,273 @@ class TestCertification:
         assert stamp.agrees, stamp.line()
         assert stamp.label.endswith("search order")
         assert "search order" in result.summary()
+
+
+# ----------------------------------------------------------------------
+# heterogeneous per-task costs
+# ----------------------------------------------------------------------
+class TestHeterogeneousObjective:
+    def hetero_dag(self) -> WorkflowDAG:
+        return generate(
+            "layered", seed=4, tasks=8, layers=2, density=0.5,
+            weights="lognormal", cost_spread=1.0,
+        )
+
+    def test_exact_prices_the_permuted_cost_profile(self, platform):
+        from repro.core.solver import optimize as solve
+
+        dag = self.hetero_dag()
+        objective = ChainObjective(dag, platform, algorithm=FAST_ALGO)
+        order = random_order(dag, np.random.default_rng(0))
+        solution = objective.exact(order)
+        _, chain = dag.serialise(order)
+        reference = solve(
+            chain, platform, FAST_ALGO,
+            costs=dag.cost_profile(order, platform),
+        )
+        assert solution.expected_time == pytest.approx(
+            reference.expected_time, rel=1e-12
+        )
+
+    def test_equal_weights_different_costs_not_collapsed(self, platform):
+        # two independent equal-weight tasks with different multipliers:
+        # the weight tuple is identical for both orders, the memo must
+        # still tell them apart
+        dag = WorkflowDAG(
+            {"a": 400.0, "b": 400.0},
+            cost_multipliers={"a": 0.1, "b": 8.0},
+        )
+        objective = ChainObjective(dag, platform, algorithm=FAST_ALGO)
+        va = objective.exact(["a", "b"]).expected_time
+        vb = objective.exact(["b", "a"]).expected_time
+        assert objective.exact_evaluations == 2
+        assert va != pytest.approx(vb, rel=1e-9)
+
+    def test_bound_stays_sound_with_hetero_costs(self, platform):
+        dag = self.hetero_dag()
+        objective = ChainObjective(dag, platform, algorithm=FAST_ALGO)
+        order = random_order(dag, np.random.default_rng(2))
+        solution = objective.exact(order)
+        assert objective.bound(order, solution) == pytest.approx(
+            solution.expected_time, rel=1e-9
+        )
+        for cand, _ in neighborhood(dag, order):
+            bound = objective.bound(cand, solution)
+            exact = objective.exact(cand).expected_time
+            assert bound >= exact * (1 - 1e-9)
+
+    def test_search_beats_heuristics_on_hetero_instance(self):
+        # the tentpole claim in miniature: with heterogeneous costs the
+        # order search finds strictly better serialisations than every
+        # weight-only fixed heuristic
+        stress = Platform.from_costs(
+            "stress", lf=3e-4, ls=8e-4, CD=60.0, CM=10.0, r=0.8
+        )
+        dag = generate(
+            "layered", seed=3, tasks=12, layers=3, weights="lognormal",
+            cost_spread=1.0,
+        )
+        heuristics = optimize_dag(
+            dag, stress, algorithm=FAST_ALGO, strategy="auto"
+        )
+        found = search_order(
+            dag, stress, algorithm=FAST_ALGO, seed=0, restarts=1,
+            polish_budget=8,
+        )
+        assert found.expected_time < heuristics.expected_time * (1 - 1e-9)
+
+
+# ----------------------------------------------------------------------
+# crossover + multi-start
+# ----------------------------------------------------------------------
+class TestCrossoverAndMultiStart:
+    @given(data=dag_and_order(), cut_seed=st.integers(0, 2**31))
+    @settings(max_examples=40, deadline=None)
+    def test_crossover_children_are_topological(self, data, cut_seed):
+        from repro.dag import crossover_orders
+
+        dag, order_a, rng = data
+        order_b = random_order(dag, rng)
+        cut = int(np.random.default_rng(cut_seed).integers(0, dag.n + 1))
+        child = crossover_orders(order_a, order_b, cut)
+        dag.serialise(child)  # validates precedence + completeness
+        assert sorted(map(repr, child)) == sorted(map(repr, order_a))
+
+    def test_crossover_rejects_bad_cut(self):
+        from repro.dag import crossover_orders
+
+        with pytest.raises(InvalidParameterError, match="cut"):
+            crossover_orders(["a", "b"], ["b", "a"], 5)
+
+    def test_search_result_reports_recombination(self, pipeline, platform):
+        result = search_order(
+            pipeline, platform, algorithm=FAST_ALGO, seed=0, recombine=3
+        )
+        assert result.recombined == 3
+        assert any(k.startswith("crossover-") for k in result.start_values)
+        off = search_order(
+            pipeline, platform, algorithm=FAST_ALGO, seed=0, recombine=0
+        )
+        assert off.recombined == 0
+
+    def test_n_jobs_sharding_is_result_invariant(self, platform):
+        # per-start spawned seeds: the winning order and value must not
+        # depend on how the starts are sharded across processes
+        dag = generate("layered", seed=9, tasks=8, layers=2)
+        serial = search_order(
+            dag, platform, algorithm=FAST_ALGO, seed=5, restarts=1
+        )
+        sharded = search_order(
+            dag, platform, algorithm=FAST_ALGO, seed=5, restarts=1, n_jobs=2
+        )
+        assert sharded.solution.order == serial.solution.order
+        assert sharded.expected_time == serial.expected_time
+        assert sharded.n_jobs == 2
+        # and repeatable for the fixed (seed, n_jobs) pair
+        again = search_order(
+            dag, platform, algorithm=FAST_ALGO, seed=5, restarts=1, n_jobs=2
+        )
+        assert again.solution.order == sharded.solution.order
+        assert again.expected_time == sharded.expected_time
+
+    def test_priority_rule_orders_seed_the_climbs(self, platform):
+        # the start set includes every deduplicated fixed heuristic —
+        # bottom-level / critical-path included (>= 2 distinct orders on
+        # this DAG) — plus the requested random restarts
+        from repro.dag.linearize import candidate_orders
+
+        dag = generate("layered", seed=11, tasks=10, layers=3)
+        heuristics = len(candidate_orders(dag, "auto"))
+        result = search_order(
+            dag, platform, algorithm=FAST_ALGO, seed=0, restarts=2
+        )
+        assert result.starts == heuristics + 2
+
+
+# ----------------------------------------------------------------------
+# join-shaped dispatch
+# ----------------------------------------------------------------------
+class TestJoinSearch:
+    @pytest.fixture
+    def join_dag(self) -> WorkflowDAG:
+        return generate("join", seed=2, sources=5, weights="lognormal")
+
+    def test_dispatches_to_join_objective(self, join_dag, platform):
+        from repro.dag import JoinDagSolution
+
+        result = search_order(join_dag, platform, seed=0)
+        assert result.algorithm == "join"
+        assert isinstance(result.solution, JoinDagSolution)
+        assert result.solution.diagnostics["join_rate"] == platform.lf
+
+    def test_matches_joint_exhaustive_optimum(self, join_dag, platform):
+        from repro.dag import exhaustive_join, join_from_dag
+
+        instance = join_from_dag(
+            join_dag, rate=platform.lf, C=platform.CD, R=platform.RD
+        )
+        exh_value, _ = exhaustive_join(instance, optimize_order=True)
+        for method in ("hill_climb", "anneal", "hybrid"):
+            result = search_order(join_dag, platform, seed=0, method=method)
+            assert result.expected_time <= exh_value * (1 + 1e-9), method
+
+    def test_value_is_the_join_evaluation_of_the_state(self, join_dag, platform):
+        from repro.dag import evaluate_join
+
+        result = search_order(join_dag, platform, seed=1)
+        solution = result.solution
+        assert evaluate_join(
+            solution.instance, solution.join_schedule
+        ) == pytest.approx(result.expected_time, rel=1e-12)
+        # the chain-notation schedule mirrors the decisions
+        disk = set(solution.schedule.disk_positions)
+        expected = {
+            pos + 1
+            for pos, d in enumerate(solution.join_schedule.checkpoint)
+            if d
+        }
+        assert disk == expected
+        # order: sources in searched order, sink last
+        assert solution.order[-1] == join_dag.sinks()[0]
+
+    def test_explicit_objective_forces_chain_semantics(self, join_dag, platform):
+        objective = ChainObjective(join_dag, platform, algorithm=FAST_ALGO)
+        result = search_order(
+            join_dag, platform, seed=0, objective=objective
+        )
+        assert result.algorithm == FAST_ALGO  # chain path, not "join"
+
+    def test_join_search_is_deterministic_per_seed(self, join_dag, platform):
+        a = search_order(join_dag, platform, seed=7)
+        b = search_order(join_dag, platform, seed=7)
+        assert a.solution.join_schedule == b.solution.join_schedule
+        assert a.expected_time == b.expected_time
+
+    def test_certified_join_search_attaches_stamp(self, join_dag, platform):
+        result = search_order(
+            join_dag,
+            platform,
+            seed=0,
+            certify=True,
+            target_ci=0.05,
+            certify_runs=20_000,
+        )
+        stamp = result.certificate
+        assert stamp is not None
+        assert stamp.agrees, stamp.line()
+        assert "join order" in stamp.label
+
+    def test_degenerate_join_shapes_stay_on_chain_semantics(self, platform):
+        # a single task and a 2-node chain are join-*shaped* but the join
+        # model (fail-stop only) would return values incomparable with
+        # every other strategy — they must keep the chain objective
+        single = WorkflowDAG({"a": 300.0})
+        result = search_order(single, platform, seed=0)
+        assert result.algorithm != "join"
+        two_chain = WorkflowDAG({"a": 300.0, "b": 200.0}, [("a", "b")])
+        result = search_order(two_chain, platform, seed=0)
+        assert result.algorithm != "join"
+        reference = optimize_dag(two_chain, platform)
+        assert result.expected_time == pytest.approx(
+            reference.expected_time, rel=1e-9
+        )
+
+    def test_heterogeneous_join_falls_back_to_chain_objective(self, platform):
+        # the join model has one scalar C: per-task multipliers cannot be
+        # priced there, so heterogeneous joins use the chain objective
+        # (which does price them) instead of silently dropping the costs
+        dag = generate(
+            "join", seed=2, sources=5, weights="lognormal", cost_spread=1.0
+        )
+        assert dag.is_join() and dag.has_heterogeneous_costs()
+        result = search_order(dag, platform, algorithm=FAST_ALGO, seed=0)
+        assert result.algorithm == FAST_ALGO
+        order = result.solution.order
+        from repro.core.solver import optimize as solve
+
+        _, chain = dag.serialise(order)
+        reference = solve(
+            chain, platform, FAST_ALGO, costs=dag.cost_profile(order, platform)
+        )
+        assert result.expected_time == pytest.approx(
+            reference.expected_time, rel=1e-12
+        )
+
+    def test_custom_objective_wins_even_with_n_jobs(self, platform):
+        # a caller-supplied objective subclass must stay authoritative:
+        # the process pool (which rebuilds stock objectives) is bypassed
+        calls = {"exact": 0}
+
+        class Spy(ChainObjective):
+            def exact(self, order):
+                calls["exact"] += 1
+                return super().exact(order)
+
+        dag = generate("layered", seed=9, tasks=7, layers=2)
+        spy = Spy(dag, platform, algorithm=FAST_ALGO)
+        result = search_order(
+            dag, platform, seed=1, objective=spy, n_jobs=4, restarts=1
+        )
+        assert calls["exact"] > 0
+        assert calls["exact"] == spy.exact_evaluations + spy.exact_cache_hits
+        assert result.exact_evaluations == spy.exact_evaluations

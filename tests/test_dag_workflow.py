@@ -8,6 +8,7 @@ from repro.dag import (
     ORDER_STRATEGIES,
     WorkflowDAG,
     candidate_orders,
+    canonical_node_key,
     optimize_dag,
 )
 from repro.exceptions import InvalidChainError, InvalidParameterError
@@ -87,6 +88,102 @@ class TestWorkflowDAG:
         assert "diamond" in repr(diamond)
 
 
+class TestCanonicalNodeKey:
+    def test_digit_runs_compare_numerically(self):
+        names = [f"t{i}" for i in (10, 2, 1, 20, 3, 11)]
+        assert sorted(names, key=canonical_node_key) == [
+            "t1", "t2", "t3", "t10", "t11", "t20",
+        ]
+
+    def test_mixed_chunks(self):
+        names = ["a2b10", "a2b2", "a10b1", "a1b99"]
+        assert sorted(names, key=canonical_node_key) == [
+            "a1b99", "a2b2", "a2b10", "a10b1",
+        ]
+
+    def test_total_order_on_str_collisions(self):
+        # str(1) == str("1"): the repr component keeps the key total
+        assert canonical_node_key(1) != canonical_node_key("1")
+        sorted([1, "1"], key=canonical_node_key)  # must not raise
+
+    def test_default_serialisation_follows_numeric_order(self):
+        # >9 independent tasks: a repr/lexicographic sort would start
+        # t0, t1, t10, t11, t2, ... — the regression this key fixes
+        wide = WorkflowDAG({f"t{i}": float(i + 1) for i in range(12)})
+        order, _ = wide.serialise()
+        assert order == [f"t{i}" for i in range(12)]
+
+
+class TestHeterogeneousCosts:
+    def hetero(self) -> WorkflowDAG:
+        return WorkflowDAG(
+            {"a": 10.0, "b": 5.0, "c": 20.0},
+            [("a", "b"), ("a", "c")],
+            cost_multipliers={"b": 0.25, "c": 4.0},
+        )
+
+    def test_multiplier_defaults_to_one(self):
+        dag = self.hetero()
+        assert dag.cost_multiplier("a") == 1.0
+        assert dag.cost_multiplier("b") == 0.25
+        assert dag.has_heterogeneous_costs()
+
+    def test_homogeneous_detection(self, diamond):
+        assert not diamond.has_heterogeneous_costs()
+        all_ones = WorkflowDAG({"a": 1.0}, cost_multipliers={"a": 1.0})
+        assert not all_ones.has_heterogeneous_costs()
+
+    def test_rejects_bad_multipliers(self):
+        with pytest.raises(InvalidChainError, match="unknown task"):
+            WorkflowDAG({"a": 1.0}, cost_multipliers={"zz": 2.0})
+        for bad in (0.0, -1.0, float("nan"), float("inf")):
+            with pytest.raises(InvalidChainError, match="multiplier"):
+                WorkflowDAG({"a": 1.0}, cost_multipliers={"a": bad})
+
+    def test_cost_profile_permutes_with_order(self):
+        platform = Platform.from_costs("p", lf=1e-4, ls=1e-4, CD=30.0, CM=6.0)
+        dag = self.hetero()
+        profile = dag.cost_profile(["a", "b", "c"], platform)
+        # index 0 is the virtual T0; positions follow the order
+        assert profile.CD[1] == pytest.approx(30.0)
+        assert profile.CD[2] == pytest.approx(30.0 * 0.25)
+        assert profile.CD[3] == pytest.approx(30.0 * 4.0)
+        swapped = dag.cost_profile(["a", "c", "b"], platform)
+        assert swapped.CD[2] == pytest.approx(30.0 * 4.0)
+        assert swapped.Vg[3] == pytest.approx(6.0 * 0.25)
+
+    def test_cost_profile_none_when_homogeneous(self, diamond):
+        platform = Platform.from_costs("p", lf=1e-4, ls=1e-4, CD=30.0, CM=6.0)
+        assert diamond.cost_profile(["a", "b", "c", "d"], platform) is None
+
+    def test_dict_round_trip(self):
+        dag = self.hetero()
+        doc = dag.as_dict()
+        assert doc["cost_multipliers"]["c"] == 4.0
+        clone = WorkflowDAG.from_dict(doc)
+        assert clone.has_heterogeneous_costs()
+        for v in ("a", "b", "c"):
+            assert clone.cost_multiplier(v) == dag.cost_multiplier(v)
+
+    def test_homogeneous_doc_omits_multipliers(self, diamond):
+        assert "cost_multipliers" not in diamond.as_dict()
+
+    def test_optimize_dag_prices_costs(self):
+        # cheap-checkpoint task placed where the schedule checkpoints:
+        # the heterogeneous optimum must differ from the uniform one
+        platform = Platform.from_costs(
+            "p", lf=3e-4, ls=8e-4, CD=60.0, CM=10.0, r=0.8
+        )
+        weights = {f"t{i}": 500.0 for i in range(4)}
+        uniform = WorkflowDAG(weights)
+        hetero = WorkflowDAG(
+            weights, cost_multipliers={"t1": 0.1, "t3": 10.0}
+        )
+        u = optimize_dag(uniform, platform, algorithm="admv_star", strategy="all")
+        h = optimize_dag(hetero, platform, algorithm="admv_star", strategy="all")
+        assert h.expected_time != pytest.approx(u.expected_time, rel=1e-6)
+
+
 class TestSerialise:
     def test_default_order_is_topological(self, diamond):
         order, chain = diamond.serialise()
@@ -125,6 +222,47 @@ class TestCandidateOrders:
     def test_light_first_prefers_light_ready_task(self, diamond):
         (order,) = candidate_orders(diamond, "light_first")
         assert order.index("b") < order.index("c")
+
+    def test_bottom_level_drains_long_chains_first(self):
+        # two branches from a source: a short heavy task (b: 50) vs a long
+        # chain (c -> d, 30 + 40 = 70 bottom level): b-level picks c first,
+        # heavy_first would pick b
+        dag = WorkflowDAG(
+            {"a": 1.0, "b": 50.0, "c": 30.0, "d": 40.0},
+            [("a", "b"), ("a", "c"), ("c", "d")],
+        )
+        (order,) = candidate_orders(dag, "bottom_level")
+        assert order.index("c") < order.index("b")
+        (heavy,) = candidate_orders(dag, "heavy_first")
+        assert heavy.index("b") < heavy.index("c")
+
+    def test_critical_path_prioritises_longest_path(self):
+        dag = WorkflowDAG(
+            {"a": 1.0, "b": 50.0, "c": 30.0, "d": 40.0},
+            [("a", "b"), ("a", "c"), ("c", "d")],
+        )
+        (order,) = candidate_orders(dag, "critical_path")
+        # path a-c-d (71) dominates a-b (51): c runs before b
+        assert order.index("c") < order.index("b")
+        dag.serialise(order)
+
+    def test_priority_orders_are_topological_on_generated_dags(self):
+        from repro.dag import generate
+
+        for kind, kwargs in (
+            ("layered", {"tasks": 14, "layers": 4}),
+            ("diamond", {"rows": 3, "cols": 4}),
+        ):
+            dag = generate(kind, seed=7, **kwargs)
+            for strategy in ("bottom_level", "critical_path"):
+                (order,) = candidate_orders(dag, strategy)
+                dag.serialise(order)  # validates precedence
+
+    def test_lexicographic_is_numeric_aware(self):
+        # >9 tasks in one layer: t2 must precede t10
+        wide = WorkflowDAG({f"t{i}": 1.0 for i in range(11)})
+        (order,) = candidate_orders(wide, "lexicographic")
+        assert order == [f"t{i}" for i in range(11)]
 
     def test_all_enumeration(self, diamond):
         orders = candidate_orders(diamond, "all")
