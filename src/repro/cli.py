@@ -296,6 +296,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="auto, all, search, or a single heuristic order",
     )
     q.add_argument(
+        "--processors",
+        type=int,
+        default=None,
+        metavar="P",
+        help=(
+            "schedule onto P workers instead of serialising: "
+            "(assignment, order) search with per-worker checkpoint "
+            "placement (--method/--restarts/--iterations/--jobs apply)"
+        ),
+    )
+    q.add_argument(
         "--method",
         default="hill_climb",
         help="search method: hill_climb, anneal, hybrid",
@@ -685,6 +696,29 @@ def _cmd_dag_optimize(args) -> str:
                 f"{', '.join(ignored)} configure the Monte-Carlo "
                 f"certification campaign; enable it with --certify"
             )
+    if args.processors is not None:
+        ignored = [
+            flag
+            for flag, is_set in (
+                ("--strategy", args.strategy != "auto"),
+                ("--recombine", args.recombine != 2),
+            )
+            if is_set
+        ]
+        if ignored:
+            raise InvalidParameterError(
+                f"{', '.join(ignored)} only affect the single-processor "
+                f"serialisation; --processors {args.processors} always "
+                f"runs the parallel (assignment, order) search"
+            )
+        if args.certify:
+            raise InvalidParameterError(
+                "--certify stamps serialized chain schedules; estimate a "
+                "parallel plan's makespan with "
+                "repro.simulation.simulate_parallel on solution.plan() "
+                "(see repro.experiments.parallel_speedup)"
+            )
+        return _dag_optimize_parallel(dag, platform, args)
     if args.strategy != "search":
         ignored = [
             flag
@@ -822,6 +856,57 @@ def _cmd_dag_optimize(args) -> str:
         out.append(search_result.summary())
     elif certificate is not None:
         out.append(certificate.line())
+    return "\n".join(out)
+
+
+def _dag_optimize_parallel(dag, platform, args) -> str:
+    from .dag import canonical_node_key, search_parallel
+
+    result = search_parallel(
+        dag,
+        platform,
+        args.processors,
+        algorithm=args.algorithm,
+        method=args.method,
+        seed=args.seed,
+        restarts=args.restarts,
+        iterations=args.iterations,
+        n_jobs=args.jobs,
+    )
+    solution = result.solution
+    if args.json:
+        doc = {
+            "platform": platform.name,
+            "dag": dag.name,
+            "n": dag.n,
+            "seed": args.seed,
+            "processors": args.processors,
+            "algorithm": solution.algorithm,
+            "order": [str(v) for v in solution.order],
+            "assignment": {
+                str(v): solution.assignment[v]
+                for v in sorted(solution.assignment, key=canonical_node_key)
+            },
+            "expected_time": solution.expected_time,
+            "worker_busy": list(solution.worker_busy),
+            "search": {
+                "method": result.method,
+                "starts": result.starts,
+                "rounds": result.rounds,
+                "states_priced": result.states_priced,
+                "state_cache_hits": result.state_cache_hits,
+                "interval_solves": result.interval_solves,
+                "interval_cache_hits": result.interval_cache_hits,
+                "n_jobs": result.n_jobs,
+            },
+        }
+        return json.dumps(doc, indent=2)
+    out = [
+        f"workflow {dag.name} on {platform.name} "
+        f"(processors {args.processors}, seed {args.seed})",
+        solution.describe(),
+        result.summary(),
+    ]
     return "\n".join(out)
 
 

@@ -11,7 +11,10 @@
   hill climbing + simulated annealing), also reachable through
   ``optimize_dag(strategy="search")``;
 * :mod:`~repro.dag.join` — the APDCM'15 join-graph checkpointing problem
-  (fail-stop only): exact evaluator, brute force, local search.
+  (fail-stop only): exact evaluator, brute force, local search;
+* :mod:`~repro.dag.parallel` — p-processor list scheduling and
+  (assignment, order) search with per-worker checkpoint placement, also
+  reachable through ``optimize_dag(processors=p)``.
 """
 
 from .generate import CAMPAIGNS, GENERATORS, campaign, draw_weights, generate
@@ -31,6 +34,16 @@ from .linearize import (
     DagSolution,
     candidate_orders,
     optimize_dag,
+)
+from .parallel import (
+    ParallelObjective,
+    ParallelSchedule,
+    ParallelSearchResult,
+    ParallelSolution,
+    greedy_assignment,
+    list_schedule,
+    optimize_parallel,
+    search_parallel,
 )
 from .search import (
     ChainObjective,
@@ -60,6 +73,14 @@ __all__ = [
     "SearchResult",
     "crossover_orders",
     "search_order",
+    "ParallelSchedule",
+    "ParallelObjective",
+    "ParallelSolution",
+    "ParallelSearchResult",
+    "list_schedule",
+    "greedy_assignment",
+    "search_parallel",
+    "optimize_parallel",
     "JoinInstance",
     "JoinSchedule",
     "evaluate_join",

@@ -233,8 +233,18 @@ def optimize_dag(
     strategy: str = "auto",
     seed: int = 0,
     search_options: dict | None = None,
-) -> DagSolution:
+    processors: int | None = None,
+) -> "DagSolution":
     """Best (order, chain schedule) over the candidate serialisations.
+
+    ``processors=p`` dispatches to the p-processor scheduler instead
+    (:func:`repro.dag.parallel.optimize_parallel`: list-schedule seeds,
+    (assignment, order) search, per-worker checkpoint placement) and
+    returns its :class:`~repro.dag.parallel.ParallelSolution` — whose
+    ``expected_time`` is the parallel surrogate, comparable to but not
+    the same quantity as the serialized chain value; ``strategy`` does
+    not apply there.  ``processors=None`` (default) keeps the
+    single-processor serialisation below.
 
     ``strategy="search"`` runs the metaheuristic order search
     (:func:`repro.dag.search.search_order`, seeded by ``seed``;
@@ -247,6 +257,23 @@ def optimize_dag(
     Returns a :class:`DagSolution` carrying the winning topological order;
     ``solution.schedule`` indexes tasks by their position in that order.
     """
+    if processors is not None:
+        from .parallel import optimize_parallel
+
+        if strategy != "auto":
+            raise InvalidParameterError(
+                "strategy only affects single-processor serialisation; "
+                f"processors={processors} runs the parallel search "
+                f"(got strategy={strategy!r})"
+            )
+        return optimize_parallel(
+            dag,
+            platform,
+            processors,
+            algorithm=algorithm,
+            seed=seed,
+            search_options=search_options,
+        )
     if strategy == "search":
         from .search import search_order
 

@@ -12,10 +12,12 @@ Figure 8    HighLow: Hera & Coastal SSD                 :func:`fig78.run_fig8`
 
 Beyond the paper, :mod:`.dag_search` compares the fixed linearization
 heuristics, the metaheuristic order search and (where feasible) the
-exhaustive optimum over generated workflows (``repro dag sweep``).
+exhaustive optimum over generated workflows (``repro dag sweep``), and
+:mod:`.parallel_speedup` sweeps the p-processor scheduler against the
+serialized baseline as the worker count grows.
 """
 
-from . import dag_search, fig5, fig6, fig78, report, table1
+from . import dag_search, fig5, fig6, fig78, parallel_speedup, report, table1
 from .common import (
     ALGORITHM_LABELS,
     EXTREME_PLATFORMS,
@@ -26,6 +28,7 @@ from .common import (
 
 __all__ = [
     "dag_search",
+    "parallel_speedup",
     "fig5",
     "fig6",
     "report",

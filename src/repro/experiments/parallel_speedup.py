@@ -1,0 +1,234 @@
+"""Serialized vs p-processor expected makespan on generated workflows.
+
+This driver quantifies what the p-processor scheduler
+(:mod:`repro.dag.parallel`) buys over the PR-5 serialisation as the
+worker count grows: for each campaign instance it searches an
+(assignment, order) schedule for every ``p`` in the ladder, then
+Monte-Carlo-estimates the true expected makespan of the winning plan
+with the multi-worker batched engine
+(:func:`repro.simulation.simulate_parallel`).
+
+``p = 1`` *is* the serialized baseline: the parallel objective is exact
+there (single epoch fold), so its surrogate equals the chain-DP optimum
+and the speedups below are against the serialized chain schedule.  For
+``p >= 2`` the surrogate is a Jensen lower bound on the simulated mean
+(waits compose under ``max``), so the table reports both: the analytic
+surrogate the search optimized and the certified MC estimate with its
+standard error.
+
+The platform defaults to the failure-intense ``stress`` platform of
+:mod:`.dag_search` — on the near-failure-free Table I platforms the
+commit-at-boundary synchronisation cost is negligible and the speedup
+is just the classic list-scheduling one.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..analysis import format_table
+from ..dag.generate import campaign
+from ..dag.parallel import ParallelSearchResult, search_parallel
+from ..platforms import Platform
+from ..simulation import simulate_parallel
+from .dag_search import COMPARISON_ALGORITHM, stress_platform
+
+__all__ = ["ParallelSpeedupResult", "run"]
+
+#: Worker-count ladder explored per instance (trimmed under ``fast``).
+PROCESSOR_LADDER = (1, 2, 4)
+
+#: Monte-Carlo replications per (instance, p) certification.
+DEFAULT_MC_RUNS = 4096
+
+
+@dataclass(frozen=True)
+class SpeedupRow:
+    """One (instance, p) cell of the sweep."""
+
+    instance: str
+    n: int
+    processors: int
+    surrogate: float  #: analytic value the search optimized (lower bound)
+    mc_mean: float  #: simulated expected makespan
+    mc_sem: float  #: standard error of the MC mean
+    speedup: float  #: serialized MC mean / this MC mean
+    states_priced: int
+
+    def as_dict(self) -> dict:
+        return {
+            "instance": self.instance,
+            "n": self.n,
+            "processors": self.processors,
+            "surrogate": self.surrogate,
+            "mc_mean": self.mc_mean,
+            "mc_sem": self.mc_sem,
+            "speedup": self.speedup,
+            "states_priced": self.states_priced,
+        }
+
+
+@dataclass(frozen=True)
+class ParallelSpeedupResult:
+    """The p-scaling sweep over one campaign."""
+
+    platform: str
+    seed: int
+    algorithm: str
+    campaign: str
+    mc_runs: int
+    rows: list[SpeedupRow] = field(default_factory=list)
+
+    def ladder(self) -> tuple[int, ...]:
+        return tuple(sorted({row.processors for row in self.rows}))
+
+    def mean_speedup(self, processors: int) -> float:
+        """Geometric-mean MC speedup at ``processors`` over the campaign."""
+        logs = [
+            math.log(row.speedup)
+            for row in self.rows
+            if row.processors == processors and row.speedup > 0.0
+        ]
+        return math.exp(sum(logs) / len(logs)) if logs else 1.0
+
+    def wins(self, processors: int) -> tuple[int, int]:
+        """``(wins, total)``: instances where p workers beat serialized."""
+        rows = [r for r in self.rows if r.processors == processors]
+        return sum(1 for r in rows if r.speedup > 1.0), len(rows)
+
+    def render(self) -> str:
+        table = format_table(
+            ["instance", "n", "p", "surrogate", "MC mean", "sem", "speedup"],
+            [
+                [
+                    row.instance,
+                    row.n,
+                    row.processors,
+                    f"{row.surrogate:.2f}",
+                    f"{row.mc_mean:.2f}",
+                    f"{row.mc_sem:.2f}",
+                    f"{row.speedup:.3f}x",
+                ]
+                for row in self.rows
+            ],
+            title=(
+                f"parallel speedup — {self.campaign} campaign on "
+                f"{self.platform} ({self.algorithm}, seed {self.seed}, "
+                f"{self.mc_runs} MC runs per cell)"
+            ),
+        )
+        summary = []
+        for p in self.ladder():
+            if p == 1:
+                continue
+            won, total = self.wins(p)
+            summary.append(
+                f"p={p}: beats serialized on {won}/{total} instances, "
+                f"geometric-mean speedup {self.mean_speedup(p):.3f}x"
+            )
+        return "\n".join([table, *summary])
+
+    def as_dict(self) -> dict:
+        return {
+            "platform": self.platform,
+            "seed": self.seed,
+            "algorithm": self.algorithm,
+            "campaign": self.campaign,
+            "mc_runs": self.mc_runs,
+            "rows": [row.as_dict() for row in self.rows],
+            "mean_speedup": {
+                str(p): self.mean_speedup(p) for p in self.ladder() if p != 1
+            },
+            "wins": {
+                str(p): self.wins(p)[0] for p in self.ladder() if p != 1
+            },
+        }
+
+
+def _certify(
+    result: ParallelSearchResult,
+    platform: Platform,
+    *,
+    seed: int,
+    n_runs: int,
+    backend: str | None,
+) -> tuple[float, float]:
+    """``(mean, sem)`` of the plan's makespan under the batched engine."""
+    batch = simulate_parallel(
+        result.solution.plan(),
+        platform,
+        n_runs,
+        seed=seed,
+        backend=backend,
+    )
+    makespans = np.asarray(batch.makespans)
+    mean = float(makespans.mean())
+    sem = float(makespans.std(ddof=1) / math.sqrt(len(makespans)))
+    return mean, sem
+
+
+def run(
+    *,
+    fast: bool = True,
+    seed: int = 0,
+    platform: Platform | None = None,
+    campaign_name: str = "default",
+    processors: tuple[int, ...] = PROCESSOR_LADDER,
+    mc_runs: int | None = None,
+    backend: str | None = None,
+) -> ParallelSpeedupResult:
+    """Run the sweep; ``fast`` trims instances, ladder and MC budget."""
+    platform = platform or stress_platform()
+    dags = campaign(campaign_name, seed=seed)
+    ladder = tuple(processors)
+    if 1 not in ladder:
+        ladder = (1, *ladder)  # the serialized baseline anchors speedups
+    if fast:
+        dags = dags[:3]
+        ladder = tuple(p for p in ladder if p <= 2)
+    n_runs = mc_runs if mc_runs is not None else (
+        1024 if fast else DEFAULT_MC_RUNS
+    )
+    search_options = {"restarts": 1, "max_rounds": 30} if fast else {}
+
+    rows: list[SpeedupRow] = []
+    for dag in dags:
+        baseline_mean: float | None = None
+        for p in ladder:
+            found = search_parallel(
+                dag,
+                platform,
+                p,
+                algorithm=COMPARISON_ALGORITHM,
+                seed=seed,
+                **search_options,
+            )
+            mean, sem = _certify(
+                found, platform, seed=seed, n_runs=n_runs, backend=backend
+            )
+            if baseline_mean is None:
+                baseline_mean = mean  # ladder starts at p=1
+            rows.append(
+                SpeedupRow(
+                    instance=dag.name,
+                    n=dag.n,
+                    processors=p,
+                    surrogate=found.expected_time,
+                    mc_mean=mean,
+                    mc_sem=sem,
+                    speedup=baseline_mean / mean,
+                    states_priced=found.states_priced,
+                )
+            )
+
+    return ParallelSpeedupResult(
+        platform=platform.name,
+        seed=seed,
+        algorithm=COMPARISON_ALGORITHM,
+        campaign=campaign_name,
+        mc_runs=n_runs,
+        rows=rows,
+    )

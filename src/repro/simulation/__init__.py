@@ -57,6 +57,15 @@ from .breakdown import (
 from .compile import CompiledSchedule, compile_schedule
 from .engine import DEFAULT_MAX_ATTEMPTS, RunResult, simulate_run
 from .errors import ErrorSource, PoissonErrorSource, ScriptedErrorSource
+from .parallel import (
+    ParallelBatchResult,
+    ParallelPlan,
+    ParallelRunResult,
+    WorkerPlan,
+    simulate_parallel,
+    simulate_parallel_run,
+    worker_uniform_rows,
+)
 from .monte_carlo import MonteCarloResult, run_monte_carlo
 from .stats import SampleSummary, confidence_interval, summarize, t_critical
 from .trace import EventKind, Trace, TraceEvent
@@ -81,6 +90,13 @@ __all__ = [
     "CompiledSchedule",
     "InverseTransformErrorSource",
     "replication_uniform_rows",
+    "WorkerPlan",
+    "ParallelPlan",
+    "ParallelRunResult",
+    "ParallelBatchResult",
+    "simulate_parallel",
+    "simulate_parallel_run",
+    "worker_uniform_rows",
     "run_adaptive",
     "AdaptiveResult",
     "AdaptiveRound",

@@ -103,6 +103,14 @@ class BatchResult:
     attempts: np.ndarray
     time_categories: np.ndarray
     steps: int  #: lockstep iterations = max attempts over the batch
+    #: Per-threshold first-crossing times, shape ``(len(commit_stops),
+    #: n_runs)`` — the wall-clock instant each replication first cleared
+    #: the corresponding segment cursor passed as ``commit_stops`` (None
+    #: unless :func:`run_compiled` was asked to record them).  Row ``c``
+    #: is bitwise-equal to the scalar engine's ``DISK_CHECKPOINT`` event
+    #: time at the matching position, which is what the multi-worker
+    #: composition in :mod:`repro.simulation.parallel` consumes.
+    commit_times: np.ndarray | None = None
 
     @property
     def n_runs(self) -> int:
@@ -116,7 +124,13 @@ class BatchResult:
     @classmethod
     def concatenate(cls, parts: list["BatchResult"]) -> "BatchResult":
         """Stitch per-chunk results back into one batch, in chunk order."""
+        commits = [p.commit_times for p in parts]
+        if any(c is None for c in commits):
+            commit_times = None
+        else:
+            commit_times = np.concatenate(commits, axis=1)
         return cls(
+            commit_times=commit_times,
             makespans=np.concatenate([p.makespans for p in parts]),
             fail_stop_errors=np.concatenate([p.fail_stop_errors for p in parts]),
             silent_errors=np.concatenate([p.silent_errors for p in parts]),
@@ -136,6 +150,8 @@ def run_compiled(
     rng: np.random.Generator,
     max_attempts: int = DEFAULT_MAX_ATTEMPTS,
     backend: "str | Backend | None" = None,
+    *,
+    commit_stops: "list[int] | tuple[int, ...] | np.ndarray | None" = None,
 ) -> BatchResult:
     """Advance ``n_runs`` replications of ``compiled`` to completion.
 
@@ -143,6 +159,18 @@ def run_compiled(
     seeding, chunking and process sharding.  Raises
     :class:`~repro.exceptions.SimulationError` if any replication exceeds
     ``max_attempts`` segment attempts.
+
+    ``commit_stops`` optionally asks the kernel to record, per
+    replication, the wall-clock time at which its cursor *first* reached
+    each of the given segment indices (strictly increasing, in ``[1,
+    n_segments]``).  The times land in :attr:`BatchResult.commit_times`.
+    Recording is only sound when no rollback can cross back over a
+    recorded stop — i.e. every segment at or beyond a stop has its
+    ``fail_target`` and ``silent_target`` at or beyond that stop, which
+    holds exactly when each stop is a disk-checkpointed position (the
+    multi-worker commit boundaries of :mod:`repro.simulation.parallel`);
+    the kernel validates this and raises
+    :class:`~repro.exceptions.SimulationError` otherwise.
 
     The kernel body is pure array-API (``backend`` selects the namespace,
     defaulting to ``REPRO_BACKEND`` / NumPy): per-segment constants are
@@ -175,6 +203,27 @@ def run_compiled(
     silent_target = be.asarray(compiled.silent_target, dtype=i8)
     silent_cost = be.asarray(compiled.silent_recovery_cost, dtype=f8)
 
+    commit_list: list[int] = (
+        [] if commit_stops is None else [int(c) for c in commit_stops]
+    )
+    if commit_list:
+        if commit_list != sorted(set(commit_list)) or not (
+            1 <= commit_list[0] and commit_list[-1] <= S
+        ):
+            raise SimulationError(
+                "commit_stops must be strictly increasing segment indices "
+                f"in [1, {S}], got {commit_list}"
+            )
+        ft_np = be.to_numpy(fail_target)
+        st_np = be.to_numpy(silent_target)
+        for thr in commit_list:
+            if (ft_np[thr:] < thr).any() or (st_np[thr:] < thr).any():
+                raise SimulationError(
+                    f"commit stop at segment {thr} is not rollback-safe: a "
+                    "later segment can roll back across it (commit stops "
+                    "must be disk-checkpointed positions)"
+                )
+
     c_work = CATEGORY_INDEX["work"]
     c_lost = CATEGORY_INDEX["fail_stop_lost"]
     c_rd = CATEGORY_INDEX["disk_recovery"]
@@ -194,6 +243,7 @@ def run_compiled(
     # same order, as the scalar engine's trace durations for that category
     # (bitwise cross-validated), and each column partitions the makespan.
     out_cat = np.zeros((len(TIME_CATEGORIES), n_runs), dtype=np.float64)
+    out_commit = np.zeros((len(commit_list), n_runs), dtype=np.float64)
 
     # Live (still-running) state, compacted; ``orig`` maps live position
     # -> original replication index and drives both the host-side stream
@@ -208,6 +258,8 @@ def run_compiled(
     n_missed = be.zeros(n_runs, dtype=i8)
     n_attempts = be.zeros(n_runs, dtype=i8)
     cat = [be.zeros(n_runs, dtype=f8) for _ in TIME_CATEGORIES]
+    commit_t = [be.zeros(n_runs, dtype=f8) for _ in commit_list]
+    committed = [be.zeros(n_runs, dtype=b1) for _ in commit_list]
 
     steps = 0
     while orig.size:
@@ -292,6 +344,13 @@ def run_compiled(
         )
         latent = missed  # every other branch clears the latent bit
 
+        # --- commit stops: stamp first crossings (rollback-safe by the
+        # validation above, so a stamped time is final) -------------------
+        for c, thr in enumerate(commit_list):
+            newly = (cursor >= thr) & ~committed[c]
+            commit_t[c] = xp.where(newly, t, commit_t[c])
+            committed[c] = committed[c] | newly
+
         # --- retire finished replications, compact the live set ----------
         cursor_np = be.to_numpy(cursor)
         done_np = cursor_np >= S
@@ -306,6 +365,8 @@ def run_compiled(
             out_attempts[ids] = be.to_numpy(n_attempts[done])
             for k, row in enumerate(cat):
                 out_cat[k, ids] = be.to_numpy(row[done])
+            for c, row in enumerate(commit_t):
+                out_commit[c, ids] = be.to_numpy(row[done])
             orig = orig[~done_np]
             keep = be.asarray(~done_np, dtype=b1)
             t = t[keep]
@@ -317,6 +378,8 @@ def run_compiled(
             n_missed = n_missed[keep]
             n_attempts = n_attempts[keep]
             cat = [row[keep] for row in cat]
+            commit_t = [row[keep] for row in commit_t]
+            committed = [row[keep] for row in committed]
 
     return BatchResult(
         makespans=out_t,
@@ -327,6 +390,7 @@ def run_compiled(
         attempts=out_attempts,
         time_categories=out_cat,
         steps=steps,
+        commit_times=out_commit if commit_list else None,
     )
 
 

@@ -16,6 +16,22 @@ plus one per partial verification with corrupted data:
 :class:`ScriptedErrorSource` replays a predetermined outcome sequence, which
 is what failure-injection unit tests use to exercise every simulator branch
 deterministically.
+
+**Per-worker stream convention (multi-worker simulation).**  An error
+source instance is a *stateful stream of outcomes*: every call consumes
+the next draw.  A p-worker execution
+(:func:`~repro.simulation.parallel.simulate_parallel_run`) therefore
+requires one instance per busy worker — sharing an instance would
+silently interleave one stream between the interleaved per-worker
+simulations (a scripted fail-stop meant for worker 0 could strike
+worker 1 instead), so sharing raises
+:class:`~repro.exceptions.SimulationError`.  The batched engine follows
+the same discipline with seeds: :func:`~repro.simulation.parallel.
+simulate_parallel` spawns one ``SeedSequence`` grandchild per worker
+*slot* (idle slots included, so worker ``w``'s stream depends only on
+``(seed, n_runs, chunk_size, w)``), and :func:`~repro.simulation.
+parallel.worker_uniform_rows` regenerates any single worker/replication
+stream for scalar replay.
 """
 
 from __future__ import annotations

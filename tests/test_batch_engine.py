@@ -384,3 +384,119 @@ class TestBatchMechanics:
         # different stream disciplines, same distribution
         assert batch.summary.count == scalar.summary.count == 200
         assert not np.array_equal(batch.samples, scalar.samples)
+
+
+# ----------------------------------------------------------------------
+# 5. multi-worker campaigns replayed bitwise against the scalar oracle
+# ----------------------------------------------------------------------
+class TestParallelOracle:
+    """The multi-worker batched engine (:func:`simulate_parallel`) must be
+    bitwise-reproducible by the scalar p-worker oracle
+    (:func:`simulate_parallel_run`) fed the same per-worker uniform
+    streams — the parallel extension of layer 1 above: per-worker busy
+    trajectories replay through ``InverseTransformErrorSource`` on
+    :func:`worker_uniform_rows`, and the wall-clock composition uses the
+    same float operations in both engines."""
+
+    def _assert_parallel_bitwise(
+        self, plan, platform, *, n_runs, seed, chunk_size=None
+    ):
+        from repro.simulation import (
+            DEFAULT_CHUNK_SIZE,
+            simulate_parallel,
+            simulate_parallel_run,
+            worker_uniform_rows,
+        )
+
+        chunk_size = chunk_size or DEFAULT_CHUNK_SIZE
+        batch = simulate_parallel(
+            plan, platform, n_runs, seed=seed, chunk_size=chunk_size
+        )
+        for i in range(n_runs):
+            sources = [
+                None
+                if wp is None
+                else InverseTransformErrorSource(
+                    platform,
+                    worker_uniform_rows(
+                        seed, n_runs, plan.n_workers, w, i,
+                        chunk_size=chunk_size,
+                    ),
+                )
+                for w, wp in enumerate(plan.workers)
+            ]
+            ref = simulate_parallel_run(plan, platform, sources)
+            assert ref.makespan == batch.makespans[i], f"rep {i} differs"
+            for w, wp in enumerate(plan.workers):
+                assert ref.worker_finish[w] == batch.worker_finish[w, i]
+                if wp is None:
+                    continue
+                res = ref.worker_results[w]
+                wb = batch.worker_results[w]
+                assert res.makespan == wb.makespans[i]
+                assert res.fail_stop_errors == wb.fail_stop_errors[i]
+                assert res.silent_errors == wb.silent_errors[i]
+                assert res.silent_detected == wb.silent_detected[i]
+                assert res.silent_missed == wb.silent_missed[i]
+                assert res.attempts == wb.attempts[i]
+
+    def test_searched_plans_on_small_campaign(self):
+        from repro.dag import campaign, optimize_parallel
+
+        platform = Platform.from_costs(
+            "dag", lf=2e-4, ls=6e-4, CD=40.0, CM=8.0, r=0.8
+        )
+        for dag in campaign("small", seed=0):
+            solution = optimize_parallel(
+                dag, platform, 2, algorithm="adv_star", seed=0
+            )
+            self._assert_parallel_bitwise(
+                solution.plan(), platform, n_runs=64, seed=1234
+            )
+
+    def test_idle_workers_and_chunked_streams(self):
+        # more worker slots than tasks: idle slots must keep every busy
+        # worker's stream stable, and a sub-chunk-size campaign must
+        # replay across chunk boundaries (chunk_size < n_runs)
+        from repro.dag import generate, optimize_parallel
+        from repro.simulation import worker_uniform_rows
+
+        platform = Platform.from_costs(
+            "hot", lf=1e-3, ls=3e-3, CD=30.0, CM=6.0, r=0.7
+        )
+        dag = generate("diamond", seed=2, rows=1, cols=2)
+        solution = optimize_parallel(
+            dag, platform, dag.n + 2, algorithm="adv_star", seed=0
+        )
+        plan = solution.plan()
+        assert any(wp is None for wp in plan.workers)
+        self._assert_parallel_bitwise(plan, platform, n_runs=40, seed=7)
+        # multi-chunk campaign: the replay must follow the per-chunk
+        # stream discipline across chunk boundaries (40 runs, chunks of 16)
+        self._assert_parallel_bitwise(
+            plan, platform, n_runs=40, seed=7, chunk_size=16
+        )
+        with pytest.raises(InvalidParameterError):
+            next(worker_uniform_rows(7, 40, plan.n_workers, -1, 0))
+
+    def test_n_jobs_matches_serial_parallel(self):
+        from repro.dag import generate, optimize_parallel
+        from repro.simulation import simulate_parallel
+
+        platform = Platform.from_costs(
+            "dag", lf=2e-4, ls=6e-4, CD=40.0, CM=8.0, r=0.8
+        )
+        dag = generate("fork_join", seed=3, branches=2, branch_length=2)
+        plan = optimize_parallel(
+            dag, platform, 2, algorithm="adv_star", seed=0
+        ).plan()
+        serial = simulate_parallel(
+            plan, platform, 400, seed=3, chunk_size=100, n_jobs=None
+        )
+        sharded = simulate_parallel(
+            plan, platform, 400, seed=3, chunk_size=100, n_jobs=2
+        )
+        np.testing.assert_array_equal(serial.makespans, sharded.makespans)
+        np.testing.assert_array_equal(
+            serial.worker_finish, sharded.worker_finish
+        )

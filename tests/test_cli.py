@@ -474,6 +474,46 @@ class TestDagCommand:
         assert doc["certificate"]["agrees"] is True
         assert doc["certificate"]["target_ci"] == 0.05
 
+    def test_optimize_processors_text(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "dag", "optimize", "--kind", "fork_join",
+            "--branches", "2", "--branch-length", "2", "--seed", "1",
+            "-a", "adv*", "--processors", "2", "--restarts", "1",
+        )
+        assert code == 0
+        assert "parallel schedule" in out
+        assert "parallel search" in out
+        assert "surrogate" in out
+
+    def test_optimize_processors_json(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "dag", "optimize", "--kind", "fork_join",
+            "--branches", "2", "--branch-length", "2", "--seed", "1",
+            "-a", "adv*", "--processors", "2", "--restarts", "1", "--json",
+        )
+        assert code == 0
+        doc = json.loads(out)
+        assert doc["processors"] == 2
+        assert len(doc["order"]) == len(doc["assignment"]) == 6
+        assert set(doc["assignment"].values()) <= {0, 1}
+        assert doc["search"]["states_priced"] > 0
+        assert len(doc["worker_busy"]) == 2
+
+    def test_optimize_processors_rejects_serial_flags(self, capsys):
+        code, _, err = run_cli(
+            capsys, "dag", "optimize", "--kind", "fork_join", "--branches",
+            "2", "--branch-length", "1", "--processors", "2",
+            "--strategy", "search", "--recombine", "0",
+        )
+        assert code == 2
+        assert "--strategy" in err and "--recombine" in err
+        code, _, err = run_cli(
+            capsys, "dag", "optimize", "--kind", "fork_join", "--branches",
+            "2", "--branch-length", "1", "--processors", "2", "--certify",
+        )
+        assert code == 2
+        assert "simulate_parallel" in err
+
     def test_optimize_rejects_search_flags_without_search(self, capsys):
         code, _, err = run_cli(
             capsys, "dag", "optimize", "--kind", "fork_join", "--branches",

@@ -189,3 +189,34 @@ class TestDagSearchDriver:
 
     def test_stamp_agrees(self, result):
         assert result.stamps and all(s.agrees for s in result.stamps)
+
+
+@pytest.mark.slow
+class TestParallelSpeedupDriver:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.experiments import parallel_speedup
+
+        # small campaign + trimmed MC budget keeps the driver test quick
+        return parallel_speedup.run(
+            fast=True, seed=0, campaign_name="small", mc_runs=256
+        )
+
+    def test_ladder_anchored_at_serialized(self, result):
+        assert result.ladder()[0] == 1
+        for row in result.rows:
+            if row.processors == 1:
+                assert row.speedup == 1.0
+
+    def test_surrogate_lower_bounds_mc(self, result):
+        for row in result.rows:
+            assert row.surrogate <= row.mc_mean + 4.0 * row.mc_sem, row
+
+    def test_render_and_dict(self, result):
+        text = result.render()
+        assert "parallel speedup" in text
+        assert "geometric-mean speedup" in text
+        doc = result.as_dict()
+        assert doc["campaign"] == "small"
+        assert len(doc["rows"]) == len(result.rows)
+        assert set(doc["mean_speedup"]) == {"2"}
