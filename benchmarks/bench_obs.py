@@ -1,0 +1,180 @@
+"""Instrumentation overhead: the disabled path must stay near-free.
+
+PR 7 threaded ``repro.obs`` hooks through every hot layer (DP solver,
+order search, batched kernel, adaptive orchestrator, parallel
+simulator).  This bench pins the cost of that plumbing:
+
+* **disabled-path gate (< 2%)** — the ambient no-op primitives are
+  timed individually (counter inc, timer observe, span enter/exit,
+  ambient lookup) and charged against the 10k-replication campaign at a
+  generous hook-count envelope (16 touches per chunk — the kernel
+  actually performs ~3); even that over-estimate must stay under 2% of
+  the campaign's wall time;
+* **speedup gate (>= 20x)** — the instrumented engine, collection off,
+  keeps the batched-vs-scalar floor the kernel has always promised;
+* the fully *enabled* path (live registry + tracer) is measured and
+  reported alongside, un-gated: turning profiling on is allowed to
+  cost, silently slowing every run is not.
+
+Writes ``results/BENCH_obs.json`` (the CI bench job copies it to the
+repo root with the other ``BENCH_*.json`` trajectories) plus a
+human-readable ``results/obs.txt``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from bench_common import save_result
+from repro.chains import TaskChain
+from repro.core import optimize
+from repro.obs import MetricsRegistry, Tracer, instrument, metrics, span
+from repro.platforms import Platform
+from repro.simulation import run_monte_carlo, simulate_batch
+
+HOT = Platform.from_costs(
+    "hot", lf=2e-3, ls=6e-3, CD=30.0, CM=5.0, r=0.8, partial_cost_ratio=25.0
+)
+CHAIN = TaskChain([60.0] * 10)
+RUNS = 10_000
+CHUNK = 2_000  # several chunks, so the per-chunk hook sites are exercised
+SCALAR_RUNS = 1_000  # the oracle loop is ~100x slower; keep the lane fast
+MIN_SPEEDUP = 20.0  # same acceptance floor as bench_batch_engine
+MAX_DISABLED_OVERHEAD = 0.02
+HOOKS_PER_CHUNK = 16  # envelope; the kernel's disabled path touches ~3
+
+
+@pytest.fixture(scope="module")
+def schedule():
+    return optimize(CHAIN, HOT, algorithm="admv").schedule
+
+
+def _best_of(fn, repeats=3):
+    best = float("inf")
+    out = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        out = fn()
+        best = min(best, time.perf_counter() - start)
+    return out, best
+
+
+def _ns_per_op(fn, n=100_000):
+    start = time.perf_counter()
+    for _ in range(n):
+        fn()
+    return (time.perf_counter() - start) / n * 1e9
+
+
+def _null_span_op():
+    with span("bench.disabled"):
+        pass
+
+
+def test_disabled_instrumentation_is_near_free(benchmark, schedule, results_dir):
+    """Hook primitives x hook counts stay under 2% of a hot campaign."""
+    # -- primitive costs on the disabled ambient path ------------------
+    reg = metrics()
+    assert not reg.enabled  # benches run with collection off
+    primitives = {
+        "ambient_lookup": _ns_per_op(metrics),
+        "counter_inc": _ns_per_op(lambda: metrics().counter("bench.c").inc()),
+        "timer_observe": _ns_per_op(
+            lambda: metrics().timer("bench.t").observe(1.0)
+        ),
+        "span_enter_exit": _ns_per_op(_null_span_op),
+    }
+    worst_ns = max(primitives.values())
+
+    # -- campaign wall times: disabled / enabled / scalar oracle -------
+    simulate_batch(CHAIN, HOT, schedule, 100, seed=3)  # warm the dispatch
+    batch, disabled_s = _best_of(
+        lambda: simulate_batch(
+            CHAIN, HOT, schedule, RUNS, seed=3, chunk_size=CHUNK
+        )
+    )
+
+    def _enabled_campaign():
+        with instrument(MetricsRegistry(), Tracer()):
+            return simulate_batch(
+                CHAIN, HOT, schedule, RUNS, seed=3, chunk_size=CHUNK
+            )
+
+    enabled_batch, enabled_s = _best_of(_enabled_campaign)
+
+    _, scalar_s = _best_of(
+        lambda: run_monte_carlo(
+            CHAIN, HOT, schedule, runs=SCALAR_RUNS, seed=3, engine="scalar"
+        ),
+        repeats=1,
+    )
+
+    # collection must never change results, only observe them
+    assert float(enabled_batch.makespans.sum()) == float(batch.makespans.sum())
+
+    # one row through the benchmark fixture for the timing report
+    benchmark.pedantic(
+        lambda: simulate_batch(
+            CHAIN, HOT, schedule, RUNS, seed=3, chunk_size=CHUNK
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    n_chunks = -(-RUNS // CHUNK)
+    hook_budget_s = (HOOKS_PER_CHUNK * n_chunks + 64) * worst_ns * 1e-9
+    disabled_overhead = hook_budget_s / disabled_s
+    enabled_overhead = enabled_s / disabled_s - 1.0
+    scalar_runs_per_s = SCALAR_RUNS / scalar_s
+    speedup = (RUNS / disabled_s) / scalar_runs_per_s
+
+    doc = {
+        "bench": "obs_overhead",
+        "runs": RUNS,
+        "chunk_size": CHUNK,
+        "chain_tasks": CHAIN.n,
+        "platform": "hot",
+        "primitives_ns": primitives,
+        "disabled_seconds": disabled_s,
+        "enabled_seconds": enabled_s,
+        "scalar_runs_per_s": scalar_runs_per_s,
+        "speedup_vs_scalar": speedup,
+        "disabled_overhead_bound": disabled_overhead,
+        "enabled_overhead": enabled_overhead,
+    }
+    (results_dir / "BENCH_obs.json").write_text(json.dumps(doc, indent=2) + "\n")
+
+    lines = [
+        f"instrumentation overhead ({RUNS} replications, {n_chunks} chunks, "
+        f"{CHAIN.n}-task chain, hot platform)",
+        "  disabled primitives: "
+        + ", ".join(f"{k}={v:.0f}ns" for k, v in primitives.items()),
+        f"  campaign: disabled {disabled_s:.4f}s, enabled {enabled_s:.4f}s "
+        f"({enabled_overhead:+.1%} when collecting)",
+        f"  disabled hook budget: {disabled_overhead:.4%} of campaign "
+        f"(gate < {MAX_DISABLED_OVERHEAD:.0%})",
+        f"  batched vs scalar: {speedup:.1f}x (gate >= {MIN_SPEEDUP:.0f}x)",
+    ]
+    text = "\n".join(lines)
+    print()
+    print(text)
+    save_result(results_dir, "obs.txt", text)
+
+    assert disabled_overhead < MAX_DISABLED_OVERHEAD, doc
+    assert speedup >= MIN_SPEEDUP, doc
+
+
+def test_enabled_campaign_accounts_every_replication(schedule):
+    """The enabled path's books balance: counters match the work done."""
+    reg = MetricsRegistry()
+    with instrument(reg):
+        simulate_batch(CHAIN, HOT, schedule, RUNS, seed=3, chunk_size=CHUNK)
+    snap = reg.snapshot()
+    assert snap.counter("sim.batch.replications") == RUNS
+    assert snap.counter("sim.batch.chunks") == -(-RUNS // CHUNK)
+    assert snap.timers["sim.batch.kernel"].count == snap.counter(
+        "sim.batch.chunks"
+    )

@@ -17,6 +17,8 @@ Quickstart
 True
 """
 
+import logging as _logging
+
 from .chains import (
     PAPER_TOTAL_WEIGHT,
     Task,
@@ -53,6 +55,11 @@ from .platforms import (
     Platform,
     get_platform,
 )
+
+# Library logging policy: everything logs under the "repro" hierarchy
+# and the package itself stays silent unless the application (or the
+# CLI's --log-level) configures a handler.
+_logging.getLogger("repro").addHandler(_logging.NullHandler())
 
 __version__ = "1.0.0"
 

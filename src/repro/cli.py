@@ -42,10 +42,41 @@ from .core import Schedule, evaluate_schedule, optimize
 from .core.solver import canonical_algorithm
 from .exceptions import InvalidParameterError, ReproError
 from .experiments import ALGORITHM_LABELS, fig5, fig6, fig78, table1
+from .obs import configure_logging, get_logger
 from .platforms import PLATFORMS, TABLE1_ROWS, get_platform
 from .simulation import run_monte_carlo
 
 __all__ = ["main", "build_parser"]
+
+logger = get_logger(__name__)
+
+
+def _add_obs_args(p: argparse.ArgumentParser) -> None:
+    """Observability flags, shared by every leaf subcommand."""
+    g = p.add_argument_group("observability")
+    g.add_argument(
+        "--profile",
+        action="store_true",
+        help="print the instrumented run report (metrics + span times)",
+    )
+    g.add_argument(
+        "--profile-out",
+        default=None,
+        metavar="FILE",
+        help="write the profile document (JSON) here",
+    )
+    g.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help="write a Chrome trace-event JSON timeline here",
+    )
+    g.add_argument(
+        "--log-level",
+        default=None,
+        metavar="LEVEL",
+        help="enable repro.* logging at this level (debug, info, ...)",
+    )
 
 
 def _add_instance_args(p: argparse.ArgumentParser) -> None:
@@ -101,6 +132,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("platforms", help="list the Table I platforms")
     p.add_argument("--json", action="store_true")
+    _add_obs_args(p)
 
     p = sub.add_parser("solve", help="compute an optimal schedule")
     _add_instance_args(p)
@@ -111,6 +143,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="also print the expected-time waste breakdown",
     )
     p.add_argument("--json", action="store_true")
+    _add_obs_args(p)
 
     p = sub.add_parser("evaluate", help="evaluate a fixed schedule exactly")
     _add_instance_args(p)
@@ -120,6 +153,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="schedule string, one symbol per task: . p v M D",
     )
     p.add_argument("--json", action="store_true")
+    _add_obs_args(p)
 
     p = sub.add_parser("simulate", help="Monte-Carlo a schedule vs analytic")
     _add_instance_args(p)
@@ -180,6 +214,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="replications per vectorized chunk (batched engine)",
     )
     p.add_argument("--json", action="store_true")
+    _add_obs_args(p)
 
     p = sub.add_parser("sweep", help="normalized makespan versus task count")
     _add_instance_args(p)
@@ -222,8 +257,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="seed for the validation campaigns (echoed in --json output)",
     )
     p.add_argument("--chart", action="store_true", help="also render an ASCII chart")
-    p.add_argument("--profile", action="store_true", help="print cProfile hotspots")
+    p.add_argument(
+        "--cprofile", action="store_true", help="print cProfile hotspots"
+    )
     p.add_argument("--json", action="store_true")
+    _add_obs_args(p)
 
     p = sub.add_parser(
         "dag", help="general workflows: generate / optimize / sweep"
@@ -283,6 +321,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_dag_instance_args(q)
     q.add_argument("-o", "--output", default=None, help="write the JSON document here")
     q.add_argument("--json", action="store_true")
+    _add_obs_args(q)
 
     q = dag_sub.add_parser(
         "optimize", help="best serialisation + chain schedule for a DAG"
@@ -348,7 +387,17 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="NAME",
         help="array-API backend for the certification campaign",
     )
+    q.add_argument(
+        "--no-estimate",
+        action="store_true",
+        help=(
+            "skip the adaptive Monte-Carlo makespan estimate of the "
+            "winning parallel plan (--processors only; --target-ci and "
+            "--backend configure the estimate)"
+        ),
+    )
     q.add_argument("--json", action="store_true")
+    _add_obs_args(q)
 
     q = dag_sub.add_parser(
         "sweep", help="heuristics vs search vs exhaustive over campaigns"
@@ -369,19 +418,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="array-API backend for the certification campaign",
     )
     q.add_argument("--json", action="store_true")
+    _add_obs_args(q)
 
     p = sub.add_parser("figure", help="regenerate a paper figure (5, 6, 7, 8)")
     p.add_argument("number", type=int, choices=(5, 6, 7, 8))
     p.add_argument("--fast", action="store_true", help="coarser task grid")
+    _add_obs_args(p)
 
     p = sub.add_parser("table", help="regenerate a paper table (1)")
     p.add_argument("number", type=int, choices=(1,))
+    _add_obs_args(p)
 
     p = sub.add_parser(
         "report", help="paper-vs-measured claim report over all experiments"
     )
     p.add_argument("--fast", action="store_true", help="coarser task grid")
     p.add_argument("-o", "--output", default=None, help="also write to a file")
+    _add_obs_args(p)
 
     return parser
 
@@ -538,7 +591,7 @@ def _cmd_sweep(args) -> str:
                 "--target-ci"
             )
 
-    profiler = cProfile.Profile() if args.profile else None
+    profiler = cProfile.Profile() if args.cprofile else None
     if profiler:
         profiler.enable()
     sweep = sweep_task_counts(
@@ -682,7 +735,9 @@ def _cmd_dag_optimize(args) -> str:
 
     dag = _make_dag(args)
     platform = get_platform(args.platform)
-    if not args.certify:
+    if not args.certify and args.processors is None:
+        # With --processors these flags configure the adaptive makespan
+        # estimate instead (see _dag_optimize_parallel).
         ignored = [
             flag
             for flag, is_set in (
@@ -696,6 +751,11 @@ def _cmd_dag_optimize(args) -> str:
                 f"{', '.join(ignored)} configure the Monte-Carlo "
                 f"certification campaign; enable it with --certify"
             )
+    if args.processors is None and args.no_estimate:
+        raise InvalidParameterError(
+            "--no-estimate skips the parallel plan's adaptive makespan "
+            "estimate; it requires --processors"
+        )
     if args.processors is not None:
         ignored = [
             flag
@@ -862,6 +922,20 @@ def _cmd_dag_optimize(args) -> str:
 def _dag_optimize_parallel(dag, platform, args) -> str:
     from .dag import canonical_node_key, search_parallel
 
+    if args.no_estimate:
+        ignored = [
+            flag
+            for flag, is_set in (
+                ("--backend", args.backend is not None),
+                ("--target-ci", args.target_ci != 0.01),
+            )
+            if is_set
+        ]
+        if ignored:
+            raise InvalidParameterError(
+                f"{', '.join(ignored)} configure the adaptive makespan "
+                f"estimate; drop --no-estimate to use them"
+            )
     result = search_parallel(
         dag,
         platform,
@@ -874,6 +948,21 @@ def _dag_optimize_parallel(dag, platform, args) -> str:
         n_jobs=args.jobs,
     )
     solution = result.solution
+    estimate = None
+    if not args.no_estimate:
+        # Default-on adaptive Monte-Carlo estimate of the winning plan's
+        # wall-clock makespan (the analytic value is a surrogate: the
+        # epoch fold swaps E and max, so simulation is the ground truth).
+        from .simulation import run_adaptive_parallel
+
+        estimate = run_adaptive_parallel(
+            solution.plan(),
+            platform,
+            target_relative_ci=args.target_ci,
+            seed=args.seed,
+            backend=args.backend,
+            analytic=solution.expected_time,
+        )
     if args.json:
         doc = {
             "platform": platform.name,
@@ -900,6 +989,18 @@ def _dag_optimize_parallel(dag, platform, args) -> str:
                 "n_jobs": result.n_jobs,
             },
         }
+        if estimate is not None:
+            doc["estimate"] = {
+                "mean": estimate.mean,
+                "relative_half_width": _finite_or_none(
+                    estimate.relative_half_width
+                ),
+                "target_ci": estimate.target_relative_ci,
+                "reps": estimate.reps_used,
+                "rounds": len(estimate.rounds),
+                "converged": estimate.converged,
+                "surrogate_gap": _finite_or_none(estimate.relative_gap),
+            }
         return json.dumps(doc, indent=2)
     out = [
         f"workflow {dag.name} on {platform.name} "
@@ -907,6 +1008,14 @@ def _dag_optimize_parallel(dag, platform, args) -> str:
         solution.describe(),
         result.summary(),
     ]
+    if estimate is not None:
+        status = "converged" if estimate.converged else "cap reached"
+        out.append(
+            f"  estimated E[makespan] = {estimate.mean:.2f}s "
+            f"(±{estimate.relative_half_width:.2%}, "
+            f"{estimate.reps_used} reps, {status}; "
+            f"surrogate gap {estimate.relative_gap:+.2%})"
+        )
     return "\n".join(out)
 
 
@@ -963,10 +1072,54 @@ def _cmd_report(args) -> str:
     return text
 
 
+def _run_instrumented(handler, args, command: str) -> str:
+    """Run one subcommand under a live registry + tracer and render the
+    requested exports (``--profile`` report, ``--profile-out`` JSON,
+    ``--trace-out`` Chrome trace)."""
+    from time import perf_counter
+
+    from .obs import (
+        MetricsRegistry,
+        Tracer,
+        build_profile,
+        instrument,
+        render_profile,
+        span,
+        write_profile,
+    )
+
+    registry = MetricsRegistry()
+    tracer = Tracer()
+    t0 = perf_counter()
+    with instrument(registry, tracer), span(f"repro.{command}"):
+        out = handler(args)
+    wall = perf_counter() - t0
+    profile = build_profile(
+        registry.snapshot(), tracer, command=command, wall_s=wall
+    )
+    if args.trace_out:
+        tracer.write_chrome_trace(args.trace_out)
+        logger.info("wrote Chrome trace to %s", args.trace_out)
+    if args.profile_out:
+        write_profile(profile, args.profile_out)
+        logger.info("wrote profile JSON to %s", args.profile_out)
+    if args.profile:
+        out += "\n\n" + render_profile(profile, tracer)
+        if not args.profile_out:
+            out += "\n--- profile json ---\n" + json.dumps(profile, indent=2)
+    return out
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if getattr(args, "log_level", None):
+        try:
+            configure_logging(args.log_level)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     handlers = {
         "platforms": _cmd_platforms,
         "solve": _cmd_solve,
@@ -978,8 +1131,19 @@ def main(argv: list[str] | None = None) -> int:
         "table": _cmd_table,
         "report": _cmd_report,
     }
+    command = args.command
+    if command == "dag":
+        command = f"dag.{args.dag_command}"
+    observing = bool(
+        getattr(args, "profile", False)
+        or getattr(args, "profile_out", None)
+        or getattr(args, "trace_out", None)
+    )
     try:
-        print(handlers[args.command](args))
+        if observing:
+            print(_run_instrumented(handlers[args.command], args, command))
+        else:
+            print(handlers[args.command](args))
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

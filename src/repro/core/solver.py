@@ -22,6 +22,7 @@ from collections.abc import Callable
 
 from ..chains import TaskChain
 from ..exceptions import InvalidParameterError
+from ..obs import metrics as _metrics
 from ..platforms import Platform
 from .dp_partial import optimize_partial
 from .dp_single import optimize_single_level
@@ -127,4 +128,10 @@ def optimize(
     >>> sol.schedule.is_strict
     True
     """
-    return _DISPATCH[canonical_algorithm(algorithm)](chain, platform, costs=costs)
+    name = canonical_algorithm(algorithm)
+    reg = _metrics()
+    if not reg.enabled:
+        return _DISPATCH[name](chain, platform, costs=costs)
+    reg.counter(f"dp.solves.{name}").inc()
+    with reg.timer("dp.solve").time():
+        return _DISPATCH[name](chain, platform, costs=costs)

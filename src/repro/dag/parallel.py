@@ -54,6 +54,9 @@ from ..platforms import Platform
 from ..core.costs import CostProfile
 from ..core.schedule import Action, Schedule
 from ..core.solver import optimize
+from ..obs import MetricsRegistry, MetricsSnapshot, get_logger
+from ..obs import metrics as _ambient_metrics
+from ..obs import span as _span
 from ..simulation.parallel import ParallelPlan, WorkerPlan
 from .linearize import candidate_orders
 from .search import (
@@ -77,6 +80,8 @@ __all__ = [
     "search_parallel",
     "optimize_parallel",
 ]
+
+logger = get_logger(__name__)
 
 
 # ----------------------------------------------------------------------
@@ -347,6 +352,7 @@ class ParallelObjective:
         processors: int,
         *,
         algorithm: str = "admv",
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if processors < 1:
             raise InvalidParameterError(
@@ -366,11 +372,37 @@ class ParallelObjective:
         self._intervals: dict[tuple, tuple[float, tuple[int, ...]]] = {}
         self._workers: dict[tuple, tuple[tuple[float, ...], tuple[int, ...]]] = {}
         self._values: dict[tuple, float] = {}
-        self.interval_solves = 0
-        self.interval_cache_hits = 0
-        self.worker_cache_hits = 0
-        self.states_priced = 0
-        self.state_cache_hits = 0
+        # Same discipline as ChainObjective: a private live registry
+        # whose counters back the legacy int-attribute views below, and
+        # whose snapshot ships across n_jobs process shards.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._c_interval_solves = self.metrics.counter("parallel.interval.solves")
+        self._c_interval_hits = self.metrics.counter("parallel.interval.hits")
+        self._c_worker_priced = self.metrics.counter("parallel.worker.priced")
+        self._c_worker_hits = self.metrics.counter("parallel.worker.hits")
+        self._c_state_priced = self.metrics.counter("parallel.state.priced")
+        self._c_state_hits = self.metrics.counter("parallel.state.hits")
+
+    # -- counter views (legacy int-attribute API) ----------------------
+    @property
+    def interval_solves(self) -> int:
+        return self._c_interval_solves.value
+
+    @property
+    def interval_cache_hits(self) -> int:
+        return self._c_interval_hits.value
+
+    @property
+    def worker_cache_hits(self) -> int:
+        return self._c_worker_hits.value
+
+    @property
+    def states_priced(self) -> int:
+        return self._c_state_priced.value
+
+    @property
+    def state_cache_hits(self) -> int:
+        return self._c_state_hits.value
 
     # -- interval layer -------------------------------------------------
     def _solve_interval(
@@ -388,7 +420,7 @@ class ParallelObjective:
         )
         cached = self._intervals.get(key)
         if cached is not None:
-            self.interval_cache_hits += 1
+            self._c_interval_hits.inc()
             return cached
         n = int(weights.size)
         costs = (
@@ -398,10 +430,11 @@ class ParallelObjective:
         )
         if rd0 != 0.0 or rm0 != 0.0:
             costs = costs.with_boundary_recovery(rd0, rm0)
-        solution = optimize(
-            TaskChain(weights), self.platform, algorithm=self.algorithm,
-            costs=costs,
-        )
+        with _span("parallel.price_interval", n=n):
+            solution = optimize(
+                TaskChain(weights), self.platform, algorithm=self.algorithm,
+                costs=costs,
+            )
         levels = tuple(int(a) for a in solution.schedule.levels_array())
         if levels[-1] != int(Action.DISK):
             # The chain DP always disk-checkpoints the end; the commit
@@ -410,7 +443,7 @@ class ParallelObjective:
             levels = levels[:-1] + (int(Action.DISK),)
         result = (float(solution.expected_time), levels)
         self._intervals[key] = result
-        self.interval_solves += 1
+        self._c_interval_solves.inc()
         return result
 
     # -- worker layer ---------------------------------------------------
@@ -432,7 +465,7 @@ class ParallelObjective:
         )
         cached = self._workers.get(key)
         if cached is not None:
-            self.worker_cache_hits += 1
+            self._c_worker_hits.inc()
             return cached
         durations: list[float] = []
         levels: tuple[int, ...] = ()
@@ -455,6 +488,7 @@ class ParallelObjective:
             levels = levels + interval_levels
         result = (tuple(durations), levels)
         self._workers[key] = result
+        self._c_worker_priced.inc()
         return result
 
     # -- state layer ----------------------------------------------------
@@ -496,11 +530,11 @@ class ParallelObjective:
         key = state.key()
         cached = self._values.get(key)
         if cached is not None:
-            self.state_cache_hits += 1
+            self._c_state_hits.inc()
             return cached
         value = self.price(state).value
         self._values[key] = value
-        self.states_priced += 1
+        self._c_state_priced.inc()
         return value
 
     @property
@@ -592,6 +626,8 @@ def _parallel_climb(
     """Steepest-descent hill climbing over the sampled neighborhood."""
     best, best_value = state, objective.value(state)
     reinsert_cap, reassign_cap = _neighbor_caps(len(state.order))
+    c_proposed = objective.metrics.counter("search.moves.proposed")
+    c_accepted = objective.metrics.counter("search.moves.accepted")
     rounds = 0
     while rounds < max_rounds:
         rounds += 1
@@ -602,12 +638,14 @@ def _parallel_climb(
             max_reinsertions=reinsert_cap,
             max_reassignments=reassign_cap,
         ):
+            c_proposed.inc()
             value = objective.value(candidate)
             if _improves(value, round_value):
                 round_best, round_value = candidate, value
         if round_best is None:
             break
         best, best_value = round_best, round_value
+        c_accepted.inc()
     return best, best_value, rounds
 
 
@@ -622,17 +660,21 @@ def _parallel_anneal(
     current, current_value = state, objective.value(state)
     best, best_value = current, current_value
     temperature = max(current_value * 0.02, 1e-9)
+    c_proposed = objective.metrics.counter("search.moves.proposed")
+    c_accepted = objective.metrics.counter("search.moves.accepted")
     accepted = 0
     for _ in range(max(0, iterations)):
         picked = random_parallel_neighbor(current, rng)
         if picked is None:
             break
         candidate, _ = picked
+        c_proposed.inc()
         value = objective.value(candidate)
         delta = value - current_value
         if delta < 0.0 or rng.random() < math.exp(-delta / temperature):
             current, current_value = candidate, value
             accepted += 1
+            c_accepted.inc()
             if _improves(current_value, best_value):
                 best, best_value = current, current_value
         temperature *= 0.99
@@ -681,13 +723,7 @@ def _parallel_climb_worker(payload: tuple):
         iterations=iterations,
         max_rounds=max_rounds,
     )
-    counters = (
-        objective.interval_solves,
-        objective.interval_cache_hits,
-        objective.states_priced,
-        objective.state_cache_hits,
-    )
-    return best.order, best.assignment, value, rounds, counters
+    return best.order, best.assignment, value, rounds, objective.metrics.snapshot()
 
 
 # ----------------------------------------------------------------------
@@ -791,6 +827,9 @@ class ParallelSearchResult:
     interval_cache_hits: int
     start_values: dict[str, float] = field(default_factory=dict)
     n_jobs: int | None = None  #: worker processes the start climbs used
+    #: Full merged metric snapshot (in-process objective + worker shards);
+    #: the int fields above are views into its counters.
+    metrics: MetricsSnapshot | None = None
 
     @property
     def expected_time(self) -> float:
@@ -906,8 +945,10 @@ def search_parallel(
     climb_seeds = ss_climbs.spawn(len(starts))
     climb_method = "hill_climb" if method == "hybrid" else method
 
+    objective.metrics.counter("search.starts").inc(len(starts))
+    objective.metrics.counter("search.restarts").inc(max(0, restarts))
     results: list[tuple[str, ParallelSchedule, float, int]] = []
-    pool_counters = np.zeros(4, dtype=np.int64)
+    shard_snapshots: list[MetricsSnapshot] = []
     use_pool = (
         n_jobs is not None
         and n_jobs > 1
@@ -932,27 +973,29 @@ def search_parallel(
             )
             for (_, state), climb_seed in zip(starts, climb_seeds)
         ]
-        with ProcessPoolExecutor(
-            max_workers=min(n_jobs, len(starts))
-        ) as pool:
-            for (label, _), (order, assignment, value, rounds, counters) in zip(
+        with _span(
+            "search.pool", n_jobs=min(n_jobs, len(starts)), starts=len(starts)
+        ), ProcessPoolExecutor(max_workers=min(n_jobs, len(starts))) as pool:
+            for (label, _), (order, assignment, value, rounds, shard) in zip(
                 starts, pool.map(_parallel_climb_worker, payloads)
             ):
                 state = ParallelSchedule(
                     dag, processors, order, assignment, _validate=False
                 )
                 results.append((label, state, value, rounds))
-                pool_counters += np.asarray(counters, dtype=np.int64)
+                shard_snapshots.append(shard)
     else:
         for (label, state), climb_seed in zip(starts, climb_seeds):
-            best, value, rounds = _climb_state(
-                objective,
-                climb_method,
-                state,
-                np.random.default_rng(climb_seed),
-                iterations=iterations,
-                max_rounds=max_rounds,
-            )
+            with _span("search.start", label=label) as sp:
+                best, value, rounds = _climb_state(
+                    objective,
+                    climb_method,
+                    state,
+                    np.random.default_rng(climb_seed),
+                    iterations=iterations,
+                    max_rounds=max_rounds,
+                )
+                sp.set(rounds=rounds, value=value)
             results.append((label, best, value, rounds))
 
     best_state: ParallelSchedule | None = None
@@ -967,18 +1010,38 @@ def search_parallel(
     assert best_state is not None
 
     if method == "hybrid":
-        state, value, rounds = _parallel_anneal(
-            objective,
-            best_state,
-            np.random.default_rng(ss_anneal),
-            iterations=iterations,
-        )
+        with _span("search.anneal") as sp:
+            state, value, rounds = _parallel_anneal(
+                objective,
+                best_state,
+                np.random.default_rng(ss_anneal),
+                iterations=iterations,
+            )
+            sp.set(value=value)
         rounds_total += rounds
         start_values["anneal"] = value
         if _improves(value, best_value):
             best_state, best_value = state, value
 
     pricing = objective.price(best_state)
+    # Associative snapshot fold replaces the pool_counters int array —
+    # taken after the final pricing so its (cache-hit) accounting is
+    # included, exactly as the live-attribute reads used to be.
+    merged = MetricsSnapshot.merge_all(
+        [objective.metrics.snapshot(), *shard_snapshots]
+    )
+    _ambient_metrics().merge_snapshot(merged)
+    logger.debug(
+        "search_parallel done: dag=%s p=%d method=%s seed=%d value=%.6g "
+        "states=%d intervals=%d",
+        dag.name,
+        processors,
+        method,
+        seed,
+        best_value,
+        merged.counter("parallel.state.priced"),
+        merged.counter("parallel.interval.solves"),
+    )
     layout = best_state.layout()
     solution = ParallelSolution(
         dag=dag,
@@ -1006,14 +1069,13 @@ def search_parallel(
         processors=processors,
         starts=len(starts),
         rounds=rounds_total,
-        states_priced=objective.states_priced + int(pool_counters[2]),
-        state_cache_hits=objective.state_cache_hits + int(pool_counters[3]),
-        interval_solves=objective.interval_solves + int(pool_counters[0]),
-        interval_cache_hits=(
-            objective.interval_cache_hits + int(pool_counters[1])
-        ),
+        states_priced=merged.counter("parallel.state.priced"),
+        state_cache_hits=merged.counter("parallel.state.hits"),
+        interval_solves=merged.counter("parallel.interval.solves"),
+        interval_cache_hits=merged.counter("parallel.interval.hits"),
         start_values=start_values,
         n_jobs=n_jobs,
+        metrics=merged,
     )
 
 

@@ -98,6 +98,9 @@ from ..core.result import Solution
 from ..core.schedule import Schedule
 from ..core.solver import optimize
 from ..exceptions import InvalidParameterError
+from ..obs import MetricsRegistry, MetricsSnapshot, get_logger
+from ..obs import metrics as _ambient_metrics
+from ..obs import span as _span
 from ..platforms import Platform
 from .join import (
     JoinInstance,
@@ -136,6 +139,8 @@ __all__ = [
 #: Relative improvement below which two orders are considered equivalent
 #: (guards against accepting float noise as progress).
 RELATIVE_TOLERANCE = 1e-12
+
+logger = get_logger(__name__)
 
 
 # ----------------------------------------------------------------------
@@ -315,6 +320,12 @@ class ChainObjective:
     frozen-schedule bound stays sound: the reference's action sequence is
     one feasible schedule for the neighbor *under the neighbor's permuted
     costs*, so its evaluation upper-bounds the neighbor's optimum.
+
+    The counters live in a private :class:`~repro.obs.MetricsRegistry`
+    (``self.metrics``); the legacy int attributes
+    (``exact_evaluations`` …) are read-only views over those shared
+    metric objects, so existing accounting code keeps working while
+    ``metrics.snapshot()`` ships the same numbers across process shards.
     """
 
     def __init__(
@@ -323,6 +334,7 @@ class ChainObjective:
         platform: Platform,
         *,
         algorithm: str = "admv",
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.dag = dag
         self.platform = platform
@@ -336,10 +348,30 @@ class ChainObjective:
         self._exact: dict[bytes, Solution] = {}
         self._bounds: dict[tuple[bytes, bytes], float] = {}
         self._stops: dict[bytes, np.ndarray] = {}
-        self.exact_evaluations = 0
-        self.exact_cache_hits = 0
-        self.bound_evaluations = 0
-        self.bound_cache_hits = 0
+        # Always a live registry (never the ambient null one): the
+        # SearchResult accounting must exist with observability off.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._c_exact_evals = self.metrics.counter("search.exact.evaluations")
+        self._c_exact_hits = self.metrics.counter("search.exact.hits")
+        self._c_bound_evals = self.metrics.counter("search.bound.evaluations")
+        self._c_bound_hits = self.metrics.counter("search.bound.hits")
+
+    # -- counter views (legacy int-attribute API) ----------------------
+    @property
+    def exact_evaluations(self) -> int:
+        return self._c_exact_evals.value
+
+    @property
+    def exact_cache_hits(self) -> int:
+        return self._c_exact_hits.value
+
+    @property
+    def bound_evaluations(self) -> int:
+        return self._c_bound_evals.value
+
+    @property
+    def bound_cache_hits(self) -> int:
+        return self._c_bound_hits.value
 
     # -- helpers -------------------------------------------------------
     def weights_of(self, order: Sequence[Hashable]) -> np.ndarray:
@@ -382,7 +414,7 @@ class ChainObjective:
         )
         cached = self._exact.get(key)
         if cached is not None:
-            self.exact_cache_hits += 1
+            self._c_exact_hits.inc()
             return cached
         _, chain = self.dag.serialise(list(order))
         solution = optimize(
@@ -392,7 +424,7 @@ class ChainObjective:
             costs=self.costs_of(order),
         )
         self._exact[key] = solution
-        self.exact_evaluations += 1
+        self._c_exact_evals.inc()
         return solution
 
     # -- incremental bound path ----------------------------------------
@@ -437,7 +469,7 @@ class ChainObjective:
         key = (schedule_key, segment_key)
         cached = self._bounds.get(key)
         if cached is not None:
-            self.bound_cache_hits += 1
+            self._c_bound_hits.inc()
             return cached
         value = evaluate_schedule(
             TaskChain(weights),
@@ -448,7 +480,7 @@ class ChainObjective:
             ),
         ).expected_time
         self._bounds[key] = value
-        self.bound_evaluations += 1
+        self._c_bound_evals.inc()
         return value
 
 
@@ -484,6 +516,8 @@ def hill_climb(
     solution = objective.exact(order)
     if max_reinsertions is None:
         max_reinsertions = max(16, 2 * dag.n)
+    c_proposed = objective.metrics.counter("search.moves.proposed")
+    c_accepted = objective.metrics.counter("search.moves.accepted")
     rounds = 0
     for _ in range(max_rounds):
         scored = sorted(
@@ -495,6 +529,7 @@ def hill_climb(
             ),
             key=lambda pair: pair[0],
         )
+        c_proposed.inc(len(scored))
         accepted = False
         value = solution.expected_time
         for b, cand in scored:
@@ -513,6 +548,7 @@ def hill_climb(
                     break
         if not accepted:
             return order, solution, rounds
+        c_accepted.inc()
         rounds += 1
     return order, solution, rounds
 
@@ -543,12 +579,15 @@ def simulated_annealing(
         if initial_temperature is not None
         else 0.02 * solution.expected_time
     )
+    c_proposed = objective.metrics.counter("search.moves.proposed")
+    c_accepted = objective.metrics.counter("search.moves.accepted")
     accepted = 0
     for _ in range(iterations):
         neighbor = random_neighbor(dag, order, rng)
         if neighbor is None:  # rigid DAG (a chain): nothing to explore
             break
         cand, _move = neighbor
+        c_proposed.inc()
         b = objective.bound(cand, solution)
         delta = b - solution.expected_time
         if delta <= 0.0 or rng.random() < math.exp(
@@ -557,6 +596,7 @@ def simulated_annealing(
             solution = objective.exact(cand)
             order = cand
             accepted += 1
+            c_accepted.inc()
             if _improves(solution.expected_time, best_solution.expected_time):
                 best_order, best_solution = order, solution
         temperature *= cooling
@@ -581,21 +621,35 @@ class JoinObjective:
     with the checkpoint decisions.
     """
 
-    def __init__(self, instance: JoinInstance) -> None:
+    def __init__(
+        self,
+        instance: JoinInstance,
+        *,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
         self.instance = instance
         self._memo: dict[tuple, float] = {}
-        self.evaluations = 0
-        self.cache_hits = 0
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._c_evals = self.metrics.counter("search.join.evaluations")
+        self._c_hits = self.metrics.counter("search.join.hits")
+
+    @property
+    def evaluations(self) -> int:
+        return self._c_evals.value
+
+    @property
+    def cache_hits(self) -> int:
+        return self._c_hits.value
 
     def value(self, schedule: JoinSchedule) -> float:
         key = (schedule.order, schedule.checkpoint)
         cached = self._memo.get(key)
         if cached is not None:
-            self.cache_hits += 1
+            self._c_hits.inc()
             return cached
         v = evaluate_join(self.instance, schedule)
         self._memo[key] = v
-        self.evaluations += 1
+        self._c_evals.inc()
         return v
 
     @property
@@ -665,16 +719,20 @@ def _join_hill_climb(
 ) -> tuple[JoinSchedule, float, int]:
     """Steepest descent over flips + repositions; exact values only."""
     value = objective.value(schedule)
+    c_proposed = objective.metrics.counter("search.moves.proposed")
+    c_accepted = objective.metrics.counter("search.moves.accepted")
     rounds = 0
     for _ in range(max_rounds):
         best_value, best_schedule = value, schedule
         for cand in join_neighborhood(schedule):
+            c_proposed.inc()
             v = objective.value(cand)
             if _improves(v, best_value):
                 best_value, best_schedule = v, cand
         if not _improves(best_value, value):
             break
         value, schedule = best_value, best_schedule
+        c_accepted.inc()
         rounds += 1
     return schedule, value, rounds
 
@@ -691,9 +749,12 @@ def _join_anneal(
     value = objective.value(schedule)
     best_schedule, best_value = schedule, value
     temperature = 0.02 * value
+    c_proposed = objective.metrics.counter("search.moves.proposed")
+    c_accepted = objective.metrics.counter("search.moves.accepted")
     accepted = 0
     for _ in range(iterations):
         cand = random_join_neighbor(schedule, rng)
+        c_proposed.inc()
         v = objective.value(cand)
         delta = v - value
         if delta <= 0.0 or rng.random() < math.exp(
@@ -701,6 +762,7 @@ def _join_anneal(
         ):
             schedule, value = cand, v
             accepted += 1
+            c_accepted.inc()
             if _improves(value, best_value):
                 best_schedule, best_value = schedule, value
         temperature *= cooling
@@ -805,6 +867,9 @@ class SearchResult:
     certificate: object | None = None  #: AgreementStamp when certify=True
     n_jobs: int | None = None  #: worker processes the start climbs used
     recombined: int = 0  #: crossover children climbed
+    #: Full merged metric snapshot (in-process objective + worker shards);
+    #: the int fields above are views into its counters.
+    metrics: MetricsSnapshot | None = None
 
     @property
     def expected_time(self) -> float:
@@ -865,8 +930,8 @@ def _climb_worker(payload: tuple):
 
     Module-level so it pickles; each worker builds its own
     :class:`ChainObjective` (memos are value-transparent, so private
-    caches change the work accounting but never the result) and returns
-    its counters for merging.
+    caches change the work accounting but never the result) and ships
+    its registry snapshot home for the associative merge.
     """
     (
         dag,
@@ -890,13 +955,7 @@ def _climb_worker(payload: tuple):
         max_rounds=max_rounds,
         polish_budget=polish_budget,
     )
-    counters = (
-        objective.exact_evaluations,
-        objective.exact_cache_hits,
-        objective.bound_evaluations,
-        objective.bound_cache_hits,
-    )
-    return order, solution, rounds, counters
+    return order, solution, rounds, objective.metrics.snapshot()
 
 
 def uses_join_objective(dag: WorkflowDAG) -> bool:
@@ -957,22 +1016,26 @@ def _search_join_order(
         decisions = tuple(bool(b) for b in start_rng.random(n) < 0.5)
         starts.append((f"random-{r}", JoinSchedule(order, decisions)))
 
+    objective.metrics.counter("search.starts").inc(len(starts))
+    objective.metrics.counter("search.restarts").inc(max(0, restarts))
     best_schedule: JoinSchedule | None = None
     best_value = math.inf
     rounds_total = 0
     start_values: dict[str, float] = {}
     for (label, start), climb_seed in zip(starts, ss_climbs.spawn(len(starts))):
-        if method == "anneal":
-            sched, value, rounds = _join_anneal(
-                objective,
-                start,
-                np.random.default_rng(climb_seed),
-                iterations=iterations,
-            )
-        else:
-            sched, value, rounds = _join_hill_climb(
-                objective, start, max_rounds=max_rounds
-            )
+        with _span("search.start", label=label) as sp:
+            if method == "anneal":
+                sched, value, rounds = _join_anneal(
+                    objective,
+                    start,
+                    np.random.default_rng(climb_seed),
+                    iterations=iterations,
+                )
+            else:
+                sched, value, rounds = _join_hill_climb(
+                    objective, start, max_rounds=max_rounds
+                )
+            sp.set(rounds=rounds, value=value)
         start_values[label] = value
         rounds_total += rounds
         if best_schedule is None or _improves(value, best_value):
@@ -1043,6 +1106,8 @@ def _search_join_order(
             seed=seed,
         )
 
+    merged = objective.metrics.snapshot()
+    _ambient_metrics().merge_snapshot(merged)
     return SearchResult(
         solution=solution,
         method=method,
@@ -1057,6 +1122,7 @@ def _search_join_order(
         bound_cache_hits=0,
         start_values=start_values,
         certificate=certificate,
+        metrics=merged,
     )
 
 
@@ -1166,8 +1232,10 @@ def search_order(
         polish_budget=polish_budget,
     )
 
+    objective.metrics.counter("search.starts").inc(len(starts))
+    objective.metrics.counter("search.restarts").inc(max(0, restarts))
     results: list[tuple[str, list[Hashable], Solution, int]] = []
-    pool_counters = np.zeros(4, dtype=np.int64)
+    shard_snapshots: list[MetricsSnapshot] = []
     # pool workers rebuild a *stock* ChainObjective from the algorithm
     # name, so a caller-supplied objective (possibly a subclass with its
     # own pricing) must keep every climb in-process to stay authoritative
@@ -1194,24 +1262,26 @@ def search_order(
             )
             for (_, start), climb_seed in zip(starts, climb_seeds)
         ]
-        with ProcessPoolExecutor(
-            max_workers=min(n_jobs, len(starts))
-        ) as pool:
-            for (label, _), (order, solution, rounds, counters) in zip(
+        with _span(
+            "search.pool", n_jobs=min(n_jobs, len(starts)), starts=len(starts)
+        ), ProcessPoolExecutor(max_workers=min(n_jobs, len(starts))) as pool:
+            for (label, _), (order, solution, rounds, shard) in zip(
                 starts, pool.map(_climb_worker, payloads)
             ):
                 results.append((label, order, solution, rounds))
-                pool_counters += np.asarray(counters, dtype=np.int64)
+                shard_snapshots.append(shard)
     else:
         for (label, start), climb_seed in zip(starts, climb_seeds):
-            order, solution, rounds = _climb(
-                dag,
-                objective,
-                method,
-                start,
-                np.random.default_rng(climb_seed),
-                **climb_kwargs,
-            )
+            with _span("search.start", label=label) as sp:
+                order, solution, rounds = _climb(
+                    dag,
+                    objective,
+                    method,
+                    start,
+                    np.random.default_rng(climb_seed),
+                    **climb_kwargs,
+                )
+                sp.set(rounds=rounds, value=solution.expected_time)
             results.append((label, order, solution, rounds))
 
     best_order: list[Hashable] | None = None
@@ -1245,14 +1315,16 @@ def search_order(
                 a, b = select_rng.choice(len(elites), size=2, replace=False)
                 cut = int(select_rng.integers(1, dag.n))
                 child = crossover_orders(elites[int(a)], elites[int(b)], cut)
-                order, solution, rounds = _climb(
-                    dag,
-                    objective,
-                    method,
-                    child,
-                    np.random.default_rng(seeds[c + 1]),
-                    **climb_kwargs,
-                )
+                with _span("search.crossover", child=c) as sp:
+                    order, solution, rounds = _climb(
+                        dag,
+                        objective,
+                        method,
+                        child,
+                        np.random.default_rng(seeds[c + 1]),
+                        **climb_kwargs,
+                    )
+                    sp.set(value=solution.expected_time)
                 start_values[f"crossover-{c}"] = solution.expected_time
                 rounds_total += rounds
                 recombined += 1
@@ -1262,22 +1334,31 @@ def search_order(
                     best_order, best_solution = order, solution
 
     if method == "hybrid":
-        order, solution, rounds = simulated_annealing(
-            dag,
-            objective,
-            best_order,
-            np.random.default_rng(ss_anneal),
-            iterations=iterations,
-        )
+        with _span("search.anneal") as sp:
+            order, solution, rounds = simulated_annealing(
+                dag,
+                objective,
+                best_order,
+                np.random.default_rng(ss_anneal),
+                iterations=iterations,
+            )
+            sp.set(value=solution.expected_time)
         rounds_total += rounds
         start_values["anneal"] = solution.expected_time
         if _improves(solution.expected_time, best_solution.expected_time):
             best_order, best_solution = order, solution
 
-    exact_evaluations = objective.exact_evaluations + int(pool_counters[0])
-    exact_cache_hits = objective.exact_cache_hits + int(pool_counters[1])
-    bound_evaluations = objective.bound_evaluations + int(pool_counters[2])
-    bound_cache_hits = objective.bound_cache_hits + int(pool_counters[3])
+    # One associative fold replaces the old pool_counters int array: the
+    # in-process objective's snapshot plus every worker shard, merged in
+    # any order with the same totals.
+    merged = MetricsSnapshot.merge_all(
+        [objective.metrics.snapshot(), *shard_snapshots]
+    )
+    _ambient_metrics().merge_snapshot(merged)
+    exact_evaluations = merged.counter("search.exact.evaluations")
+    exact_cache_hits = merged.counter("search.exact.hits")
+    bound_evaluations = merged.counter("search.bound.evaluations")
+    bound_cache_hits = merged.counter("search.bound.hits")
 
     dag_solution = DagSolution(best_order, best_solution)
     dag_solution.diagnostics.update(
@@ -1307,6 +1388,17 @@ def search_order(
             costs=dag.cost_profile(list(best_order), platform),
         )
 
+    logger.debug(
+        "search_order done: dag=%s method=%s seed=%d starts=%d value=%.6g "
+        "exact=%d bounds=%d",
+        dag.name,
+        method,
+        seed,
+        len(starts),
+        best_solution.expected_time,
+        exact_evaluations,
+        bound_evaluations,
+    )
     return SearchResult(
         solution=dag_solution,
         method=method,
@@ -1328,4 +1420,5 @@ def search_order(
         certificate=certificate,
         n_jobs=n_jobs,
         recombined=recombined,
+        metrics=merged,
     )

@@ -1,0 +1,180 @@
+"""Unified instrumentation layer: metrics, spans, profiles, logging.
+
+``repro.obs`` gives every subsystem one way to report what it did:
+
+- :class:`MetricsRegistry` (:mod:`.registry`) — counters / gauges /
+  timers / histograms whose immutable snapshots merge associatively
+  across chunks, rounds, and ``n_jobs`` process shards.
+- :class:`Tracer` (:mod:`.tracing`) — nested wall-time spans with
+  Chrome trace-event JSON (Perfetto) and text-tree exporters.
+- :func:`build_profile` (:mod:`.profile`) — the ``--profile`` run
+  report derived from a snapshot plus the trace timeline.
+- :func:`configure_logging` (:mod:`.log`) — the CLI-side structured
+  ``key=value`` formatter for the ``repro`` logger hierarchy.
+
+Library code never holds a registry argument through every call chain;
+it asks this module for the *ambient* instrumentation::
+
+    from ..obs import metrics, span
+
+    metrics().counter("dp.solves.admv").inc()
+    with span("search.start", label=label):
+        ...
+
+By default the ambient registry is :data:`NULL_REGISTRY` and the tracer
+is ``None``, so both lines above are near-free no-ops (bench-gated in
+``benchmarks/bench_obs.py``).  The CLI — or a test — turns collection
+on for a scope with::
+
+    with instrument(MetricsRegistry(), Tracer()) as inst:
+        run_the_workload()
+    report = build_profile(inst.registry.snapshot(), inst.tracer)
+
+The ambient state is process-local on purpose: ``ProcessPoolExecutor``
+shards run with instrumentation off and ship their private registry
+snapshots home in their return values (see ``search_order``), keeping
+the merge explicit and deterministic rather than ambient.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .log import configure_logging, get_logger
+from .profile import build_profile, render_profile, write_profile
+from .registry import (
+    DEFAULT_BUCKETS,
+    EMPTY_SNAPSHOT,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    HistogramSnapshot,
+    MetricsRegistry,
+    MetricsSnapshot,
+    NullRegistry,
+    Timer,
+    TimerSnapshot,
+)
+from .tracing import NULL_SPAN_HANDLE, SpanEvent, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Timer",
+    "Histogram",
+    "TimerSnapshot",
+    "HistogramSnapshot",
+    "MetricsSnapshot",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "EMPTY_SNAPSHOT",
+    "DEFAULT_BUCKETS",
+    "SpanEvent",
+    "Tracer",
+    "Instrumentation",
+    "instrument",
+    "metrics",
+    "tracer",
+    "span",
+    "instant",
+    "build_profile",
+    "render_profile",
+    "write_profile",
+    "configure_logging",
+    "get_logger",
+]
+
+
+@dataclass(frozen=True)
+class Instrumentation:
+    """One scope's collection state: a registry plus an optional tracer."""
+
+    registry: MetricsRegistry
+    tracer: Tracer | None = None
+
+
+#: Ambient instrumentation (process-local).  Swapped by :func:`instrument`.
+_DISABLED = Instrumentation(registry=NULL_REGISTRY, tracer=None)
+_active = _DISABLED
+
+
+def metrics() -> MetricsRegistry:
+    """The ambient registry (:data:`NULL_REGISTRY` when disabled)."""
+    return _active.registry
+
+
+def tracer() -> Tracer | None:
+    """The ambient tracer, or ``None`` when tracing is off."""
+    return _active.tracer
+
+
+class _NullSpanContext:
+    """Reusable no-op span: entered when no tracer is active."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return NULL_SPAN_HANDLE
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+
+_NULL_SPAN_CONTEXT = _NullSpanContext()
+
+
+def span(name: str, **args):
+    """Open a span on the ambient tracer (no-op context when disabled)."""
+    active_tracer = _active.tracer
+    if active_tracer is None:
+        return _NULL_SPAN_CONTEXT
+    return active_tracer.span(name, **args)
+
+
+def instant(name: str, **args) -> None:
+    """Record an instant event on the ambient tracer (no-op if disabled)."""
+    active_tracer = _active.tracer
+    if active_tracer is not None:
+        active_tracer.instant(name, **args)
+
+
+class _InstrumentScope:
+    """Context manager swapping the ambient instrumentation in and out."""
+
+    __slots__ = ("_inst", "_prior")
+
+    def __init__(self, inst: Instrumentation) -> None:
+        self._inst = inst
+
+    def __enter__(self) -> Instrumentation:
+        global _active
+        self._prior = _active
+        _active = self._inst
+        return self._inst
+
+    def __exit__(self, *exc) -> None:
+        global _active
+        _active = self._prior
+
+
+def instrument(
+    registry: MetricsRegistry | None = None,
+    trace: Tracer | None = None,
+) -> _InstrumentScope:
+    """Activate collection for a scope::
+
+        with instrument(MetricsRegistry(), Tracer()) as inst:
+            ...
+        snapshot = inst.registry.snapshot()
+
+    Scopes nest; the prior ambient state is restored on exit even when
+    the body raises.
+    """
+    return _InstrumentScope(
+        Instrumentation(
+            registry=registry if registry is not None else MetricsRegistry(),
+            tracer=trace,
+        )
+    )

@@ -1,0 +1,80 @@
+"""Stdlib logging wiring for the ``repro`` logger hierarchy.
+
+Library policy (standard for installable packages):
+
+- every module logs through ``get_logger(__name__)``, which lands under
+  the ``repro`` hierarchy;
+- the library itself installs only a ``NullHandler`` on the root
+  ``repro`` logger (done in ``repro/__init__``), so importing the
+  package never configures global logging or writes anywhere;
+- nothing in the library prints to stdout — stdout belongs to the CLI
+  layer (audited in ``tests/test_obs.py``).
+
+The CLI's ``--log-level`` flag calls :func:`configure_logging`, which
+attaches a stderr handler with a structured ``key=value`` formatter::
+
+    ts=2026-08-07T12:00:00 level=debug logger=repro.dag.search msg="..."
+
+so log lines stay grep-able and machine-splittable without pulling in a
+structured-logging dependency.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+__all__ = ["get_logger", "configure_logging", "KeyValueFormatter"]
+
+ROOT_LOGGER = "repro"
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the ``repro`` hierarchy.
+
+    Pass ``__name__``; module paths already start with ``repro.`` so the
+    hierarchy mirrors the package layout.  Other names are nested under
+    the root logger.
+    """
+    if name == ROOT_LOGGER or name.startswith(ROOT_LOGGER + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER}.{name}")
+
+
+class KeyValueFormatter(logging.Formatter):
+    """``ts=... level=... logger=... msg="..."`` single-line records."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        ts = self.formatTime(record, datefmt="%Y-%m-%dT%H:%M:%S")
+        msg = record.getMessage().replace('"', "'")
+        line = (
+            f"ts={ts} level={record.levelname.lower()} "
+            f'logger={record.name} msg="{msg}"'
+        )
+        if record.exc_info:
+            line = f"{line}\n{self.formatException(record.exc_info)}"
+        return line
+
+
+def configure_logging(level: str | int, stream=None) -> logging.Logger:
+    """Attach a structured stderr handler to the ``repro`` root logger.
+
+    Idempotent per stream: re-configuring replaces the handler installed
+    by a prior call instead of stacking duplicates (matters for tests
+    and for REPL use).
+    """
+    if isinstance(level, str):
+        numeric = logging.getLevelName(level.upper())
+        if not isinstance(numeric, int):
+            raise ValueError(f"unknown log level: {level!r}")
+        level = numeric
+    root = logging.getLogger(ROOT_LOGGER)
+    root.setLevel(level)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(KeyValueFormatter())
+    handler.set_name("repro-cli")
+    for existing in list(root.handlers):
+        if existing.get_name() == "repro-cli":
+            root.removeHandler(existing)
+    root.addHandler(handler)
+    return root

@@ -1,0 +1,186 @@
+"""Span tracer: nested wall-time spans and structured instant events.
+
+The tracer is the timeline half of :mod:`repro.obs`.  A span is opened
+with ``with tracer.span("dp.solve", n_tasks=n):`` — spans nest (the
+tracer keeps an open-span stack), carry ``perf_counter`` wall-time, and
+accept structured key/value arguments both at entry and, via
+``handle.set(...)``, at exit (the adaptive orchestrator records a
+round's half-width on the round span once it is known).  Instant events
+(``tracer.instant("mc.round", reps=n, half_width=h)``) mark a point in
+time with arguments but no duration.
+
+Two exporters:
+
+- :meth:`Tracer.to_chrome_trace` — Chrome trace-event JSON (``ph``/
+  ``ts``/``dur``/``pid``/``tid``, microseconds), loadable in Perfetto
+  (https://ui.perfetto.dev) or ``chrome://tracing``.
+- :meth:`Tracer.render_tree` — an indented text tree with durations,
+  for terminal-only profiling via ``--profile``.
+
+Single-process, single-thread by design: worker shards do not trace
+(their metrics come home as registry snapshots); the parent's tracer
+owns the timeline.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["SpanEvent", "Tracer"]
+
+#: Process/thread ids stamped on every exported trace event.  The tracer
+#: is single-process by design, so these are constant labels, not OS ids.
+TRACE_PID = 1
+TRACE_TID = 1
+
+
+@dataclass
+class SpanEvent:
+    """One finished span (``dur is not None``) or instant (``dur is None``)."""
+
+    name: str
+    ts: float  #: start, seconds since the tracer's epoch
+    dur: float | None  #: wall-time seconds; ``None`` for instants
+    depth: int  #: nesting depth at emission (0 = top level)
+    parent: int | None  #: index into ``Tracer.events`` of the enclosing span
+    args: dict = field(default_factory=dict)
+
+
+class _SpanHandle:
+    """Open-span handle: lets the body attach args known only at exit."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: SpanEvent) -> None:
+        self._event = event
+
+    def set(self, **args) -> None:
+        self._event.args.update(args)
+
+
+class _NullSpanHandle:
+    __slots__ = ()
+
+    def set(self, **args) -> None:
+        pass
+
+
+NULL_SPAN_HANDLE = _NullSpanHandle()
+
+
+class _SpanContext:
+    __slots__ = ("_tracer", "_event", "_t0")
+
+    def __init__(self, tracer: "Tracer", event: SpanEvent) -> None:
+        self._tracer = tracer
+        self._event = event
+
+    def __enter__(self) -> _SpanHandle:
+        self._t0 = time.perf_counter()
+        return _SpanHandle(self._event)
+
+    def __exit__(self, *exc) -> None:
+        self._event.dur = time.perf_counter() - self._t0
+        self._tracer._close(self._event)
+
+
+class Tracer:
+    """Collects nested spans and instants on one monotonic timeline."""
+
+    def __init__(self) -> None:
+        self._epoch = time.perf_counter()
+        self._stack: list[int] = []  # indices of currently-open spans
+        self.events: list[SpanEvent] = []
+
+    def span(self, name: str, **args) -> _SpanContext:
+        """Open a nested span; the ``with`` body may ``handle.set(...)``."""
+        event = SpanEvent(
+            name=name,
+            ts=time.perf_counter() - self._epoch,
+            dur=0.0,  # patched on close; marks this as a span, not instant
+            depth=len(self._stack),
+            parent=self._stack[-1] if self._stack else None,
+            args=dict(args),
+        )
+        self.events.append(event)
+        self._stack.append(len(self.events) - 1)
+        return _SpanContext(self, event)
+
+    def _close(self, event: SpanEvent) -> None:
+        # Exceptions unwind spans in LIFO order (context managers), so
+        # the top of the stack is always the span being closed.
+        if self._stack and self.events[self._stack[-1]] is event:
+            self._stack.pop()
+
+    def instant(self, name: str, **args) -> None:
+        """Record a zero-duration structured event at the current time."""
+        self.events.append(
+            SpanEvent(
+                name=name,
+                ts=time.perf_counter() - self._epoch,
+                dur=None,
+                depth=len(self._stack),
+                parent=self._stack[-1] if self._stack else None,
+                args=dict(args),
+            )
+        )
+
+    def named(self, name: str) -> list[SpanEvent]:
+        """All events (spans and instants) with the given name, in order."""
+        return [e for e in self.events if e.name == name]
+
+    # -- exporters ----------------------------------------------------
+
+    def to_chrome_trace(self) -> dict:
+        """Chrome trace-event JSON document (Perfetto-loadable)."""
+        trace_events = []
+        for event in self.events:
+            record = {
+                "name": event.name,
+                "ph": "X" if event.dur is not None else "i",
+                "ts": round(event.ts * 1e6, 3),
+                "pid": TRACE_PID,
+                "tid": TRACE_TID,
+            }
+            if event.dur is not None:
+                record["dur"] = round(event.dur * 1e6, 3)
+            else:
+                record["s"] = "t"  # instant scope: thread
+            if event.args:
+                record["args"] = dict(event.args)
+            trace_events.append(record)
+        return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+    def write_chrome_trace(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_chrome_trace(), fh, indent=1)
+            fh.write("\n")
+
+    def render_tree(self, *, max_events: int = 200) -> str:
+        """Indented text tree: one line per span/instant, durations in ms."""
+        lines = []
+        shown = self.events[:max_events]
+        for event in shown:
+            indent = "  " * event.depth
+            if event.dur is not None:
+                head = f"{indent}{event.name}  {event.dur * 1e3:.2f} ms"
+            else:
+                head = f"{indent}@ {event.name}"
+            if event.args:
+                pairs = " ".join(
+                    f"{k}={_fmt(v)}" for k, v in event.args.items()
+                )
+                head = f"{head}  [{pairs}]"
+            lines.append(head)
+        hidden = len(self.events) - len(shown)
+        if hidden > 0:
+            lines.append(f"... ({hidden} more events)")
+        return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)

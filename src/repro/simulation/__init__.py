@@ -28,6 +28,7 @@ from .adaptive import (
     AdaptiveRound,
     StreamingMoments,
     run_adaptive,
+    run_adaptive_parallel,
 )
 from .backend import (
     BACKEND_ENV_VAR,
@@ -98,6 +99,7 @@ __all__ = [
     "simulate_parallel_run",
     "worker_uniform_rows",
     "run_adaptive",
+    "run_adaptive_parallel",
     "AdaptiveResult",
     "AdaptiveRound",
     "StreamingMoments",

@@ -39,6 +39,7 @@ import numpy as np
 
 from ..chains import TaskChain
 from ..exceptions import InvalidParameterError
+from ..obs import get_logger, metrics as _metrics, span as _span
 from ..platforms import Platform
 from ..core.costs import CostProfile
 from ..core.schedule import Schedule
@@ -59,10 +60,13 @@ __all__ = [
     "AdaptiveRound",
     "AdaptiveResult",
     "run_adaptive",
+    "run_adaptive_parallel",
     "DEFAULT_TARGET_RELATIVE_CI",
     "DEFAULT_MIN_RUNS",
     "DEFAULT_MAX_RUNS",
 ]
+
+logger = get_logger(__name__)
 
 #: Default target: certify the mean makespan to a 1% relative CI half-width.
 DEFAULT_TARGET_RELATIVE_CI = 0.01
@@ -192,6 +196,32 @@ class StreamingMoments:
         )
 
 
+def _validate_adaptive_params(
+    target_relative_ci: float,
+    min_runs: int,
+    max_runs: int,
+    growth: float,
+    chunk_size: int,
+    confidence: float,
+) -> None:
+    """Shared parameter validation for the adaptive drivers."""
+    if not 0.0 < target_relative_ci:
+        raise InvalidParameterError(
+            f"target_relative_ci must be > 0, got {target_relative_ci!r}"
+        )
+    if min_runs < 1:
+        raise InvalidParameterError(f"min_runs must be >= 1, got {min_runs}")
+    if max_runs < min_runs:
+        raise InvalidParameterError(
+            f"max_runs ({max_runs}) must be >= min_runs ({min_runs})"
+        )
+    if growth <= 1.0:
+        raise InvalidParameterError(f"growth must be > 1, got {growth!r}")
+    if chunk_size < 1:
+        raise InvalidParameterError(f"chunk_size must be >= 1, got {chunk_size}")
+    t_critical(2, confidence)  # validates the confidence level
+
+
 @dataclass(frozen=True)
 class _ChunkStats:
     """One chunk reduced to O(1) state (what worker processes ship back)."""
@@ -227,6 +257,51 @@ def _chunk_stats(
         attempts=int(batch.attempts.sum()),
         steps=batch.steps,
     )
+
+
+def _chunk_stats_observed(
+    compiled: CompiledSchedule,
+    child: np.random.SeedSequence,
+    n: int,
+    max_attempts: int,
+    backend: "str | Backend | None" = None,
+):
+    """Worker entry point that ships its kernel metrics home.
+
+    Worker processes inherit no ambient instrumentation, so the chunk
+    runs under a private registry whose snapshot rides back with the
+    stats for the parent to merge.
+    """
+    from ..obs import MetricsRegistry, instrument
+
+    reg = MetricsRegistry()
+    with instrument(reg):
+        stats = _chunk_stats(compiled, child, n, max_attempts, backend)
+    return stats, reg.snapshot()
+
+
+def _record_round(sp, reg, r: "AdaptiveRound") -> None:
+    """Stamp one round's stats onto its span and the metrics registry.
+
+    Non-finite CI widths (first round with < 2 samples) are stringified
+    so the trace/profile JSON stays strictly serializable.
+    """
+    sp.set(
+        index=r.index,
+        reps=r.reps,
+        total_reps=r.total_reps,
+        mean=r.mean,
+        half_width=(
+            r.half_width if math.isfinite(r.half_width) else "inf"
+        ),
+        relative_half_width=(
+            r.relative_half_width
+            if math.isfinite(r.relative_half_width)
+            else "inf"
+        ),
+    )
+    reg.counter("mc.rounds").inc()
+    reg.counter("mc.replications").inc(r.reps)
 
 
 @dataclass(frozen=True)
@@ -363,21 +438,9 @@ def run_adaptive(
     on); ``analytic`` optionally attaches the reference expectation the
     certified interval is checked against.
     """
-    if not 0.0 < target_relative_ci:
-        raise InvalidParameterError(
-            f"target_relative_ci must be > 0, got {target_relative_ci!r}"
-        )
-    if min_runs < 1:
-        raise InvalidParameterError(f"min_runs must be >= 1, got {min_runs}")
-    if max_runs < min_runs:
-        raise InvalidParameterError(
-            f"max_runs ({max_runs}) must be >= min_runs ({min_runs})"
-        )
-    if growth <= 1.0:
-        raise InvalidParameterError(f"growth must be > 1, got {growth!r}")
-    if chunk_size < 1:
-        raise InvalidParameterError(f"chunk_size must be >= 1, got {chunk_size}")
-    t_critical(2, confidence)  # validates the confidence level
+    _validate_adaptive_params(
+        target_relative_ci, min_runs, max_runs, growth, chunk_size, confidence
+    )
     be = get_backend(backend)  # resolve (and fail) before any work
 
     compiled = compile_schedule(chain, platform, schedule, costs)
@@ -404,60 +467,223 @@ def run_adaptive(
     shard = n_jobs is not None and n_jobs > 1
     if shard:
         _require_shardable(be)
+    reg = _metrics()
     try:
+        with _span(
+            "mc.adaptive",
+            target_relative_ci=target_relative_ci,
+            confidence=confidence,
+        ):
+            total = 0
+            next_total = min(min_runs, max_runs)
+            converged = False
+            while True:
+                round_n = next_total - total
+                with _span("mc.round") as sp:
+                    sizes = _chunk_sizes(round_n, chunk_size)
+                    children = seed_seq.spawn(len(sizes))
+                    if shard and len(sizes) > 1:
+                        entry = (
+                            _chunk_stats_observed
+                            if reg.enabled
+                            else _chunk_stats
+                        )
+                        args = (
+                            [compiled] * len(sizes),
+                            children,
+                            sizes,
+                            [max_attempts] * len(sizes),
+                            # workers re-resolve the backend by name
+                            [be.name] * len(sizes),
+                        )
+                        if pool is None:
+                            from concurrent.futures import ProcessPoolExecutor
+
+                            pool = ProcessPoolExecutor(max_workers=n_jobs)
+                        stats = list(pool.map(entry, *args))
+                        if reg.enabled:
+                            for _, snap in stats:
+                                reg.merge_snapshot(snap)
+                            stats = [s for s, _ in stats]
+                    else:
+                        stats = [
+                            _chunk_stats(compiled, child, n, max_attempts, be)
+                            for child, n in zip(children, sizes)
+                        ]
+                    for s in stats:
+                        moments = moments.merge(s.moments)
+                        category_totals += s.category_totals
+                        counters["fail_stop_errors"] += s.fail_stop_errors
+                        counters["silent_errors"] += s.silent_errors
+                        counters["silent_detected"] += s.silent_detected
+                        counters["silent_missed"] += s.silent_missed
+                        attempts += s.attempts
+                        steps = max(steps, s.steps)
+                    total += round_n
+                    rel = moments.relative_half_width(confidence)
+                    rounds.append(
+                        AdaptiveRound(
+                            index=len(rounds),
+                            reps=round_n,
+                            total_reps=total,
+                            mean=moments.mean,
+                            half_width=moments.half_width(confidence),
+                            relative_half_width=rel,
+                        )
+                    )
+                    _record_round(sp, reg, rounds[-1])
+                converged = total >= min_runs and rel <= target_relative_ci
+                if converged or total >= max_runs:
+                    break
+                next_total = min(
+                    max_runs, max(total + 1, math.ceil(total * growth))
+                )
+    finally:
+        if pool is not None:
+            pool.shutdown()
+    if converged:
+        reg.counter("mc.converged").inc()
+    logger.debug(
+        "run_adaptive: converged=%s rounds=%d reps=%d rel_hw=%.4g",
+        converged,
+        len(rounds),
+        total,
+        rounds[-1].relative_half_width,
+    )
+
+    return AdaptiveResult(
+        target_relative_ci=target_relative_ci,
+        confidence=confidence,
+        converged=converged,
+        moments=moments,
+        rounds=tuple(rounds),
+        category_totals=category_totals,
+        analytic=analytic,
+        min_runs=min_runs,
+        max_runs=max_runs,
+        attempts=attempts,
+        steps=steps,
+        **counters,
+    )
+
+
+def run_adaptive_parallel(
+    plan,
+    platform: Platform,
+    *,
+    target_relative_ci: float = DEFAULT_TARGET_RELATIVE_CI,
+    confidence: float = 0.99,
+    min_runs: int = DEFAULT_MIN_RUNS,
+    max_runs: int = DEFAULT_MAX_RUNS,
+    growth: float = 2.0,
+    seed: int | np.random.SeedSequence | None = 0,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    n_jobs: int | None = None,
+    max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+    analytic: float = float("nan"),
+    backend: "str | Backend | None" = None,
+) -> AdaptiveResult:
+    """Adaptive-precision campaign over a p-worker :class:`~repro.
+    simulation.parallel.ParallelPlan`.
+
+    The parallel analogue of :func:`run_adaptive`: rounds of
+    :func:`~repro.simulation.parallel.simulate_parallel` campaigns grow
+    geometrically until the relative Student-t CI half-width on the mean
+    *wall-clock* makespan reaches ``target_relative_ci``.  All rounds
+    draw from one campaign ``SeedSequence`` (each round's chunks consume
+    the next children), so a campaign is reproducible for a given
+    ``(seed, chunk_size, round schedule)`` whatever ``n_jobs`` is —
+    though, unlike fixed-``n_runs`` campaigns, the sample depends on the
+    round schedule itself.
+
+    ``category_totals`` / error counters aggregate over every busy
+    worker's busy trajectory; ``attempts`` counts segment attempts
+    summed over workers and replications.
+    """
+    from .parallel import simulate_parallel  # local: avoids import cycle
+
+    _validate_adaptive_params(
+        target_relative_ci, min_runs, max_runs, growth, chunk_size, confidence
+    )
+    get_backend(backend)  # resolve (and fail) before any work
+    seed_seq = (
+        seed
+        if isinstance(seed, np.random.SeedSequence)
+        else np.random.SeedSequence(seed)
+    )
+
+    moments = StreamingMoments()
+    category_totals = np.zeros(len(TIME_CATEGORIES), dtype=np.float64)
+    counters = dict.fromkeys(
+        ("fail_stop_errors", "silent_errors", "silent_detected", "silent_missed"),
+        0,
+    )
+    attempts = 0
+    steps = 0
+    rounds: list[AdaptiveRound] = []
+    reg = _metrics()
+
+    with _span(
+        "mc.adaptive",
+        target_relative_ci=target_relative_ci,
+        confidence=confidence,
+        parallel=True,
+    ):
         total = 0
         next_total = min(min_runs, max_runs)
         converged = False
         while True:
             round_n = next_total - total
-            sizes = _chunk_sizes(round_n, chunk_size)
-            children = seed_seq.spawn(len(sizes))
-            if shard and len(sizes) > 1:
-                args = (
-                    [compiled] * len(sizes),
-                    children,
-                    sizes,
-                    [max_attempts] * len(sizes),
-                    [be.name] * len(sizes),  # workers re-resolve by name
+            with _span("mc.round") as sp:
+                batch = simulate_parallel(
+                    plan,
+                    platform,
+                    round_n,
+                    seed=seed_seq,
+                    chunk_size=chunk_size,
+                    n_jobs=n_jobs,
+                    max_attempts=max_attempts,
+                    backend=backend,
                 )
-                if pool is None:
-                    from concurrent.futures import ProcessPoolExecutor
-
-                    pool = ProcessPoolExecutor(max_workers=n_jobs)
-                stats = list(pool.map(_chunk_stats, *args))
-            else:
-                stats = [
-                    _chunk_stats(compiled, child, n, max_attempts, be)
-                    for child, n in zip(children, sizes)
-                ]
-            for s in stats:
-                moments = moments.merge(s.moments)
-                category_totals += s.category_totals
-                counters["fail_stop_errors"] += s.fail_stop_errors
-                counters["silent_errors"] += s.silent_errors
-                counters["silent_detected"] += s.silent_detected
-                counters["silent_missed"] += s.silent_missed
-                attempts += s.attempts
-                steps = max(steps, s.steps)
-            total += round_n
-            rel = moments.relative_half_width(confidence)
-            rounds.append(
-                AdaptiveRound(
-                    index=len(rounds),
-                    reps=round_n,
-                    total_reps=total,
-                    mean=moments.mean,
-                    half_width=moments.half_width(confidence),
-                    relative_half_width=rel,
+                moments = moments.merge(
+                    StreamingMoments.from_samples(batch.makespans)
                 )
-            )
+                for res in batch.worker_results:
+                    if res is None:
+                        continue
+                    category_totals += res.time_categories.sum(axis=1)
+                counters["fail_stop_errors"] += int(batch.fail_stop_errors.sum())
+                counters["silent_errors"] += int(batch.silent_errors.sum())
+                counters["silent_detected"] += int(batch.silent_detected.sum())
+                counters["silent_missed"] += int(batch.silent_missed.sum())
+                attempts += int(batch.attempts.sum())
+                steps = max(steps, batch.steps)
+                total += round_n
+                rel = moments.relative_half_width(confidence)
+                rounds.append(
+                    AdaptiveRound(
+                        index=len(rounds),
+                        reps=round_n,
+                        total_reps=total,
+                        mean=moments.mean,
+                        half_width=moments.half_width(confidence),
+                        relative_half_width=rel,
+                    )
+                )
+                _record_round(sp, reg, rounds[-1])
             converged = total >= min_runs and rel <= target_relative_ci
             if converged or total >= max_runs:
                 break
             next_total = min(max_runs, max(total + 1, math.ceil(total * growth)))
-    finally:
-        if pool is not None:
-            pool.shutdown()
+    if converged:
+        reg.counter("mc.converged").inc()
+    logger.debug(
+        "run_adaptive_parallel: converged=%s rounds=%d reps=%d rel_hw=%.4g",
+        converged,
+        len(rounds),
+        total,
+        rounds[-1].relative_half_width,
+    )
 
     return AdaptiveResult(
         target_relative_ci=target_relative_ci,

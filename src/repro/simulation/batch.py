@@ -54,11 +54,13 @@ from __future__ import annotations
 
 from collections.abc import Iterator
 from dataclasses import dataclass
+from time import perf_counter
 
 import numpy as np
 
 from ..chains import TaskChain
 from ..exceptions import InvalidParameterError, ReproError, SimulationError
+from ..obs import metrics as _metrics, span as _span
 from ..platforms import Platform
 from ..core.costs import CostProfile
 from ..core.schedule import Schedule
@@ -183,6 +185,9 @@ def run_compiled(
     ``(3, n_runs)`` blocks per step, see module doc), which keeps streams
     identical across backends.
     """
+    reg = _metrics()
+    t0 = perf_counter() if reg.enabled else 0.0
+    n_compactions = 0
     be = get_backend(backend)
     xp = be.xp
     f8, i8, b1 = xp.float64, xp.int64, xp.bool
@@ -355,6 +360,7 @@ def run_compiled(
         cursor_np = be.to_numpy(cursor)
         done_np = cursor_np >= S
         if done_np.any():
+            n_compactions += 1
             ids = orig[done_np]
             done = be.asarray(done_np, dtype=b1)
             out_t[ids] = be.to_numpy(t[done])
@@ -381,6 +387,12 @@ def run_compiled(
             commit_t = [row[keep] for row in commit_t]
             committed = [row[keep] for row in committed]
 
+    if reg.enabled:
+        reg.counter("sim.batch.chunks").inc()
+        reg.counter("sim.batch.replications").inc(n_runs)
+        reg.counter("sim.batch.steps").inc(steps)
+        reg.counter("sim.batch.compactions").inc(n_compactions)
+        reg.timer("sim.batch.kernel").observe(perf_counter() - t0)
     return BatchResult(
         makespans=out_t,
         fail_stop_errors=out_fail,
@@ -441,6 +453,29 @@ def _run_chunk(
     )
 
 
+def _run_chunk_observed(
+    compiled: CompiledSchedule,
+    child: np.random.SeedSequence,
+    n: int,
+    max_attempts: int,
+    backend: "str | Backend | None" = None,
+):
+    """Worker entry point that ships its kernel metrics home.
+
+    Worker processes inherit no ambient instrumentation, so the kernel
+    runs under a private registry whose snapshot rides back with the
+    result for the parent to merge.
+    """
+    from ..obs import MetricsRegistry, instrument
+
+    reg = MetricsRegistry()
+    with instrument(reg):
+        part = run_compiled(
+            compiled, n, np.random.default_rng(child), max_attempts, backend
+        )
+    return part, reg.snapshot()
+
+
 def simulate_batch(
     chain: TaskChain,
     platform: Platform,
@@ -493,26 +528,43 @@ def simulate_batch(
     sizes = _chunk_sizes(n_runs, chunk_size)
     children = seed_seq.spawn(len(sizes))
 
-    if n_jobs is not None and n_jobs > 1 and len(sizes) > 1:
-        _require_shardable(be)
-        from concurrent.futures import ProcessPoolExecutor
+    reg = _metrics()
+    with _span(
+        "sim.batch",
+        n_runs=n_runs,
+        chunks=len(sizes),
+        n_jobs=n_jobs or 1,
+        backend=be.name,
+    ):
+        if n_jobs is not None and n_jobs > 1 and len(sizes) > 1:
+            _require_shardable(be)
+            from concurrent.futures import ProcessPoolExecutor
 
-        with ProcessPoolExecutor(max_workers=min(n_jobs, len(sizes))) as pool:
-            parts = list(
-                pool.map(
-                    _run_chunk,
-                    [compiled] * len(sizes),
-                    children,
-                    sizes,
-                    [max_attempts] * len(sizes),
-                    [be.name] * len(sizes),  # workers re-resolve by name
+            entry = _run_chunk_observed if reg.enabled else _run_chunk
+            with ProcessPoolExecutor(
+                max_workers=min(n_jobs, len(sizes))
+            ) as pool:
+                parts = list(
+                    pool.map(
+                        entry,
+                        [compiled] * len(sizes),
+                        children,
+                        sizes,
+                        [max_attempts] * len(sizes),
+                        [be.name] * len(sizes),  # workers re-resolve by name
+                    )
                 )
-            )
-    else:
-        parts = [
-            _run_chunk(compiled, child, n, max_attempts, be)
-            for child, n in zip(children, sizes)
-        ]
+            if reg.enabled:
+                # Fold the worker-side kernel snapshots into this run's
+                # registry; the result parts stay exactly as before.
+                for _, snap in parts:
+                    reg.merge_snapshot(snap)
+                parts = [part for part, _ in parts]
+        else:
+            parts = [
+                _run_chunk(compiled, child, n, max_attempts, be)
+                for child, n in zip(children, sizes)
+            ]
     if len(parts) == 1:
         return parts[0]
     return BatchResult.concatenate(parts)

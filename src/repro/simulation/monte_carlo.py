@@ -34,6 +34,7 @@ import numpy as np
 
 from ..chains import TaskChain
 from ..exceptions import InvalidParameterError
+from ..obs import get_logger, span as _span
 from ..platforms import Platform
 from ..core.schedule import Schedule
 from .adaptive import DEFAULT_MIN_RUNS, AdaptiveResult, run_adaptive
@@ -45,6 +46,8 @@ from .errors import PoissonErrorSource
 from .stats import SampleSummary, certified_agreement, summarize
 
 __all__ = ["MonteCarloResult", "run_monte_carlo"]
+
+logger = get_logger(__name__)
 
 
 @dataclass(frozen=True)
@@ -274,29 +277,36 @@ def run_monte_carlo(
         kwargs = {} if max_attempts is None else {"max_attempts": max_attempts}
         if costs is not None:
             kwargs["costs"] = costs
-        for i in range(runs):
-            source = PoissonErrorSource(
-                platform, np.random.default_rng(children[i])
-            )
-            # Traces are recorded solely to aggregate the per-category
-            # breakdown — a deliberate cost on the oracle path (it is the
-            # cross-validation reference, never the production engine;
-            # the ~20% slowdown keeps its accounting on the exact code
-            # path the bitwise replay tests certify).
-            result: RunResult = simulate_run(
-                chain, platform, schedule, source, record_trace=True, **kwargs
-            )
-            samples[i] = result.makespan
-            fail_stops += result.fail_stop_errors
-            silents += result.silent_errors
-            per_run = aggregate_trace(result.trace)
-            if totals is None:
-                totals = per_run
-            else:
-                for category, seconds in per_run.items():
-                    totals[category] += seconds
+        with _span("sim.scalar", runs=runs):
+            for i in range(runs):
+                source = PoissonErrorSource(
+                    platform, np.random.default_rng(children[i])
+                )
+                # Traces are recorded solely to aggregate the per-category
+                # breakdown — a deliberate cost on the oracle path (it is
+                # the cross-validation reference, never the production
+                # engine; the ~20% slowdown keeps its accounting on the
+                # exact code path the bitwise replay tests certify).
+                result: RunResult = simulate_run(
+                    chain, platform, schedule, source, record_trace=True, **kwargs
+                )
+                samples[i] = result.makespan
+                fail_stops += result.fail_stop_errors
+                silents += result.silent_errors
+                per_run = aggregate_trace(result.trace)
+                if totals is None:
+                    totals = per_run
+                else:
+                    for category, seconds in per_run.items():
+                        totals[category] += seconds
         breakdown = {c: v / runs for c, v in totals.items()}
 
+    logger.debug(
+        "run_monte_carlo: engine=%s runs=%d backend=%s",
+        engine,
+        runs,
+        backend_name,
+    )
     return MonteCarloResult(
         samples=samples,
         summary=summarize(samples, confidence),

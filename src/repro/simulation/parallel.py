@@ -51,6 +51,7 @@ import numpy as np
 
 from ..exceptions import InvalidParameterError, InvalidScheduleError, SimulationError
 from ..chains import TaskChain
+from ..obs import metrics as _metrics, span as _span
 from ..platforms import Platform
 from ..core.costs import CostProfile
 from ..core.schedule import Action, Schedule
@@ -590,6 +591,27 @@ def _run_parallel_chunk(
     )
 
 
+def _run_parallel_chunk_observed(
+    cplan: _CompiledPlan,
+    child: np.random.SeedSequence,
+    n: int,
+    max_attempts: int,
+    backend: "str | Backend | None" = None,
+):
+    """Chunk entry point that ships its kernel metrics home.
+
+    Worker processes inherit no ambient instrumentation, so the chunk
+    runs under a private registry whose snapshot rides back with the
+    result for the parent to merge.
+    """
+    from ..obs import MetricsRegistry, instrument
+
+    reg = MetricsRegistry()
+    with instrument(reg):
+        part = _run_parallel_chunk(cplan, child, n, max_attempts, backend)
+    return part, reg.snapshot()
+
+
 def simulate_parallel(
     plan: ParallelPlan,
     platform: Platform,
@@ -626,29 +648,67 @@ def simulate_parallel(
     sizes = _chunk_sizes(n_runs, chunk_size)
     children = seed_seq.spawn(len(sizes))
 
-    if n_jobs is not None and n_jobs > 1 and len(sizes) > 1:
-        _require_shardable(be)
-        from concurrent.futures import ProcessPoolExecutor
+    n_busy = sum(1 for cw in cplan.workers if cw is not None)
+    with _span(
+        "sim.parallel",
+        n_runs=n_runs,
+        workers=n_busy,
+        chunks=len(sizes),
+        n_jobs=n_jobs or 1,
+    ):
+        if n_jobs is not None and n_jobs > 1 and len(sizes) > 1:
+            _require_shardable(be)
+            from concurrent.futures import ProcessPoolExecutor
 
-        with ProcessPoolExecutor(max_workers=min(n_jobs, len(sizes))) as pool:
-            parts = list(
-                pool.map(
-                    _run_parallel_chunk,
-                    [cplan] * len(sizes),
-                    children,
-                    sizes,
-                    [max_attempts] * len(sizes),
-                    [be.name] * len(sizes),  # workers re-resolve by name
-                )
+            entry = (
+                _run_parallel_chunk_observed
+                if _metrics().enabled
+                else _run_parallel_chunk
             )
-    else:
-        parts = [
-            _run_parallel_chunk(cplan, child, n, max_attempts, be)
-            for child, n in zip(children, sizes)
-        ]
-    if len(parts) == 1:
-        return parts[0]
-    return ParallelBatchResult.concatenate(parts)
+            with ProcessPoolExecutor(
+                max_workers=min(n_jobs, len(sizes))
+            ) as pool:
+                parts = list(
+                    pool.map(
+                        entry,
+                        [cplan] * len(sizes),
+                        children,
+                        sizes,
+                        [max_attempts] * len(sizes),
+                        [be.name] * len(sizes),  # workers re-resolve by name
+                    )
+                )
+            if _metrics().enabled:
+                for _, snap in parts:
+                    _metrics().merge_snapshot(snap)
+                parts = [part for part, _ in parts]
+        else:
+            parts = [
+                _run_parallel_chunk(cplan, child, n, max_attempts, be)
+                for child, n in zip(children, sizes)
+            ]
+    result = parts[0] if len(parts) == 1 else ParallelBatchResult.concatenate(parts)
+    reg = _metrics()
+    if reg.enabled:
+        # Host-side accounting over the composed campaign: each busy
+        # worker's cumulative busy seconds (its busy-trajectory makespans)
+        # and stall seconds (wall-clock finish minus busy time — waiting
+        # on producers' commits), plus the commit-stop crossings stamped
+        # by the kernels.
+        reg.counter("sim.parallel.replications").inc(n_runs)
+        n_commits = 0
+        for w, cw in enumerate(cplan.workers):
+            if cw is None:
+                continue
+            busy = result.worker_results[w].makespans
+            stall = result.worker_finish[w] - busy
+            reg.timer(f"sim.parallel.worker{w}.busy").observe(float(busy.sum()))
+            reg.timer(f"sim.parallel.worker{w}.idle").observe(
+                float(stall.sum())
+            )
+            n_commits += len(cw.commit_segments) * n_runs
+        reg.counter("sim.parallel.commits").inc(n_commits)
+    return result
 
 
 def worker_uniform_rows(

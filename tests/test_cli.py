@@ -324,7 +324,7 @@ class TestSweepCommand:
         assert code == 2
         assert "unknown backend" in err
 
-    def test_sweep_chart_and_profile(self, capsys):
+    def test_sweep_chart_and_cprofile(self, capsys):
         code, out, _ = run_cli(
             capsys,
             "sweep",
@@ -335,7 +335,7 @@ class TestSweepCommand:
             "--algorithms",
             "admv_star",
             "--chart",
-            "--profile",
+            "--cprofile",
         )
         assert code == 0
         assert "legend" in out
@@ -787,3 +787,132 @@ class TestSolveBreakdown:
         assert "expected-time breakdown" in out
         assert "useful_work" in out
         assert "re_executed_work" in out
+
+
+class TestObservabilityFlags:
+    """--profile / --profile-out / --trace-out / --log-level plumbing."""
+
+    def test_solve_profile_reports_dp_solves(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "solve", "-p", "hera", "-n", "6", "-a", "admv*",
+            "--profile",
+        )
+        assert code == 0
+        assert "=== run report ===" in out
+        assert "dp solves: 1 (admv_star=1)" in out
+        # --profile without --profile-out embeds the JSON document
+        doc = json.loads(out.split("--- profile json ---\n", 1)[1])
+        assert doc["command"] == "solve"
+        assert doc["dp"]["solves"] == {"admv_star": 1}
+        assert doc["metrics"]["counters"]["dp.solves.admv_star"] == 1
+
+    def test_profile_out_and_trace_out_files(self, capsys, tmp_path):
+        prof = tmp_path / "profile.json"
+        trace = tmp_path / "trace.json"
+        code, out, _ = run_cli(
+            capsys, "simulate", "-p", "hera", "-n", "5", "--runs", "200",
+            "--profile-out", str(prof), "--trace-out", str(trace),
+        )
+        assert code == 0
+        assert "=== run report ===" not in out  # report needs --profile
+        doc = json.loads(prof.read_text())
+        assert doc["command"] == "simulate"
+        assert doc["simulation"]["replications"] == 200
+        assert doc["wall_s"] > 0
+        tdoc = json.loads(trace.read_text())
+        names = {e["name"] for e in tdoc["traceEvents"]}
+        assert "repro.simulate" in names and "sim.batch" in names
+
+    def test_adaptive_rounds_in_profile(self, capsys, tmp_path):
+        prof = tmp_path / "profile.json"
+        code, out, _ = run_cli(
+            capsys, "simulate", "-p", "hera", "-n", "5",
+            "--target-ci", "0.05", "--profile", "--profile-out", str(prof),
+        )
+        assert code == 0
+        assert "adaptive MC rounds:" in out
+        doc = json.loads(prof.read_text())
+        assert doc["adaptive_rounds"], "mc.round trajectory missing"
+        first = doc["adaptive_rounds"][0]
+        assert first["index"] == 0
+        assert first["reps"] == first["total_reps"] > 0
+        assert doc["metrics"]["counters"]["mc.converged"] == 1
+
+    def test_dag_optimize_profile_has_search_and_caches(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "dag", "optimize", "--kind", "fork_join", "--branches",
+            "2", "--branch-length", "2", "-a", "adv*", "--strategy",
+            "search", "--restarts", "1", "--profile",
+        )
+        assert code == 0
+        assert "memo caches:" in out
+        assert "search.exact" in out
+        assert "moves proposed" in out
+
+    def test_log_level_emits_key_value_records(self, capsys):
+        code, _, err = run_cli(
+            capsys, "dag", "optimize", "--kind", "fork_join", "--branches",
+            "2", "--branch-length", "1", "-a", "adv*", "--strategy",
+            "search", "--restarts", "1", "--log-level", "debug",
+        )
+        assert code == 0
+        assert 'level=debug' in err
+        assert "logger=repro." in err
+
+    def test_bad_log_level_fails_cleanly(self, capsys):
+        code, _, err = run_cli(
+            capsys, "platforms", "--log-level", "shout"
+        )
+        assert code == 2
+        assert "log level" in err.lower()
+
+
+class TestParallelEstimate:
+    """dag optimize --processors grows a default-on adaptive estimate."""
+
+    def test_estimate_line_and_json(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "dag", "optimize", "--kind", "fork_join", "--branches",
+            "2", "--branch-length", "2", "--seed", "1", "-a", "adv*",
+            "--processors", "2", "--restarts", "1", "--target-ci", "0.05",
+        )
+        assert code == 0
+        assert "estimated E[makespan]" in out
+        assert "surrogate gap" in out
+        code, out, _ = run_cli(
+            capsys, "dag", "optimize", "--kind", "fork_join", "--branches",
+            "2", "--branch-length", "2", "--seed", "1", "-a", "adv*",
+            "--processors", "2", "--restarts", "1", "--target-ci", "0.05",
+            "--json",
+        )
+        doc = json.loads(out)
+        assert doc["estimate"]["reps"] >= 1
+        assert doc["estimate"]["target_ci"] == 0.05
+        assert doc["estimate"]["mean"] > 0
+
+    def test_no_estimate_opt_out(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "dag", "optimize", "--kind", "fork_join", "--branches",
+            "2", "--branch-length", "2", "--seed", "1", "-a", "adv*",
+            "--processors", "2", "--restarts", "1", "--no-estimate",
+            "--json",
+        )
+        assert code == 0
+        assert "estimate" not in json.loads(out)
+
+    def test_no_estimate_rejects_estimate_flags(self, capsys):
+        code, _, err = run_cli(
+            capsys, "dag", "optimize", "--kind", "fork_join", "--branches",
+            "2", "--branch-length", "1", "--processors", "2",
+            "--no-estimate", "--target-ci", "0.05",
+        )
+        assert code == 2
+        assert "--no-estimate" in err and "--target-ci" in err
+
+    def test_no_estimate_requires_processors(self, capsys):
+        code, _, err = run_cli(
+            capsys, "dag", "optimize", "--kind", "fork_join", "--branches",
+            "2", "--branch-length", "1", "--no-estimate",
+        )
+        assert code == 2
+        assert "--processors" in err
