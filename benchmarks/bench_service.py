@@ -1,0 +1,124 @@
+"""Service cache effectiveness: a warm re-solve must be nearly free.
+
+The engine's promise is that a repeated request costs a content-hash
+plus an LRU lookup, never a recompute, and that the warm payload is
+byte-identical to the cold one.  This bench pins both on the two
+expensive campaign shapes:
+
+* **solve** — the default CLI campaign (admv* on the 20-task uniform
+  chain, Hera);
+* **dag/optimize** — a layered-DAG order search, the costliest
+  synchronous endpoint.
+
+Gate: warm response >= 20x faster than the cold compute for each
+endpoint (in practice the ratio is in the thousands; 20x keeps the gate
+robust on noisy CI runners).  Writes ``results/BENCH_service.json``
+(the CI bench job persists it with the other ``BENCH_*`` trajectories)
+plus a human-readable ``results/service.txt``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from bench_common import save_result
+from repro.service import Engine
+
+MIN_SPEEDUP = 20.0
+WARM_REPEATS = 50
+
+CAMPAIGNS = {
+    "solve": {
+        "platform": "hera",
+        "pattern": "uniform",
+        "tasks": 20,
+        "algorithm": "admv_star",
+    },
+    "dag/optimize": {
+        "generator": {"kind": "layered", "tasks": 12, "seed": 3},
+        "strategy": "search",
+        "restarts": 1,
+        "iterations": 150,
+        "algorithm": "admv_star",
+        "seed": 0,
+    },
+}
+
+
+def _time_once(fn):
+    start = time.perf_counter()
+    out = fn()
+    return out, time.perf_counter() - start
+
+
+def _bench_endpoint(engine, endpoint, request):
+    cold, cold_s = _time_once(lambda: engine.handle(endpoint, request))
+    assert cold.cache == "miss"
+
+    warm = None
+    warm_s = float("inf")
+    for _ in range(WARM_REPEATS):
+        warm, elapsed = _time_once(lambda: engine.handle(endpoint, request))
+        warm_s = min(warm_s, elapsed)
+    assert warm.cache == "hit"
+    assert warm.body == cold.body  # bitwise, not merely equal-valued
+    assert warm.key == cold.key
+    return {
+        "endpoint": endpoint,
+        "cold_seconds": cold_s,
+        "warm_seconds": warm_s,
+        "speedup": cold_s / warm_s,
+        "payload_bytes": len(cold.body),
+    }
+
+
+def test_warm_cache_speedup(benchmark, results_dir):
+    """Every campaign endpoint: warm >= 20x cold, byte-identical."""
+    engine = Engine(cache_entries=64)
+    rows = [
+        _bench_endpoint(engine, endpoint, request)
+        for endpoint, request in CAMPAIGNS.items()
+    ]
+
+    # one representative row through the benchmark fixture: the warm path
+    solve_request = CAMPAIGNS["solve"]
+    benchmark.pedantic(
+        lambda: engine.handle("solve", solve_request),
+        rounds=1,
+        iterations=WARM_REPEATS,
+    )
+
+    stats = engine.cache.stats()
+    doc = {
+        "bench": "service_cache",
+        "warm_repeats": WARM_REPEATS,
+        "min_speedup_gate": MIN_SPEEDUP,
+        "campaigns": rows,
+        "cache": stats,
+    }
+    (results_dir / "BENCH_service.json").write_text(
+        json.dumps(doc, indent=2) + "\n"
+    )
+
+    lines = [
+        f"service cache warm-vs-cold (gate >= {MIN_SPEEDUP:.0f}x, "
+        f"best of {WARM_REPEATS} warm hits)"
+    ]
+    for row in rows:
+        lines.append(
+            f"  {row['endpoint']}: cold {row['cold_seconds'] * 1e3:.2f}ms, "
+            f"warm {row['warm_seconds'] * 1e6:.1f}us "
+            f"-> {row['speedup']:.0f}x ({row['payload_bytes']} bytes)"
+        )
+    lines.append(
+        f"  cache: {stats['entries']} entries, {stats['hits']} hits, "
+        f"{stats['misses']} misses, {stats['evictions']} evictions"
+    )
+    text = "\n".join(lines)
+    print()
+    print(text)
+    save_result(results_dir, "service.txt", text)
+
+    for row in rows:
+        assert row["speedup"] >= MIN_SPEEDUP, doc

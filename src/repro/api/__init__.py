@@ -1,0 +1,29 @@
+"""Public serialization facade: unified documents + content hashing.
+
+``repro.api`` is the one place the JSON surface of the project is
+defined: :func:`as_document` / :func:`from_document` turn every result
+and model object into (and back from) a versioned, consistently-keyed
+document, and :func:`canonical_hash` gives any model object a stable
+content address.  The CLI ``--json`` output and every ``repro serve``
+endpoint emit these documents; ``docs/API.md`` is the reference.
+"""
+
+from .hashing import CANONICAL_HASH_VERSION, canonical_hash, canonical_payload
+from .results import (
+    SCHEMA_VERSION,
+    as_document,
+    document_kind,
+    finite_or_none,
+    from_document,
+)
+
+__all__ = [
+    "CANONICAL_HASH_VERSION",
+    "canonical_hash",
+    "canonical_payload",
+    "SCHEMA_VERSION",
+    "as_document",
+    "from_document",
+    "document_kind",
+    "finite_or_none",
+]

@@ -1,0 +1,138 @@
+"""Content-addressed hashing of model objects.
+
+:func:`canonical_hash` maps any instance the optimizer/simulator stack
+consumes — :class:`~repro.platforms.Platform`,
+:class:`~repro.chains.TaskChain`, :class:`~repro.dag.WorkflowDAG`,
+:class:`~repro.core.Schedule`, :class:`~repro.core.CostProfile`, plus
+arbitrary JSON-style composites of them — to a stable hex digest.  The
+digest is what the service layer keys its caches on: two requests
+describing the same computation hash identically, whatever process they
+came from and however their dicts were ordered.
+
+Stability contract (hypothesis-tested in ``tests/test_api.py``):
+
+- **process-stable** — no ``id()``, no ``hash()``, no iteration-order
+  dependence; dict keys are sorted, DAG edges sorted canonically.
+- **representation-exact** — floats are hashed from ``float.hex()``, so
+  two values hash alike iff they are the same IEEE-754 double.  ``1``
+  (int) and ``1.0`` (float) hash differently on purpose: the solvers
+  treat them identically but the canonical form refuses to guess.
+- **name-blind for display labels** — a chain's or DAG's display
+  ``name`` never enters the digest (the same weights are the same
+  content); DAG *task* names do, because edges reference them.
+- **round-trip-stable** — ``from_dict(as_dict(x))`` hashes like ``x``.
+
+The payload grammar is versioned (:data:`CANONICAL_HASH_VERSION`); bump
+it whenever the canonical form of any type changes, so stale
+content-addressed caches can never serve a value computed under
+different semantics.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections.abc import Mapping, Sequence
+from typing import Any
+
+import numpy as np
+
+from ..chains import TaskChain
+from ..core.costs import CostProfile
+from ..core.schedule import Schedule
+from ..dag.workflow import WorkflowDAG, canonical_node_key
+from ..platforms import Platform
+
+__all__ = ["CANONICAL_HASH_VERSION", "canonical_payload", "canonical_hash"]
+
+#: Version of the canonical payload grammar (prefixed into every digest).
+CANONICAL_HASH_VERSION = 1
+
+_PLATFORM_FIELDS = ("lf", "ls", "CD", "CM", "RD", "RM", "Vg", "Vp", "r")
+_COST_FIELDS = ("CD", "CM", "RD", "RM", "Vg", "Vp")
+
+
+def _hex(value: float) -> str:
+    """Exact, canonical text form of one double (``inf``/``nan`` safe)."""
+    return float(value).hex()
+
+
+def _hex_list(values) -> list[str]:
+    return [_hex(v) for v in np.asarray(values, dtype=np.float64).ravel()]
+
+
+def canonical_payload(obj: Any) -> Any:
+    """Reduce ``obj`` to a JSON-dumpable canonical structure.
+
+    Model objects become tagged lists (``["platform", {...}]``, ...);
+    mappings become string-keyed dicts (sorted at dump time); floats
+    become tagged hex strings.  Raises :class:`TypeError` for types with
+    no canonical form — hashing something unhashable-by-content (an open
+    file, a live registry) is a bug, not a degraded cache key.
+    """
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        return ["f", _hex(obj)]
+    if isinstance(obj, (np.floating,)):
+        return ["f", _hex(float(obj))]
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, np.ndarray):
+        if obj.dtype.kind in "fc":
+            return ["f[]", _hex_list(obj)]
+        return ["i[]", [int(v) for v in obj.ravel()]]
+    if isinstance(obj, Platform):
+        return [
+            "platform",
+            {name: _hex(getattr(obj, name)) for name in _PLATFORM_FIELDS},
+        ]
+    if isinstance(obj, TaskChain):
+        return ["chain", _hex_list(obj.weights)]
+    if isinstance(obj, Schedule):
+        return ["schedule", obj.to_string()]
+    if isinstance(obj, CostProfile):
+        return [
+            "costs",
+            {name: _hex_list(getattr(obj, name)) for name in _COST_FIELDS},
+        ]
+    if isinstance(obj, WorkflowDAG):
+        nodes = sorted(obj.graph.nodes, key=canonical_node_key)
+        doc: dict[str, Any] = {
+            "tasks": {str(v): _hex(obj.weight(v)) for v in nodes},
+            "edges": sorted(
+                [str(u), str(v)] for u, v in obj.graph.edges
+            ),
+        }
+        if obj.has_heterogeneous_costs():
+            doc["costs"] = {
+                str(v): _hex(obj.cost_multiplier(v)) for v in nodes
+            }
+        return ["dag", doc]
+    if isinstance(obj, Mapping):
+        return {str(k): canonical_payload(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)) or (
+        isinstance(obj, Sequence) and not isinstance(obj, (str, bytes))
+    ):
+        return [canonical_payload(v) for v in obj]
+    raise TypeError(
+        f"no canonical form for {type(obj).__name__!r}; pass model objects "
+        f"(Platform, TaskChain, WorkflowDAG, Schedule, CostProfile) or "
+        f"JSON-style composites of them"
+    )
+
+
+def canonical_hash(obj: Any) -> str:
+    """Stable SHA-256 hex digest of ``obj``'s canonical payload.
+
+    >>> from repro.platforms import HERA
+    >>> canonical_hash(HERA) == canonical_hash(HERA.with_overrides())
+    True
+    >>> canonical_hash({"a": 1, "b": 2}) == canonical_hash({"b": 2, "a": 1})
+    True
+    """
+    payload = [CANONICAL_HASH_VERSION, canonical_payload(obj)]
+    text = json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()

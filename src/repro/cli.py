@@ -16,6 +16,7 @@ Usage (also available as ``python -m repro``)::
     repro dag optimize --kind layered --cost-spread 1.0 \
         --strategy search --jobs 4               # heterogeneous costs
     repro dag sweep --seed 3                     # heuristics vs search
+    repro serve --port 8080                      # persistent HTTP service
     repro figure 5 --fast                        # regenerate a paper figure
     repro table 1                                # regenerate Table I
     repro report --fast                          # paper-vs-measured claims
@@ -36,6 +37,7 @@ import sys
 
 from . import __version__
 from .analysis import format_table, line_chart, placement_diagram
+from .api import SCHEMA_VERSION, as_document
 from .analysis.sweep import sweep_task_counts
 from .chains import PAPER_TOTAL_WEIGHT, PATTERNS, load_chain, make_chain
 from .core import Schedule, evaluate_schedule, optimize
@@ -117,6 +119,13 @@ def _finite_or_none(value: float) -> float | None:
     """JSON-safe float: RFC 8259 has no Infinity/NaN tokens, so degenerate
     CI bounds (single-replication campaigns) serialize as null."""
     return value if math.isfinite(value) else None
+
+
+def _resolved_backend(spec) -> str:
+    """The backend name a campaign actually ran on (for --json echo)."""
+    from .simulation import get_backend
+
+    return get_backend(spec).name
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -420,6 +429,43 @@ def build_parser() -> argparse.ArgumentParser:
     q.add_argument("--json", action="store_true")
     _add_obs_args(q)
 
+    p = sub.add_parser(
+        "serve",
+        help="run the persistent HTTP service (solve/simulate/dag + jobs)",
+    )
+    p.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address (default: loopback only)",
+    )
+    p.add_argument(
+        "--port",
+        type=int,
+        default=8080,
+        help="TCP port (0 = pick an ephemeral port and print it)",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="job-queue worker threads draining POST /jobs campaigns",
+    )
+    p.add_argument(
+        "--cache-entries",
+        type=int,
+        default=256,
+        help=(
+            "content-addressed cache budget shared by response payloads "
+            "and solver memo pools (0 disables caching)"
+        ),
+    )
+    p.add_argument(
+        "--log-level",
+        default="info",
+        metavar="LEVEL",
+        help="repro.* logging level for request/job lines (default: info)",
+    )
+
     p = sub.add_parser("figure", help="regenerate a paper figure (5, 6, 7, 8)")
     p.add_argument("number", type=int, choices=(5, 6, 7, 8))
     p.add_argument("--fast", action="store_true", help="coarser task grid")
@@ -453,18 +499,9 @@ def _cmd_solve(args) -> str:
     platform = get_platform(args.platform)
     solution = optimize(chain, platform, algorithm=args.algorithm)
     if args.json:
-        return json.dumps(
-            {
-                "algorithm": solution.algorithm,
-                "platform": platform.name,
-                "chain": chain.name,
-                "expected_time": solution.expected_time,
-                "normalized_makespan": solution.normalized_makespan,
-                "counts": dict(solution.counts()),
-                "schedule": solution.schedule.as_dict(),
-            },
-            indent=2,
-        )
+        # the unified document is a strict superset of the historical
+        # solve keys (algorithm/platform/chain/... keep their shapes)
+        return json.dumps(as_document(solution), indent=2)
     out = solution.summary() + "\n" + placement_diagram(solution.schedule)
     if args.breakdown:
         evaluation = evaluate_schedule(chain, platform, solution.schedule)
@@ -480,8 +517,11 @@ def _cmd_evaluate(args) -> str:
     if args.json:
         return json.dumps(
             {
+                "schema_version": SCHEMA_VERSION,
+                "kind": "evaluation",
                 "platform": platform.name,
                 "chain": chain.name,
+                "weights": chain.as_list(),
                 "schedule": schedule.to_string(),
                 "expected_time": evaluation.expected_time,
                 "normalized_makespan": evaluation.expected_time
@@ -535,32 +575,16 @@ def _cmd_simulate(args) -> str:
         **mc_kwargs,
     )
     if args.json:
-        doc = {
-            "platform": platform.name,
-            "schedule": schedule.to_string(),
-            "runs": mc.runs,
-            "seed": args.seed,
-            "engine": args.engine,
-            "backend": mc.backend,
-            "mean": mc.mean,
-            "ci": [
-                _finite_or_none(mc.summary.ci_low),
-                _finite_or_none(mc.summary.ci_high),
-            ],
-            "analytic": analytic,
-            "agrees": mc.agrees_with_analytic,
-            "breakdown": mc.breakdown,
-        }
-        if mc.convergence is not None:
-            doc["convergence"] = {
-                "target_relative_ci": mc.convergence.target_relative_ci,
-                "converged": mc.convergence.converged,
-                "relative_half_width": _finite_or_none(
-                    mc.convergence.relative_half_width
-                ),
-                "rounds": len(mc.convergence.rounds),
-                "reps_used": mc.convergence.reps_used,
-            }
+        # unified monte_carlo_result document plus the CLI's historical
+        # context keys (platform name, schedule string, seed, engine)
+        doc = as_document(mc)
+        doc.update(
+            platform=platform.name,
+            schedule=schedule.to_string(),
+            seed=args.seed,
+            engine=args.engine,
+            analytic=analytic,
+        )
         return json.dumps(doc, indent=2)
     mode = (
         f"{args.engine} engine"
@@ -610,13 +634,22 @@ def _cmd_sweep(args) -> str:
 
     if args.json:
         doc = {
+            "schema_version": SCHEMA_VERSION,
+            "kind": "sweep",
             "platform": platform.name,
             "pattern": args.pattern,
             "seed": args.seed,
+            # None when no validation campaign ran (nothing consumed a
+            # backend); the resolved name otherwise — same echo contract
+            # as `repro simulate`
+            "backend": None,
             "rows": sweep.rows(),
             "header": sweep.header(),
         }
         if validated:
+            from .simulation import get_backend
+
+            doc["backend"] = get_backend(args.backend).name
             doc["validated_cells"] = sweep.validated_cells
             doc["all_cells_agree"] = sweep.all_cells_agree
         return json.dumps(doc, indent=2)
@@ -700,8 +733,12 @@ def _cmd_dag_generate(args) -> str:
     dag = _make_dag(args)
     doc = dag.as_dict()
     # provenance: meaningless for file-loaded DAGs (the flags didn't
-    # produce the workflow), so both fields are nulled together
+    # produce the workflow), so both fields are nulled together.  NB:
+    # "kind" here is the legacy generator-family key, not the unified
+    # document kind — this doc is a model file consumed by --dag-file
+    # and WorkflowDAG.from_dict, so the historical shape wins.
     doc.update(
+        schema_version=SCHEMA_VERSION,
         kind=None if args.dag_file else args.kind,
         seed=None if args.dag_file else args.seed,
     )
@@ -859,10 +896,15 @@ def _cmd_dag_optimize(args) -> str:
             )
     if args.json:
         doc = {
+            "schema_version": SCHEMA_VERSION,
+            "kind": "dag_optimize",
             "platform": platform.name,
             "dag": dag.name,
             "n": dag.n,
             "seed": args.seed,
+            "backend": _resolved_backend(args.backend)
+            if args.certify
+            else None,
             "strategy": args.strategy,
             "algorithm": solution.algorithm,
             "order": [str(v) for v in solution.order],
@@ -897,14 +939,9 @@ def _cmd_dag_optimize(args) -> str:
                 "R": solution.instance.R,
             }
         if certificate is not None:
-            doc["certificate"] = {
-                "simulated": certificate.simulated,
-                "relative_gap": certificate.relative_gap,
-                "reps": certificate.reps,
-                "target_ci": certificate.target_ci,
-                "agrees": certificate.agrees,
-                "converged": certificate.converged,
-            }
+            # unified agreement_stamp document (superset of the
+            # historical simulated/relative_gap/... keys)
+            doc["certificate"] = as_document(certificate)
         return json.dumps(doc, indent=2)
     out = [
         f"workflow {dag.name} on {platform.name} (strategy {args.strategy}, "
@@ -965,10 +1002,15 @@ def _dag_optimize_parallel(dag, platform, args) -> str:
         )
     if args.json:
         doc = {
+            "schema_version": SCHEMA_VERSION,
+            "kind": "dag_optimize_parallel",
             "platform": platform.name,
             "dag": dag.name,
             "n": dag.n,
             "seed": args.seed,
+            "backend": _resolved_backend(args.backend)
+            if estimate is not None
+            else None,
             "processors": args.processors,
             "algorithm": solution.algorithm,
             "order": [str(v) for v in solution.order],
@@ -1034,7 +1076,16 @@ def _cmd_dag_sweep(args) -> str:
         certify=not args.no_certify,
     )
     if args.json:
-        return json.dumps(result.as_dict(), indent=2)
+        doc = {
+            "schema_version": SCHEMA_VERSION,
+            "kind": "dag_sweep",
+            "seed": args.seed,
+            "backend": _resolved_backend(args.backend)
+            if not args.no_certify
+            else None,
+        }
+        doc.update(result.as_dict())
+        return json.dumps(doc, indent=2)
     return result.render()
 
 
@@ -1045,6 +1096,18 @@ def _cmd_dag(args) -> str:
         "sweep": _cmd_dag_sweep,
     }
     return handlers[args.dag_command](args)
+
+
+def _cmd_serve(args) -> str:
+    from .service import serve
+
+    serve(
+        args.host,
+        args.port,
+        workers=args.workers,
+        cache_entries=args.cache_entries,
+    )
+    return "repro serve: stopped"
 
 
 def _cmd_figure(args) -> str:
@@ -1127,6 +1190,7 @@ def main(argv: list[str] | None = None) -> int:
         "simulate": _cmd_simulate,
         "sweep": _cmd_sweep,
         "dag": _cmd_dag,
+        "serve": _cmd_serve,
         "figure": _cmd_figure,
         "table": _cmd_table,
         "report": _cmd_report,

@@ -86,7 +86,7 @@ stamp to the result.  Join winners are certified against
 from __future__ import annotations
 
 import math
-from collections.abc import Hashable, Iterator, Sequence
+from collections.abc import Hashable, Iterator, MutableMapping, Sequence
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -335,6 +335,7 @@ class ChainObjective:
         *,
         algorithm: str = "admv",
         metrics: MetricsRegistry | None = None,
+        exact_cache: MutableMapping[bytes, Solution] | None = None,
     ) -> None:
         self.dag = dag
         self.platform = platform
@@ -345,7 +346,13 @@ class ChainObjective:
             if self.heterogeneous
             else None
         )
-        self._exact: dict[bytes, Solution] = {}
+        # exact_cache lets a service engine share one evictable memo pool
+        # across objectives; the keys are pure weight/multiplier content,
+        # so the caller must namespace the mapping by (platform,
+        # algorithm) — see repro.service.cache.namespaced
+        self._exact: MutableMapping[bytes, Solution] = (
+            exact_cache if exact_cache is not None else {}
+        )
         self._bounds: dict[tuple[bytes, bytes], float] = {}
         self._stops: dict[bytes, np.ndarray] = {}
         # Always a live registry (never the ambient null one): the

@@ -30,14 +30,17 @@ on for a scope with::
         run_the_workload()
     report = build_profile(inst.registry.snapshot(), inst.tracer)
 
-The ambient state is process-local on purpose: ``ProcessPoolExecutor``
-shards run with instrumentation off and ship their private registry
-snapshots home in their return values (see ``search_order``), keeping
-the merge explicit and deterministic rather than ambient.
+The ambient state is *thread*-local (and therefore also process-local):
+``ProcessPoolExecutor`` shards start with instrumentation off and ship
+their private registry snapshots home in their return values (see
+``search_order``), and the ``repro serve`` worker threads each carry
+their own per-request/per-job scope without cross-talk, keeping every
+merge explicit and deterministic rather than ambient.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 from .log import configure_logging, get_logger
@@ -95,19 +98,23 @@ class Instrumentation:
     tracer: Tracer | None = None
 
 
-#: Ambient instrumentation (process-local).  Swapped by :func:`instrument`.
+#: Ambient instrumentation (thread-local).  Swapped by :func:`instrument`.
 _DISABLED = Instrumentation(registry=NULL_REGISTRY, tracer=None)
-_active = _DISABLED
+_local = threading.local()
+
+
+def _ambient() -> Instrumentation:
+    return getattr(_local, "active", _DISABLED)
 
 
 def metrics() -> MetricsRegistry:
     """The ambient registry (:data:`NULL_REGISTRY` when disabled)."""
-    return _active.registry
+    return _ambient().registry
 
 
 def tracer() -> Tracer | None:
     """The ambient tracer, or ``None`` when tracing is off."""
-    return _active.tracer
+    return _ambient().tracer
 
 
 class _NullSpanContext:
@@ -127,7 +134,7 @@ _NULL_SPAN_CONTEXT = _NullSpanContext()
 
 def span(name: str, **args):
     """Open a span on the ambient tracer (no-op context when disabled)."""
-    active_tracer = _active.tracer
+    active_tracer = _ambient().tracer
     if active_tracer is None:
         return _NULL_SPAN_CONTEXT
     return active_tracer.span(name, **args)
@@ -135,7 +142,7 @@ def span(name: str, **args):
 
 def instant(name: str, **args) -> None:
     """Record an instant event on the ambient tracer (no-op if disabled)."""
-    active_tracer = _active.tracer
+    active_tracer = _ambient().tracer
     if active_tracer is not None:
         active_tracer.instant(name, **args)
 
@@ -149,14 +156,12 @@ class _InstrumentScope:
         self._inst = inst
 
     def __enter__(self) -> Instrumentation:
-        global _active
-        self._prior = _active
-        _active = self._inst
+        self._prior = _ambient()
+        _local.active = self._inst
         return self._inst
 
     def __exit__(self, *exc) -> None:
-        global _active
-        _active = self._prior
+        _local.active = self._prior
 
 
 def instrument(

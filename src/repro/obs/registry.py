@@ -212,6 +212,15 @@ class TimerSnapshot:
             "mean_s": self.mean,
         }
 
+    @staticmethod
+    def from_dict(doc: dict) -> "TimerSnapshot":
+        return TimerSnapshot(
+            count=int(doc["count"]),
+            total=float(doc["total_s"]),
+            min=float(doc["min_s"]),
+            max=float(doc["max_s"]),
+        )
+
 
 @dataclass(frozen=True)
 class HistogramSnapshot:
@@ -242,6 +251,15 @@ class HistogramSnapshot:
             "count": self.count,
             "total": self.total,
         }
+
+    @staticmethod
+    def from_dict(doc: dict) -> "HistogramSnapshot":
+        return HistogramSnapshot(
+            bounds=tuple(float(b) for b in doc["bounds"]),
+            counts=tuple(int(c) for c in doc["counts"]),
+            count=int(doc["count"]),
+            total=float(doc["total"]),
+        )
 
 
 @dataclass(frozen=True)
@@ -305,6 +323,26 @@ class MetricsSnapshot:
                 for k in sorted(self.histograms)
             },
         }
+
+    @staticmethod
+    def from_dict(doc: dict) -> "MetricsSnapshot":
+        """Inverse of :meth:`as_dict` (used by the service/JSON layer)."""
+        return MetricsSnapshot(
+            counters={
+                str(k): int(v) for k, v in doc.get("counters", {}).items()
+            },
+            gauges={
+                str(k): float(v) for k, v in doc.get("gauges", {}).items()
+            },
+            timers={
+                str(k): TimerSnapshot.from_dict(v)
+                for k, v in doc.get("timers", {}).items()
+            },
+            histograms={
+                str(k): HistogramSnapshot.from_dict(v)
+                for k, v in doc.get("histograms", {}).items()
+            },
+        )
 
 
 EMPTY_SNAPSHOT = MetricsSnapshot()

@@ -1,0 +1,138 @@
+"""Shared, evictable memo pools for the service engine.
+
+:class:`ContentCache` is a thread-safe LRU over content-addressed keys
+(the :func:`repro.api.canonical_hash` digests, or any hashable key a
+subsystem memoizes on).  It replaces the per-call memo dicts the CLI
+path rebuilds from scratch: one engine-owned pool is shared by every
+request and job, survives between them, and evicts oldest-touched
+entries under a budget instead of growing without bound.
+
+:func:`ContentCache.namespaced` hands a subsystem a ``MutableMapping``
+view whose keys are transparently prefixed — this is how a
+:class:`~repro.dag.search.ChainObjective` plugs its exact-solve memo
+(raw weight-vector bytes keys) into the shared pool without colliding
+with response payloads or other objectives' entries, while the pool's
+LRU budget and hit/miss accounting stay global.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from collections.abc import Hashable, Iterator, MutableMapping
+from typing import Any
+
+__all__ = ["ContentCache"]
+
+
+class ContentCache:
+    """Thread-safe LRU keyed on content addresses.
+
+    ``get``/``put`` count hits, misses, and evictions; ``stats()``
+    exposes them for ``/metrics`` and ``/cache``.  ``max_entries <= 0``
+    disables caching entirely (every ``get`` misses, ``put`` drops).
+    """
+
+    def __init__(self, max_entries: int = 256) -> None:
+        self.max_entries = int(max_entries)
+        self._data: OrderedDict[Hashable, Any] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        with self._lock:
+            try:
+                value = self._data[key]
+            except KeyError:
+                self.misses += 1
+                return default
+            self._data.move_to_end(key)
+            self.hits += 1
+            return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        if self.max_entries <= 0:
+            return
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self.max_entries:
+                self._data.popitem(last=False)
+                self.evictions += 1
+
+    def discard(self, key: Hashable) -> bool:
+        with self._lock:
+            return self._data.pop(key, _MISSING) is not _MISSING
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._data
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def clear(self) -> int:
+        """Drop every entry; returns how many were dropped."""
+        with self._lock:
+            n = len(self._data)
+            self._data.clear()
+            return n
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "entries": len(self._data),
+                "max_entries": self.max_entries,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
+
+    def namespaced(self, prefix: Hashable) -> "NamespacedCache":
+        """A ``MutableMapping`` view storing under ``(prefix, key)``."""
+        return NamespacedCache(self, prefix)
+
+
+_MISSING = object()
+
+
+class NamespacedCache(MutableMapping):
+    """Mapping facade over one namespace of a :class:`ContentCache`.
+
+    Subsystems that memoize on their own key material (e.g. the
+    ``ChainObjective`` exact memo, keyed on weight bytes) see a plain
+    dict-like object; the shared pool sees ``(prefix, key)`` entries
+    competing for the same LRU budget.  Iteration is unsupported on
+    purpose — an evictable pool has no stable item view to offer.
+    """
+
+    __slots__ = ("_cache", "_prefix")
+
+    def __init__(self, cache: ContentCache, prefix: Hashable) -> None:
+        self._cache = cache
+        self._prefix = prefix
+
+    def __getitem__(self, key: Hashable) -> Any:
+        value = self._cache.get((self._prefix, key), _MISSING)
+        if value is _MISSING:
+            raise KeyError(key)
+        return value
+
+    def __setitem__(self, key: Hashable, value: Any) -> None:
+        self._cache.put((self._prefix, key), value)
+
+    def __delitem__(self, key: Hashable) -> None:
+        if not self._cache.discard((self._prefix, key)):
+            raise KeyError(key)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return (self._prefix, key) in self._cache
+
+    def __iter__(self) -> Iterator:
+        raise TypeError("a namespaced cache view is not iterable")
+
+    def __len__(self) -> int:
+        raise TypeError("a namespaced cache view has no independent size")

@@ -1,0 +1,476 @@
+"""The persistent optimizer/simulator engine behind ``repro serve``.
+
+An :class:`Engine` is the long-lived object the CLI never had: it owns
+
+- one :class:`~repro.service.cache.ContentCache` holding every expensive
+  artefact — rendered response payloads (a DP solve, a search campaign,
+  an MC stamp) keyed by :func:`repro.api.canonical_hash` of the
+  *normalized request content*, plus the ``ChainObjective`` exact-solve
+  memos as namespaced views into the same evictable pool;
+- the cumulative :class:`~repro.obs.MetricsSnapshot` merged from every
+  request/job session (each runs under its own thread-local
+  :func:`repro.obs.instrument` scope, so concurrent requests never
+  cross-contaminate);
+- the endpoint implementations themselves (``solve`` / ``simulate`` /
+  ``dag/optimize``), which mirror the CLI subcommands and emit the
+  unified ``repro.api`` documents.
+
+Cache contract: a hit returns the **byte-identical** payload the cold
+request rendered — the hit/miss status travels out-of-band (HTTP
+headers, :attr:`EngineResponse.cache`), never inside the body, so
+clients can hash response bodies across a server restart or a cache
+flush and get stable answers.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Any, Callable
+
+from ..api import SCHEMA_VERSION, as_document, canonical_hash
+from ..chains import PAPER_TOTAL_WEIGHT, PATTERNS, TaskChain, make_chain
+from ..core import Schedule, evaluate_schedule, optimize
+from ..core.solver import canonical_algorithm
+from ..exceptions import InvalidParameterError
+from ..obs import (
+    MetricsRegistry,
+    MetricsSnapshot,
+    Tracer,
+    build_profile,
+    get_logger,
+    instrument,
+    span,
+)
+from ..platforms import TABLE1_ROWS, Platform, get_platform
+from ..simulation import run_monte_carlo
+from .cache import ContentCache
+
+logger = get_logger(__name__)
+
+__all__ = ["Engine", "EngineResponse", "ENDPOINTS"]
+
+#: Endpoints the engine executes (the HTTP layer maps URLs onto these).
+ENDPOINTS = ("solve", "simulate", "dag/optimize")
+
+
+@dataclass(frozen=True)
+class EngineResponse:
+    """One executed request: payload plus out-of-band cache/obs state."""
+
+    body: bytes
+    cache: str  # "hit" | "miss"
+    key: str  # the content address of the request
+    endpoint: str
+    wall_s: float
+    profile: dict | None = None
+    trace: dict | None = field(default=None, repr=False)
+
+    def document(self) -> dict:
+        return json.loads(self.body.decode("utf-8"))
+
+
+def _render(doc: dict) -> bytes:
+    return (json.dumps(doc, indent=2) + "\n").encode("utf-8")
+
+
+def _reject_unknown(request: dict, allowed: tuple[str, ...], endpoint: str):
+    unknown = sorted(set(request) - set(allowed))
+    if unknown:
+        raise InvalidParameterError(
+            f"unknown field(s) {', '.join(unknown)} for /{endpoint}; "
+            f"accepted: {', '.join(allowed)}"
+        )
+
+
+def _parse_platform(request: dict) -> Platform:
+    spec = request.get("platform", "hera")
+    if isinstance(spec, dict):
+        return Platform.from_dict(spec)
+    try:
+        return get_platform(str(spec))
+    except KeyError as exc:
+        raise InvalidParameterError(str(exc.args[0])) from None
+
+
+def _parse_chain(request: dict) -> TaskChain:
+    if request.get("weights") is not None:
+        return TaskChain(
+            request["weights"], name=str(request.get("chain", "custom"))
+        )
+    pattern = str(request.get("pattern", "uniform"))
+    if pattern not in PATTERNS:
+        raise InvalidParameterError(
+            f"unknown pattern {pattern!r}; expected one of "
+            f"{', '.join(sorted(PATTERNS))}"
+        )
+    return make_chain(
+        pattern,
+        int(request.get("tasks", 20)),
+        float(request.get("total_weight", PAPER_TOTAL_WEIGHT)),
+    )
+
+
+def _parse_dag(request: dict):
+    from ..dag import WorkflowDAG
+    from ..dag.generate import generate
+
+    spec = request.get("dag")
+    if isinstance(spec, dict):
+        return WorkflowDAG.from_dict(spec)
+    if spec is not None:
+        raise InvalidParameterError(
+            "'dag' must be a workflow document (see `repro dag generate "
+            "--json`)"
+        )
+    generator = dict(request.get("generator") or {})
+    kind = str(generator.pop("kind", "layered"))
+    seed = int(generator.pop("seed", 0))
+    return generate(kind, seed=seed, **generator)
+
+
+_SOLVE_FIELDS = (
+    "platform", "pattern", "tasks", "total_weight", "weights", "chain",
+    "algorithm",
+)
+_SIMULATE_FIELDS = _SOLVE_FIELDS + (
+    "schedule", "runs", "seed", "target_ci", "backend", "engine",
+)
+_DAG_FIELDS = (
+    "platform", "dag", "generator", "algorithm", "strategy", "method",
+    "seed", "restarts", "iterations", "recombine", "certify", "target_ci",
+    "backend", "processors",
+)
+
+
+class Engine:
+    """Session-spanning solver/simulator with content-addressed caching."""
+
+    def __init__(self, *, cache_entries: int = 256) -> None:
+        self.cache = ContentCache(cache_entries)
+        self._lock = threading.Lock()
+        self._cumulative = MetricsSnapshot()
+        self._requests: dict[str, int] = {}
+        self._cache_hits: dict[str, int] = {}
+        self._handlers: dict[str, Callable[[dict], dict]] = {
+            "solve": self._do_solve,
+            "simulate": self._do_simulate,
+            "dag/optimize": self._do_dag_optimize,
+        }
+
+    # -- request execution ---------------------------------------------
+    def handle(
+        self,
+        endpoint: str,
+        request: dict,
+        *,
+        collect_trace: bool = False,
+    ) -> EngineResponse:
+        """Execute one endpoint request (cache-aware).
+
+        Raises :class:`~repro.exceptions.InvalidParameterError` for
+        malformed requests (the HTTP layer maps it to 400) and
+        ``KeyError``-free 404s are the HTTP layer's business.
+        """
+        handler = self._handlers.get(endpoint)
+        if handler is None:
+            raise InvalidParameterError(
+                f"unknown endpoint {endpoint!r}; expected one of "
+                f"{', '.join(ENDPOINTS)}"
+            )
+        if not isinstance(request, dict):
+            raise InvalidParameterError(
+                f"request body must be a JSON object, got "
+                f"{type(request).__name__}"
+            )
+        key = self.request_key(endpoint, request)
+        t0 = perf_counter()
+        cached = self.cache.get(("response", key))
+        with self._lock:
+            self._requests[endpoint] = self._requests.get(endpoint, 0) + 1
+            if cached is not None:
+                self._cache_hits[endpoint] = (
+                    self._cache_hits.get(endpoint, 0) + 1
+                )
+        if cached is not None:
+            return EngineResponse(
+                body=cached,
+                cache="hit",
+                key=key,
+                endpoint=endpoint,
+                wall_s=perf_counter() - t0,
+            )
+
+        registry = MetricsRegistry()
+        tracer = Tracer()
+        with instrument(registry, tracer), span(
+            f"service.{endpoint}", key=key[:12]
+        ):
+            doc = handler(request)
+        wall = perf_counter() - t0
+        logger.info(
+            "computed /%s %s in %.3fs", endpoint, key[:12], wall
+        )
+        body = _render(doc)
+        self.cache.put(("response", key), body)
+        snapshot = registry.snapshot()
+        with self._lock:
+            self._cumulative = self._cumulative.merge(snapshot)
+        profile = build_profile(
+            snapshot, tracer, command=f"service.{endpoint}", wall_s=wall
+        )
+        return EngineResponse(
+            body=body,
+            cache="miss",
+            key=key,
+            endpoint=endpoint,
+            wall_s=wall,
+            profile=profile,
+            trace=tracer.to_chrome_trace() if collect_trace else None,
+        )
+
+    def request_key(self, endpoint: str, request: dict) -> str:
+        """Content address of a request: model objects, not spellings.
+
+        Two requests naming the same platform, the same weights (via a
+        pattern or an explicit list), and the same options collide on
+        purpose; dict ordering and display names never matter.
+        """
+        if endpoint == "solve":
+            _reject_unknown(request, _SOLVE_FIELDS, endpoint)
+            content: dict[str, Any] = {
+                "platform": _parse_platform(request),
+                "chain": _parse_chain(request),
+                "algorithm": canonical_algorithm(
+                    str(request.get("algorithm", "admv"))
+                ),
+            }
+        elif endpoint == "simulate":
+            _reject_unknown(request, _SIMULATE_FIELDS, endpoint)
+            content = {
+                "platform": _parse_platform(request),
+                "chain": _parse_chain(request),
+                "schedule": request.get("schedule"),
+                "algorithm": canonical_algorithm(
+                    str(request.get("algorithm", "admv"))
+                ),
+                "runs": request.get("runs"),
+                "seed": int(request.get("seed", 0)),
+                "target_ci": request.get("target_ci"),
+                "backend": self._backend_name(request.get("backend")),
+                "engine": str(request.get("engine", "batch")),
+            }
+        else:
+            _reject_unknown(request, _DAG_FIELDS, endpoint)
+            content = {
+                "platform": _parse_platform(request),
+                "dag": _parse_dag(request),
+                "algorithm": canonical_algorithm(
+                    str(request.get("algorithm", "admv"))
+                ),
+                "strategy": str(request.get("strategy", "auto")),
+                "method": str(request.get("method", "hill_climb")),
+                "seed": int(request.get("seed", 0)),
+                "restarts": int(request.get("restarts", 2)),
+                "iterations": int(request.get("iterations", 400)),
+                "recombine": int(request.get("recombine", 2)),
+                "certify": bool(request.get("certify", False)),
+                "target_ci": float(request.get("target_ci", 0.01)),
+                "backend": self._backend_name(request.get("backend"))
+                if request.get("certify") or request.get("processors")
+                else None,
+                "processors": request.get("processors"),
+            }
+        return canonical_hash([endpoint, content])
+
+    @staticmethod
+    def _backend_name(spec) -> str:
+        from ..simulation import get_backend
+
+        return get_backend(spec).name
+
+    # -- endpoint implementations --------------------------------------
+    def _do_solve(self, request: dict) -> dict:
+        chain = _parse_chain(request)
+        platform = _parse_platform(request)
+        solution = optimize(
+            chain, platform, algorithm=str(request.get("algorithm", "admv"))
+        )
+        return as_document(solution)
+
+    def _do_simulate(self, request: dict) -> dict:
+        chain = _parse_chain(request)
+        platform = _parse_platform(request)
+        algorithm = str(request.get("algorithm", "admv"))
+        if request.get("schedule"):
+            schedule = Schedule.from_string(str(request["schedule"]))
+            analytic = evaluate_schedule(
+                chain, platform, schedule
+            ).expected_time
+        else:
+            solution = optimize(chain, platform, algorithm=algorithm)
+            schedule = solution.schedule
+            analytic = solution.expected_time
+        seed = int(request.get("seed", 0))
+        target_ci = request.get("target_ci")
+        if request.get("runs") is not None:
+            runs = int(request["runs"])
+        elif target_ci is not None:
+            from ..simulation import DEFAULT_MAX_RUNS
+
+            runs = DEFAULT_MAX_RUNS
+        else:
+            runs = 1000
+        mc = run_monte_carlo(
+            chain,
+            platform,
+            schedule,
+            runs=runs,
+            seed=seed,
+            analytic=analytic,
+            engine=str(request.get("engine", "batch")),
+            target_ci=None if target_ci is None else float(target_ci),
+            backend=request.get("backend"),
+        )
+        doc = as_document(mc)
+        doc.update(
+            platform=platform.name,
+            schedule=schedule.to_string(),
+            seed=seed,
+            engine=str(request.get("engine", "batch")),
+        )
+        return doc
+
+    def _do_dag_optimize(self, request: dict) -> dict:
+        from ..dag import optimize_dag, search_order, search_parallel
+        from ..dag.search import ChainObjective, uses_join_objective
+
+        dag = _parse_dag(request)
+        platform = _parse_platform(request)
+        algorithm = str(request.get("algorithm", "admv"))
+        seed = int(request.get("seed", 0))
+        backend = request.get("backend")
+        target_ci = float(request.get("target_ci", 0.01))
+        processors = request.get("processors")
+
+        if processors is not None:
+            result = search_parallel(
+                dag,
+                platform,
+                int(processors),
+                algorithm=algorithm,
+                method=str(request.get("method", "hill_climb")),
+                seed=seed,
+                restarts=int(request.get("restarts", 2)),
+                iterations=int(request.get("iterations", 400)),
+            )
+            doc = as_document(result)
+            doc.update(seed=seed, backend=None)
+            return doc
+
+        strategy = str(request.get("strategy", "auto"))
+        if strategy == "search":
+            objective = None
+            if not uses_join_objective(dag):
+                # the multi-layer extraction: this objective's exact-DP
+                # memo lives in the engine's shared evictable pool, so a
+                # re-search of the same platform/algorithm pays only for
+                # orders it has never priced
+                objective = ChainObjective(
+                    dag,
+                    platform,
+                    algorithm=algorithm,
+                    exact_cache=self.cache.namespaced(
+                        (
+                            "objective",
+                            canonical_hash([dag, platform]),
+                            canonical_algorithm(algorithm),
+                        )
+                    ),
+                )
+            search_result = search_order(
+                dag,
+                platform,
+                algorithm=algorithm,
+                method=str(request.get("method", "hill_climb")),
+                seed=seed,
+                restarts=int(request.get("restarts", 2)),
+                iterations=int(request.get("iterations", 400)),
+                recombine=int(request.get("recombine", 2)),
+                certify=bool(request.get("certify", False)),
+                backend=backend,
+                target_ci=target_ci,
+                objective=objective,
+            )
+            doc = as_document(search_result)
+        else:
+            solution = optimize_dag(
+                dag,
+                platform,
+                algorithm=algorithm,
+                strategy=strategy,
+                seed=seed,
+            )
+            doc = as_document(solution)
+            if request.get("certify"):
+                from ..experiments.common import certify_solution
+
+                _, chain = dag.serialise(solution.order)
+                stamp = certify_solution(
+                    chain,
+                    platform,
+                    solution,
+                    label=f"{dag.name} {strategy} order",
+                    seed=seed,
+                    backend=backend,
+                    target_ci=target_ci,
+                    costs=dag.cost_profile(solution.order, platform),
+                )
+                doc["certificate"] = as_document(stamp)
+        doc.update(
+            dag=dag.name,
+            strategy=strategy,
+            seed=seed,
+            backend=self._backend_name(backend)
+            if request.get("certify")
+            else None,
+        )
+        return doc
+
+    # -- observability -------------------------------------------------
+    def merge_snapshot(self, snapshot: MetricsSnapshot) -> None:
+        """Fold an externally-collected session snapshot into the pool
+        (the job queue ships each job's snapshot here)."""
+        with self._lock:
+            self._cumulative = self._cumulative.merge(snapshot)
+
+    def metrics_snapshot(self) -> MetricsSnapshot:
+        with self._lock:
+            return self._cumulative
+
+    def metrics_document(self, *, jobs: dict | None = None) -> dict:
+        with self._lock:
+            snapshot = self._cumulative
+            requests = dict(self._requests)
+            cache_hits = dict(self._cache_hits)
+        doc = {
+            "schema_version": SCHEMA_VERSION,
+            "kind": "service_metrics",
+            "requests": {
+                "total": sum(requests.values()),
+                "by_endpoint": {k: requests[k] for k in sorted(requests)},
+                "cache_hits": {
+                    k: cache_hits[k] for k in sorted(cache_hits)
+                },
+            },
+            "cache": self.cache.stats(),
+            "metrics": snapshot.as_dict(),
+        }
+        if jobs is not None:
+            doc["jobs"] = jobs
+        return doc
+
+    def platforms_document(self) -> list[dict]:
+        return [p.as_dict() for p in TABLE1_ROWS]

@@ -611,7 +611,12 @@ class TestDagCommand:
             "--backend", "numpy", "--json",
         )
         assert code == 0
-        assert json.loads(out) == {"seed": 6}
+        assert json.loads(out) == {
+            "schema_version": 1,
+            "kind": "dag_sweep",
+            "backend": "numpy",
+            "seed": 6,
+        }
         assert calls == {
             "fast": False, "seed": 6, "backend": "numpy", "certify": True,
         }

@@ -1,0 +1,421 @@
+"""The persistent service: engine, cache, job queue, HTTP front-end.
+
+The HTTP tests run a real in-process :class:`ThreadingHTTPServer` on an
+ephemeral loopback port (one per test class, shut down in the fixture),
+so request routing, status codes, and the out-of-band cache headers are
+exercised exactly as a client sees them.  Determinism-sensitive
+lifecycle tests (cancel-before-start, manual drain) run a ``workers=0``
+queue directly.
+"""
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.api import SCHEMA_VERSION, canonical_hash
+from repro.exceptions import InvalidParameterError
+from repro.service import ContentCache, Engine, JobQueue, make_server
+
+# ----------------------------------------------------------------------
+# HTTP helpers
+# ----------------------------------------------------------------------
+
+
+def _get(base, path):
+    try:
+        with urllib.request.urlopen(base + path, timeout=30) as r:
+            return r.status, dict(r.headers), r.read()
+    except urllib.error.HTTPError as exc:
+        return exc.code, dict(exc.headers), exc.read()
+
+
+def _post(base, path, doc=None, raw=None):
+    data = raw if raw is not None else json.dumps(doc or {}).encode()
+    req = urllib.request.Request(
+        base + path,
+        data=data,
+        method="POST",
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=120) as r:
+            return r.status, dict(r.headers), r.read()
+    except urllib.error.HTTPError as exc:
+        return exc.code, dict(exc.headers), exc.read()
+
+
+def _wait_for_job(base, job_id, timeout_s=60.0):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        _, _, body = _get(base, f"/jobs/{job_id}")
+        doc = json.loads(body)
+        if doc["status"] in ("done", "failed", "cancelled"):
+            return doc
+        time.sleep(0.02)
+    raise AssertionError(f"job {job_id} did not finish within {timeout_s}s")
+
+
+@pytest.fixture(scope="module")
+def server():
+    srv = make_server("127.0.0.1", 0, workers=2, cache_entries=128)
+    thread = threading.Thread(target=srv.serve_forever, daemon=True)
+    thread.start()
+    host, port = srv.server_address[:2]
+    try:
+        yield f"http://{host}:{port}"
+    finally:
+        srv.shutdown()
+        srv.server_close()
+
+
+SOLVE = {"platform": "hera", "tasks": 12, "algorithm": "admv_star"}
+
+
+# ----------------------------------------------------------------------
+# cache
+# ----------------------------------------------------------------------
+class TestContentCache:
+    def test_lru_eviction_and_stats(self):
+        cache = ContentCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh a: b is now oldest
+        cache.put("c", 3)
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+        stats = cache.stats()
+        assert stats["entries"] == 2
+        assert stats["evictions"] == 1
+        assert stats["hits"] == 3
+        assert stats["misses"] == 1
+
+    def test_zero_budget_disables(self):
+        cache = ContentCache(0)
+        cache.put("a", 1)
+        assert cache.get("a") is None
+        assert len(cache) == 0
+
+    def test_namespaced_views_do_not_collide(self):
+        cache = ContentCache(8)
+        left = cache.namespaced("left")
+        right = cache.namespaced("right")
+        left[b"k"] = "L"
+        right[b"k"] = "R"
+        assert left.get(b"k") == "L"
+        assert right.get(b"k") == "R"
+        assert cache.stats()["entries"] == 2
+        del left[b"k"]
+        assert left.get(b"k") is None
+        assert right.get(b"k") == "R"
+
+
+# ----------------------------------------------------------------------
+# engine (no HTTP)
+# ----------------------------------------------------------------------
+class TestEngine:
+    def test_cold_and_warm_are_bitwise_identical(self):
+        engine = Engine(cache_entries=32)
+        cold = engine.handle("solve", dict(SOLVE))
+        warm = engine.handle(
+            "solve", {"algorithm": "admv*", "tasks": 12, "platform": "hera"}
+        )
+        assert cold.cache == "miss"
+        assert warm.cache == "hit"
+        assert warm.body == cold.body
+        assert warm.key == cold.key
+        doc = cold.document()
+        assert doc["schema_version"] == SCHEMA_VERSION
+        assert doc["kind"] == "solution"
+
+    def test_key_ignores_display_names_but_not_content(self):
+        engine = Engine(cache_entries=32)
+        base = engine.request_key("solve", dict(SOLVE))
+        assert engine.request_key(
+            "solve", {**SOLVE, "platform": "atlas"}
+        ) != base
+        assert engine.request_key("solve", {**SOLVE, "tasks": 13}) != base
+        # explicit weights equal to the pattern's expansion collide —
+        # the key is the chain content, not its spelling
+        from repro.chains import make_chain
+
+        weights = make_chain("uniform", 12).as_list()
+        assert (
+            engine.request_key(
+                "solve",
+                {
+                    "platform": "hera",
+                    "weights": weights,
+                    "algorithm": "admv_star",
+                },
+            )
+            == base
+        )
+
+    def test_eviction_under_small_budget_recomputes_identically(self):
+        engine = Engine(cache_entries=2)
+        first = engine.handle("solve", dict(SOLVE))
+        for tasks in (5, 6, 7):  # flood the 2-entry budget
+            engine.handle("solve", {**SOLVE, "tasks": tasks})
+        assert engine.cache.stats()["evictions"] > 0
+        again = engine.handle("solve", dict(SOLVE))
+        assert again.cache == "miss"  # evicted, recomputed ...
+        assert again.body == first.body  # ... to the same bytes
+
+    def test_objective_memo_pool_is_shared_across_requests(self):
+        engine = Engine(cache_entries=4096)
+        request = {
+            "generator": {"kind": "layered", "tasks": 8, "seed": 7},
+            "strategy": "search",
+            "iterations": 30,
+            "algorithm": "admv_star",
+        }
+        cold = engine.handle("dag/optimize", request).document()
+        # same campaign, different seed: a different climb over the same
+        # platform/algorithm pool — cold exact solves become pool hits
+        warm = engine.handle(
+            "dag/optimize", {**request, "seed": 1}
+        ).document()
+        assert warm["exact_cache_hits"] > 0
+        assert (
+            warm["solution"]["expected_time"]
+            == cold["solution"]["expected_time"]
+        )
+
+    def test_metrics_merge_across_threads(self):
+        engine = Engine(cache_entries=64)
+        reqs = [{**SOLVE, "tasks": n} for n in (8, 9, 10, 11)]
+        expected = 0
+        for r in reqs:  # per-request truth from isolated engines
+            solo = Engine(cache_entries=4)
+            solo.handle("solve", dict(r))
+            expected += sum(
+                solo.metrics_snapshot().counters.get(k, 0)
+                for k in solo.metrics_snapshot().counters
+                if k.startswith("dp.solves.")
+            )
+        threads = [
+            threading.Thread(target=engine.handle, args=("solve", dict(r)))
+            for r in reqs
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        merged = engine.metrics_snapshot().counters
+        total = sum(
+            v for k, v in merged.items() if k.startswith("dp.solves.")
+        )
+        assert total == expected
+        doc = engine.metrics_document()
+        assert doc["requests"]["total"] == len(reqs)
+
+    def test_unknown_fields_and_endpoints_rejected(self):
+        engine = Engine()
+        with pytest.raises(InvalidParameterError, match="unknown field"):
+            engine.handle("solve", {"bogus": 1})
+        with pytest.raises(InvalidParameterError, match="unknown endpoint"):
+            engine.handle("nope", {})
+        with pytest.raises(InvalidParameterError, match="JSON object"):
+            engine.handle("solve", [1, 2])
+
+
+# ----------------------------------------------------------------------
+# job queue (workers=0: deterministic lifecycle)
+# ----------------------------------------------------------------------
+class TestJobQueue:
+    def test_submit_drain_result(self):
+        queue = JobQueue(Engine(cache_entries=16), workers=0)
+        job = queue.submit("solve", dict(SOLVE))
+        assert job.status == "queued"
+        assert queue.run_pending() == 1
+        assert job.status == "done"
+        assert job.response is not None
+        assert job.response.document()["kind"] == "solution"
+        assert job.response.trace is not None  # jobs always collect traces
+
+    def test_cancel_before_start_is_immediate(self):
+        queue = JobQueue(Engine(cache_entries=16), workers=0)
+        job = queue.submit("solve", dict(SOLVE))
+        cancelled = queue.cancel(job.id)
+        assert cancelled is job
+        assert job.status == "cancelled"
+        assert queue.run_pending() == 0  # nothing left to run
+        assert queue.cancel("job-999") is None
+
+    def test_failed_job_keeps_the_error(self):
+        # a schedule string is opaque at submit time (it is part of the
+        # content key, not parsed) so this validates, queues, and then
+        # fails inside the worker
+        queue = JobQueue(Engine(cache_entries=16), workers=0)
+        job = queue.submit(
+            "simulate",
+            {"tasks": 4, "runs": 50, "schedule": "not-a-schedule"},
+        )
+        assert job.status == "queued"
+        queue.run_pending()
+        assert job.status == "failed"
+        assert job.error
+        assert job.document()["error"] == job.error
+
+    def test_malformed_request_fails_at_submit(self):
+        queue = JobQueue(Engine(cache_entries=16), workers=0)
+        with pytest.raises(InvalidParameterError, match="unknown field"):
+            queue.submit("solve", {"bogus": 1})
+        with pytest.raises(InvalidParameterError, match="unknown platform"):
+            queue.submit("solve", {**SOLVE, "platform": "not-a-platform"})
+        assert queue.stats()["total"] == 0
+
+
+# ----------------------------------------------------------------------
+# HTTP round-trips
+# ----------------------------------------------------------------------
+class TestHttp:
+    def test_healthz_and_platforms(self, server):
+        status, _, body = _get(server, "/healthz")
+        assert status == 200
+        assert json.loads(body)["ok"] is True
+        status, _, body = _get(server, "/platforms")
+        names = [p["name"] for p in json.loads(body)]
+        assert "Hera" in names
+
+    def test_solve_cold_then_warm_bitwise(self, server):
+        status, headers, body = _post(server, "/solve", dict(SOLVE))
+        assert status == 200
+        status2, headers2, body2 = _post(
+            server,
+            "/solve",
+            {"algorithm": "admv*", "tasks": 12, "platform": "hera"},
+        )
+        assert headers2["X-Repro-Cache"] == "hit"
+        assert headers2["X-Repro-Key"] == headers["X-Repro-Key"]
+        assert body2 == body
+        doc = json.loads(body)
+        assert doc["kind"] == "solution"
+        assert doc["platform"] == "Hera"
+
+    def test_simulate_echoes_seed_and_backend(self, server):
+        _, _, body = _post(
+            server,
+            "/simulate",
+            {"platform": "hera", "tasks": 6, "runs": 200, "seed": 9},
+        )
+        doc = json.loads(body)
+        assert doc["kind"] == "monte_carlo_result"
+        assert doc["seed"] == 9
+        assert doc["backend"] == "numpy"
+        assert doc["reps"] == doc["runs"] == 200
+
+    def test_dag_optimize(self, server):
+        _, _, body = _post(
+            server,
+            "/dag/optimize",
+            {
+                "generator": {"kind": "layered", "tasks": 8, "seed": 2},
+                "strategy": "search",
+                "iterations": 30,
+                "seed": 4,
+            },
+        )
+        doc = json.loads(body)
+        assert doc["kind"] == "search_result"
+        assert doc["seed"] == 4
+        assert doc["solution"]["order"]
+
+    def test_job_lifecycle_over_http(self, server):
+        status, _, body = _post(
+            server,
+            "/jobs",
+            {
+                "endpoint": "simulate",
+                "request": {"tasks": 6, "runs": 300, "seed": 11},
+            },
+        )
+        assert status == 202
+        job_id = json.loads(body)["id"]
+        done = _wait_for_job(server, job_id)
+        assert done["status"] == "done"
+        status, headers, body = _get(server, f"/jobs/{job_id}/result")
+        assert status == 200
+        assert json.loads(body)["reps"] == 300
+        assert headers["X-Repro-Cache"] in ("hit", "miss")
+        if headers["X-Repro-Cache"] == "miss":
+            status, _, body = _get(server, f"/jobs/{job_id}/profile")
+            assert status == 200
+            assert json.loads(body)["command"] == "service.simulate"
+            status, _, body = _get(server, f"/jobs/{job_id}/trace")
+            assert status == 200
+            assert json.loads(body)["traceEvents"]
+        listing = json.loads(_get(server, "/jobs")[2])
+        assert any(j["id"] == job_id for j in listing)
+
+    def test_metrics_document_shape(self, server):
+        _post(server, "/solve", dict(SOLVE))
+        doc = json.loads(_get(server, "/metrics")[2])
+        assert doc["kind"] == "service_metrics"
+        assert doc["requests"]["total"] >= 1
+        assert "cache" in doc and "jobs" in doc
+        assert any(
+            k.startswith("dp.solves.")
+            for k in doc["metrics"]["counters"]
+        )
+
+    def test_error_statuses(self, server):
+        assert _get(server, "/no-such-route")[0] == 404
+        assert _get(server, "/jobs/job-99999")[0] == 404
+        assert _post(server, "/solve", raw=b"{not json")[0] == 400
+        assert _post(server, "/solve", {"bogus": 1})[0] == 400
+        assert (
+            _post(server, "/jobs", {"endpoint": "nope", "request": {}})[0]
+            == 400
+        )
+        err = json.loads(_post(server, "/solve", {"bogus": 1})[2])
+        assert err["kind"] == "error"
+        assert err["status"] == 400
+
+    def test_cache_clear(self, server):
+        _post(server, "/solve", dict(SOLVE))
+        status, _, body = _post(server, "/cache/clear")
+        assert status == 200
+        assert json.loads(body)["cleared"] >= 1
+        _, headers, _ = _post(server, "/solve", dict(SOLVE))
+        assert headers["X-Repro-Cache"] == "miss"  # genuinely flushed
+
+    def test_cancel_running_job_is_cooperative(self, server):
+        status, _, body = _post(
+            server,
+            "/jobs",
+            {
+                "endpoint": "solve",
+                "request": {**SOLVE, "tasks": 14},
+            },
+        )
+        job_id = json.loads(body)["id"]
+        status, _, body = _post(server, f"/jobs/{job_id}/cancel")
+        assert status == 200
+        doc = json.loads(body)
+        # the job either died in the queue or carries the cancel flag
+        assert doc["status"] == "cancelled" or doc["cancel_requested"]
+
+    def test_response_key_matches_canonical_hash(self, server):
+        """The advertised content address is reproducible client-side."""
+        from repro.chains import make_chain
+        from repro.core.solver import canonical_algorithm
+        from repro.platforms import get_platform
+
+        _, headers, _ = _post(server, "/solve", dict(SOLVE))
+        expected = canonical_hash(
+            [
+                "solve",
+                {
+                    "platform": get_platform("hera"),
+                    "chain": make_chain("uniform", 12),
+                    "algorithm": canonical_algorithm("admv_star"),
+                },
+            ]
+        )
+        assert headers["X-Repro-Key"] == expected
