@@ -14,7 +14,11 @@ simulator).  This bench pins the cost of that plumbing:
   keeps the batched-vs-scalar floor the kernel has always promised;
 * the fully *enabled* path (live registry + tracer) is measured and
   reported alongside, un-gated: turning profiling on is allowed to
-  cost, silently slowing every run is not.
+  cost, silently slowing every run is not;
+* **events (PR 9)** — the disabled event-bus primitives (ambient
+  lookup, no-op emit) join the same < 2% hook-budget gate, and the
+  *enabled* bus throughput (emits/s into a live ring, including the
+  ``mc.round``-shaped payload) is reported in ``BENCH_obs.json``.
 
 Writes ``results/BENCH_obs.json`` (the CI bench job copies it to the
 repo root with the other ``BENCH_*.json`` trajectories) plus a
@@ -31,7 +35,15 @@ import pytest
 from bench_common import save_result
 from repro.chains import TaskChain
 from repro.core import optimize
-from repro.obs import MetricsRegistry, Tracer, instrument, metrics, span
+from repro.obs import (
+    EventBus,
+    MetricsRegistry,
+    Tracer,
+    events,
+    instrument,
+    metrics,
+    span,
+)
 from repro.platforms import Platform
 from repro.simulation import run_monte_carlo, simulate_batch
 
@@ -79,6 +91,8 @@ def test_disabled_instrumentation_is_near_free(benchmark, schedule, results_dir)
     # -- primitive costs on the disabled ambient path ------------------
     reg = metrics()
     assert not reg.enabled  # benches run with collection off
+    bus = events()
+    assert not bus.enabled  # the ambient bus is the no-op singleton here
     primitives = {
         "ambient_lookup": _ns_per_op(metrics),
         "counter_inc": _ns_per_op(lambda: metrics().counter("bench.c").inc()),
@@ -86,8 +100,22 @@ def test_disabled_instrumentation_is_near_free(benchmark, schedule, results_dir)
             lambda: metrics().timer("bench.t").observe(1.0)
         ),
         "span_enter_exit": _ns_per_op(_null_span_op),
+        "events_lookup": _ns_per_op(events),
+        "event_emit_noop": _ns_per_op(
+            lambda: events().emit("bench.tick", reps=RUNS, mean=1.0)
+        ),
     }
     worst_ns = max(primitives.values())
+
+    # -- enabled bus throughput (reported, un-gated) -------------------
+    live = EventBus(capacity=4096)
+    emit_ns = _ns_per_op(
+        lambda: live.emit(
+            "mc.round", total_reps=RUNS, mean=1.0, relative_half_width=0.01
+        ),
+        n=50_000,
+    )
+    events_per_s = 1e9 / emit_ns
 
     # -- campaign wall times: disabled / enabled / scalar oracle -------
     simulate_batch(CHAIN, HOT, schedule, 100, seed=3)  # warm the dispatch
@@ -144,6 +172,8 @@ def test_disabled_instrumentation_is_near_free(benchmark, schedule, results_dir)
         "speedup_vs_scalar": speedup,
         "disabled_overhead_bound": disabled_overhead,
         "enabled_overhead": enabled_overhead,
+        "event_emit_ns": emit_ns,
+        "events_per_s": events_per_s,
     }
     (results_dir / "BENCH_obs.json").write_text(json.dumps(doc, indent=2) + "\n")
 
@@ -156,6 +186,8 @@ def test_disabled_instrumentation_is_near_free(benchmark, schedule, results_dir)
         f"({enabled_overhead:+.1%} when collecting)",
         f"  disabled hook budget: {disabled_overhead:.4%} of campaign "
         f"(gate < {MAX_DISABLED_OVERHEAD:.0%})",
+        f"  enabled event bus: {emit_ns:.0f}ns/emit "
+        f"({events_per_s:,.0f} events/s into a live ring)",
         f"  batched vs scalar: {speedup:.1f}x (gate >= {MIN_SPEEDUP:.0f}x)",
     ]
     text = "\n".join(lines)

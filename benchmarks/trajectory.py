@@ -1,0 +1,91 @@
+"""Trajectory completeness check: every bench emitter has a seeded root file.
+
+The CI bench job copies each ``results/BENCH_*.json`` to the repo root
+and commits it on main, building a performance trajectory across PRs.
+That persistence is only useful if the set of root files tracks the set
+of emitters — a bench added without a seeded root file leaves a hole in
+the trajectory until the next main push, and a root file whose schema
+drifts breaks every downstream comparison silently.
+
+This module pins both invariants and runs two ways::
+
+    python benchmarks/trajectory.py        # standalone, exit code 0/1
+    pytest benchmarks/trajectory.py        # collected as a test
+
+The emitter list is discovered, not hard-coded: any ``bench_*.py`` that
+mentions ``BENCH_<name>.json`` in a write call is expected to have a
+repo-root counterpart.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import sys
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parent
+REPO_ROOT = BENCH_DIR.parent
+
+#: ``(results_dir / "BENCH_x.json").write_text(...)`` — the emission idiom
+#: shared by every bench module.
+_EMIT_RE = re.compile(r"results_dir\s*/\s*\"(BENCH_\w+\.json)\"")
+
+#: Keys every trajectory document must carry: ``bench`` names the lane.
+REQUIRED_KEYS = ("bench",)
+
+
+def discover_emitters() -> dict[str, Path]:
+    """Map each emitted ``BENCH_*.json`` name to the bench that writes it."""
+    emitters: dict[str, Path] = {}
+    for bench in sorted(BENCH_DIR.glob("bench_*.py")):
+        for name in _EMIT_RE.findall(bench.read_text()):
+            emitters[name] = bench
+    return emitters
+
+
+def check_trajectory() -> list[str]:
+    """Return a list of problems (empty means the trajectory is whole)."""
+    problems: list[str] = []
+    emitters = discover_emitters()
+    if not emitters:
+        return ["no bench emitters discovered (regex drift?)"]
+    for name, bench in sorted(emitters.items()):
+        root_file = REPO_ROOT / name
+        if not root_file.exists():
+            problems.append(
+                f"{name}: emitted by {bench.name} but missing at repo root"
+            )
+            continue
+        try:
+            doc = json.loads(root_file.read_text())
+        except json.JSONDecodeError as exc:
+            problems.append(f"{name}: unparseable JSON ({exc})")
+            continue
+        if not isinstance(doc, dict):
+            problems.append(f"{name}: top level must be an object")
+            continue
+        for key in REQUIRED_KEYS:
+            if key not in doc:
+                problems.append(f"{name}: missing required key {key!r}")
+    return problems
+
+
+def test_every_emitter_has_a_seeded_root_trajectory_file() -> None:
+    problems = check_trajectory()
+    assert not problems, "\n".join(problems)
+
+
+def main() -> int:
+    problems = check_trajectory()
+    emitters = discover_emitters()
+    if problems:
+        for p in problems:
+            print(f"FAIL {p}", file=sys.stderr)
+        return 1
+    print(f"trajectory complete: {len(emitters)} lanes seeded at repo root")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

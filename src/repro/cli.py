@@ -79,6 +79,17 @@ def _add_obs_args(p: argparse.ArgumentParser) -> None:
         metavar="LEVEL",
         help="enable repro.* logging at this level (debug, info, ...)",
     )
+    g.add_argument(
+        "--progress",
+        action="store_true",
+        help="live progress lines on stderr (rounds, reps/s, ETA)",
+    )
+    g.add_argument(
+        "--events-out",
+        default=None,
+        metavar="FILE",
+        help="append every progress event as one JSON line here",
+    )
 
 
 def _add_instance_args(p: argparse.ArgumentParser) -> None:
@@ -1135,14 +1146,44 @@ def _cmd_report(args) -> str:
     return text
 
 
+def _progress_line(event) -> str:
+    """One human line per progress event, ETA-aware for ``mc.round``."""
+    data = dict(event.data)
+    if event.kind == "mc.round":
+        bits = [
+            f"mc.round {data.get('index', '?')}",
+            f"reps={data.get('total_reps')}",
+        ]
+        rel = data.get("relative_half_width")
+        if rel is not None:
+            bits.append(f"rel_hw={rel:.4g}")
+        if data.get("target") is not None:
+            bits.append(f"target={data['target']:.4g}")
+        rate = data.get("reps_per_s")
+        if rate:
+            bits.append(f"reps/s={rate:,.0f}")
+        eta = data.get("eta_s")
+        if eta is not None:
+            bits.append(f"eta={eta:.1f}s")
+        return " ".join(bits)
+    pairs = " ".join(
+        f"{k}={v:.6g}" if isinstance(v, float) else f"{k}={v}"
+        for k, v in data.items()
+    )
+    return f"{event.kind} {pairs}".strip()
+
+
 def _run_instrumented(handler, args, command: str) -> str:
-    """Run one subcommand under a live registry + tracer and render the
-    requested exports (``--profile`` report, ``--profile-out`` JSON,
-    ``--trace-out`` Chrome trace)."""
+    """Run one subcommand under a live registry + tracer + event bus and
+    render the requested exports (``--profile`` report, ``--profile-out``
+    JSON, ``--trace-out`` Chrome trace, ``--progress`` stderr lines,
+    ``--events-out`` JSONL)."""
     from time import perf_counter
 
     from .obs import (
+        EventBus,
         MetricsRegistry,
+        ProgressRenderer,
         Tracer,
         build_profile,
         instrument,
@@ -1153,9 +1194,39 @@ def _run_instrumented(handler, args, command: str) -> str:
 
     registry = MetricsRegistry()
     tracer = Tracer()
+
+    renderer = (
+        ProgressRenderer() if getattr(args, "progress", False) else None
+    )
+    events_path = getattr(args, "events_out", None)
+    events_file = open(events_path, "a") if events_path else None
+
+    def on_event(event) -> None:
+        if events_file is not None:
+            events_file.write(
+                json.dumps(event.as_dict(), separators=(",", ":"))
+                + "\n"
+            )
+            events_file.flush()
+        if renderer is not None:
+            renderer.update(_progress_line(event))
+
+    bus = (
+        EventBus(on_emit=on_event)
+        if (renderer is not None or events_file is not None)
+        else None
+    )
     t0 = perf_counter()
-    with instrument(registry, tracer), span(f"repro.{command}"):
-        out = handler(args)
+    try:
+        with instrument(registry, tracer, events=bus), span(
+            f"repro.{command}"
+        ):
+            out = handler(args)
+    finally:
+        if renderer is not None:
+            renderer.finish()
+        if events_file is not None:
+            events_file.close()
     wall = perf_counter() - t0
     profile = build_profile(
         registry.snapshot(), tracer, command=command, wall_s=wall
@@ -1202,6 +1273,8 @@ def main(argv: list[str] | None = None) -> int:
         getattr(args, "profile", False)
         or getattr(args, "profile_out", None)
         or getattr(args, "trace_out", None)
+        or getattr(args, "progress", False)
+        or getattr(args, "events_out", None)
     )
     try:
         if observing:

@@ -55,6 +55,7 @@ from ..core.costs import CostProfile
 from ..core.schedule import Action, Schedule
 from ..core.solver import optimize
 from ..obs import MetricsRegistry, MetricsSnapshot, get_logger
+from ..obs import events as _ambient_events
 from ..obs import metrics as _ambient_metrics
 from ..obs import span as _span
 from ..simulation.parallel import ParallelPlan, WorkerPlan
@@ -628,6 +629,7 @@ def _parallel_climb(
     reinsert_cap, reassign_cap = _neighbor_caps(len(state.order))
     c_proposed = objective.metrics.counter("search.moves.proposed")
     c_accepted = objective.metrics.counter("search.moves.accepted")
+    bus = _ambient_events()
     rounds = 0
     while rounds < max_rounds:
         rounds += 1
@@ -646,6 +648,8 @@ def _parallel_climb(
             break
         best, best_value = round_best, round_value
         c_accepted.inc()
+        if bus.enabled:
+            bus.emit("search.round", round=rounds, value=best_value)
     return best, best_value, rounds
 
 
@@ -662,8 +666,9 @@ def _parallel_anneal(
     temperature = max(current_value * 0.02, 1e-9)
     c_proposed = objective.metrics.counter("search.moves.proposed")
     c_accepted = objective.metrics.counter("search.moves.accepted")
+    bus = _ambient_events()
     accepted = 0
-    for _ in range(max(0, iterations)):
+    for it in range(max(0, iterations)):
         picked = random_parallel_neighbor(current, rng)
         if picked is None:
             break
@@ -677,6 +682,13 @@ def _parallel_anneal(
             c_accepted.inc()
             if _improves(current_value, best_value):
                 best, best_value = current, current_value
+                if bus.enabled:
+                    bus.emit(
+                        "search.best",
+                        iteration=it,
+                        value=best_value,
+                        accepted=accepted,
+                    )
         temperature *= 0.99
     return best, best_value, accepted
 
@@ -715,15 +727,28 @@ def _parallel_climb_worker(payload: tuple):
     state = ParallelSchedule(
         dag, processors, order, assignment, _validate=False
     )
-    best, value, rounds = _climb_state(
-        objective,
-        method,
-        state,
-        np.random.default_rng(climb_seed),
-        iterations=iterations,
-        max_rounds=max_rounds,
+    from ..obs import NULL_REGISTRY, EventBus, instrument
+
+    bus = EventBus()
+    # counters live on the objective's own registry; the ambient scope
+    # only carries the event bus home
+    with instrument(NULL_REGISTRY, events=bus):
+        best, value, rounds = _climb_state(
+            objective,
+            method,
+            state,
+            np.random.default_rng(climb_seed),
+            iterations=iterations,
+            max_rounds=max_rounds,
+        )
+    return (
+        best.order,
+        best.assignment,
+        value,
+        rounds,
+        objective.metrics.snapshot(),
+        bus.snapshot(),
     )
-    return best.order, best.assignment, value, rounds, objective.metrics.snapshot()
 
 
 # ----------------------------------------------------------------------
@@ -976,14 +1001,17 @@ def search_parallel(
         with _span(
             "search.pool", n_jobs=min(n_jobs, len(starts)), starts=len(starts)
         ), ProcessPoolExecutor(max_workers=min(n_jobs, len(starts))) as pool:
-            for (label, _), (order, assignment, value, rounds, shard) in zip(
-                starts, pool.map(_parallel_climb_worker, payloads)
-            ):
+            bus = _ambient_events()
+            for (
+                (label, _),
+                (order, assignment, value, rounds, shard, eshard),
+            ) in zip(starts, pool.map(_parallel_climb_worker, payloads)):
                 state = ParallelSchedule(
                     dag, processors, order, assignment, _validate=False
                 )
                 results.append((label, state, value, rounds))
                 shard_snapshots.append(shard)
+                bus.replay(eshard)
     else:
         for (label, state), climb_seed in zip(starts, climb_seeds):
             with _span("search.start", label=label) as sp:
@@ -1002,9 +1030,14 @@ def search_parallel(
     best_value = math.inf
     rounds_total = 0
     start_values: dict[str, float] = {}
+    bus = _ambient_events()
     for label, state, value, rounds in results:
         start_values[label] = value
         rounds_total += rounds
+        if bus.enabled:
+            bus.emit(
+                "search.climb", label=label, value=value, rounds=rounds
+            )
         if best_state is None or _improves(value, best_value):
             best_state, best_value = state, value
     assert best_state is not None

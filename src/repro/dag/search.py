@@ -99,6 +99,7 @@ from ..core.schedule import Schedule
 from ..core.solver import optimize
 from ..exceptions import InvalidParameterError
 from ..obs import MetricsRegistry, MetricsSnapshot, get_logger
+from ..obs import events as _ambient_events
 from ..obs import metrics as _ambient_metrics
 from ..obs import span as _span
 from ..platforms import Platform
@@ -525,6 +526,7 @@ def hill_climb(
         max_reinsertions = max(16, 2 * dag.n)
     c_proposed = objective.metrics.counter("search.moves.proposed")
     c_accepted = objective.metrics.counter("search.moves.accepted")
+    bus = _ambient_events()
     rounds = 0
     for _ in range(max_rounds):
         scored = sorted(
@@ -557,6 +559,13 @@ def hill_climb(
             return order, solution, rounds
         c_accepted.inc()
         rounds += 1
+        if bus.enabled:
+            bus.emit(
+                "search.round",
+                round=rounds,
+                value=solution.expected_time,
+                proposed=len(scored),
+            )
     return order, solution, rounds
 
 
@@ -588,8 +597,9 @@ def simulated_annealing(
     )
     c_proposed = objective.metrics.counter("search.moves.proposed")
     c_accepted = objective.metrics.counter("search.moves.accepted")
+    bus = _ambient_events()
     accepted = 0
-    for _ in range(iterations):
+    for it in range(iterations):
         neighbor = random_neighbor(dag, order, rng)
         if neighbor is None:  # rigid DAG (a chain): nothing to explore
             break
@@ -606,6 +616,13 @@ def simulated_annealing(
             c_accepted.inc()
             if _improves(solution.expected_time, best_solution.expected_time):
                 best_order, best_solution = order, solution
+                if bus.enabled:
+                    bus.emit(
+                        "search.best",
+                        iteration=it,
+                        value=best_solution.expected_time,
+                        accepted=accepted,
+                    )
         temperature *= cooling
     return best_order, best_solution, accepted
 
@@ -951,18 +968,24 @@ def _climb_worker(payload: tuple):
         max_rounds,
         polish_budget,
     ) = payload
+    from ..obs import NULL_REGISTRY, EventBus, instrument
+
     objective = ChainObjective(dag, platform, algorithm=algorithm)
-    order, solution, rounds = _climb(
-        dag,
-        objective,
-        method,
-        start,
-        np.random.default_rng(seed_seq),
-        iterations=iterations,
-        max_rounds=max_rounds,
-        polish_budget=polish_budget,
-    )
-    return order, solution, rounds, objective.metrics.snapshot()
+    bus = EventBus()
+    # the climb's counters live on the objective's own registry; the
+    # ambient scope only carries the event bus home
+    with instrument(NULL_REGISTRY, events=bus):
+        order, solution, rounds = _climb(
+            dag,
+            objective,
+            method,
+            start,
+            np.random.default_rng(seed_seq),
+            iterations=iterations,
+            max_rounds=max_rounds,
+            polish_budget=polish_budget,
+        )
+    return order, solution, rounds, objective.metrics.snapshot(), bus.snapshot()
 
 
 def uses_join_objective(dag: WorkflowDAG) -> bool:
@@ -1043,6 +1066,10 @@ def _search_join_order(
                     objective, start, max_rounds=max_rounds
                 )
             sp.set(rounds=rounds, value=value)
+        if _ambient_events().enabled:
+            _ambient_events().emit(
+                "search.climb", label=label, value=value, rounds=rounds
+            )
         start_values[label] = value
         rounds_total += rounds
         if best_schedule is None or _improves(value, best_value):
@@ -1272,11 +1299,13 @@ def search_order(
         with _span(
             "search.pool", n_jobs=min(n_jobs, len(starts)), starts=len(starts)
         ), ProcessPoolExecutor(max_workers=min(n_jobs, len(starts))) as pool:
-            for (label, _), (order, solution, rounds, shard) in zip(
+            bus = _ambient_events()
+            for (label, _), (order, solution, rounds, shard, eshard) in zip(
                 starts, pool.map(_climb_worker, payloads)
             ):
                 results.append((label, order, solution, rounds))
                 shard_snapshots.append(shard)
+                bus.replay(eshard)
     else:
         for (label, start), climb_seed in zip(starts, climb_seeds):
             with _span("search.start", label=label) as sp:
@@ -1295,9 +1324,17 @@ def search_order(
     best_solution: Solution | None = None
     rounds_total = 0
     start_values: dict[str, float] = {}
+    bus = _ambient_events()
     for label, order, solution, rounds in results:
         start_values[label] = solution.expected_time
         rounds_total += rounds
+        if bus.enabled:
+            bus.emit(
+                "search.climb",
+                label=label,
+                value=solution.expected_time,
+                rounds=rounds,
+            )
         if best_solution is None or _improves(
             solution.expected_time, best_solution.expected_time
         ):

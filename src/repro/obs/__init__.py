@@ -43,8 +43,21 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass
 
-from .log import configure_logging, get_logger
+from .events import (
+    DEFAULT_EVENT_CAPACITY,
+    EMPTY_EVENTS,
+    NULL_EVENTS,
+    Event,
+    EventBus,
+    EventPage,
+    EventsSnapshot,
+    NullEventBus,
+    TaggedBus,
+    estimate_eta,
+)
+from .log import ProgressRenderer, configure_logging, get_logger
 from .profile import build_profile, render_profile, write_profile
+from .prometheus import render_prometheus
 from .registry import (
     DEFAULT_BUCKETS,
     EMPTY_SNAPSHOT,
@@ -76,26 +89,41 @@ __all__ = [
     "DEFAULT_BUCKETS",
     "SpanEvent",
     "Tracer",
+    "Event",
+    "EventPage",
+    "EventsSnapshot",
+    "EventBus",
+    "TaggedBus",
+    "NullEventBus",
+    "NULL_EVENTS",
+    "EMPTY_EVENTS",
+    "DEFAULT_EVENT_CAPACITY",
+    "estimate_eta",
+    "render_prometheus",
     "Instrumentation",
     "instrument",
     "metrics",
     "tracer",
     "span",
     "instant",
+    "events",
+    "emit",
     "build_profile",
     "render_profile",
     "write_profile",
     "configure_logging",
     "get_logger",
+    "ProgressRenderer",
 ]
 
 
 @dataclass(frozen=True)
 class Instrumentation:
-    """One scope's collection state: a registry plus an optional tracer."""
+    """One scope's collection state: registry, optional tracer, event bus."""
 
     registry: MetricsRegistry
     tracer: Tracer | None = None
+    events: EventBus = NULL_EVENTS
 
 
 #: Ambient instrumentation (thread-local).  Swapped by :func:`instrument`.
@@ -115,6 +143,16 @@ def metrics() -> MetricsRegistry:
 def tracer() -> Tracer | None:
     """The ambient tracer, or ``None`` when tracing is off."""
     return _ambient().tracer
+
+
+def events() -> EventBus:
+    """The ambient event bus (:data:`NULL_EVENTS` when disabled)."""
+    return _ambient().events
+
+
+def emit(kind: str, **data):
+    """Emit a progress event on the ambient bus (no-op when disabled)."""
+    return _ambient().events.emit(kind, **data)
 
 
 class _NullSpanContext:
@@ -167,6 +205,7 @@ class _InstrumentScope:
 def instrument(
     registry: MetricsRegistry | None = None,
     trace: Tracer | None = None,
+    events: "EventBus | None" = None,
 ) -> _InstrumentScope:
     """Activate collection for a scope::
 
@@ -174,12 +213,15 @@ def instrument(
             ...
         snapshot = inst.registry.snapshot()
 
-    Scopes nest; the prior ambient state is restored on exit even when
-    the body raises.
+    ``events`` optionally attaches a live :class:`EventBus` (or a
+    :class:`TaggedBus` view) for the scope; when omitted the bus stays
+    the shared no-op.  Scopes nest; the prior ambient state is restored
+    on exit even when the body raises.
     """
     return _InstrumentScope(
         Instrumentation(
             registry=registry if registry is not None else MetricsRegistry(),
             tracer=trace,
+            events=events if events is not None else NULL_EVENTS,
         )
     )

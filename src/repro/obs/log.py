@@ -23,8 +23,14 @@ from __future__ import annotations
 
 import logging
 import sys
+import threading
 
-__all__ = ["get_logger", "configure_logging", "KeyValueFormatter"]
+__all__ = [
+    "get_logger",
+    "configure_logging",
+    "KeyValueFormatter",
+    "ProgressRenderer",
+]
 
 ROOT_LOGGER = "repro"
 
@@ -54,6 +60,59 @@ class KeyValueFormatter(logging.Formatter):
         if record.exc_info:
             line = f"{line}\n{self.formatException(record.exc_info)}"
         return line
+
+
+class ProgressRenderer:
+    """Live ``--progress`` lines that coexist with ``--log-level`` output.
+
+    Every progress line goes through the same :class:`KeyValueFormatter`
+    the CLI's stderr handler uses, so progress output is structurally
+    identical to log records.  On a TTY the current line is redrawn in
+    place (carriage return + ANSI erase-line, no newline) and
+    :meth:`finish` seals the final state with one newline; when stderr
+    is *not* a TTY (piped logs, CI) the renderer falls back to plain
+    newline-terminated records — no ``\\r`` bytes ever reach a pipe, so
+    ``--progress`` and ``--log-level info`` interleave as whole lines
+    instead of corrupting each other mid-line.
+    """
+
+    def __init__(self, stream=None, *, logger_name: str = "repro.progress"):
+        self._stream = stream if stream is not None else sys.stderr
+        self._tty = bool(getattr(self._stream, "isatty", lambda: False)())
+        self._formatter = KeyValueFormatter()
+        self._logger_name = logger_name
+        self._open = False
+        self._lock = threading.Lock()
+
+    def _format(self, message: str) -> str:
+        record = logging.LogRecord(
+            name=self._logger_name,
+            level=logging.INFO,
+            pathname=__file__,
+            lineno=0,
+            msg=message,
+            args=(),
+            exc_info=None,
+        )
+        return self._formatter.format(record)
+
+    def update(self, message: str) -> None:
+        line = self._format(message)
+        with self._lock:
+            if self._tty:
+                self._stream.write("\r\x1b[2K" + line)
+                self._open = True
+            else:
+                self._stream.write(line + "\n")
+            self._stream.flush()
+
+    def finish(self) -> None:
+        """Seal the in-place line with a newline (no-op off-TTY)."""
+        with self._lock:
+            if self._tty and self._open:
+                self._stream.write("\n")
+                self._stream.flush()
+                self._open = False
 
 
 def configure_logging(level: str | int, stream=None) -> logging.Logger:

@@ -1,0 +1,115 @@
+"""Prometheus text exposition (format 0.0.4) for metrics snapshots.
+
+``GET /metrics?format=prometheus`` renders the engine's merged
+:class:`~repro.obs.registry.MetricsSnapshot` — plus any service-level
+counters/gauges the caller folds in — as the plain-text scrape format:
+
+- counters    -> ``repro_<name>_total`` (TYPE counter)
+- gauges      -> ``repro_<name>`` (TYPE gauge)
+- timers      -> ``repro_<name>_seconds`` as a summary-shaped pair
+  (``_count`` / ``_sum``) with ``_min`` / ``_max`` gauges alongside
+  (Prometheus has no native min/max fold, ours is exact);
+- histograms  -> ``repro_<name>`` (TYPE histogram) with cumulative
+  ``_bucket{le="..."}`` lines, the ``+Inf`` bucket, ``_sum`` and
+  ``_count``.
+
+Metric names are sanitized to ``[a-zA-Z_:][a-zA-Z0-9_:]*`` (dots become
+underscores); values render via ``repr``-exact floats so a scrape is
+lossless.  The output parses under the strict line-format check in
+``tests/test_service.py``.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+from .registry import MetricsSnapshot
+
+__all__ = ["render_prometheus", "PROMETHEUS_CONTENT_TYPE"]
+
+#: The content type Prometheus scrapers expect for text exposition.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _name(raw: str, prefix: str = "repro_") -> str:
+    name = _NAME_OK.sub("_", prefix + raw)
+    if not re.match(r"[a-zA-Z_:]", name[0]):
+        name = "_" + name
+    return name
+
+
+def _value(v: float) -> str:
+    if isinstance(v, bool):  # bools are ints in python; be explicit
+        return "1" if v else "0"
+    if isinstance(v, int):
+        return str(v)
+    f = float(v)
+    if math.isnan(f):
+        return "NaN"
+    if math.isinf(f):
+        return "+Inf" if f > 0 else "-Inf"
+    return repr(f)
+
+
+def _bound(b: float) -> str:
+    """The ``le`` label value for a bucket upper bound."""
+    if math.isinf(b):
+        return "+Inf"
+    return repr(float(b))
+
+
+def render_prometheus(
+    snapshot: MetricsSnapshot,
+    *,
+    extra_counters: "dict[str, int] | None" = None,
+    extra_gauges: "dict[str, float] | None" = None,
+) -> str:
+    """Render a snapshot (plus optional service-level series) as
+    Prometheus text exposition, terminated by a newline."""
+    lines: list[str] = []
+
+    counters = dict(snapshot.counters)
+    for key in sorted(extra_counters or {}):
+        counters.setdefault(key, int((extra_counters or {})[key]))
+    for key in sorted(counters):
+        name = _name(key) + "_total"
+        lines.append(f"# TYPE {name} counter")
+        lines.append(f"{name} {_value(int(counters[key]))}")
+
+    gauges = dict(snapshot.gauges)
+    for key in sorted(extra_gauges or {}):
+        gauges.setdefault(key, float((extra_gauges or {})[key]))
+    for key in sorted(gauges):
+        name = _name(key)
+        lines.append(f"# TYPE {name} gauge")
+        lines.append(f"{name} {_value(float(gauges[key]))}")
+
+    for key in sorted(snapshot.timers):
+        snap = snapshot.timers[key]
+        name = _name(key) + "_seconds"
+        lines.append(f"# TYPE {name} summary")
+        lines.append(f"{name}_count {snap.count}")
+        lines.append(f"{name}_sum {_value(snap.total)}")
+        lines.append(f"# TYPE {name}_min gauge")
+        lines.append(f"{name}_min {_value(snap.min if snap.count else 0.0)}")
+        lines.append(f"# TYPE {name}_max gauge")
+        lines.append(f"{name}_max {_value(snap.max)}")
+
+    for key in sorted(snapshot.histograms):
+        snap = snapshot.histograms[key]
+        name = _name(key)
+        lines.append(f"# TYPE {name} histogram")
+        cumulative = 0
+        for bound, count in zip(snap.bounds, snap.counts):
+            cumulative += count
+            lines.append(
+                f'{name}_bucket{{le="{_bound(bound)}"}} {cumulative}'
+            )
+        lines.append(f'{name}_bucket{{le="+Inf"}} {snap.count}')
+        lines.append(f"{name}_sum {_value(snap.total)}")
+        lines.append(f"{name}_count {snap.count}")
+
+    return "\n".join(lines) + "\n"

@@ -36,12 +36,16 @@ from ..core import Schedule, evaluate_schedule, optimize
 from ..core.solver import canonical_algorithm
 from ..exceptions import InvalidParameterError
 from ..obs import (
+    DEFAULT_EVENT_CAPACITY,
+    EventBus,
     MetricsRegistry,
     MetricsSnapshot,
+    TaggedBus,
     Tracer,
     build_profile,
     get_logger,
     instrument,
+    render_prometheus,
     span,
 )
 from ..platforms import TABLE1_ROWS, Platform, get_platform
@@ -148,10 +152,22 @@ _DAG_FIELDS = (
 class Engine:
     """Session-spanning solver/simulator with content-addressed caching."""
 
-    def __init__(self, *, cache_entries: int = 256) -> None:
+    def __init__(
+        self,
+        *,
+        cache_entries: int = 256,
+        event_capacity: int = DEFAULT_EVENT_CAPACITY,
+    ) -> None:
         self.cache = ContentCache(cache_entries)
+        #: Engine-wide progress stream: every request/job session forwards
+        #: its events here (tagged with endpoint / job id); ``GET /events``
+        #: serves this bus as SSE.
+        self.events = EventBus(capacity=event_capacity)
         self._lock = threading.Lock()
         self._cumulative = MetricsSnapshot()
+        # service-level series (request wall-time distribution) recorded
+        # outside any per-request scope; folded into every metrics view
+        self._service = MetricsRegistry()
         self._requests: dict[str, int] = {}
         self._cache_hits: dict[str, int] = {}
         self._handlers: dict[str, Callable[[dict], dict]] = {
@@ -167,6 +183,7 @@ class Engine:
         request: dict,
         *,
         collect_trace: bool = False,
+        events: "EventBus | TaggedBus | None" = None,
     ) -> EngineResponse:
         """Execute one endpoint request (cache-aware).
 
@@ -195,17 +212,25 @@ class Engine:
                     self._cache_hits.get(endpoint, 0) + 1
                 )
         if cached is not None:
+            wall = perf_counter() - t0
+            with self._lock:
+                self._service.histogram("service.request.wall_s").observe(wall)
             return EngineResponse(
                 body=cached,
                 cache="hit",
                 key=key,
                 endpoint=endpoint,
-                wall_s=perf_counter() - t0,
+                wall_s=wall,
             )
 
         registry = MetricsRegistry()
         tracer = Tracer()
-        with instrument(registry, tracer), span(
+        bus = (
+            events
+            if events is not None
+            else TaggedBus(self.events, endpoint=endpoint)
+        )
+        with instrument(registry, tracer, events=bus), span(
             f"service.{endpoint}", key=key[:12]
         ):
             doc = handler(request)
@@ -217,6 +242,7 @@ class Engine:
         self.cache.put(("response", key), body)
         snapshot = registry.snapshot()
         with self._lock:
+            self._service.histogram("service.request.wall_s").observe(wall)
             self._cumulative = self._cumulative.merge(snapshot)
         profile = build_profile(
             snapshot, tracer, command=f"service.{endpoint}", wall_s=wall
@@ -448,11 +474,11 @@ class Engine:
 
     def metrics_snapshot(self) -> MetricsSnapshot:
         with self._lock:
-            return self._cumulative
+            return self._cumulative.merge(self._service.snapshot())
 
     def metrics_document(self, *, jobs: dict | None = None) -> dict:
         with self._lock:
-            snapshot = self._cumulative
+            snapshot = self._cumulative.merge(self._service.snapshot())
             requests = dict(self._requests)
             cache_hits = dict(self._cache_hits)
         doc = {
@@ -471,6 +497,41 @@ class Engine:
         if jobs is not None:
             doc["jobs"] = jobs
         return doc
+
+    def metrics_prometheus(self, *, jobs: dict | None = None) -> str:
+        """``GET /metrics?format=prometheus``: the merged snapshot plus
+        service-level request/cache/job series as text exposition 0.0.4."""
+        with self._lock:
+            snapshot = self._cumulative.merge(self._service.snapshot())
+            requests = dict(self._requests)
+            cache_hits = dict(self._cache_hits)
+        extra_counters: dict[str, int] = {
+            "service.requests": sum(requests.values()),
+        }
+        for endpoint, count in requests.items():
+            extra_counters[f"service.requests.{endpoint}"] = count
+        for endpoint, count in cache_hits.items():
+            extra_counters[f"service.cache_hits.{endpoint}"] = count
+        extra_gauges: dict[str, float] = {}
+        cache_stats = self.cache.stats()
+        for key, value in cache_stats.items():
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                extra_gauges[f"service.cache.{key}"] = float(value)
+        if jobs is not None:
+            for key, value in jobs.items():
+                if key == "by_status":
+                    for status, count in value.items():
+                        extra_gauges[f"service.jobs.{status}"] = float(count)
+                elif isinstance(value, (int, float)) and not isinstance(
+                    value, bool
+                ):
+                    extra_gauges[f"service.jobs.{key}"] = float(value)
+        extra_gauges["service.events.last_seq"] = float(self.events.last_seq)
+        return render_prometheus(
+            snapshot,
+            extra_counters=extra_counters,
+            extra_gauges=extra_gauges,
+        )
 
     def platforms_document(self) -> list[dict]:
         return [p.as_dict() for p in TABLE1_ROWS]

@@ -21,24 +21,45 @@ Routes (see ``docs/API.md`` for the full reference)::
     GET  /jobs/<id>/result     the finished payload (409 until done)
     GET  /jobs/<id>/profile    the job's per-run profile document
     GET  /jobs/<id>/trace      the job's Chrome trace-event timeline
+    GET  /jobs/<id>/events     live job progress as Server-Sent Events
+    GET  /events               engine-wide progress stream (SSE)
+
+``/metrics?format=prometheus`` renders text exposition 0.0.4 for
+scrapers; the JSON document stays the default.  Observability GETs are
+served with ``Cache-Control: no-store`` — they are live state, not
+cacheable artefacts (the artefacts live behind content addresses).
+
+SSE streams honour ``Last-Event-ID`` (or ``?after=<seq>``) for resume,
+send ``: heartbeat`` comments while idle (``?heartbeat_s=``), close
+after ``?limit=`` events or ``?timeout_s=`` seconds when asked, and
+signal bounded-ring truncation with an explicit ``event: truncated``
+frame instead of silently skipping.
 """
 
 from __future__ import annotations
 
 import json
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from time import monotonic
+from urllib.parse import parse_qs, urlsplit
 
 from ..api import SCHEMA_VERSION
 from ..exceptions import InvalidParameterError, ReproError
 from ..obs import get_logger
+from ..obs.prometheus import PROMETHEUS_CONTENT_TYPE
 from .engine import ENDPOINTS, Engine
-from .jobs import DONE, FAILED, JobQueue
+from .jobs import DONE, FAILED, TERMINAL, Job, JobQueue
 
 logger = get_logger(__name__)
 
 __all__ = ["ReproServer", "make_server", "serve"]
 
 _MAX_BODY_BYTES = 8 * 1024 * 1024
+
+#: Live-state headers for observability GETs: never cache, never stale.
+_NO_STORE = {"Cache-Control": "no-store"}
+
+_SSE_HEARTBEAT_S = 10.0
 
 
 class ReproServer(ThreadingHTTPServer):
@@ -70,9 +91,10 @@ class _Handler(BaseHTTPRequestHandler):
         body: bytes,
         *,
         headers: dict[str, str] | None = None,
+        content_type: str = "application/json",
     ) -> None:
         self.send_response(code)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         for name, value in (headers or {}).items():
             self.send_header(name, value)
@@ -127,7 +149,11 @@ class _Handler(BaseHTTPRequestHandler):
     # -- routing -------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
         try:
-            self._route_get(self.path.rstrip("/") or "/")
+            split = urlsplit(self.path)
+            query = {
+                k: v[-1] for k, v in parse_qs(split.query).items() if v
+            }
+            self._route_get(split.path.rstrip("/") or "/", query)
         except ReproError as exc:
             self._error(400, str(exc))
         except Exception as exc:  # noqa: BLE001 - keep the worker alive
@@ -143,29 +169,50 @@ class _Handler(BaseHTTPRequestHandler):
             logger.error("POST %s failed: %r", self.path, exc)
             self._error(500, f"{type(exc).__name__}: {exc}")
 
-    def _route_get(self, path: str) -> None:
+    def _route_get(self, path: str, query: dict[str, str]) -> None:
         server = self._server
         if path == "/healthz":
-            self._send_doc(200, {"ok": True, "schema_version": SCHEMA_VERSION})
+            self._send_doc(
+                200,
+                {"ok": True, "schema_version": SCHEMA_VERSION},
+                headers=_NO_STORE,
+            )
         elif path == "/platforms":
             self._send_doc(200, server.engine.platforms_document())
         elif path == "/metrics":
-            self._send_doc(
-                200,
-                server.engine.metrics_document(jobs=server.jobs.stats()),
-            )
+            if query.get("format") == "prometheus":
+                self._send(
+                    200,
+                    server.engine.metrics_prometheus(
+                        jobs=server.jobs.stats()
+                    ).encode("utf-8"),
+                    headers=_NO_STORE,
+                    content_type=PROMETHEUS_CONTENT_TYPE,
+                )
+            else:
+                self._send_doc(
+                    200,
+                    server.engine.metrics_document(jobs=server.jobs.stats()),
+                    headers=_NO_STORE,
+                )
         elif path == "/cache":
-            self._send_doc(200, server.engine.cache.stats())
+            self._send_doc(
+                200, server.engine.cache.stats(), headers=_NO_STORE
+            )
+        elif path == "/events":
+            self._stream_events(server.engine.events, query)
         elif path == "/jobs":
             self._send_doc(
-                200, [job.document() for job in server.jobs.list()]
+                200,
+                [job.document() for job in server.jobs.list()],
+                headers=_NO_STORE,
             )
         elif path.startswith("/jobs/"):
-            self._route_job_get(path)
+            self._route_job_get(path, query)
         else:
             self._error(404, f"no route for GET {path}")
 
-    def _route_job_get(self, path: str) -> None:
+    def _route_job_get(self, path: str, query: dict[str, str]) -> None:
         parts = path.split("/")[2:]  # ["<id>"] or ["<id>", view]
         job = self._server.jobs.get(parts[0])
         if job is None:
@@ -173,7 +220,12 @@ class _Handler(BaseHTTPRequestHandler):
             return
         view = parts[1] if len(parts) > 1 else None
         if view is None:
-            self._send_doc(200, job.document())
+            self._send_doc(200, job.document(), headers=_NO_STORE)
+        elif view == "events":
+            if job.events is None:
+                self._error(409, f"job {job.id} has no event stream")
+            else:
+                self._stream_events(job.events, query, job=job)
         elif view == "result":
             if job.status == FAILED:
                 self._error(409, f"job {job.id} failed: {job.error}")
@@ -208,6 +260,99 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send_doc(200, job.response.trace)
         else:
             self._error(404, f"no route for GET {path}")
+
+    # -- SSE streaming -------------------------------------------------
+    def _stream_events(
+        self,
+        bus,
+        query: dict[str, str],
+        *,
+        job: "Job | None" = None,
+    ) -> None:
+        """Serve an event bus as ``text/event-stream``.
+
+        Resume: ``Last-Event-ID`` header (standard EventSource reconnect)
+        or ``?after=<seq>``; sequence numbers are the SSE ids, so a
+        reconnecting client replays exactly what it missed.  When the
+        cursor has fallen off the bounded ring the gap is announced with
+        an ``event: truncated`` frame carrying the dropped count before
+        the surviving records flow.  Idle streams emit ``: heartbeat``
+        comments.  ``?limit=<n>`` closes after n events and
+        ``?timeout_s=<s>`` after a wall-clock budget (both for scripted
+        clients and tests); a job stream closes on its own once the job
+        is terminal and the ring is drained.
+        """
+        try:
+            after = int(
+                query.get("after")
+                or self.headers.get("Last-Event-ID")
+                or 0
+            )
+            limit = int(query["limit"]) if "limit" in query else None
+            timeout_s = (
+                float(query["timeout_s"]) if "timeout_s" in query else None
+            )
+            heartbeat_s = float(query.get("heartbeat_s", _SSE_HEARTBEAT_S))
+        except ValueError as exc:
+            raise InvalidParameterError(
+                f"bad event-stream parameter: {exc}"
+            ) from None
+        heartbeat_s = min(max(heartbeat_s, 0.05), 60.0)
+
+        self.send_response(200)
+        self.send_header("Content-Type", "text/event-stream")
+        self.send_header("Cache-Control", "no-store")
+        self.send_header("Connection", "close")
+        self.end_headers()
+        self.close_connection = True
+
+        t0 = monotonic()
+        cursor = max(0, after)
+        sent = 0
+        try:
+            while True:
+                wait = heartbeat_s
+                if timeout_s is not None:
+                    wait = min(wait, max(0.0, timeout_s - (monotonic() - t0)))
+                page = bus.poll(cursor, timeout=wait, limit=64)
+                if page.truncated:
+                    self._write_sse_frame(
+                        None,
+                        "truncated",
+                        {"missed": page.missed, "resume_after": cursor},
+                    )
+                for event in page.events:
+                    self._write_sse_frame(
+                        event.seq, event.kind, event.as_dict()
+                    )
+                    sent += 1
+                    if limit is not None and sent >= limit:
+                        return
+                cursor = page.cursor
+                if (
+                    job is not None
+                    and job.status in TERMINAL
+                    and bus.last_seq <= cursor
+                ):
+                    return
+                if not page.events:
+                    self.wfile.write(b": heartbeat\n\n")
+                    self.wfile.flush()
+                if timeout_s is not None and monotonic() - t0 >= timeout_s:
+                    return
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            pass  # client went away: a stream has no error channel
+
+    def _write_sse_frame(self, seq, kind: str, data: dict) -> None:
+        frame = []
+        if seq is not None:
+            frame.append(f"id: {seq}")
+        frame.append(f"event: {kind}")
+        frame.append(
+            "data: " + json.dumps(data, separators=(",", ":"), default=str)
+        )
+        self.wfile.write(("\n".join(frame) + "\n\n").encode("utf-8"))
+        self.wfile.flush()
 
     def _route_post(self, path: str) -> None:
         server = self._server

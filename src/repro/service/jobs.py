@@ -31,18 +31,27 @@ from time import perf_counter
 
 from ..api import SCHEMA_VERSION
 from ..exceptions import ReproError
-from ..obs import get_logger
+from ..obs import Event, EventBus, get_logger
 from .engine import Engine, EngineResponse
 
 logger = get_logger(__name__)
 
-__all__ = ["Job", "JobQueue"]
+__all__ = ["Job", "JobQueue", "TERMINAL"]
 
 QUEUED = "queued"
 RUNNING = "running"
 DONE = "done"
 FAILED = "failed"
 CANCELLED = "cancelled"
+
+TERMINAL = (DONE, FAILED, CANCELLED)
+
+#: Event kinds mirrored onto the job's ``progress`` field (the latest one
+#: wins) so ``GET /jobs/<id>`` shows where a running campaign stands
+#: without a stream subscription.
+_PROGRESS_KINDS = frozenset(
+    {"mc.round", "search.climb", "search.round", "search.best", "sim.chunk"}
+)
 
 
 @dataclass
@@ -57,6 +66,9 @@ class Job:
     error: str | None = None
     response: EngineResponse | None = field(default=None, repr=False)
     wall_s: float | None = None
+    events: EventBus | None = field(default=None, repr=False)
+    progress: dict | None = None
+    eta_s: float | None = None
 
     def document(self) -> dict:
         """The ``/jobs/<id>`` status view (never the result payload)."""
@@ -69,7 +81,11 @@ class Job:
             "cancel_requested": self.cancel_requested,
             "wall_s": self.wall_s,
             "error": self.error,
+            "progress": self.progress,
+            "eta_s": self.eta_s,
         }
+        if self.events is not None:
+            doc["events"] = {"last_seq": self.events.last_seq}
         if self.response is not None:
             doc["cache"] = self.response.cache
             doc["key"] = self.response.key
@@ -106,11 +122,30 @@ class JobQueue:
                 raise ReproError("job queue is shut down")
             self._serial += 1
             job = Job(id=f"job-{self._serial}", endpoint=endpoint, request=request)
+            job.events = EventBus(on_emit=self._forward_hook(job))
             self._jobs[job.id] = job
             self._queue.append(job)
             self._wakeup.notify()
+        job.events.emit("job.queued", endpoint=endpoint, key=key[:12])
         logger.info("queued %s -> /%s (%s)", job.id, endpoint, key[:12])
         return job
+
+    def _forward_hook(self, job: Job):
+        """Per-job ``on_emit``: mirror progress onto the job document and
+        forward every event (tagged with the job id) to the engine-wide
+        bus, so ``/jobs/<id>/events`` and ``/events`` share one feed."""
+
+        def hook(event: Event) -> None:
+            if event.kind in _PROGRESS_KINDS:
+                job.progress = {"kind": event.kind, **event.data}
+                eta = event.data.get("eta_s")
+                if eta is not None or event.kind == "mc.round":
+                    job.eta_s = eta
+            tagged = {"job": job.id, "endpoint": job.endpoint}
+            tagged.update(event.data)
+            self.engine.events.emit(event.kind, _ts=event.ts, **tagged)
+
+        return hook
 
     def get(self, job_id: str) -> Job | None:
         with self._lock:
@@ -134,6 +169,11 @@ class JobQueue:
                 except ValueError:
                     pass
                 job.status = CANCELLED
+        if job.events is not None:
+            if job.status == CANCELLED:
+                job.events.emit("job.cancelled")
+            else:
+                job.events.emit("job.cancel_requested", status=job.status)
         return job
 
     def stats(self) -> dict:
@@ -182,9 +222,14 @@ class JobQueue:
 
     def _execute(self, job: Job) -> None:
         t0 = perf_counter()
+        if job.events is not None:
+            job.events.emit("job.running", endpoint=job.endpoint)
         try:
             job.response = self.engine.handle(
-                job.endpoint, job.request, collect_trace=True
+                job.endpoint,
+                job.request,
+                collect_trace=True,
+                events=job.events,
             )
             job.status = DONE
         except ReproError as exc:
@@ -197,6 +242,17 @@ class JobQueue:
                 "job %s crashed:\n%s", job.id, traceback.format_exc()
             )
         job.wall_s = perf_counter() - t0
+        if job.events is not None:
+            if job.status == DONE:
+                job.events.emit(
+                    "job.done",
+                    wall_s=job.wall_s,
+                    cache=job.response.cache if job.response else None,
+                )
+            else:
+                job.events.emit(
+                    "job.failed", wall_s=job.wall_s, error=job.error
+                )
         logger.info("%s finished: %s (%.3fs)", job.id, job.status, job.wall_s)
 
     def _worker(self) -> None:

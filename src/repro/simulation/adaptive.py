@@ -34,12 +34,19 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from time import perf_counter
 
 import numpy as np
 
 from ..chains import TaskChain
 from ..exceptions import InvalidParameterError
-from ..obs import get_logger, metrics as _metrics, span as _span
+from ..obs import (
+    estimate_eta,
+    events as _events,
+    get_logger,
+    metrics as _metrics,
+    span as _span,
+)
 from ..platforms import Platform
 from ..core.costs import CostProfile
 from ..core.schedule import Schedule
@@ -269,22 +276,27 @@ def _chunk_stats_observed(
     """Worker entry point that ships its kernel metrics home.
 
     Worker processes inherit no ambient instrumentation, so the chunk
-    runs under a private registry whose snapshot rides back with the
-    stats for the parent to merge.
+    runs under a private registry and event bus whose snapshots ride
+    back with the stats for the parent to merge/replay.
     """
-    from ..obs import MetricsRegistry, instrument
+    from ..obs import EventBus, MetricsRegistry, instrument
 
     reg = MetricsRegistry()
-    with instrument(reg):
+    bus = EventBus()
+    with instrument(reg, events=bus):
         stats = _chunk_stats(compiled, child, n, max_attempts, backend)
-    return stats, reg.snapshot()
+    return stats, reg.snapshot(), bus.snapshot()
 
 
-def _record_round(sp, reg, r: "AdaptiveRound") -> None:
-    """Stamp one round's stats onto its span and the metrics registry.
+def _record_round(
+    sp, reg, bus, r: "AdaptiveRound", *, target: float, elapsed_s: float
+) -> None:
+    """Stamp one round's stats onto its span, the metrics registry, and
+    the ambient event bus (``mc.round``, carrying the ETA estimate).
 
     Non-finite CI widths (first round with < 2 samples) are stringified
-    so the trace/profile JSON stays strictly serializable.
+    for the trace and nulled for the event payload so both stay strictly
+    JSON-serializable.
     """
     sp.set(
         index=r.index,
@@ -302,6 +314,26 @@ def _record_round(sp, reg, r: "AdaptiveRound") -> None:
     )
     reg.counter("mc.rounds").inc()
     reg.counter("mc.replications").inc(r.reps)
+    if bus.enabled:
+        bus.emit(
+            "mc.round",
+            index=r.index,
+            reps=r.reps,
+            total_reps=r.total_reps,
+            mean=r.mean,
+            half_width=(
+                r.half_width if math.isfinite(r.half_width) else None
+            ),
+            relative_half_width=(
+                r.relative_half_width
+                if math.isfinite(r.relative_half_width)
+                else None
+            ),
+            target=target,
+            **estimate_eta(
+                r.total_reps, r.relative_half_width, target, elapsed_s
+            ),
+        )
 
 
 @dataclass(frozen=True)
@@ -468,6 +500,9 @@ def run_adaptive(
     if shard:
         _require_shardable(be)
     reg = _metrics()
+    bus = _events()
+    observing = reg.enabled or bus.enabled
+    t0 = perf_counter()
     try:
         with _span(
             "mc.adaptive",
@@ -485,7 +520,7 @@ def run_adaptive(
                     if shard and len(sizes) > 1:
                         entry = (
                             _chunk_stats_observed
-                            if reg.enabled
+                            if observing
                             else _chunk_stats
                         )
                         args = (
@@ -501,10 +536,11 @@ def run_adaptive(
 
                             pool = ProcessPoolExecutor(max_workers=n_jobs)
                         stats = list(pool.map(entry, *args))
-                        if reg.enabled:
-                            for _, snap in stats:
+                        if observing:
+                            for _, snap, esnap in stats:
                                 reg.merge_snapshot(snap)
-                            stats = [s for s, _ in stats]
+                                bus.replay(esnap)
+                            stats = [s for s, _, _ in stats]
                     else:
                         stats = [
                             _chunk_stats(compiled, child, n, max_attempts, be)
@@ -531,7 +567,14 @@ def run_adaptive(
                             relative_half_width=rel,
                         )
                     )
-                    _record_round(sp, reg, rounds[-1])
+                    _record_round(
+                        sp,
+                        reg,
+                        bus,
+                        rounds[-1],
+                        target=target_relative_ci,
+                        elapsed_s=perf_counter() - t0,
+                    )
                 converged = total >= min_runs and rel <= target_relative_ci
                 if converged or total >= max_runs:
                     break
@@ -543,6 +586,20 @@ def run_adaptive(
             pool.shutdown()
     if converged:
         reg.counter("mc.converged").inc()
+    if bus.enabled:
+        bus.emit(
+            "mc.converged" if converged else "mc.capped",
+            total_reps=total,
+            rounds=len(rounds),
+            mean=moments.mean,
+            relative_half_width=(
+                rounds[-1].relative_half_width
+                if math.isfinite(rounds[-1].relative_half_width)
+                else None
+            ),
+            target=target_relative_ci,
+            wall_s=perf_counter() - t0,
+        )
     logger.debug(
         "run_adaptive: converged=%s rounds=%d reps=%d rel_hw=%.4g",
         converged,
@@ -622,6 +679,8 @@ def run_adaptive_parallel(
     steps = 0
     rounds: list[AdaptiveRound] = []
     reg = _metrics()
+    bus = _events()
+    t0 = perf_counter()
 
     with _span(
         "mc.adaptive",
@@ -670,13 +729,34 @@ def run_adaptive_parallel(
                         relative_half_width=rel,
                     )
                 )
-                _record_round(sp, reg, rounds[-1])
+                _record_round(
+                    sp,
+                    reg,
+                    bus,
+                    rounds[-1],
+                    target=target_relative_ci,
+                    elapsed_s=perf_counter() - t0,
+                )
             converged = total >= min_runs and rel <= target_relative_ci
             if converged or total >= max_runs:
                 break
             next_total = min(max_runs, max(total + 1, math.ceil(total * growth)))
     if converged:
         reg.counter("mc.converged").inc()
+    if bus.enabled:
+        bus.emit(
+            "mc.converged" if converged else "mc.capped",
+            total_reps=total,
+            rounds=len(rounds),
+            mean=moments.mean,
+            relative_half_width=(
+                rounds[-1].relative_half_width
+                if math.isfinite(rounds[-1].relative_half_width)
+                else None
+            ),
+            target=target_relative_ci,
+            wall_s=perf_counter() - t0,
+        )
     logger.debug(
         "run_adaptive_parallel: converged=%s rounds=%d reps=%d rel_hw=%.4g",
         converged,

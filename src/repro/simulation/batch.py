@@ -60,7 +60,7 @@ import numpy as np
 
 from ..chains import TaskChain
 from ..exceptions import InvalidParameterError, ReproError, SimulationError
-from ..obs import metrics as _metrics, span as _span
+from ..obs import events as _events, metrics as _metrics, span as _span
 from ..platforms import Platform
 from ..core.costs import CostProfile
 from ..core.schedule import Schedule
@@ -186,7 +186,8 @@ def run_compiled(
     identical across backends.
     """
     reg = _metrics()
-    t0 = perf_counter() if reg.enabled else 0.0
+    bus = _events()
+    t0 = perf_counter() if (reg.enabled or bus.enabled) else 0.0
     n_compactions = 0
     be = get_backend(backend)
     xp = be.xp
@@ -393,6 +394,14 @@ def run_compiled(
         reg.counter("sim.batch.steps").inc(steps)
         reg.counter("sim.batch.compactions").inc(n_compactions)
         reg.timer("sim.batch.kernel").observe(perf_counter() - t0)
+    if bus.enabled:
+        bus.emit(
+            "sim.chunk",
+            reps=n_runs,
+            steps=steps,
+            compactions=n_compactions,
+            wall_s=perf_counter() - t0,
+        )
     return BatchResult(
         makespans=out_t,
         fail_stop_errors=out_fail,
@@ -460,20 +469,21 @@ def _run_chunk_observed(
     max_attempts: int,
     backend: "str | Backend | None" = None,
 ):
-    """Worker entry point that ships its kernel metrics home.
+    """Worker entry point that ships its kernel metrics and events home.
 
     Worker processes inherit no ambient instrumentation, so the kernel
-    runs under a private registry whose snapshot rides back with the
-    result for the parent to merge.
+    runs under a private registry and event bus whose snapshots ride back
+    with the result for the parent to merge/replay.
     """
-    from ..obs import MetricsRegistry, instrument
+    from ..obs import EventBus, MetricsRegistry, instrument
 
     reg = MetricsRegistry()
-    with instrument(reg):
+    bus = EventBus()
+    with instrument(reg, events=bus):
         part = run_compiled(
             compiled, n, np.random.default_rng(child), max_attempts, backend
         )
-    return part, reg.snapshot()
+    return part, reg.snapshot(), bus.snapshot()
 
 
 def simulate_batch(
@@ -529,6 +539,8 @@ def simulate_batch(
     children = seed_seq.spawn(len(sizes))
 
     reg = _metrics()
+    bus = _events()
+    observing = reg.enabled or bus.enabled
     with _span(
         "sim.batch",
         n_runs=n_runs,
@@ -540,7 +552,7 @@ def simulate_batch(
             _require_shardable(be)
             from concurrent.futures import ProcessPoolExecutor
 
-            entry = _run_chunk_observed if reg.enabled else _run_chunk
+            entry = _run_chunk_observed if observing else _run_chunk
             with ProcessPoolExecutor(
                 max_workers=min(n_jobs, len(sizes))
             ) as pool:
@@ -554,12 +566,14 @@ def simulate_batch(
                         [be.name] * len(sizes),  # workers re-resolve by name
                     )
                 )
-            if reg.enabled:
+            if observing:
                 # Fold the worker-side kernel snapshots into this run's
-                # registry; the result parts stay exactly as before.
-                for _, snap in parts:
+                # registry and replay shipped events in shard order; the
+                # result parts stay exactly as before.
+                for _, snap, esnap in parts:
                     reg.merge_snapshot(snap)
-                parts = [part for part, _ in parts]
+                    bus.replay(esnap)
+                parts = [part for part, _, _ in parts]
         else:
             parts = [
                 _run_chunk(compiled, child, n, max_attempts, be)

@@ -51,7 +51,7 @@ import numpy as np
 
 from ..exceptions import InvalidParameterError, InvalidScheduleError, SimulationError
 from ..chains import TaskChain
-from ..obs import metrics as _metrics, span as _span
+from ..obs import events as _events, metrics as _metrics, span as _span
 from ..platforms import Platform
 from ..core.costs import CostProfile
 from ..core.schedule import Action, Schedule
@@ -598,18 +598,19 @@ def _run_parallel_chunk_observed(
     max_attempts: int,
     backend: "str | Backend | None" = None,
 ):
-    """Chunk entry point that ships its kernel metrics home.
+    """Chunk entry point that ships its kernel metrics and events home.
 
     Worker processes inherit no ambient instrumentation, so the chunk
-    runs under a private registry whose snapshot rides back with the
-    result for the parent to merge.
+    runs under a private registry and event bus whose snapshots ride back
+    with the result for the parent to merge/replay.
     """
-    from ..obs import MetricsRegistry, instrument
+    from ..obs import EventBus, MetricsRegistry, instrument
 
     reg = MetricsRegistry()
-    with instrument(reg):
+    bus = EventBus()
+    with instrument(reg, events=bus):
         part = _run_parallel_chunk(cplan, child, n, max_attempts, backend)
-    return part, reg.snapshot()
+    return part, reg.snapshot(), bus.snapshot()
 
 
 def simulate_parallel(
@@ -660,9 +661,10 @@ def simulate_parallel(
             _require_shardable(be)
             from concurrent.futures import ProcessPoolExecutor
 
+            observing = _metrics().enabled or _events().enabled
             entry = (
                 _run_parallel_chunk_observed
-                if _metrics().enabled
+                if observing
                 else _run_parallel_chunk
             )
             with ProcessPoolExecutor(
@@ -678,10 +680,11 @@ def simulate_parallel(
                         [be.name] * len(sizes),  # workers re-resolve by name
                     )
                 )
-            if _metrics().enabled:
-                for _, snap in parts:
+            if observing:
+                for _, snap, esnap in parts:
                     _metrics().merge_snapshot(snap)
-                parts = [part for part, _ in parts]
+                    _events().replay(esnap)
+                parts = [part for part, _, _ in parts]
         else:
             parts = [
                 _run_parallel_chunk(cplan, child, n, max_attempts, be)

@@ -8,7 +8,9 @@ lifecycle tests (cancel-before-start, manual drain) run a ``workers=0``
 queue directly.
 """
 
+import http.client
 import json
+import re
 import threading
 import time
 import urllib.error
@@ -419,3 +421,239 @@ class TestHttp:
             ]
         )
         assert headers["X-Repro-Key"] == expected
+
+
+# ----------------------------------------------------------------------
+# live progress: SSE streaming, Prometheus exposition, cache headers
+# ----------------------------------------------------------------------
+DAG_JOB = {
+    "endpoint": "dag/optimize",
+    "request": {
+        "generator": {"kind": "fork_join", "branches": 2, "branch_length": 2},
+        "platform": "hera",
+        "strategy": "search",
+        "restarts": 1,
+        "seed": 0,
+    },
+}
+
+_PROM_SAMPLE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z0-9_]+=\"[^\"]*\"(,[a-zA-Z0-9_]+=\"[^\"]*\")*\})?"
+    r" (-?\d+(\.\d+)?([eE][+-]?\d+)?|NaN|[+-]Inf)$"
+)
+_PROM_TYPE = re.compile(
+    r"^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|summary|histogram)$"
+)
+
+
+def _sse_frames(payload: str):
+    """Parse an SSE byte stream into (id, event, data-dict) frames."""
+    frames = []
+    for block in payload.split("\n\n"):
+        seq, kind, data = None, None, None
+        for line in block.split("\n"):
+            if line.startswith("id: "):
+                seq = int(line[4:])
+            elif line.startswith("event: "):
+                kind = line[7:]
+            elif line.startswith("data: "):
+                data = json.loads(line[6:])
+        if kind is not None:
+            frames.append((seq, kind, data))
+    return frames
+
+
+@pytest.fixture()
+def manual_server():
+    """A ``workers=0`` server: jobs stay queued until the test drains
+    them, which makes subscribe-before-execute deterministic."""
+    srv = make_server("127.0.0.1", 0, workers=0, cache_entries=32)
+    thread = threading.Thread(target=srv.serve_forever, daemon=True)
+    thread.start()
+    host, port = srv.server_address[:2]
+    try:
+        yield srv, f"http://{host}:{port}"
+    finally:
+        srv.shutdown()
+        srv.server_close()
+
+
+class TestEventStreaming:
+    def test_sse_streams_job_events_before_result_lands(self, manual_server):
+        srv, base = manual_server
+        _, _, body = _post(base, "/jobs", dict(DAG_JOB))
+        job_id = json.loads(body)["id"]
+
+        host, port = srv.server_address[:2]
+        conn = http.client.HTTPConnection(host, port, timeout=30)
+        conn.request("GET", f"/jobs/{job_id}/events?heartbeat_s=0.2")
+        resp = conn.getresponse()
+        assert resp.status == 200
+        assert resp.getheader("Content-Type") == "text/event-stream"
+        assert resp.getheader("Cache-Control") == "no-store"
+
+        # the stream is live before any work ran: the first frame
+        # (job.queued) arrives while the job is still queued
+        first = b""
+        while b"\n\n" not in first:
+            first += resp.read1(4096)
+        assert json.loads(_get(base, f"/jobs/{job_id}")[2])["status"] == "queued"
+        frames = _sse_frames(first.decode())
+        assert frames[0][1] == "job.queued"
+
+        # now let the queue drain on another thread while we keep reading
+        drain = threading.Thread(target=srv.jobs.run_pending, daemon=True)
+        drain.start()
+        payload = first
+        while True:
+            chunk = resp.read1(4096)
+            if not chunk:
+                break
+            payload += chunk
+        conn.close()
+        drain.join(timeout=30)
+
+        frames = _sse_frames(payload.decode())
+        kinds = [kind for _, kind, _ in frames]
+        assert len(frames) >= 3  # queued + running + rounds + ... + done
+        assert kinds[0] == "job.queued"
+        assert "job.running" in kinds
+        assert "search.climb" in kinds or "search.round" in kinds
+        assert kinds[-1] == "job.done"
+        seqs = [seq for seq, _, _ in frames]
+        assert seqs == sorted(seqs) and len(seqs) == len(set(seqs))
+        # payload envelope matches the event schema
+        for seq, kind, data in frames:
+            assert data["seq"] == seq and data["kind"] == kind
+            assert isinstance(data["data"], dict)
+
+    def test_last_event_id_reconnect_has_no_gaps_or_duplicates(
+        self, manual_server
+    ):
+        srv, base = manual_server
+        _, _, body = _post(base, "/jobs", dict(DAG_JOB))
+        job_id = json.loads(body)["id"]
+        srv.jobs.run_pending()
+
+        host, port = srv.server_address[:2]
+
+        def read_stream(headers=None, query=""):
+            conn = http.client.HTTPConnection(host, port, timeout=30)
+            conn.request(
+                "GET",
+                f"/jobs/{job_id}/events?heartbeat_s=0.2{query}",
+                headers=headers or {},
+            )
+            resp = conn.getresponse()
+            payload = resp.read().decode()
+            conn.close()
+            return _sse_frames(payload)
+
+        full = read_stream()
+        assert len(full) >= 3
+        cut = full[1][0]  # reconnect as if the client died after frame 2
+        resumed = read_stream(headers={"Last-Event-ID": str(cut)})
+        assert [f[0] for f in resumed] == [f[0] for f in full[2:]]
+        combined = [f[0] for f in full[:2]] + [f[0] for f in resumed]
+        assert combined == [f[0] for f in full]  # no gaps, no duplicates
+        # ?after= is the header's query-string twin
+        assert read_stream(query=f"&after={cut}") == resumed
+
+    def test_engine_wide_stream_tags_jobs(self, manual_server):
+        srv, base = manual_server
+        _, _, body = _post(base, "/jobs", dict(DAG_JOB))
+        job_id = json.loads(body)["id"]
+        srv.jobs.run_pending()
+        host, port = srv.server_address[:2]
+        conn = http.client.HTTPConnection(host, port, timeout=30)
+        conn.request("GET", "/events?timeout_s=0.4&heartbeat_s=0.2")
+        resp = conn.getresponse()
+        frames = _sse_frames(resp.read().decode())
+        conn.close()
+        assert frames, "engine-wide stream replayed nothing"
+        assert all(f[2]["data"]["job"] == job_id for f in frames)
+        assert all(f[2]["data"]["endpoint"] == "dag/optimize" for f in frames)
+
+    def test_truncation_is_announced_not_silent(self):
+        from repro.service.http import _Handler  # noqa: F401 - route exists
+
+        engine = Engine(cache_entries=8, event_capacity=4)
+        for i in range(10):
+            engine.events.emit("tick", i=i)
+        page = engine.events.poll(0)
+        assert page.truncated and page.missed == 6
+
+    def test_job_status_carries_progress_and_eta(self, manual_server):
+        srv, base = manual_server
+        _, _, body = _post(
+            base,
+            "/jobs",
+            {
+                "endpoint": "simulate",
+                "request": {
+                    "platform": "hera",
+                    "tasks": 8,
+                    "target_ci": 0.05,
+                    "seed": 1,
+                },
+            },
+        )
+        job_id = json.loads(body)["id"]
+        srv.jobs.run_pending()
+        doc = json.loads(_get(base, f"/jobs/{job_id}")[2])
+        assert doc["status"] == "done"
+        assert doc["progress"] is not None
+        assert doc["progress"]["kind"] == "mc.round"
+        assert "eta_s" in doc  # populated by the last mc.round
+        assert doc["events"]["last_seq"] >= 3
+
+
+class TestPrometheusExposition:
+    def test_strict_line_format(self, server):
+        _post(server, "/solve", dict(SOLVE))
+        status, headers, body = _get(server, "/metrics?format=prometheus")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain; version=0.0.4")
+        assert headers["Cache-Control"] == "no-store"
+        text = body.decode()
+        assert text.endswith("\n")
+        names_typed = set()
+        for line in text.splitlines():
+            if line.startswith("#"):
+                assert _PROM_TYPE.match(line), f"bad TYPE line: {line!r}"
+                names_typed.add(line.split()[2])
+            else:
+                assert _PROM_SAMPLE.match(line), f"bad sample line: {line!r}"
+        assert any(n.startswith("repro_service_requests") for n in names_typed)
+        assert any(n.startswith("repro_dp_solves") for n in names_typed)
+
+    def test_histogram_buckets_are_cumulative(self, server):
+        _post(server, "/simulate", {"platform": "hera", "tasks": 8, "runs": 200})
+        text = _get(server, "/metrics?format=prometheus")[2].decode()
+        buckets = {}
+        for line in text.splitlines():
+            if "_bucket{" in line:
+                name = line.split("_bucket{")[0]
+                value = int(line.rsplit(" ", 1)[1])
+                buckets.setdefault(name, []).append(value)
+        assert buckets, "no histogram series rendered"
+        for series in buckets.values():
+            assert series == sorted(series)  # cumulative by construction
+
+    def test_json_document_still_default(self, server):
+        status, headers, body = _get(server, "/metrics")
+        assert status == 200
+        assert headers["Content-Type"] == "application/json"
+        assert json.loads(body)["kind"] == "service_metrics"
+
+
+class TestCacheHeaders:
+    def test_observability_gets_are_no_store(self, server):
+        for path in ("/healthz", "/metrics", "/cache", "/jobs"):
+            _, headers, _ = _get(server, path)
+            assert headers["Cache-Control"] == "no-store", path
+
+    def test_query_strings_do_not_break_routing(self, server):
+        status, _, body = _get(server, "/healthz?probe=1")
+        assert status == 200
+        assert json.loads(body)["ok"] is True
