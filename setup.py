@@ -20,9 +20,17 @@ setup(
     ),
     package_dir={"": "src"},
     packages=find_packages("src"),
+    # PEP 561: the strictly-typed core (repro.api, obs primitives,
+    # service cache, devtools) ships inline types to downstream checkers.
+    package_data={"repro": ["py.typed"]},
     python_requires=">=3.10",
     # numpy >= 2: the batched kernel targets the array-API standard names
     # (np.bool / np.astype / np.concat) that NumPy only exposes from 2.0.
     install_requires=["numpy>=2.0", "scipy"],
-    entry_points={"console_scripts": ["repro = repro.cli:main"]},
+    entry_points={
+        "console_scripts": [
+            "repro = repro.cli:main",
+            "repro-lint = repro.devtools.cli:main",
+        ]
+    },
 )

@@ -71,7 +71,7 @@ class SweepRecord:
 
 
 @dataclass
-class SweepResult:
+class SweepResult:  # repro: allow[RPR005] -- in-process sweep table, not a wire type
     """All records of one sweep, with convenient series accessors."""
 
     platform: Platform

@@ -57,7 +57,7 @@ def _hex(value: float) -> str:
     return float(value).hex()
 
 
-def _hex_list(values) -> list[str]:
+def _hex_list(values: Any) -> list[str]:
     return [_hex(v) for v in np.asarray(values, dtype=np.float64).ravel()]
 
 

@@ -85,7 +85,7 @@ def _none_as(value: float | None, default: float) -> float:
     return default if value is None else float(value)
 
 
-def _envelope(kind: str) -> dict:
+def _envelope(kind: str) -> dict[str, Any]:
     return {"schema_version": SCHEMA_VERSION, "kind": kind}
 
 
@@ -117,11 +117,11 @@ def document_kind(doc: Any) -> str:
 # ----------------------------------------------------------------------
 # per-type converters (as_document side)
 # ----------------------------------------------------------------------
-def _platform_doc(platform: Platform) -> dict:
+def _platform_doc(platform: Platform) -> dict[str, Any]:
     return {**_envelope("platform"), **platform.as_dict()}
 
 
-def _chain_doc(chain: TaskChain) -> dict:
+def _chain_doc(chain: TaskChain) -> dict[str, Any]:
     return {
         **_envelope("chain"),
         "name": chain.name,
@@ -129,7 +129,7 @@ def _chain_doc(chain: TaskChain) -> dict:
     }
 
 
-def _schedule_doc(schedule: Schedule) -> dict:
+def _schedule_doc(schedule: Schedule) -> dict[str, Any]:
     return {
         **_envelope("schedule"),
         **schedule.as_dict(),
@@ -137,11 +137,11 @@ def _schedule_doc(schedule: Schedule) -> dict:
     }
 
 
-def _dag_doc(dag: WorkflowDAG) -> dict:
+def _dag_doc(dag: WorkflowDAG) -> dict[str, Any]:
     return {**_envelope("workflow_dag"), **dag.as_dict()}
 
 
-def _summary_doc(summary: SampleSummary) -> dict:
+def _summary_doc(summary: SampleSummary) -> dict[str, Any]:
     return {
         **_envelope("sample_summary"),
         "reps": summary.count,
@@ -158,7 +158,7 @@ def _summary_doc(summary: SampleSummary) -> dict:
     }
 
 
-def _solution_doc(solution: Solution) -> dict:
+def _solution_doc(solution: Solution) -> dict[str, Any]:
     doc = {
         **_envelope("solution"),
         "algorithm": solution.algorithm,
@@ -187,7 +187,7 @@ def _solution_doc(solution: Solution) -> dict:
     return doc
 
 
-def _stamp_doc(stamp: AgreementStamp) -> dict:
+def _stamp_doc(stamp: AgreementStamp) -> dict[str, Any]:
     return {
         **_envelope("agreement_stamp"),
         "platform": stamp.platform,
@@ -206,7 +206,7 @@ def _stamp_doc(stamp: AgreementStamp) -> dict:
     }
 
 
-def _adaptive_doc(result: AdaptiveResult) -> dict:
+def _adaptive_doc(result: AdaptiveResult) -> dict[str, Any]:
     return {
         **_envelope("adaptive_result"),
         "target_ci": result.target_relative_ci,
@@ -253,7 +253,7 @@ def _adaptive_doc(result: AdaptiveResult) -> dict:
     }
 
 
-def _mc_doc(result: MonteCarloResult) -> dict:
+def _mc_doc(result: MonteCarloResult) -> dict[str, Any]:
     doc = {
         **_envelope("monte_carlo_result"),
         "reps": result.runs,
@@ -284,7 +284,7 @@ def _mc_doc(result: MonteCarloResult) -> dict:
     return doc
 
 
-def _search_doc(result: SearchResult) -> dict:
+def _search_doc(result: SearchResult) -> dict[str, Any]:
     doc = {
         **_envelope("search_result"),
         "method": result.method,
@@ -309,7 +309,7 @@ def _search_doc(result: SearchResult) -> dict:
     return doc
 
 
-def _parallel_solution_doc(solution: ParallelSolution) -> dict:
+def _parallel_solution_doc(solution: ParallelSolution) -> dict[str, Any]:
     return {
         **_envelope("parallel_solution"),
         "dag": solution.dag.name,
@@ -335,7 +335,7 @@ def _parallel_solution_doc(solution: ParallelSolution) -> dict:
     }
 
 
-def _parallel_search_doc(result: ParallelSearchResult) -> dict:
+def _parallel_search_doc(result: ParallelSearchResult) -> dict[str, Any]:
     doc = {
         **_envelope("parallel_search_result"),
         "method": result.method,
@@ -357,11 +357,11 @@ def _parallel_search_doc(result: ParallelSearchResult) -> dict:
     return doc
 
 
-def _metrics_doc(snapshot: MetricsSnapshot) -> dict:
+def _metrics_doc(snapshot: MetricsSnapshot) -> dict[str, Any]:
     return {**_envelope("metrics_snapshot"), **snapshot.as_dict()}
 
 
-_AS_DOCUMENT: list[tuple[type, Callable[[Any], dict]]] = [
+_AS_DOCUMENT: list[tuple[type[Any], Callable[[Any], dict[str, Any]]]] = [
     # subclass-sensitive: most-derived types must precede their bases
     (SearchResult, _search_doc),
     (ParallelSearchResult, _parallel_search_doc),
@@ -379,7 +379,7 @@ _AS_DOCUMENT: list[tuple[type, Callable[[Any], dict]]] = [
 ]
 
 
-def as_document(obj: Any) -> dict:
+def as_document(obj: Any) -> dict[str, Any]:
     """Render any supported result/model object as a unified document."""
     for cls, converter in _AS_DOCUMENT:
         if isinstance(obj, cls):
@@ -392,23 +392,23 @@ def as_document(obj: Any) -> dict:
 # ----------------------------------------------------------------------
 # from_document side
 # ----------------------------------------------------------------------
-def _platform_from(doc: dict) -> Platform:
+def _platform_from(doc: dict[str, Any]) -> Platform:
     return Platform.from_dict(doc)
 
 
-def _chain_from(doc: dict) -> TaskChain:
+def _chain_from(doc: dict[str, Any]) -> TaskChain:
     return TaskChain(doc["weights"], name=str(doc.get("name", "")))
 
 
-def _schedule_from(doc: dict) -> Schedule:
+def _schedule_from(doc: dict[str, Any]) -> Schedule:
     return Schedule.from_dict(doc)
 
 
-def _dag_from(doc: dict) -> WorkflowDAG:
+def _dag_from(doc: dict[str, Any]) -> WorkflowDAG:
     return WorkflowDAG.from_dict(doc)
 
 
-def _summary_from(doc: dict) -> SampleSummary:
+def _summary_from(doc: dict[str, Any]) -> SampleSummary:
     return SampleSummary(
         count=int(doc["reps"]),
         mean=float(doc["mean"]),
@@ -424,7 +424,7 @@ def _summary_from(doc: dict) -> SampleSummary:
     )
 
 
-def _solution_from(doc: dict) -> Solution:
+def _solution_from(doc: dict[str, Any]) -> Solution:
     chain = TaskChain(doc["weights"], name=str(doc.get("chain", "")))
     base = Solution(
         algorithm=str(doc["algorithm"]),
@@ -443,7 +443,7 @@ def _solution_from(doc: dict) -> Solution:
     return dag_solution
 
 
-def _stamp_from(doc: dict) -> AgreementStamp:
+def _stamp_from(doc: dict[str, Any]) -> AgreementStamp:
     return AgreementStamp(
         platform=str(doc["platform"]),
         label=str(doc["label"]),
@@ -458,7 +458,7 @@ def _stamp_from(doc: dict) -> AgreementStamp:
     )
 
 
-def _adaptive_from(doc: dict) -> AdaptiveResult:
+def _adaptive_from(doc: dict[str, Any]) -> AdaptiveResult:
     from ..simulation.breakdown import TIME_CATEGORIES
 
     moments = StreamingMoments(
@@ -504,7 +504,7 @@ def _adaptive_from(doc: dict) -> AdaptiveResult:
     )
 
 
-def _mc_from(doc: dict) -> MonteCarloResult:
+def _mc_from(doc: dict[str, Any]) -> MonteCarloResult:
     # samples are never serialized (adaptive campaigns stream moments and
     # retain none; fixed-N documents would be megabytes) — the summary
     # carries every statistic downstream code reads
@@ -525,7 +525,7 @@ def _mc_from(doc: dict) -> MonteCarloResult:
     )
 
 
-def _search_from(doc: dict) -> SearchResult:
+def _search_from(doc: dict[str, Any]) -> SearchResult:
     return SearchResult(
         solution=_solution_from(doc["solution"]),
         method=str(doc["method"]),
@@ -554,11 +554,11 @@ def _search_from(doc: dict) -> SearchResult:
     )
 
 
-def _metrics_from(doc: dict) -> MetricsSnapshot:
+def _metrics_from(doc: dict[str, Any]) -> MetricsSnapshot:
     return MetricsSnapshot.from_dict(doc)
 
 
-_FROM_DOCUMENT: dict[str, Callable[[dict], Any]] = {
+_FROM_DOCUMENT: dict[str, Callable[[dict[str, Any]], Any]] = {
     "platform": _platform_from,
     "chain": _chain_from,
     "schedule": _schedule_from,
@@ -573,7 +573,7 @@ _FROM_DOCUMENT: dict[str, Callable[[dict], Any]] = {
 }
 
 
-def from_document(doc: dict) -> Any:
+def from_document(doc: dict[str, Any]) -> Any:
     """Reconstruct the object a unified document describes.
 
     Supported kinds: every model document plus the campaign results

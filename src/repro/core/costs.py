@@ -33,7 +33,9 @@ from ..platforms import Platform
 __all__ = ["CostProfile"]
 
 
-def _as_cost_array(values: Sequence[float] | np.ndarray, n: int, what: str) -> np.ndarray:
+def _as_cost_array(
+    values: Sequence[float] | np.ndarray, n: int, what: str
+) -> np.ndarray:
     arr = np.asarray(values, dtype=np.float64)
     if arr.shape != (n,):
         raise InvalidParameterError(

@@ -227,7 +227,9 @@ class WorkflowDAG:
         """All topological orders (exponential; small DAGs only)."""
         return nx.all_topological_sorts(self.graph)
 
-    def serialise(self, order: list[Hashable] | None = None) -> tuple[list[Hashable], TaskChain]:
+    def serialise(
+        self, order: list[Hashable] | None = None
+    ) -> tuple[list[Hashable], TaskChain]:
         """Serialise the DAG into a :class:`TaskChain`.
 
         Because every task uses the whole platform, any topological order is

@@ -1,0 +1,108 @@
+"""``repro-lint`` / ``python -m repro.devtools`` — the lint entry point.
+
+Exit codes: 0 clean (suppressed findings are clean by definition — they
+carry reasons), 1 active findings, 2 usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import IO, Sequence
+
+from .engine import default_root, run_checks
+from .report import write_report
+from .rules import DEFAULT_RULES
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "Repo-specific static analysis: determinism, array-API "
+            "portability, lock discipline, schema coverage, and library "
+            "hygiene rules for the repro codebase."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help=(
+            "files or directories to check (default: the whole repro "
+            "package under --root)"
+        ),
+    )
+    parser.add_argument(
+        "--root",
+        default=None,
+        help=(
+            "source root containing the repro package (default: "
+            "auto-detected from the installed package; findings are "
+            "reported relative to it)"
+        ),
+    )
+    parser.add_argument(
+        "--format",
+        choices=("human", "json"),
+        default="human",
+        help="report format (default: human)",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        metavar="CODES",
+        help="comma-separated rule codes to run (e.g. RPR001,RPR004)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    return parser
+
+
+def _list_rules(stream: IO[str]) -> None:
+    for rule in DEFAULT_RULES:
+        stream.write(f"{rule.code} {rule.name}\n")
+        stream.write(f"    {rule.rationale}\n")
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    stream = sys.stdout
+
+    if args.list_rules:
+        _list_rules(stream)
+        return 0
+
+    select = None
+    if args.select:
+        select = [code.strip() for code in args.select.split(",") if code.strip()]
+        known = {rule.code for rule in DEFAULT_RULES}
+        unknown = [code for code in select if code.upper() not in known]
+        if unknown:
+            parser.error(
+                f"unknown rule code(s): {', '.join(unknown)}; "
+                f"known: {', '.join(sorted(known))}"
+            )
+
+    root = Path(args.root) if args.root else default_root()
+    if not root.is_dir():
+        parser.error(f"--root {root} is not a directory")
+    paths = [Path(p) for p in args.paths] or None
+    if paths is not None:
+        missing = [p for p in paths if not p.exists()]
+        if missing:
+            parser.error(
+                "no such file(s): " + ", ".join(str(p) for p in missing)
+            )
+
+    report = run_checks(paths, select=select, root=root)
+    write_report(report, stream, args.format)
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

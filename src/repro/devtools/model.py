@@ -1,0 +1,110 @@
+"""Data model of the static-analysis engine: findings and suppressions.
+
+A :class:`Finding` is one rule violation at one source location.  It is
+*active* unless an inline ``# repro: allow[RPR###] -- reason`` comment
+(:class:`Suppression`, parsed in :mod:`.suppress`) covers its line and
+code, in which case the finding is retained in the report's suppression
+inventory — suppressed findings are audit records, never silence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Finding", "Suppression", "Report"]
+
+#: Engine-level pseudo-rule: malformed or reasonless suppressions.
+ENGINE_CODE = "RPR000"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location.
+
+    ``path`` is the file's path relative to the scanned source root in
+    POSIX form (``repro/simulation/batch.py``) so reports are stable
+    across machines.  ``line``/``col`` are 1-based/0-based, matching the
+    ``ast`` node they came from.
+    """
+
+    code: str
+    path: str
+    line: int
+    col: int
+    message: str
+    suppressed: bool = False
+    reason: str | None = None
+
+    def sort_key(self) -> tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.code)
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}"
+
+    def as_dict(self) -> dict[str, object]:
+        doc: dict[str, object] = {
+            "code": self.code,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+        if self.suppressed:
+            doc["suppressed"] = True
+            doc["reason"] = self.reason
+        return doc
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One parsed ``# repro: allow[...]`` comment.
+
+    ``line`` is the comment's own physical line; ``target_line`` is the
+    code line the suppression applies to (the same line for trailing
+    comments, the next code line for standalone comment lines).  A
+    suppression with no reason is invalid: it still parses — so the
+    engine can point at it — but suppresses nothing and raises an
+    ``RPR000`` finding instead.
+    """
+
+    codes: tuple[str, ...]
+    reason: str | None
+    line: int
+    target_line: int
+
+    @property
+    def valid(self) -> bool:
+        return bool(self.reason)
+
+    def covers(self, code: str, line: int) -> bool:
+        return self.valid and code in self.codes and line == self.target_line
+
+
+@dataclass
+class Report:
+    """Everything one :func:`repro.devtools.run_checks` pass produced."""
+
+    root: str
+    files: int = 0
+    rule_codes: tuple[str, ...] = ()
+    findings: list[Finding] = field(default_factory=list)
+
+    @property
+    def active(self) -> list[Finding]:
+        """Violations that MUST be fixed (unsuppressed findings)."""
+        return [f for f in self.findings if not f.suppressed]
+
+    @property
+    def suppressed(self) -> list[Finding]:
+        """The suppression inventory: allowed violations with reasons."""
+        return [f for f in self.findings if f.suppressed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.active
+
+    def by_code(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for finding in self.active:
+            counts[finding.code] = counts.get(finding.code, 0) + 1
+        return counts

@@ -1,0 +1,76 @@
+"""Reporters: human-readable text and machine-readable JSON.
+
+Both render the same :class:`~repro.devtools.model.Report`.  The JSON
+document is versioned (``devtools_version``) and schema-tested in
+``tests/test_devtools.py``; CI runs ``--format json`` so downstream
+tooling can diff finding inventories between commits.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO
+
+from .model import Report
+
+__all__ = ["render_human", "render_json", "write_report"]
+
+#: Bump on any breaking change to the JSON report layout.
+DEVTOOLS_SCHEMA_VERSION = 1
+
+
+def render_human(report: Report) -> str:
+    lines: list[str] = []
+    for finding in report.active:
+        lines.append(
+            f"{finding.location()}: {finding.code} {finding.message}"
+        )
+    suppressed = report.suppressed
+    if suppressed:
+        lines.append("")
+        lines.append(f"allowed ({len(suppressed)} reasoned suppressions):")
+        for finding in suppressed:
+            lines.append(
+                f"  {finding.location()}: {finding.code} -- {finding.reason}"
+            )
+    lines.append("")
+    by_code = report.by_code()
+    if by_code:
+        summary = ", ".join(
+            f"{code}: {count}" for code, count in sorted(by_code.items())
+        )
+        lines.append(
+            f"{len(report.active)} finding(s) in {report.files} files "
+            f"({summary})"
+        )
+    else:
+        lines.append(
+            f"clean: {report.files} files, "
+            f"{len(report.rule_codes)} rules, "
+            f"{len(suppressed)} reasoned suppression(s)"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def render_json(report: Report) -> str:
+    doc = {
+        "devtools_version": DEVTOOLS_SCHEMA_VERSION,
+        "root": report.root,
+        "files": report.files,
+        "rules": list(report.rule_codes),
+        "findings": [f.as_dict() for f in report.active],
+        "suppressed": [f.as_dict() for f in report.suppressed],
+        "summary": {
+            "active": len(report.active),
+            "suppressed": len(report.suppressed),
+            "by_code": report.by_code(),
+        },
+    }
+    return json.dumps(doc, indent=2, sort_keys=True) + "\n"
+
+
+def write_report(report: Report, stream: IO[str], fmt: str = "human") -> None:
+    if fmt == "json":
+        stream.write(render_json(report))
+    else:
+        stream.write(render_human(report))

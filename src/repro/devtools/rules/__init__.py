@@ -1,0 +1,32 @@
+"""The repo-specific ruleset.  One module per concern; see each rule's
+``rationale`` (surfaced by ``repro-lint --list-rules``) and the catalog
+in ``docs/DEVTOOLS.md``."""
+
+from __future__ import annotations
+
+from ..engine import Rule
+from .concurrency import LockDisciplineRule
+from .determinism import DeterminismRule, SpawnDisciplineRule
+from .hygiene import LibraryHygieneRule
+from .portability import ArrayApiPortabilityRule
+from .schema import SchemaCoverageRule
+
+__all__ = [
+    "DEFAULT_RULES",
+    "DeterminismRule",
+    "ArrayApiPortabilityRule",
+    "LockDisciplineRule",
+    "LibraryHygieneRule",
+    "SchemaCoverageRule",
+    "SpawnDisciplineRule",
+]
+
+#: Every shipped rule, in code order.
+DEFAULT_RULES: tuple[Rule, ...] = (
+    DeterminismRule(),
+    ArrayApiPortabilityRule(),
+    LockDisciplineRule(),
+    LibraryHygieneRule(),
+    SchemaCoverageRule(),
+    SpawnDisciplineRule(),
+)

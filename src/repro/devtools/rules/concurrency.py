@@ -1,0 +1,197 @@
+"""RPR003: lock discipline for classes that own a threading lock.
+
+The service layer (engine, cache, job queue) and the event bus are hit
+by many request threads at once.  Their convention is simple: a class
+that creates a ``threading.Lock``/``RLock``/``Condition`` in its
+constructor holds *all* of its ``self._``-prefixed mutable state under
+that lock.  One forgotten ``with self._lock:`` is a data race that no
+deterministic test reliably catches — exactly the class of bug static
+analysis is for.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..engine import BaseRule, FileContext
+from ..model import Finding
+
+__all__ = ["LockDisciplineRule"]
+
+#: Constructors whose product guards shared state.
+_LOCK_FACTORIES = frozenset(
+    {
+        "threading.Lock",
+        "threading.RLock",
+        "threading.Condition",
+        "threading.Semaphore",
+        "threading.BoundedSemaphore",
+    }
+)
+
+#: Method names that mutate a container in place.
+_MUTATORS = frozenset(
+    {
+        "append", "appendleft", "extend", "extendleft", "insert",
+        "remove", "pop", "popleft", "popitem", "clear", "add",
+        "discard", "update", "setdefault", "move_to_end", "rotate",
+        "sort", "reverse",
+    }
+)
+
+
+class LockDisciplineRule(BaseRule):
+    code = "RPR003"
+    name = "lock-discipline"
+    rationale = (
+        "A class that creates a threading lock in __init__ promises that "
+        "every mutation of its self._-prefixed state happens inside a "
+        "'with self._lock:' block.  Covered mutations: container "
+        "mutator calls (append/pop/update/...), subscript stores and "
+        "deletes, augmented assignment, and attribute rebinding outside "
+        "__init__.  Reads are not checked (the repo's snapshot pattern "
+        "makes many reads safely lock-free by design; annotate the rare "
+        "intentional unlocked write with a reasoned suppression)."
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(ctx, node)
+
+    def _check_class(
+        self, ctx: FileContext, cls: ast.ClassDef
+    ) -> Iterable[Finding]:
+        lock_attrs = _find_lock_attrs(ctx, cls)
+        if not lock_attrs:
+            return
+        for item in cls.body:
+            if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if item.name == "__init__":
+                continue
+            yield from self._check_method(ctx, cls, item, lock_attrs)
+
+    def _check_method(
+        self,
+        ctx: FileContext,
+        cls: ast.ClassDef,
+        method: ast.FunctionDef | ast.AsyncFunctionDef,
+        lock_attrs: frozenset[str],
+    ) -> Iterable[Finding]:
+        findings: list[Finding] = []
+
+        def visit(node: ast.AST, locked: bool) -> None:
+            if isinstance(node, ast.With):
+                holds = locked or any(
+                    _is_self_attr(item.context_expr, lock_attrs)
+                    or _is_self_attr_call(item.context_expr, lock_attrs)
+                    for item in node.items
+                )
+                for child in node.body:
+                    visit(child, holds)
+                return
+            mutated = None if locked else _mutated_attr(node, lock_attrs)
+            if mutated is not None:
+                findings.append(
+                    ctx.finding(
+                        self.code,
+                        node,
+                        f"{cls.name}.{method.name} mutates self.{mutated} "
+                        f"outside a 'with self.<lock>:' block "
+                        f"(lock attrs: {', '.join(sorted(lock_attrs))})",
+                    )
+                )
+            for child in ast.iter_child_nodes(node):
+                visit(child, locked)
+
+        for stmt in method.body:
+            visit(stmt, False)
+        yield from findings
+
+
+def _find_lock_attrs(ctx: FileContext, cls: ast.ClassDef) -> frozenset[str]:
+    """Names of ``self._x`` attributes assigned a lock in any method."""
+    attrs: set[str] = set()
+    for node in ast.walk(cls):
+        if not isinstance(node, ast.Assign) or not isinstance(
+            node.value, ast.Call
+        ):
+            continue
+        target = ctx.resolve(node.value.func)
+        if target not in _LOCK_FACTORIES:
+            continue
+        for tgt in node.targets:
+            if (
+                isinstance(tgt, ast.Attribute)
+                and isinstance(tgt.value, ast.Name)
+                and tgt.value.id == "self"
+            ):
+                attrs.add(tgt.attr)
+    return frozenset(attrs)
+
+
+def _is_self_attr(node: ast.expr, names: frozenset[str]) -> bool:
+    return (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+        and node.attr in names
+    )
+
+
+def _is_self_attr_call(node: ast.expr, names: frozenset[str]) -> bool:
+    """``with self._lock.acquire_timeout(...):``-style context managers."""
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and _is_self_attr(node.func.value, names)
+    )
+
+
+def _mutated_attr(node: ast.AST, lock_attrs: frozenset[str]) -> str | None:
+    """The ``_x`` of a mutation of ``self._x``, if ``node`` is one."""
+
+    def private_self_attr(expr: ast.expr) -> str | None:
+        if (
+            isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == "self"
+            and expr.attr.startswith("_")
+            and not expr.attr.startswith("__")
+            and expr.attr not in lock_attrs
+        ):
+            return expr.attr
+        return None
+
+    if isinstance(node, ast.Assign):
+        for tgt in node.targets:
+            attr = private_self_attr(tgt)
+            if attr is not None:
+                return attr
+            if isinstance(tgt, ast.Subscript):
+                attr = private_self_attr(tgt.value)
+                if attr is not None:
+                    return attr
+    elif isinstance(node, ast.AugAssign):
+        attr = private_self_attr(node.target)
+        if attr is not None:
+            return attr
+        if isinstance(node.target, ast.Subscript):
+            attr = private_self_attr(node.target.value)
+            if attr is not None:
+                return attr
+    elif isinstance(node, ast.Delete):
+        for tgt in node.targets:
+            if isinstance(tgt, ast.Subscript):
+                attr = private_self_attr(tgt.value)
+                if attr is not None:
+                    return attr
+    elif isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in _MUTATORS:
+            attr = private_self_attr(func.value)
+            if attr is not None:
+                return attr
+    return None

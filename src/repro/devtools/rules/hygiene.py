@@ -1,0 +1,54 @@
+"""RPR004: library hygiene — no stray stdout, no bare excepts.
+
+The CLI owns stdout (its JSON output must stay machine-parseable), the
+logging layer owns stderr; a ``print`` anywhere else corrupts piped
+output.  A bare ``except:`` swallows ``KeyboardInterrupt`` and
+``SystemExit`` and turns worker-thread bugs into silent hangs.  This
+rule migrates the ``ast``-walk audit that used to live inline in
+``tests/test_obs.py`` so the logic exists once, with suppression
+support.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..engine import BaseRule, FileContext
+from ..model import Finding
+
+__all__ = ["LibraryHygieneRule"]
+
+
+class LibraryHygieneRule(BaseRule):
+    code = "RPR004"
+    name = "library-hygiene"
+    rationale = (
+        "Library code never prints (the CLI modules, basename cli.py, "
+        "are the sanctioned stdout writers) and never uses a bare "
+        "'except:' (it would swallow KeyboardInterrupt/SystemExit; "
+        "catch Exception or something narrower, and say why)."
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        sanctioned_stdout = ctx.path.name == "cli.py"
+        for node in ast.walk(ctx.tree):
+            if (
+                not sanctioned_stdout
+                and isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"
+            ):
+                yield ctx.finding(
+                    self.code,
+                    node,
+                    "print() in library code; route output through the "
+                    "CLI layer or the repro.obs.log logging hierarchy",
+                )
+            elif isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield ctx.finding(
+                    self.code,
+                    node,
+                    "bare 'except:' swallows KeyboardInterrupt and "
+                    "SystemExit; catch Exception or something narrower",
+                )

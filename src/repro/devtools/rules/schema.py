@@ -1,0 +1,160 @@
+"""RPR005: every reachable result type must be in the wire format.
+
+``repro.api.results.as_document`` is the single JSON surface for the CLI
+and every ``repro serve`` endpoint.  A new ``*Result``/``*Solution``
+dataclass that never gets an ``_AS_DOCUMENT`` entry silently falls back
+to ``InvalidParameterError`` at serialization time — i.e. the first user
+who asks for ``--json`` discovers the gap in production.  This rule
+closes the loop at lint time: every ``*Result``/``*Solution`` class in a
+module transitively imported by ``repro.api.results`` must either appear
+in the dispatch table (directly, or through a dispatched ancestor) or
+carry a reasoned suppression declaring it an internal carrier.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..engine import BaseRule, FileContext, ProjectContext
+from ..model import Finding
+
+__all__ = ["SchemaCoverageRule"]
+
+_RESULTS_MODULE = "repro.api.results"
+_DISPATCH_NAME = "_AS_DOCUMENT"
+_SUFFIXES = ("Result", "Solution")
+
+
+class SchemaCoverageRule(BaseRule):
+    code = "RPR005"
+    name = "schema-coverage"
+    rationale = (
+        "Every *Result/*Solution class reachable from repro.api.results "
+        "must appear in the as_document dispatch table (itself or via a "
+        "dispatched base class), so a new result kind cannot silently "
+        "miss the unified wire format.  Internal carriers that are "
+        "deliberately not wire types (per-run records, engine-internal "
+        "batch accumulators) declare themselves with a reasoned "
+        "RPR005 suppression on their class line."
+    )
+
+    def finalize(self, project: ProjectContext) -> Iterable[Finding]:
+        results_ctx = project.get_module(_RESULTS_MODULE)
+        if results_ctx is None:
+            return
+        dispatched = _dispatch_names(results_ctx)
+        if not dispatched:
+            yield results_ctx.finding(
+                self.code,
+                results_ctx.tree,
+                f"could not find the {_DISPATCH_NAME} dispatch table in "
+                f"{_RESULTS_MODULE}; the schema-coverage rule has "
+                "nothing to check against",
+            )
+            return
+
+        reachable = _reachable_modules(project, _RESULTS_MODULE)
+        classes: dict[str, tuple[FileContext, ast.ClassDef]] = {}
+        bases: dict[str, list[str]] = {}
+        for module in reachable:
+            ctx = project.get_module(module)
+            if ctx is None:
+                continue
+            for node in ast.walk(ctx.tree):
+                if isinstance(node, ast.ClassDef):
+                    classes.setdefault(node.name, (ctx, node))
+                    bases.setdefault(node.name, []).extend(
+                        base.id
+                        for base in node.bases
+                        if isinstance(base, ast.Name)
+                    )
+
+        for name, (ctx, node) in sorted(classes.items()):
+            if not name.endswith(_SUFFIXES):
+                continue
+            if _covered(name, dispatched, bases):
+                continue
+            yield ctx.finding(
+                self.code,
+                node,
+                f"{name} is reachable from {_RESULTS_MODULE} but has no "
+                f"{_DISPATCH_NAME} entry (and no dispatched base "
+                "class); add an as_document converter or declare it an "
+                "internal carrier with a reasoned suppression",
+            )
+
+
+def _dispatch_names(ctx: FileContext) -> frozenset[str]:
+    """First-element class names of the ``_AS_DOCUMENT`` list literal."""
+    names: set[str] = set()
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+            continue
+        targets = (
+            node.targets if isinstance(node, ast.Assign) else [node.target]
+        )
+        if not any(
+            isinstance(t, ast.Name) and t.id == _DISPATCH_NAME
+            for t in targets
+        ):
+            continue
+        value = node.value
+        if not isinstance(value, (ast.List, ast.Tuple)):
+            continue
+        for entry in value.elts:
+            if (
+                isinstance(entry, ast.Tuple)
+                and entry.elts
+                and isinstance(entry.elts[0], ast.Name)
+            ):
+                names.add(entry.elts[0].id)
+    return frozenset(names)
+
+
+def _covered(
+    name: str, dispatched: frozenset[str], bases: dict[str, list[str]]
+) -> bool:
+    seen: set[str] = set()
+    stack = [name]
+    while stack:
+        current = stack.pop()
+        if current in dispatched:
+            return True
+        if current in seen:
+            continue
+        seen.add(current)
+        stack.extend(bases.get(current, ()))
+    return False
+
+
+def _reachable_modules(project: ProjectContext, start: str) -> list[str]:
+    """Transitive closure of in-repo imports starting at ``start``."""
+    reachable: set[str] = set()
+    stack = [start]
+    while stack:
+        module = stack.pop()
+        if module in reachable:
+            continue
+        ctx = project.get_module(module)
+        if ctx is None:
+            continue
+        reachable.add(module)
+        for target in ctx.imports.values():
+            if not target.startswith("repro"):
+                continue
+            resolved = _longest_module_prefix(project, target)
+            if resolved is not None and resolved not in reachable:
+                stack.append(resolved)
+    return sorted(reachable)
+
+
+def _longest_module_prefix(
+    project: ProjectContext, dotted: str
+) -> str | None:
+    parts = dotted.split(".")
+    for end in range(len(parts), 0, -1):
+        candidate = ".".join(parts[:end])
+        if candidate in project.by_module:
+            return candidate
+    return None

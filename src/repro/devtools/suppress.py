@@ -1,0 +1,137 @@
+"""Parsing of ``# repro: allow[RPR###] -- reason`` suppression comments.
+
+Grammar (whitespace-insensitive everywhere except inside the reason,
+property-tested in ``tests/test_devtools.py``)::
+
+    # repro: allow[RPR001]            -- reason text up to end of line
+    # repro: allow[RPR001, RPR006]    -- one comment may allow many codes
+    arr = fn()  # repro: allow[RPR002] -- trailing form covers its line
+
+A standalone suppression comment (nothing but the comment on its line)
+covers the next *code* line, so multi-line statements can carry an
+allowance above their first line.  The ``-- reason`` part is mandatory:
+a reasonless allowance suppresses nothing and is itself reported as an
+``RPR000`` engine finding — the inventory must say *why* every exception
+exists, or it degrades back into folklore.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+
+from .model import ENGINE_CODE, Finding, Suppression
+
+__all__ = ["parse_suppressions", "suppression_findings"]
+
+#: Any comment that *tries* to be a suppression (so malformed spellings
+#: are flagged instead of silently ignored).
+_ATTEMPT_RE = re.compile(r"#\s*repro\s*:\s*allow\b", re.IGNORECASE)
+
+#: The full well-formed grammar.
+_ALLOW_RE = re.compile(
+    r"#\s*repro\s*:\s*allow\s*\[\s*"
+    r"(?P<codes>RPR\d{3}(?:\s*,\s*RPR\d{3})*)\s*\]"
+    r"(?:\s*--\s*(?P<reason>\S.*?))?\s*$",
+    re.IGNORECASE,
+)
+
+
+def _tokenize(source: str) -> list[tokenize.TokenInfo]:
+    return list(tokenize.generate_tokens(io.StringIO(source).readline))
+
+
+def parse_suppressions(source: str) -> list[Suppression]:
+    """Extract every suppression (valid or not) from ``source``.
+
+    Raises nothing on malformed comments: they come back as
+    :class:`Suppression` records with ``codes == ()`` so the engine can
+    report them at their exact line.
+    """
+    try:
+        tokens = _tokenize(source)
+    except (tokenize.TokenError, SyntaxError):  # pragma: no cover - engine
+        return []  # parses files with ast first; unreadable files never get here
+
+    code_lines: set[int] = set()
+    comments: list[tokenize.TokenInfo] = []
+    for tok in tokens:
+        if tok.type == tokenize.COMMENT:
+            comments.append(tok)
+        elif tok.type not in (
+            tokenize.NL,
+            tokenize.NEWLINE,
+            tokenize.INDENT,
+            tokenize.DEDENT,
+            tokenize.ENDMARKER,
+            tokenize.ENCODING,
+        ):
+            for lineno in range(tok.start[0], tok.end[0] + 1):
+                code_lines.add(lineno)
+
+    out: list[Suppression] = []
+    for tok in comments:
+        text = tok.string
+        if not _ATTEMPT_RE.search(text):
+            continue
+        line = tok.start[0]
+        standalone = line not in code_lines
+        if standalone:
+            later = [n for n in code_lines if n > line]
+            target = min(later) if later else line
+        else:
+            target = line
+        match = _ALLOW_RE.search(text)
+        if match is None:
+            out.append(
+                Suppression(codes=(), reason=None, line=line, target_line=target)
+            )
+            continue
+        codes = tuple(
+            code.strip().upper()
+            for code in match.group("codes").split(",")
+        )
+        reason = match.group("reason")
+        out.append(
+            Suppression(
+                codes=codes,
+                reason=reason.strip() if reason else None,
+                line=line,
+                target_line=target,
+            )
+        )
+    return out
+
+
+def suppression_findings(path: str, parsed: list[Suppression]) -> list[Finding]:
+    """``RPR000`` findings for malformed or reasonless suppressions."""
+    findings = []
+    for sup in parsed:
+        if not sup.codes:
+            findings.append(
+                Finding(
+                    code=ENGINE_CODE,
+                    path=path,
+                    line=sup.line,
+                    col=0,
+                    message=(
+                        "malformed suppression comment; the form is "
+                        "'# repro: allow[RPR###] -- reason'"
+                    ),
+                )
+            )
+        elif not sup.valid:
+            findings.append(
+                Finding(
+                    code=ENGINE_CODE,
+                    path=path,
+                    line=sup.line,
+                    col=0,
+                    message=(
+                        "suppression must carry a reason: "
+                        f"'# repro: allow[{', '.join(sup.codes)}] -- <why>'"
+                    ),
+                )
+            )
+    return findings

@@ -36,7 +36,7 @@ import threading
 import time
 from collections import deque
 from dataclasses import dataclass
-from typing import Callable
+from typing import Any, Callable
 
 __all__ = [
     "Event",
@@ -66,9 +66,9 @@ class Event:
     seq: int
     ts: float
     kind: str
-    data: dict
+    data: dict[str, Any]
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> dict[str, Any]:
         return {
             "seq": self.seq,
             "ts": self.ts,
@@ -77,7 +77,7 @@ class Event:
         }
 
     @staticmethod
-    def from_dict(doc: dict) -> "Event":
+    def from_dict(doc: dict[str, Any]) -> "Event":
         return Event(
             seq=int(doc["seq"]),
             ts=float(doc["ts"]),
@@ -104,7 +104,7 @@ class EventPage:
     missed: int = 0
 
 
-def _record_key(event: Event) -> tuple:
+def _record_key(event: Event) -> tuple[float, str, str]:
     """Total order on records ignoring shard-local sequence numbers."""
     return (event.ts, event.kind, json.dumps(event.data, sort_keys=True, default=str))
 
@@ -143,7 +143,7 @@ class EventsSnapshot:
             out = out.merge(snap)
         return out
 
-    def as_dicts(self) -> list[dict]:
+    def as_dicts(self) -> list[dict[str, Any]]:
         return [e.as_dict() for e in self.events]
 
 
@@ -183,7 +183,7 @@ class EventBus:
         self._next_seq = 1
 
     # -- producer side -------------------------------------------------
-    def emit(self, kind: str, *, _ts: "float | None" = None, **data) -> Event:
+    def emit(self, kind: str, *, _ts: "float | None" = None, **data: Any) -> Event:
         """Append one event; returns it (with its assigned ``seq``)."""
         with self._cond:
             event = Event(
@@ -283,7 +283,7 @@ class TaggedBus:
         self._tags = tags
         self.on_forward = on_forward
 
-    def emit(self, kind: str, *, _ts: "float | None" = None, **data) -> Event:
+    def emit(self, kind: str, *, _ts: "float | None" = None, **data: Any) -> Event:
         merged = dict(self._tags)
         merged.update(data)
         event = self._target.emit(kind, _ts=_ts, **merged)

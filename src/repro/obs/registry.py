@@ -32,6 +32,7 @@ from __future__ import annotations
 import time
 from bisect import bisect_right
 from dataclasses import dataclass, field
+from typing import Any
 
 __all__ = [
     "Counter",
@@ -92,7 +93,7 @@ class _TimerContext:
         self._t0 = time.perf_counter()
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self._timer.observe(time.perf_counter() - self._t0)
 
 
@@ -158,7 +159,7 @@ class _NullTimerContext:
     def __enter__(self) -> "_NullTimerContext":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         pass
 
 
@@ -203,7 +204,7 @@ class TimerSnapshot:
             max=max(self.max, other.max),
         )
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> dict[str, Any]:
         return {
             "count": self.count,
             "total_s": self.total,
@@ -213,7 +214,7 @@ class TimerSnapshot:
         }
 
     @staticmethod
-    def from_dict(doc: dict) -> "TimerSnapshot":
+    def from_dict(doc: dict[str, Any]) -> "TimerSnapshot":
         return TimerSnapshot(
             count=int(doc["count"]),
             total=float(doc["total_s"]),
@@ -244,7 +245,7 @@ class HistogramSnapshot:
             total=self.total + other.total,
         )
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> dict[str, Any]:
         return {
             "bounds": list(self.bounds),
             "counts": list(self.counts),
@@ -253,7 +254,7 @@ class HistogramSnapshot:
         }
 
     @staticmethod
-    def from_dict(doc: dict) -> "HistogramSnapshot":
+    def from_dict(doc: dict[str, Any]) -> "HistogramSnapshot":
         return HistogramSnapshot(
             bounds=tuple(float(b) for b in doc["bounds"]),
             counts=tuple(int(c) for c in doc["counts"]),
@@ -310,7 +311,7 @@ class MetricsSnapshot:
         """The merged value of counter ``name`` (0 when absent)."""
         return self.counters.get(name, 0)
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> dict[str, Any]:
         """JSON-ready view (sorted keys for stable output)."""
         return {
             "counters": {k: self.counters[k] for k in sorted(self.counters)},
@@ -325,7 +326,7 @@ class MetricsSnapshot:
         }
 
     @staticmethod
-    def from_dict(doc: dict) -> "MetricsSnapshot":
+    def from_dict(doc: dict[str, Any]) -> "MetricsSnapshot":
         """Inverse of :meth:`as_dict` (used by the service/JSON layer)."""
         return MetricsSnapshot(
             counters={

@@ -188,7 +188,8 @@ class Platform:
     def describe(self) -> str:
         """Multi-line human-readable summary used by the CLI."""
         lines = [
-            f"platform {self.name}" + (f" ({self.nodes} nodes)" if self.nodes else ""),
+            f"platform {self.name}"
+            + (f" ({self.nodes} nodes)" if self.nodes else ""),
             f"  fail-stop: λ_f = {self.lf:.3g}/s  (MTBF {self.mtbf_fail_stop_days:.1f} days)",
             f"  silent:    λ_s = {self.ls:.3g}/s  (MTBF {self.mtbf_silent_days:.1f} days)",
             f"  checkpoints: C_D = {self.CD:g}s, C_M = {self.CM:g}s",

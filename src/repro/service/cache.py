@@ -81,7 +81,7 @@ class ContentCache:
             self._data.clear()
             return n
 
-    def stats(self) -> dict:
+    def stats(self) -> dict[str, int]:
         with self._lock:
             return {
                 "entries": len(self._data),
@@ -99,7 +99,7 @@ class ContentCache:
 _MISSING = object()
 
 
-class NamespacedCache(MutableMapping):
+class NamespacedCache(MutableMapping[Any, Any]):
     """Mapping facade over one namespace of a :class:`ContentCache`.
 
     Subsystems that memoize on their own key material (e.g. the
@@ -131,7 +131,7 @@ class NamespacedCache(MutableMapping):
     def __contains__(self, key: Hashable) -> bool:
         return (self._prefix, key) in self._cache
 
-    def __iter__(self) -> Iterator:
+    def __iter__(self) -> Iterator[Any]:
         raise TypeError("a namespaced cache view is not iterable")
 
     def __len__(self) -> int:

@@ -87,7 +87,7 @@ DEFAULT_CHUNK_SIZE = 16_384
 
 
 @dataclass(frozen=True)
-class BatchResult:
+class BatchResult:  # repro: allow[RPR005] -- array carrier folded into MC stats
     """Per-replication outcome arrays of one batched campaign.
 
     The fields mirror :class:`~repro.simulation.engine.RunResult`, one

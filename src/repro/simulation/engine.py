@@ -39,7 +39,7 @@ DEFAULT_MAX_ATTEMPTS = 10_000_000
 
 
 @dataclass(frozen=True)
-class RunResult:
+class RunResult:  # repro: allow[RPR005] -- per-run record folded into MC stats
     """Outcome of one simulated execution.
 
     Attributes

@@ -236,7 +236,7 @@ class ParallelPlan:
 # scalar oracle
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
-class ParallelRunResult:
+class ParallelRunResult:  # repro: allow[RPR005] -- per-run record, reduced pre-export
     """Outcome of one simulated p-worker execution.
 
     ``worker_results`` holds each busy worker's single-chain
@@ -411,7 +411,7 @@ def simulate_parallel_run(
 # batched engine
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
-class ParallelBatchResult:
+class ParallelBatchResult:  # repro: allow[RPR005] -- array carrier, reduced pre-export
     """Per-replication outcome arrays of one batched p-worker campaign.
 
     ``makespans`` is the wall-clock completion of each replication;

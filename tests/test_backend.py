@@ -311,6 +311,16 @@ class TestKernelUsesOnlyPortableIndexing:
             np.asarray(compiled.work), [40.0, 85.0]
         )
 
+    def test_kernel_is_statically_portable(self):
+        # Lint-time counterpart of the runtime guard above: RPR002 walks
+        # the kernel modules' AST and rejects NumPy-only xp.* names,
+        # integer fancy indexing, and in-place updates on xp arrays.
+        from repro.devtools import run_checks
+
+        report = run_checks(select=["RPR002"])
+        offenders = [f.location() for f in report.active]
+        assert not offenders, f"kernel portability violations: {offenders}"
+
 
 # ----------------------------------------------------------------------
 # 4. numpy <-> array-api-strict lockstep agreement (CI backend-matrix)

@@ -861,7 +861,7 @@ class TestObservabilityFlags:
             "search", "--restarts", "1", "--log-level", "debug",
         )
         assert code == 0
-        assert 'level=debug' in err
+        assert "level=debug" in err
         assert "logger=repro." in err
 
     def test_bad_log_level_fails_cleanly(self, capsys):

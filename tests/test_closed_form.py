@@ -132,8 +132,12 @@ class TestSegmentCost:
         assert np.all(np.diff(out) > 0)  # more work, more cost
 
     def test_increasing_in_everif(self, platform):
-        a = segment_cost_guaranteed(platform, 30.0, E_mem=0.0, E_verif=0.0, RD=1.0, RM=1.0)
-        b = segment_cost_guaranteed(platform, 30.0, E_mem=0.0, E_verif=5.0, RD=1.0, RM=1.0)
+        a = segment_cost_guaranteed(
+            platform, 30.0, E_mem=0.0, E_verif=0.0, RD=1.0, RM=1.0
+        )
+        b = segment_cost_guaranteed(
+            platform, 30.0, E_mem=0.0, E_verif=5.0, RD=1.0, RM=1.0
+        )
         assert b > a
 
     def test_factor_decomposition_consistent(self, platform):

@@ -119,7 +119,9 @@ class TestScheduleProperties:
 # evaluator + DP cross-checks
 # ----------------------------------------------------------------------
 class TestModelProperties:
-    @settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @settings(
+        max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+    )
     @given(
         weights=weights_strategy,
         platform=platform_strategy(),
@@ -135,7 +137,9 @@ class TestModelProperties:
         value = evaluate_schedule(chain, platform, sched).expected_time
         assert value >= error_free_time(chain, platform, sched) - 1e-9
 
-    @settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @settings(
+        max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+    )
     @given(weights=weights_strategy, platform=platform_strategy())
     def test_dp_matches_markov(self, weights, platform):
         """Optimal value == exact evaluation of the optimal schedule."""
@@ -148,7 +152,9 @@ class TestModelProperties:
             markov = evaluate_schedule(chain, platform, sol.schedule).expected_time
             assert math.isclose(sol.expected_time, markov, rel_tol=1e-9)
 
-    @settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @settings(
+        max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+    )
     @given(weights=weights_strategy, platform=platform_strategy())
     def test_algorithm_freedom_ordering(self, weights, platform):
         chain = TaskChain(weights)
@@ -158,7 +164,9 @@ class TestModelProperties:
         assert v3 <= v2 * (1 + 1e-12)
         assert v2 <= v1 * (1 + 1e-12)
 
-    @settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @settings(
+        max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+    )
     @given(
         weights=weights_strategy,
         platform=platform_strategy(),
@@ -174,7 +182,9 @@ class TestModelProperties:
         ).expected_time
         assert v_hot >= v - 1e-9
 
-    @settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @settings(
+        max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+    )
     @given(weights=weights_strategy, platform=platform_strategy())
     def test_optimal_beats_final_only_baseline(self, weights, platform):
         chain = TaskChain(weights)

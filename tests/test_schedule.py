@@ -10,7 +10,9 @@ from repro.exceptions import InvalidScheduleError
 
 class TestAction:
     def test_ordering(self):
-        assert Action.NONE < Action.PARTIAL < Action.VERIFY < Action.MEMORY < Action.DISK
+        assert (
+            Action.NONE < Action.PARTIAL < Action.VERIFY < Action.MEMORY < Action.DISK
+        )
 
     def test_verification_flags(self):
         assert not Action.NONE.has_verification
@@ -94,7 +96,9 @@ class TestPositions:
     @pytest.fixture
     def sched(self):
         # T1 partial, T2 verify, T3 memory, T4 none, T5 disk
-        return Schedule([Action.PARTIAL, Action.VERIFY, Action.MEMORY, Action.NONE, Action.DISK])
+        return Schedule(
+            [Action.PARTIAL, Action.VERIFY, Action.MEMORY, Action.NONE, Action.DISK]
+        )
 
     def test_disk_positions(self, sched):
         assert sched.disk_positions == [5]
